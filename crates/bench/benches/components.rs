@@ -1,0 +1,133 @@
+//! Micro-benchmarks of the simulation's hot paths.
+//!
+//! The single-game benchmark is the headline number: one Ad Hoc Network
+//! Game (path generation + rating + decisions + payoffs + watchdog
+//! updates) runs in well under a microsecond, which is what makes
+//! paper-scale experiments (hundreds of millions of games) tractable.
+
+use ahn_bench::{bench_arena, bench_rng};
+use ahn_bitstr::{ops, BitStr};
+use ahn_ga::{next_generation, GaParams};
+use ahn_game::{game::Scratch, play_game, Tournament};
+use ahn_net::{
+    paths::{path_rating, select_best_path, PathGenerator},
+    NodeId, PathMode, ReputationMatrix, TrustTable,
+};
+use ahn_strategy::Strategy;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_single_game(c: &mut Criterion) {
+    let (mut arena, participants) = bench_arena(1);
+    let mut rng = bench_rng(2);
+    let mut scratch = Scratch::default();
+    c.bench_function("game/play_game_50_nodes", |b| {
+        b.iter(|| {
+            let report = play_game(
+                &mut arena,
+                &mut rng,
+                participants[0],
+                &participants,
+                0,
+                &mut scratch,
+            );
+            black_box(report.outcome)
+        })
+    });
+}
+
+fn bench_tournament_round(c: &mut Criterion) {
+    c.bench_function("game/tournament_50_nodes_10_rounds", |b| {
+        let (mut arena, participants) = bench_arena(3);
+        let mut rng = bench_rng(4);
+        let tournament = Tournament::new(10);
+        b.iter(|| {
+            arena.begin_generation();
+            tournament.run(&mut arena, &mut rng, &participants, 0);
+            black_box(arena.metrics.env(0).nn_games)
+        })
+    });
+}
+
+fn bench_reputation(c: &mut Criterion) {
+    let mut m = ReputationMatrix::new(130);
+    let mut rng = bench_rng(5);
+    use rand::Rng as _;
+    for _ in 0..5_000 {
+        let o = NodeId(rng.gen_range(0..130));
+        let s = NodeId(rng.gen_range(0..130));
+        if o != s {
+            m.record_forward(o, s);
+        }
+    }
+    c.bench_function("reputation/rate_lookup", |b| {
+        b.iter(|| black_box(m.rate(NodeId(3), NodeId(77))))
+    });
+    c.bench_function("reputation/mean_forwarded_of_known_130", |b| {
+        b.iter(|| black_box(m.mean_forwarded_of_known(NodeId(3))))
+    });
+    let trust = TrustTable::paper();
+    c.bench_function("reputation/trust_level_lookup", |b| {
+        b.iter(|| black_box(trust.level_opt(m.rate(NodeId(3), NodeId(77)))))
+    });
+}
+
+fn bench_path_generation(c: &mut Criterion) {
+    let generator = PathGenerator::for_mode(PathMode::Longer);
+    let pool: Vec<NodeId> = (2..50u32).map(NodeId).collect();
+    let mut rng = bench_rng(6);
+    let mut scratch = Vec::new();
+    c.bench_function("paths/generate_candidates_LP", |b| {
+        b.iter(|| black_box(generator.generate(&mut rng, &pool, &mut scratch)))
+    });
+
+    let m = ReputationMatrix::new(50);
+    let candidates: Vec<Vec<NodeId>> = (0..3)
+        .map(|_| generator.generate(&mut rng, &pool, &mut scratch).remove(0))
+        .collect();
+    c.bench_function("paths/rate_and_select_3_candidates", |b| {
+        b.iter(|| {
+            let i = select_best_path(&m, NodeId(0), &candidates);
+            black_box(path_rating(&m, NodeId(0), &candidates[i]))
+        })
+    });
+}
+
+fn bench_strategy_ops(c: &mut Criterion) {
+    let mut rng = bench_rng(7);
+    let s = Strategy::random(&mut rng);
+    c.bench_function("strategy/decision_lookup", |b| {
+        b.iter(|| {
+            black_box(s.decision(
+                black_box(ahn_net::TrustLevel::T2),
+                black_box(ahn_net::ActivityLevel::Mi),
+            ))
+        })
+    });
+    c.bench_function("strategy/encode", |b| b.iter(|| black_box(s.encode())));
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let mut rng = bench_rng(8);
+    let population: Vec<BitStr> = (0..100).map(|_| BitStr::random(&mut rng, 13)).collect();
+    let fitnesses: Vec<f64> = (0..100).map(|i| i as f64).collect();
+    let params = GaParams::paper();
+    c.bench_function("ga/next_generation_100x13", |b| {
+        b.iter(|| black_box(next_generation(&mut rng, &params, &population, &fitnesses)))
+    });
+    let a = BitStr::random(&mut rng, 13);
+    let bgen = BitStr::random(&mut rng, 13);
+    c.bench_function("ga/one_point_crossover_13", |b| {
+        b.iter(|| black_box(ops::one_point_crossover(&mut rng, &a, &bgen)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_game,
+    bench_tournament_round,
+    bench_reputation,
+    bench_path_generation,
+    bench_strategy_ops,
+    bench_ga,
+);
+criterion_main!(benches);

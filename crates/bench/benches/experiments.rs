@@ -1,0 +1,165 @@
+//! One benchmark per paper artifact (DESIGN.md §3).
+//!
+//! Each bench runs the code path that regenerates the artifact — the same
+//! `run_replication` / report pipeline the `ahn-exp` binary uses — at a
+//! reduced but dynamics-preserving scale (10-node tournaments, 30-round
+//! reputation horizon, 8 generations). `cargo bench` therefore exercises
+//! and times every experiment end to end; the full-scale numbers live in
+//! EXPERIMENTS.md.
+
+use ahn_bench::{bench_case, bench_config, bench_rng};
+use ahn_core::{baselines, experiment::run_replication, report};
+use ahn_ipdrp::{run_ipdrp, IpdrpConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Figure 4 — evolution of cooperation (cases 1–4 reduce to CSN-free and
+/// CSN-heavy mini environments).
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("fig4_cooperation");
+    group.sample_size(10);
+    group.bench_function("csn_free_case", |b| {
+        let case = bench_case(&[0]);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_replication(&cfg, &case, seed).coop_by_gen)
+        })
+    });
+    group.bench_function("csn_heavy_case", |b| {
+        let case = bench_case(&[6]);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(run_replication(&cfg, &case, seed).coop_by_gen)
+        })
+    });
+    group.finish();
+}
+
+/// Table 5 — per-environment cooperation and CSN-free paths.
+fn bench_table5(c: &mut Criterion) {
+    let cfg = bench_config();
+    let case = bench_case(&[0, 3, 6]);
+    let mut group = c.benchmark_group("table5_per_env");
+    group.sample_size(10);
+    group.bench_function("three_environments", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = run_replication(&cfg, &case, seed);
+            black_box(
+                r.final_by_env
+                    .iter()
+                    .map(|m| (m.cooperation_level(), m.csn_free_share()))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Table 6 — request-response accounting.
+fn bench_table6(c: &mut Criterion) {
+    let cfg = bench_config();
+    let case = bench_case(&[3]);
+    let mut group = c.benchmark_group("table6_requests");
+    group.sample_size(10);
+    group.bench_function("request_matrix", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let r = run_replication(&cfg, &case, seed);
+            black_box((r.final_total.from_nn.fractions(), r.final_total.from_csn.fractions()))
+        })
+    });
+    group.finish();
+}
+
+/// Tables 7–9 — strategy census over final populations (the census and
+/// report rendering on top of one evolution).
+fn bench_table7_8_9(c: &mut Criterion) {
+    let cfg = bench_config();
+    let case = bench_case(&[3]);
+    // Build one result to isolate the census/report cost.
+    let rep = run_replication(&cfg, &case, 42);
+    let mut group = c.benchmark_group("table7_strategies");
+    group.bench_function("census_and_top5", |b| {
+        b.iter(|| {
+            let mut census = ahn_strategy::analysis::StrategyCensus::new();
+            census.add_population(&rep.final_population);
+            black_box(census.top_strategies(5))
+        })
+    });
+    group.bench_function("table8_substrat", |b| {
+        let mut census = ahn_strategy::analysis::StrategyCensus::new();
+        census.add_population(&rep.final_population);
+        b.iter(|| {
+            black_box(
+                ahn_net::TrustLevel::ALL
+                    .iter()
+                    .map(|&t| census.sub_strategies(t, 0.03))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.finish();
+
+    // Render path (string formatting) for the full report.
+    let aggregated = ahn_core::experiment::aggregate(&cfg, &case, &[rep]);
+    c.bench_function("report/render_tables", |b| {
+        b.iter(|| {
+            black_box((
+                report::table7(&[&aggregated, &aggregated]),
+                report::table8_9(&aggregated, 0.03),
+            ))
+        })
+    });
+}
+
+/// X3 — the IPDRP baseline evolution.
+fn bench_ipdrp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ipdrp_evolution");
+    group.sample_size(10);
+    group.bench_function("pop40_30rounds_8gens", |b| {
+        let config = IpdrpConfig {
+            population: 40,
+            rounds: 30,
+            generations: 8,
+            ..IpdrpConfig::default()
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = bench_rng(seed);
+            black_box(run_ipdrp(&mut rng, &config))
+        })
+    });
+    group.finish();
+}
+
+/// X1 — the pathrater avoidance baseline.
+fn bench_pathrater(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("baseline_pathrater");
+    group.sample_size(10);
+    group.bench_function("rated_vs_random", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(baselines::pathrater_comparison(&cfg, 12, 4, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4,
+    bench_table5,
+    bench_table6,
+    bench_table7_8_9,
+    bench_ipdrp,
+    bench_pathrater,
+);
+criterion_main!(benches);

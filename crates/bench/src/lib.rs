@@ -1,0 +1,49 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `components` — micro-benchmarks of the hot paths (single game,
+//!   tournament round, reputation ops, path generation, GA breeding);
+//! * `experiments` — one bench per paper artifact (Figure 4,
+//!   Tables 5–9, the IPDRP baseline X3 and the pathrater baseline X1) at
+//!   a reduced but dynamics-preserving scale. Full-scale regeneration is
+//!   the `ahn-exp` binary's job; these benches track the harness's
+//!   performance so regressions in the simulation core are caught by
+//!   `cargo bench`.
+
+use ahn_core::{cases::CaseSpec, config::ExperimentConfig};
+use ahn_game::{Arena, GameConfig};
+use ahn_net::{NodeId, PathMode};
+use ahn_strategy::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic RNG for benches.
+pub fn bench_rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A 50-node arena (paper tournament size) with mixed strategies and a
+/// CSN minority.
+pub fn bench_arena(seed: u64) -> (Arena, Vec<NodeId>) {
+    let mut rng = bench_rng(seed);
+    let strategies: Vec<Strategy> = (0..40).map(|_| Strategy::random(&mut rng)).collect();
+    let arena = Arena::new(strategies, 10, GameConfig::paper(PathMode::Shorter), 1);
+    let participants: Vec<NodeId> = (0..50u32).map(NodeId).collect();
+    (arena, participants)
+}
+
+/// The reduced experiment configuration used by the per-artifact benches:
+/// real dynamics (30-round reputation horizon in 10-node tournaments; see
+/// EXPERIMENTS.md "scale sensitivity") at a cost Criterion can sample.
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.replications = 1;
+    cfg.generations = 8;
+    cfg
+}
+
+/// The mini evaluation case matching [`bench_config`].
+pub fn bench_case(csn_counts: &[usize]) -> CaseSpec {
+    CaseSpec::mini("bench", csn_counts, 10, PathMode::Shorter)
+}

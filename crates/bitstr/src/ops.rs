@@ -1,0 +1,232 @@
+//! Genetic operators over [`BitStr`] genomes.
+//!
+//! The paper (§5) uses *standard one-point crossover* and *standard uniform
+//! bit-flip mutation*; the other operators here (two-point, uniform
+//! crossover) exist for the ablation studies and are implemented with the
+//! same conventions:
+//!
+//! * crossover takes two parents of equal length and returns two children;
+//! * the cut point of one-point crossover is drawn uniformly from
+//!   `1..len`, so both children always receive genetic material from both
+//!   parents (a cut at 0 or `len` would merely clone the parents);
+//! * mutation flips every bit independently with probability `p`.
+
+use crate::BitStr;
+use rand::Rng;
+
+/// One-point crossover (§5 of the paper).
+///
+/// Children are `(a[..cut] ++ b[cut..], b[..cut] ++ a[cut..])` with
+/// `cut ∈ [1, len)`. For genomes shorter than 2 bits the parents are
+/// returned unchanged (no interior cut point exists).
+///
+/// # Panics
+/// Panics if the parents' lengths differ.
+pub fn one_point_crossover<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &BitStr,
+    b: &BitStr,
+) -> (BitStr, BitStr) {
+    assert_eq!(a.len(), b.len(), "crossover of unequal lengths");
+    if a.len() < 2 {
+        return (a.clone(), b.clone());
+    }
+    let cut = rng.gen_range(1..a.len());
+    crossover_at(a, b, cut)
+}
+
+/// Deterministic one-point crossover at a given cut (exposed for tests and
+/// for replaying logged runs).
+///
+/// # Panics
+/// Panics if the lengths differ or `cut > len`.
+pub fn crossover_at(a: &BitStr, b: &BitStr, cut: usize) -> (BitStr, BitStr) {
+    assert_eq!(a.len(), b.len(), "crossover of unequal lengths");
+    assert!(cut <= a.len(), "cut {cut} out of range");
+    let mut c = a.clone();
+    let mut d = b.clone();
+    for i in cut..a.len() {
+        c.set(i, b.get(i));
+        d.set(i, a.get(i));
+    }
+    (c, d)
+}
+
+/// Two-point crossover: swaps the segment between two cut points.
+///
+/// # Panics
+/// Panics if the parents' lengths differ.
+pub fn two_point_crossover<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &BitStr,
+    b: &BitStr,
+) -> (BitStr, BitStr) {
+    assert_eq!(a.len(), b.len(), "crossover of unequal lengths");
+    if a.len() < 2 {
+        return (a.clone(), b.clone());
+    }
+    let mut p1 = rng.gen_range(0..=a.len());
+    let mut p2 = rng.gen_range(0..=a.len());
+    if p1 > p2 {
+        std::mem::swap(&mut p1, &mut p2);
+    }
+    let mut c = a.clone();
+    let mut d = b.clone();
+    for i in p1..p2 {
+        c.set(i, b.get(i));
+        d.set(i, a.get(i));
+    }
+    (c, d)
+}
+
+/// Uniform crossover: each position is swapped independently with
+/// probability `swap_prob` (0.5 gives the classical operator).
+///
+/// # Panics
+/// Panics if the parents' lengths differ or `swap_prob ∉ [0, 1]`.
+pub fn uniform_crossover<R: Rng + ?Sized>(
+    rng: &mut R,
+    a: &BitStr,
+    b: &BitStr,
+    swap_prob: f64,
+) -> (BitStr, BitStr) {
+    assert_eq!(a.len(), b.len(), "crossover of unequal lengths");
+    assert!((0.0..=1.0).contains(&swap_prob), "swap_prob out of range");
+    let mut c = a.clone();
+    let mut d = b.clone();
+    for i in 0..a.len() {
+        if rng.gen_bool(swap_prob) {
+            c.set(i, b.get(i));
+            d.set(i, a.get(i));
+        }
+    }
+    (c, d)
+}
+
+/// Uniform bit-flip mutation: flips each bit independently with
+/// probability `p` (the paper uses `p = 0.001`). Returns the number of
+/// flipped bits.
+///
+/// # Panics
+/// Panics if `p ∉ [0, 1]`.
+pub fn bit_flip_mutation<R: Rng + ?Sized>(rng: &mut R, genome: &mut BitStr, p: f64) -> usize {
+    assert!((0.0..=1.0).contains(&p), "mutation probability out of range");
+    let mut flipped = 0;
+    for i in 0..genome.len() {
+        if rng.gen_bool(p) {
+            genome.flip(i);
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn crossover_at_known_cut() {
+        let a: BitStr = "0000".parse().unwrap();
+        let b: BitStr = "1111".parse().unwrap();
+        let (c, d) = crossover_at(&a, &b, 2);
+        assert_eq!(c.to_string(), "0011");
+        assert_eq!(d.to_string(), "1100");
+    }
+
+    #[test]
+    fn crossover_preserves_positionwise_multiset() {
+        // For every position the children's bits are a permutation of the
+        // parents' bits at that position, for every operator.
+        let mut r = rng(11);
+        let a = BitStr::random(&mut r, 13);
+        let b = BitStr::random(&mut r, 13);
+        for _ in 0..50 {
+            for (c, d) in [
+                one_point_crossover(&mut r, &a, &b),
+                two_point_crossover(&mut r, &a, &b),
+                uniform_crossover(&mut r, &a, &b, 0.5),
+            ] {
+                for i in 0..13 {
+                    let parents = [a.get(i), b.get(i)];
+                    let mut kids = [c.get(i), d.get(i)];
+                    kids.sort();
+                    let mut sorted_parents = parents;
+                    sorted_parents.sort();
+                    assert_eq!(kids, sorted_parents, "position {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_point_children_differ_from_parents_when_parents_differ_everywhere() {
+        let a = BitStr::zeros(13);
+        let b = BitStr::ones(13);
+        let mut r = rng(5);
+        let (c, d) = one_point_crossover(&mut r, &a, &b);
+        // With an interior cut both children are proper mixtures.
+        assert!(c.count_ones() > 0 && c.count_ones() < 13);
+        assert!(d.count_ones() > 0 && d.count_ones() < 13);
+        assert_eq!(c.count_ones() + d.count_ones(), 13);
+    }
+
+    #[test]
+    fn one_point_on_tiny_genomes_clones() {
+        let a = BitStr::zeros(1);
+        let b = BitStr::ones(1);
+        let mut r = rng(0);
+        let (c, d) = one_point_crossover(&mut r, &a, &b);
+        assert_eq!((c, d), (a, b));
+    }
+
+    #[test]
+    fn mutation_rate_statistics() {
+        // Flip probability 0.01 over 13 bits x 20k genomes: expect ~2600
+        // flips; allow generous slack.
+        let mut r = rng(99);
+        let mut flips = 0usize;
+        for _ in 0..20_000 {
+            let mut g = BitStr::zeros(13);
+            flips += bit_flip_mutation(&mut r, &mut g, 0.01);
+        }
+        assert!((2_100..=3_100).contains(&flips), "flips={flips}");
+    }
+
+    #[test]
+    fn mutation_zero_and_one_probabilities() {
+        let mut r = rng(7);
+        let mut g = BitStr::random(&mut r, 64);
+        let orig = g.clone();
+        assert_eq!(bit_flip_mutation(&mut r, &mut g, 0.0), 0);
+        assert_eq!(g, orig);
+        assert_eq!(bit_flip_mutation(&mut r, &mut g, 1.0), 64);
+        assert_eq!(g.hamming(&orig), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal lengths")]
+    fn crossover_length_mismatch_panics() {
+        let mut r = rng(1);
+        let _ = one_point_crossover(&mut r, &BitStr::zeros(5), &BitStr::zeros(6));
+    }
+
+    #[test]
+    fn two_point_full_range_swaps_everything_or_nothing() {
+        let a = BitStr::zeros(8);
+        let b = BitStr::ones(8);
+        // Deterministic check through crossover_at-equivalent extremes.
+        let (c, d) = crossover_at(&a, &b, 0);
+        assert_eq!(c, b);
+        assert_eq!(d, a);
+        let (c, d) = crossover_at(&a, &b, 8);
+        assert_eq!(c, a);
+        assert_eq!(d, b);
+    }
+}

@@ -1,0 +1,521 @@
+//! `ahn-exp` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! ahn-exp <command> [--preset smoke|scaled|paper] [--config FILE.json]
+//!                   [--reps N] [--gens N] [--rounds N] [--seed S]
+//!                   [--out DIR]
+//!
+//! `--config` loads a full serde `ExperimentConfig` (see
+//! `configs/example.json`); later flags override individual fields.
+//!
+//! commands:
+//!   fig4                cooperation evolution, cases 1-4 (Figure 4)
+//!   table5              per-environment cooperation, cases 3-4 (Table 5)
+//!   table6              forwarding-request responses (Table 6)
+//!   table7              most popular strategies (Table 7)
+//!   table8              sub-strategies, case 3 (Table 8)
+//!   table9              sub-strategies, case 4 (Table 9)
+//!   all                 everything above from one set of runs (+ JSON dump)
+//!   ipdrp               IPDRP baseline evolution (X3)
+//!   baseline-pathrater  avoidance-only baseline (X1)
+//!   ablate-payoff       A1: payoff-table readings
+//!   ablate-activity     A2: 13-bit vs 5-bit chromosome
+//!   ablate-selection    A3: tournament vs roulette
+//!   ablate-trust-table  A5: trust-threshold sensitivity
+//!   ablate-unknown      A6: unknown-node bit pinning
+//!   ablate-gossip       A7: second-hand reputation (CORE/CONFIDANT style)
+//!   transfer            strategy transfer across cases (extension)
+//!   newcomer            newcomer-join experiment (extension)
+//!   sleepers            activity-dimension sleeper study (extension)
+//!   sweep-rounds        cooperation vs reputation horizon R
+//!   sweep-csn           cooperation vs selfish-node density
+//!   sweep-mutation      cooperation vs GA mutation rate
+//!   trace               dump a JSON decision trace of one tournament
+//!   check               verify the paper-input presets (Tables 1-4)
+//! ```
+
+use ahn_core::{
+    ablations, baselines, cases::CaseSpec, config::ExperimentConfig, experiment, extensions,
+    report,
+};
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print_usage();
+        return;
+    }
+    let command = args[0].clone();
+    let opts = match Options::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    match command.as_str() {
+        "fig4" => fig4(&opts),
+        "table5" => table5(&opts),
+        "table6" => table6(&opts),
+        "table7" => table7(&opts),
+        "table8" => table8_9(&opts, 3),
+        "table9" => table8_9(&opts, 4),
+        "all" => all(&opts),
+        "ipdrp" => ipdrp(&opts),
+        "baseline-pathrater" => pathrater(&opts),
+        "ablate-payoff" => ablate(&opts, "A1 payoff-table reading", ablations::ablate_payoff),
+        "ablate-activity" => ablate(&opts, "A2 activity dimension", ablations::ablate_activity),
+        "ablate-selection" => ablate(&opts, "A3 selection operator", ablations::ablate_selection),
+        "ablate-trust-table" => {
+            ablate(&opts, "A5 trust-table thresholds", ablations::ablate_trust_table)
+        }
+        "ablate-unknown" => ablate(&opts, "A6 unknown-node bit", ablations::ablate_unknown),
+        "ablate-gossip" => ablate(&opts, "A7 second-hand reputation", ablations::ablate_gossip),
+        "transfer" => transfer(&opts),
+        "newcomer" => newcomer(&opts),
+        "sleepers" => sleepers(&opts),
+        "sweep-rounds" => sweep_rounds(&opts),
+        "sweep-csn" => sweep_csn(&opts),
+        "sweep-mutation" => sweep_mutation(&opts),
+        "trace" => trace(&opts),
+        "check" => {
+            let results = ahn_core::checks::run_all();
+            match ahn_core::checks::render(&results) {
+                Ok(text) => print!("{text}"),
+                Err(text) => {
+                    print!("{text}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ahn-exp — regenerate the tables and figures of Seredynski et al. (IPDPS'07)\n\n\
+         usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
+                [--gens N] [--rounds N] [--seed S] [--out DIR]\n\n\
+         commands: fig4 table5 table6 table7 table8 table9 all ipdrp\n\
+                   baseline-pathrater ablate-payoff ablate-activity\n\
+                   ablate-selection ablate-trust-table ablate-unknown\n\
+                   ablate-gossip transfer newcomer sleepers\n\
+                   sweep-rounds sweep-csn sweep-mutation trace check"
+    );
+}
+
+/// Parsed command-line options.
+struct Options {
+    config: ExperimentConfig,
+    out_dir: Option<std::path::PathBuf>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut config = ExperimentConfig::scaled();
+        let mut out_dir = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--preset" => {
+                    config = match value("--preset")?.as_str() {
+                        "smoke" => ExperimentConfig::smoke(),
+                        "scaled" => ExperimentConfig::scaled(),
+                        "paper" => ExperimentConfig::paper(),
+                        other => return Err(format!("unknown preset {other:?}")),
+                    };
+                }
+                "--reps" => {
+                    config.replications =
+                        value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?
+                }
+                "--gens" => {
+                    config.generations =
+                        value("--gens")?.parse().map_err(|e| format!("--gens: {e}"))?
+                }
+                "--rounds" => {
+                    config.rounds =
+                        value("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?
+                }
+                "--seed" => {
+                    config.base_seed =
+                        value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+                "--config" => {
+                    let path = value("--config")?;
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    config = serde_json::from_str(&text)
+                        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                }
+                "--out" => out_dir = Some(std::path::PathBuf::from(value("--out")?)),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        config.validate()?;
+        Ok(Options { config, out_dir })
+    }
+
+    fn maybe_write(&self, name: &str, contents: &str) {
+        if let Some(dir) = &self.out_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("warning: cannot create {}: {e}", dir.display());
+                return;
+            }
+            let path = dir.join(name);
+            match std::fs::File::create(&path).and_then(|mut f| f.write_all(contents.as_bytes())) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn run_case(opts: &Options, case_no: usize) -> experiment::ExperimentResult {
+    let case = CaseSpec::paper(case_no);
+    eprintln!(
+        "running {} ({} replications x {} generations, R={})...",
+        case.name, opts.config.replications, opts.config.generations, opts.config.rounds
+    );
+    experiment::run_experiment(&opts.config, &case)
+}
+
+fn fig4(opts: &Options) {
+    let results: Vec<_> = (1..=4).map(|i| run_case(opts, i)).collect();
+    let refs: Vec<&_> = results.iter().collect();
+    let means: Vec<Vec<f64>> = results.iter().map(|r| r.coop_series.means()).collect();
+    let markers = ['1', '2', '3', '4'];
+    let series: Vec<ahn_stats::PlotSeries> = results
+        .iter()
+        .zip(&means)
+        .zip(markers)
+        .map(|((r, values), marker)| ahn_stats::PlotSeries {
+            label: &r.case_name,
+            values,
+            marker,
+        })
+        .collect();
+    println!("{}", ahn_stats::ascii_chart(&series, 72, 16));
+    print!("{}", report::fig4_summary(&refs));
+    let csv = report::fig4_csv(&refs);
+    opts.maybe_write("fig4.csv", &csv);
+    if opts.out_dir.is_none() {
+        println!("\n(use --out DIR to save the full per-generation CSV)");
+    }
+}
+
+fn table5(opts: &Options) {
+    let c3 = run_case(opts, 3);
+    let c4 = run_case(opts, 4);
+    let t = report::table5(&c3, &c4);
+    print!("{t}");
+    opts.maybe_write("table5.txt", &t);
+}
+
+fn table6(opts: &Options) {
+    let c3 = run_case(opts, 3);
+    let c4 = run_case(opts, 4);
+    let t = report::table6(&c3, &c4);
+    print!("{t}");
+    opts.maybe_write("table6.txt", &t);
+}
+
+fn table7(opts: &Options) {
+    let c3 = run_case(opts, 3);
+    let c4 = run_case(opts, 4);
+    let t = report::table7(&[&c3, &c4]);
+    print!("{t}");
+    opts.maybe_write("table7.txt", &t);
+}
+
+fn table8_9(opts: &Options, case_no: usize) {
+    let r = run_case(opts, case_no);
+    let t = report::table8_9(&r, 0.03);
+    print!("{t}");
+    opts.maybe_write(&format!("table{}.txt", if case_no == 3 { 8 } else { 9 }), &t);
+}
+
+fn all(opts: &Options) {
+    let results: Vec<_> = (1..=4).map(|i| run_case(opts, i)).collect();
+    let refs: Vec<&_> = results.iter().collect();
+    let mut out = String::new();
+    out.push_str(&report::fig4_summary(&refs));
+    out.push('\n');
+    out.push_str(&report::table5(&results[2], &results[3]));
+    out.push('\n');
+    out.push_str(&report::table6(&results[2], &results[3]));
+    out.push('\n');
+    out.push_str(&report::table7(&[&results[2], &results[3]]));
+    out.push('\n');
+    out.push_str(&report::table8_9(&results[2], 0.03));
+    out.push('\n');
+    out.push_str(&report::table8_9(&results[3], 0.03));
+    print!("{out}");
+    opts.maybe_write("all.txt", &out);
+    opts.maybe_write("fig4.csv", &report::fig4_csv(&refs));
+    if opts.out_dir.is_some() {
+        match serde_json::to_string_pretty(&results) {
+            Ok(json) => opts.maybe_write("results.json", &json),
+            Err(e) => eprintln!("warning: cannot serialize results: {e}"),
+        }
+    }
+}
+
+fn ipdrp(opts: &Options) {
+    use rand::SeedableRng;
+    let config = ahn_ipdrp::IpdrpConfig {
+        population: opts.config.population.max(2) / 2 * 2,
+        rounds: opts.config.rounds,
+        generations: opts.config.generations,
+        ..ahn_ipdrp::IpdrpConfig::default()
+    };
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(opts.config.base_seed);
+    let history = ahn_ipdrp::run_ipdrp(&mut rng, &config);
+    println!(
+        "IPDRP baseline (population {}, {} rounds, {} generations)",
+        config.population, config.rounds, config.generations
+    );
+    let first = history.first().expect("at least one generation");
+    let last = history.last().expect("at least one generation");
+    println!(
+        "  cooperation: gen 0 = {:.1}%, final = {:.1}%  (random pairing suppresses reciprocity)",
+        first.cooperation * 100.0,
+        last.cooperation * 100.0
+    );
+    println!(
+        "  mean fitness: gen 0 = {:.2}, final = {:.2}  (P = 1.0 is the all-defect floor)",
+        first.stats.mean, last.stats.mean
+    );
+    let mut csv = String::from("generation,cooperation,mean_fitness\n");
+    for g in &history {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4}\n",
+            g.generation, g.cooperation, g.stats.mean
+        ));
+    }
+    opts.maybe_write("ipdrp.csv", &csv);
+}
+
+fn pathrater(opts: &Options) {
+    // Marti et al.'s setting: 50 nodes with 20 selfish (40%).
+    let report = baselines::pathrater_comparison(&opts.config, 50, 20, opts.config.base_seed);
+    println!("Watchdog/pathrater-style baseline (X1): 50 nodes, 20 selfish, AllC normals");
+    println!(
+        "  throughput with rating-based avoidance:    {:.1}%",
+        report.with_rating * 100.0
+    );
+    println!(
+        "  throughput with random route selection:    {:.1}%",
+        report.without_rating * 100.0
+    );
+    println!(
+        "  improvement from avoidance alone:          {:+.1}%  (paper's ref [9]: +17%)",
+        report.improvement() * 100.0
+    );
+}
+
+fn ablate(
+    opts: &Options,
+    title: &str,
+    run: fn(&ExperimentConfig, &CaseSpec) -> Vec<ablations::Variant>,
+) {
+    // Ablations run on case 3 (the paper's richest setting).
+    let case = CaseSpec::paper(3);
+    eprintln!("running ablation {title} on {} ...", case.name);
+    let variants = run(&opts.config, &case);
+    let rendered = ablations::render_variants(title, &variants);
+    print!("{rendered}");
+    opts.maybe_write("ablation.txt", &rendered);
+}
+
+fn transfer(opts: &Options) {
+    // One replication per (train, eval) pair keeps this affordable; use
+    // --reps/--gens to deepen.
+    let cases = ahn_core::cases::CaseSpec::paper_all();
+    eprintln!("running {}x{} transfer matrix...", cases.len(), cases.len());
+    let cells = extensions::transfer_matrix(&opts.config, &cases, opts.config.base_seed);
+    let rendered = extensions::render_transfer(&cells);
+    print!("{rendered}");
+    println!(
+        "\nDiagonal cells are populations deployed in the conditions they\n\
+         were evolved for; off-diagonal cells quantify the paper's closing\n\
+         warning that strategies are condition-specific."
+    );
+    opts.maybe_write("transfer.txt", &rendered);
+}
+
+fn newcomer(opts: &Options) {
+    let case = CaseSpec::paper(1);
+    eprintln!("evolving a case-1 population, then admitting a newcomer...");
+    let report = extensions::newcomer_join(&opts.config, &case, 120, opts.config.base_seed);
+    println!("Newcomer-join experiment (case 1 veterans + 1 unknown cooperator)");
+    println!(
+        "  unknown-node bit forwards in {:.0}% of the evolved population",
+        report.unknown_forward_share * 100.0
+    );
+    println!(
+        "  newcomer delivery, first quarter of its games:  {:.1}%",
+        report.early_delivery * 100.0
+    );
+    println!(
+        "  newcomer delivery, last quarter of its games:   {:.1}%",
+        report.late_delivery * 100.0
+    );
+    println!("  (the paper's claim: \"new nodes can easily join the network\")");
+}
+
+fn sleepers(opts: &Options) {
+    let case = CaseSpec::paper(1);
+    eprintln!("sleeper study: evolving with 20 low-duty nodes, both codecs...");
+    let study =
+        ahn_core::extensions::sleeper_study(&opts.config, &case, 20, 0.3, opts.config.base_seed);
+    let (full_gap, trust_gap) = study.activity_penalty();
+    println!("Sleeper study (X6): 20 of 100 nodes at 30% duty cycle, case-1 world");
+    println!(
+        "  energy: a sleeper consumes {:.0}% of an active node's budget",
+        study.sleeper_energy_ratio * 100.0
+    );
+    println!("  13-bit (trust x activity) chromosome:");
+    println!(
+        "    active-node delivery {:.1}%, sleeper delivery {:.1}%  (penalty {:.0}%)",
+        study.full_active_delivery * 100.0,
+        study.full_sleeper_delivery * 100.0,
+        full_gap * 100.0
+    );
+    println!("  5-bit (trust-only) chromosome:");
+    println!(
+        "    active-node delivery {:.1}%, sleeper delivery {:.1}%  (penalty {:.0}%)",
+        study.trust_only_active_delivery * 100.0,
+        study.trust_only_sleeper_delivery * 100.0,
+        trust_gap * 100.0
+    );
+    println!(
+        "\nThe paper's motivation for the activity dimension (S1): sleepers\n\
+         keep a perfect forwarding *rate*, so trust alone cannot see them;\n\
+         only the activity-aware chromosome can price the free ride."
+    );
+}
+
+fn sweep_rounds(opts: &Options) {
+    use ahn_core::sweeps;
+    let case = CaseSpec::paper(1);
+    let rounds = [30usize, 100, 200, 300, 500];
+    eprintln!("sweeping tournament rounds over {rounds:?} on case 1...");
+    let points = sweeps::sweep_rounds(&opts.config, &case, &rounds);
+    let t = sweeps::render_sweep(
+        "Cooperation vs reputation horizon R (case 1)",
+        "rounds",
+        &points,
+    );
+    print!("{t}");
+    println!("(the paper's R = 300 sits above the defection-basin crossover)");
+    opts.maybe_write("sweep_rounds.txt", &t);
+}
+
+fn sweep_csn(opts: &Options) {
+    use ahn_core::sweeps;
+    let densities = [0.0, 0.2, 0.4, 0.6, 0.8];
+    eprintln!("sweeping CSN density over {densities:?} (50-node tournaments, SP)...");
+    let points = sweeps::sweep_csn(
+        &opts.config,
+        50,
+        ahn_core::cases::CaseSpec::paper(1).mode,
+        &densities,
+    );
+    let t = sweeps::render_sweep(
+        "Cooperation vs CSN density (50-node tournaments, shorter paths)",
+        "density",
+        &points,
+    );
+    print!("{t}");
+    println!("(TE1..TE4 are the 0%, 20%, 50% and 60% points of this curve)");
+    opts.maybe_write("sweep_csn.txt", &t);
+}
+
+fn sweep_mutation(opts: &Options) {
+    use ahn_core::sweeps;
+    let case = CaseSpec::paper(3);
+    let rates = [0.0, 0.001, 0.01, 0.05];
+    eprintln!("sweeping mutation rate over {rates:?} on case 3...");
+    let points = sweeps::sweep_mutation(&opts.config, &case, &rates);
+    let t = sweeps::render_sweep(
+        "Cooperation vs per-bit mutation probability (case 3)",
+        "mutation",
+        &points,
+    );
+    print!("{t}");
+    println!("(the paper uses 0.001)");
+    opts.maybe_write("sweep_mutation.txt", &t);
+}
+
+fn trace(opts: &Options) {
+    use ahn_core::config::StrategyCodec;
+    use rand::SeedableRng;
+    // Evolve briefly, then trace the first games of a converged
+    // tournament so the dump shows meaningful trust-driven decisions.
+    let mut cfg = opts.config.clone();
+    cfg.replications = 1;
+    let case = CaseSpec::paper(3);
+    cfg.population = cfg.population.max(case.required_normal());
+    eprintln!("evolving one replication of {} for the trace...", case.name);
+    let rep = ahn_core::experiment::run_replication(&cfg, &case, cfg.base_seed);
+
+    let game_config = ahn_core::game_config_of(&cfg, &case);
+    let size = case.envs[1].normal().min(rep.final_population.len());
+    let csn = case.envs[1].csn;
+    let mut arena = ahn_core::AhnArena::new(
+        rep.final_population[..size].to_vec(),
+        csn,
+        game_config,
+        1,
+    );
+    let participants: Vec<ahn_core::AhnNodeId> =
+        (0..(size + csn) as u32).map(ahn_core::AhnNodeId).collect();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.base_seed ^ 0xdecaf);
+    let mut scratch = ahn_core::AhnScratch::default();
+
+    // Warm-up rounds so trust levels exist, then trace 25 games.
+    for _ in 0..40 {
+        for &src in &participants {
+            ahn_core::ahn_play_game(&mut arena, &mut rng, src, &participants, 0, &mut scratch);
+        }
+    }
+    println!("[");
+    let mut first = true;
+    for &src in participants.iter().take(25) {
+        let report =
+            ahn_core::ahn_play_game(&mut arena, &mut rng, src, &participants, 0, &mut scratch);
+        let decisions: Vec<String> = scratch
+            .last_decisions()
+            .iter()
+            .map(|(d, t)| format!("{d}@{t}"))
+            .collect();
+        let path: Vec<u32> = scratch.last_path().iter().map(|n| n.0).collect();
+        if !first {
+            println!(",");
+        }
+        first = false;
+        print!(
+            "  {{\"source\": {}, \"destination\": {}, \"path\": {:?}, \"decisions\": {:?}, \"delivered\": {}}}",
+            src.0,
+            report.destination.0,
+            path,
+            decisions,
+            report.outcome.delivered()
+        );
+    }
+    println!("\n]");
+}

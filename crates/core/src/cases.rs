@@ -1,0 +1,140 @@
+//! The evaluation cases of Table 4.
+//!
+//! | case | environments | path mode |
+//! |------|--------------|-----------|
+//! | 1    | TE1 (0 CSN)  | shorter   |
+//! | 2    | TE4 (30 CSN) | shorter   |
+//! | 3    | TE1–TE4      | shorter   |
+//! | 4    | TE1–TE4      | longer    |
+//!
+//! Note on case 2: Table 4's OCR reads "3 (30 CSN)", but TE3 has 25 CSN
+//! (Table 1) while §6.2 says "case 2, 30 CSN ... 60 % of the population"
+//! — which is TE4 (30 of 50). We follow the prose and the arithmetic
+//! (30/50 = 60 %) and use the 30-CSN environment.
+
+use ahn_game::EnvironmentSpec;
+use ahn_net::PathMode;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation case: an environment sequence plus a path mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// Human-readable name ("case 3").
+    pub name: String,
+    /// Environment sequence (Fig. 3's `E` environments).
+    pub envs: Vec<EnvironmentSpec>,
+    /// Path mode (Table 2 column).
+    pub mode: PathMode,
+}
+
+impl CaseSpec {
+    /// Builds one of the paper's cases (1–4).
+    ///
+    /// # Panics
+    /// Panics unless `1 <= case <= 4`.
+    pub fn paper(case: usize) -> Self {
+        match case {
+            1 => CaseSpec {
+                name: "case 1".into(),
+                envs: vec![EnvironmentSpec::paper_te(1)],
+                mode: PathMode::Shorter,
+            },
+            2 => CaseSpec {
+                name: "case 2".into(),
+                envs: vec![EnvironmentSpec::paper_te(4)],
+                mode: PathMode::Shorter,
+            },
+            3 => CaseSpec {
+                name: "case 3".into(),
+                envs: EnvironmentSpec::paper_all(),
+                mode: PathMode::Shorter,
+            },
+            4 => CaseSpec {
+                name: "case 4".into(),
+                envs: EnvironmentSpec::paper_all(),
+                mode: PathMode::Longer,
+            },
+            _ => panic!("the paper defines cases 1..=4, not {case}"),
+        }
+    }
+
+    /// All four paper cases.
+    pub fn paper_all() -> Vec<Self> {
+        (1..=4).map(Self::paper).collect()
+    }
+
+    /// A reduced case for tests and examples: one environment of `size`
+    /// participants per CSN count in `csn_counts`.
+    pub fn mini(name: &str, csn_counts: &[usize], size: usize, mode: PathMode) -> Self {
+        CaseSpec {
+            name: name.into(),
+            envs: csn_counts
+                .iter()
+                .map(|&c| EnvironmentSpec::new(size, c))
+                .collect(),
+            mode,
+        }
+    }
+
+    /// Largest CSN pool any environment of the case needs.
+    pub fn required_csn(&self) -> usize {
+        self.envs.iter().map(|e| e.csn).max().unwrap_or(0)
+    }
+
+    /// Largest normal-player demand of any environment.
+    pub fn required_normal(&self) -> usize {
+        self.envs.iter().map(|e| e.normal()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cases_match_table_4() {
+        let c1 = CaseSpec::paper(1);
+        assert_eq!(c1.envs.len(), 1);
+        assert_eq!(c1.envs[0].csn, 0);
+        assert_eq!(c1.mode, PathMode::Shorter);
+
+        // Case 2: the 30-CSN environment (see module docs).
+        let c2 = CaseSpec::paper(2);
+        assert_eq!(c2.envs[0].csn, 30);
+        assert_eq!(c2.envs[0].size, 50);
+        assert_eq!(c2.mode, PathMode::Shorter);
+
+        let c3 = CaseSpec::paper(3);
+        assert_eq!(c3.envs.len(), 4);
+        assert_eq!(c3.mode, PathMode::Shorter);
+
+        let c4 = CaseSpec::paper(4);
+        assert_eq!(c4.envs.len(), 4);
+        assert_eq!(c4.mode, PathMode::Longer);
+        assert_eq!(CaseSpec::paper_all().len(), 4);
+    }
+
+    #[test]
+    fn requirements() {
+        let c3 = CaseSpec::paper(3);
+        assert_eq!(c3.required_csn(), 30);
+        assert_eq!(c3.required_normal(), 50);
+        let mini = CaseSpec::mini("m", &[2, 5], 10, PathMode::Longer);
+        assert_eq!(mini.required_csn(), 5);
+        assert_eq!(mini.required_normal(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cases 1..=4")]
+    fn case_5_does_not_exist() {
+        let _ = CaseSpec::paper(5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CaseSpec::paper(3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CaseSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,190 @@
+//! Runtime self-checks of the paper-input presets (`ahn-exp check`).
+//!
+//! Tables 1–4 of the paper are *inputs*; the test suite pins them at
+//! compile time, and this module re-verifies them at runtime — including
+//! a chi-squared goodness-of-fit of the path samplers against Tables 2–3
+//! — so a packaged binary can prove its presets on any machine.
+
+use ahn_game::EnvironmentSpec;
+use ahn_net::{AltPathDist, PathLengthDist, PathMode, TrustTable};
+use ahn_stats::{chi_squared, chi_squared_crit_999};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One check's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckResult {
+    /// What was checked (e.g. "Table 1: TE2 composition").
+    pub name: String,
+    /// `Ok` or a description of the deviation.
+    pub outcome: Result<(), String>,
+}
+
+fn check(name: &str, ok: bool, detail: &str) -> CheckResult {
+    CheckResult {
+        name: name.to_string(),
+        outcome: if ok { Ok(()) } else { Err(detail.to_string()) },
+    }
+}
+
+/// Runs every preset check; deterministic (fixed seed for the sampling
+/// checks).
+pub fn run_all() -> Vec<CheckResult> {
+    let mut out = Vec::new();
+
+    // Table 1 — environments.
+    let expected = [(1usize, 0usize), (2, 10), (3, 25), (4, 30)];
+    for (i, csn) in expected {
+        let te = EnvironmentSpec::paper_te(i);
+        out.push(check(
+            &format!("Table 1: TE{i} composition"),
+            te.size == 50 && te.csn == csn,
+            &format!("expected 50 participants / {csn} CSN, got {te:?}"),
+        ));
+    }
+
+    // Table 2 — hop-count distributions (point probabilities + sampling).
+    let sp = PathLengthDist::paper_shorter();
+    let lp = PathLengthDist::paper_longer();
+    out.push(check(
+        "Table 2: SP point probabilities",
+        (sp.prob(2), sp.prob(3), sp.prob(5), sp.prob(9)) == (0.2, 0.3, 0.05, 0.0),
+        "SP probabilities disagree with Table 2",
+    ));
+    out.push(check(
+        "Table 2: LP point probabilities",
+        (lp.prob(2), lp.prob(5), lp.prob(9), lp.prob(10)) == (0.1, 0.1, 0.15, 0.15),
+        "LP probabilities disagree with Table 2",
+    ));
+    let mut rng = ChaCha8Rng::seed_from_u64(2007);
+    for (label, dist) in [("SP", &sp), ("LP", &lp)] {
+        let mut counts = vec![0u64; 9];
+        for _ in 0..50_000 {
+            counts[dist.sample(&mut rng) - 2] += 1;
+        }
+        let expected: Vec<f64> = (2..=10).map(|h| dist.prob(h)).collect();
+        // Drop zero-probability bins before the chi-squared test.
+        let (mut obs, mut exp) = (Vec::new(), Vec::new());
+        for (c, p) in counts.iter().zip(&expected) {
+            if *p > 0.0 {
+                obs.push(*c);
+                exp.push(*p);
+            } else if *c > 0 {
+                obs.push(*c);
+                exp.push(0.0);
+            }
+        }
+        let total: f64 = exp.iter().sum();
+        let exp: Vec<f64> = exp.iter().map(|p| p / total).collect();
+        let stat = chi_squared(&obs, &exp);
+        let crit = chi_squared_crit_999(obs.len() - 1);
+        out.push(check(
+            &format!("Table 2: {label} sampler goodness-of-fit"),
+            stat < crit,
+            &format!("chi2 = {stat:.2} exceeds the 99.9% critical value {crit:.2}"),
+        ));
+    }
+
+    // Table 3 — alternate-path counts.
+    let alt = AltPathDist::paper();
+    out.push(check(
+        "Table 3: bucket rows",
+        alt.row(2) == &[0.5, 0.3, 0.2]
+            && alt.row(5) == &[0.6, 0.25, 0.15]
+            && alt.row(8) == &[0.8, 0.15, 0.05],
+        "alternate-path rows disagree with Table 3",
+    ));
+    let mut counts = [0u64; 3];
+    for _ in 0..50_000 {
+        counts[alt.sample(&mut rng, 4) - 1] += 1;
+    }
+    let stat = chi_squared(&counts, &[0.6, 0.25, 0.15]);
+    out.push(check(
+        "Table 3: sampler goodness-of-fit (4-6 hops)",
+        stat < chi_squared_crit_999(2),
+        &format!("chi2 = {stat:.2}"),
+    ));
+
+    // Table 4 — evaluation cases.
+    let c3 = crate::cases::CaseSpec::paper(3);
+    let c4 = crate::cases::CaseSpec::paper(4);
+    out.push(check(
+        "Table 4: cases 3-4 environments and modes",
+        c3.envs.len() == 4
+            && c4.envs.len() == 4
+            && c3.mode == PathMode::Shorter
+            && c4.mode == PathMode::Longer,
+        "case 3/4 presets disagree with Table 4",
+    ));
+
+    // Fig. 1b — trust lookup.
+    let t = TrustTable::paper();
+    out.push(check(
+        "Fig 1b: trust lookup (0.95 -> TL3, unknown -> TL1)",
+        t.level(0.95) == ahn_net::TrustLevel::T3 && t.unknown == ahn_net::TrustLevel::T1,
+        "trust table disagrees with Fig 1b / §6.1",
+    ));
+
+    // §6.1 — GA parameters.
+    let cfg = crate::config::ExperimentConfig::paper();
+    out.push(check(
+        "§6.1: GA parameters (0.9 / 0.001 / 300 / 500 / 60)",
+        cfg.ga.crossover_prob == 0.9
+            && cfg.ga.mutation_prob == 0.001
+            && cfg.rounds == 300
+            && cfg.generations == 500
+            && cfg.replications == 60,
+        "paper preset disagrees with §6.1",
+    ));
+
+    out
+}
+
+/// Renders check results; returns `Err` with the rendered text if any
+/// check failed.
+pub fn render(results: &[CheckResult]) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut failed = 0;
+    for r in results {
+        match &r.outcome {
+            Ok(()) => {
+                let _ = writeln!(out, "  ok   {}", r.name);
+            }
+            Err(e) => {
+                failed += 1;
+                let _ = writeln!(out, "  FAIL {} — {e}", r.name);
+            }
+        }
+    }
+    let _ = writeln!(out, "{} checks, {failed} failed", results.len());
+    if failed == 0 {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_preset_checks_pass() {
+        let results = run_all();
+        let rendered = render(&results).expect("preset checks must pass");
+        assert!(rendered.contains("0 failed"));
+        assert!(results.len() >= 10);
+    }
+
+    #[test]
+    fn render_reports_failures() {
+        let results = vec![CheckResult {
+            name: "demo".into(),
+            outcome: Err("broken".into()),
+        }];
+        let err = render(&results).unwrap_err();
+        assert!(err.contains("FAIL demo"));
+        assert!(err.contains("1 failed"));
+    }
+}

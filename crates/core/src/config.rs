@@ -1,0 +1,250 @@
+//! Experiment configuration with the paper's parameters as the reference
+//! preset.
+//!
+//! Paper parameters (§6.1): population 100, tournament size 50, rounds
+//! 300, generations 500, crossover 0.9, mutation 0.001, 60 repetitions.
+//! The `scaled` preset keeps the model identical but shrinks rounds,
+//! generations and repetitions so the full table/figure sweep runs in
+//! minutes on a laptop; EXPERIMENTS.md records which preset produced each
+//! number.
+
+use ahn_bitstr::BitStr;
+use ahn_ga::GaParams;
+use ahn_game::PayoffConfig;
+use ahn_net::{ActivityBands, GossipConfig, RouteSelection, TrustTable};
+use ahn_strategy::{reduced::ReducedStrategy, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// Which chromosome the GA evolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum StrategyCodec {
+    /// The paper's 13-bit trust × activity strategy.
+    #[default]
+    Full,
+    /// The 5-bit trust-only ablation (DESIGN.md A2): same game, smaller
+    /// genome, activity information discarded.
+    TrustOnly,
+}
+
+impl StrategyCodec {
+    /// Genome width in bits.
+    pub fn genome_bits(self) -> usize {
+        match self {
+            StrategyCodec::Full => ahn_strategy::STRATEGY_BITS,
+            StrategyCodec::TrustOnly => ahn_strategy::reduced::REDUCED_BITS,
+        }
+    }
+
+    /// Index of the unknown-node bit in this encoding.
+    pub fn unknown_bit(self) -> usize {
+        match self {
+            StrategyCodec::Full => ahn_strategy::UNKNOWN_BIT,
+            StrategyCodec::TrustOnly => 4,
+        }
+    }
+
+    /// Decodes a genome into the playable 13-bit strategy.
+    ///
+    /// # Panics
+    /// Panics if the genome width does not match the codec.
+    pub fn decode(self, genome: &BitStr) -> Strategy {
+        match self {
+            StrategyCodec::Full => Strategy::from_bits(genome.clone()),
+            StrategyCodec::TrustOnly => ReducedStrategy::from_bits(genome.clone()).lift(),
+        }
+    }
+}
+
+/// A population member with a reduced radio duty cycle (extension X6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SleeperSpec {
+    /// Index of the player within the population.
+    pub index: usize,
+    /// Probability of being awake in any tournament round (0, 1].
+    pub duty: f64,
+}
+
+/// All knobs of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Population size `N` (paper: 100).
+    pub population: usize,
+    /// Rounds per tournament `R` (paper: 300).
+    pub rounds: usize,
+    /// Generations (paper: 500).
+    pub generations: usize,
+    /// Independent repetitions averaged into every report (paper: 60).
+    pub replications: usize,
+    /// Times each player plays per environment (`L`; DESIGN.md default 1).
+    pub plays_per_env: usize,
+    /// GA hyper-parameters.
+    pub ga: GaParams,
+    /// Payoff tables.
+    pub payoff: PayoffConfig,
+    /// Trust lookup table.
+    pub trust: TrustTable,
+    /// Activity bands.
+    pub activity: ActivityBands,
+    /// Route-selection policy (paper: best-rated).
+    pub route_selection: RouteSelection,
+    /// Genome encoding (paper: 13-bit full).
+    pub codec: StrategyCodec,
+    /// Optional second-hand reputation exchange (extension A7; the paper
+    /// uses first-hand watchdog observation only).
+    pub gossip: Option<GossipConfig>,
+    /// Population members with reduced duty cycles (extension X6; empty —
+    /// the paper's model — means everyone always listens).
+    pub sleepers: Vec<SleeperSpec>,
+    /// When set, the unknown-node bit is pinned to this value after every
+    /// breeding step (ablation A6).
+    pub force_unknown: Option<bool>,
+    /// Base RNG seed; replication `k` runs with `base_seed + k`.
+    pub base_seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The paper's full-scale parameters.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            population: 100,
+            rounds: 300,
+            generations: 500,
+            replications: 60,
+            plays_per_env: 1,
+            ga: GaParams::paper(),
+            payoff: PayoffConfig::paper(),
+            trust: TrustTable::paper(),
+            activity: ActivityBands::paper(),
+            route_selection: RouteSelection::BestRated,
+            codec: StrategyCodec::Full,
+            gossip: None,
+            sleepers: Vec::new(),
+            force_unknown: None,
+            base_seed: 0x5EED_2007,
+        }
+    }
+
+    /// Laptop-scale preset: identical model and tournament length
+    /// (R = 300 — the reputation horizon is load-bearing, see
+    /// EXPERIMENTS.md), smaller evolution budget (150 generations,
+    /// 12 repetitions instead of 500/60).
+    pub fn scaled() -> Self {
+        ExperimentConfig {
+            generations: 150,
+            replications: 12,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    /// Tiny preset for unit/integration tests. 30 rounds is the smallest
+    /// reputation horizon at which cooperation can still evolve in
+    /// 10-participant tournaments (below that the defection basin
+    /// swallows every run; see EXPERIMENTS.md, "scale sensitivity").
+    pub fn smoke() -> Self {
+        ExperimentConfig {
+            population: 20,
+            rounds: 30,
+            generations: 10,
+            replications: 2,
+            ..ExperimentConfig::paper()
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population == 0 || self.generations == 0 || self.replications == 0 {
+            return Err("population, generations and replications must be positive".into());
+        }
+        if self.rounds == 0 || self.plays_per_env == 0 {
+            return Err("rounds and plays_per_env must be positive".into());
+        }
+        self.ga.validate()?;
+        self.trust.validate()?;
+        Ok(())
+    }
+
+    /// Applies the `force_unknown` mask to a freshly bred genome.
+    pub fn mask_genome(&self, genome: &mut BitStr) {
+        if let Some(v) = self.force_unknown {
+            genome.set(self.codec.unknown_bit(), v);
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_section_6_1() {
+        let c = ExperimentConfig::paper();
+        assert_eq!(c.population, 100);
+        assert_eq!(c.rounds, 300);
+        assert_eq!(c.generations, 500);
+        assert_eq!(c.replications, 60);
+        assert_eq!(c.ga.crossover_prob, 0.9);
+        assert_eq!(c.ga.mutation_prob, 0.001);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn presets_validate() {
+        ExperimentConfig::scaled().validate().unwrap();
+        ExperimentConfig::smoke().validate().unwrap();
+    }
+
+    #[test]
+    fn codec_widths() {
+        assert_eq!(StrategyCodec::Full.genome_bits(), 13);
+        assert_eq!(StrategyCodec::TrustOnly.genome_bits(), 5);
+        assert_eq!(StrategyCodec::Full.unknown_bit(), 12);
+        assert_eq!(StrategyCodec::TrustOnly.unknown_bit(), 4);
+    }
+
+    #[test]
+    fn decode_full_and_reduced() {
+        let full = StrategyCodec::Full.decode(&"0101011011111".parse().unwrap());
+        assert_eq!(full.to_string(), "010 101 101 111 1");
+        let lifted = StrategyCodec::TrustOnly.decode(&"01011".parse().unwrap());
+        // Trust-only bit for T1 = 1 -> all three activity cells forward.
+        assert_eq!(lifted.sub_strategy(ahn_net::TrustLevel::T1), 0b111);
+        assert_eq!(lifted.sub_strategy(ahn_net::TrustLevel::T0), 0b000);
+    }
+
+    #[test]
+    fn mask_pins_unknown_bit() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.force_unknown = Some(false);
+        let mut g: BitStr = BitStr::ones(13);
+        cfg.mask_genome(&mut g);
+        assert!(!g.get(12));
+        cfg.force_unknown = None;
+        let mut g2 = BitStr::ones(13);
+        cfg.mask_genome(&mut g2);
+        assert!(g2.get(12));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ExperimentConfig::smoke();
+        c.population = 0;
+        assert!(c.validate().is_err());
+        let mut c = ExperimentConfig::smoke();
+        c.ga.mutation_prob = 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ExperimentConfig::scaled();
+        let json = serde_json::to_string_pretty(&c).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,70 @@
+//! Experiment harness reproducing every table and figure of
+//! *Evolution of Strategy Driven Behavior in Ad Hoc Networks Using a
+//! Genetic Algorithm* (Seredynski, Bouvry, Klopotek; IPDPS Workshops
+//! 2007).
+//!
+//! The harness wires the workspace together: the network substrate
+//! (`ahn-net`), the 13-bit strategies (`ahn-strategy`), the Ad Hoc
+//! Network Game (`ahn-game`) and the GA engine (`ahn-ga`). Replications
+//! run in parallel with rayon; every run is a pure function of
+//! `(config, case, seed)`.
+//!
+//! * [`cases`] — the four evaluation cases of Table 4;
+//! * [`config`] — experiment parameters with `paper`, `scaled` and
+//!   `smoke` presets;
+//! * [`experiment`] — replication runner and cross-replication
+//!   aggregation (Fig. 4, Tables 5–9 inputs);
+//! * [`report`] — plain-text renderers that print each table the way the
+//!   paper lays it out;
+//! * [`baselines`] — static-strategy and watchdog/pathrater-style
+//!   baselines (DESIGN.md X1);
+//! * [`ablations`] — the A1–A6 design-choice studies of DESIGN.md.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ahn_core::{cases::CaseSpec, config::ExperimentConfig, experiment};
+//!
+//! // A deliberately tiny configuration so the doctest stays fast.
+//! let mut cfg = ExperimentConfig::smoke();
+//! cfg.replications = 2;
+//! cfg.generations = 20;
+//! let case = CaseSpec::mini("demo", &[0], 10, ahn_net::PathMode::Shorter);
+//! let result = experiment::run_experiment(&cfg, &case);
+//! // A CSN-free world with evolving strategies learns to cooperate.
+//! assert!(result.final_coop.mean().unwrap() > 0.4);
+//! ```
+
+pub mod ablations;
+pub mod baselines;
+pub mod cases;
+pub mod checks;
+pub mod config;
+pub mod experiment;
+pub mod extensions;
+pub mod report;
+pub mod sweeps;
+
+pub use cases::CaseSpec;
+pub use config::{ExperimentConfig, StrategyCodec};
+pub use experiment::{run_experiment, run_replication, ExperimentResult, ReplicationResult};
+
+// Re-exports used by downstream tooling (the `ahn-exp trace` command and
+// similar inspection code) so the CLI depends on one crate only.
+pub use ahn_game::game::Scratch as AhnScratch;
+pub use ahn_game::play_game as ahn_play_game;
+pub use ahn_game::Arena as AhnArena;
+pub use ahn_net::NodeId as AhnNodeId;
+
+/// Builds the [`ahn_game::GameConfig`] an [`ExperimentConfig`] implies
+/// for a case — shared by the experiment runner, baselines and tooling.
+pub fn game_config_of(config: &ExperimentConfig, case: &CaseSpec) -> ahn_game::GameConfig {
+    ahn_game::GameConfig {
+        payoff: config.payoff,
+        trust: config.trust,
+        activity: config.activity,
+        paths: ahn_net::PathGenerator::for_mode(case.mode),
+        route_selection: config.route_selection,
+        gossip: config.gossip,
+    }
+}

@@ -1,0 +1,270 @@
+//! Plain-text renderers that print each of the paper's result artifacts
+//! in its original layout, with the paper's reference numbers alongside
+//! the measured ones where the paper states them.
+
+use crate::experiment::ExperimentResult;
+use ahn_net::TrustLevel;
+use ahn_stats::pct;
+use ahn_strategy::analysis::sub_strategy_str;
+use std::fmt::Write as _;
+
+/// Figure 4 — cooperation level per generation for several cases, as CSV
+/// (`generation,<case 1>,<case 2>,...`).
+pub fn fig4_csv(results: &[&ExperimentResult]) -> String {
+    assert!(!results.is_empty(), "no results to render");
+    let mut out = String::new();
+    let _ = write!(out, "generation");
+    for r in results {
+        let _ = write!(out, ",{}", r.case_name);
+    }
+    let _ = writeln!(out);
+    let columns: Vec<Vec<f64>> = results.iter().map(|r| r.coop_series.means()).collect();
+    let gens = columns.iter().map(Vec::len).max().unwrap_or(0);
+    for g in 0..gens {
+        let _ = write!(out, "{g}");
+        for col in &columns {
+            match col.get(g) {
+                Some(v) => {
+                    let _ = write!(out, ",{v:.4}");
+                }
+                None => {
+                    let _ = write!(out, ",");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Figure 4 — the headline final cooperation levels with the paper's
+/// reference values (§6.2: 97 %, 19 %, 38 %, 54 % for cases 1–4).
+pub fn fig4_summary(results: &[&ExperimentResult]) -> String {
+    let paper_ref = [
+        ("case 1", "97%"),
+        ("case 2", "19%"),
+        ("case 3", "38%"),
+        ("case 4", "54%"),
+    ];
+    let mut out = String::from("Figure 4 — final cooperation level (mean ± 95% CI)\n");
+    for r in results {
+        let mean = r.final_coop.mean().unwrap_or(0.0);
+        let ci = r.final_coop.ci95_half_width().unwrap_or(0.0);
+        let reference = paper_ref
+            .iter()
+            .find(|(name, _)| *name == r.case_name)
+            .map(|(_, v)| *v)
+            .unwrap_or("-");
+        let _ = writeln!(
+            out,
+            "  {:<8} measured {:>6} ± {:>5}   (paper: {})",
+            r.case_name,
+            pct(mean, 1),
+            pct(ci, 1),
+            reference,
+        );
+    }
+    out
+}
+
+/// Table 5 — per-environment cooperation levels and CSN-free-path shares
+/// for two multi-environment cases (the paper's cases 3 and 4).
+pub fn table5(case3: &ExperimentResult, case4: &ExperimentResult) -> String {
+    assert_eq!(
+        case3.per_env_coop.len(),
+        case4.per_env_coop.len(),
+        "table 5 compares cases over the same environments"
+    );
+    // Paper values for orientation (Tab. 5).
+    let paper = [
+        ("TE1", "99%", "99%", "100%", "100%"),
+        ("TE2", "66%", "41%", "66%", "41%"),
+        ("TE3", "28%", "7%", "29%", "12%"),
+        ("TE4", "19%", "5%", "20%", "8%"),
+    ];
+    let mut out = String::from(
+        "Table 5 — cooperation level and CSN-free paths per environment\n\
+         env   coop(c3)  coop(c4)  csn-free(c3)  csn-free(c4)   paper(c3/c4 coop, c3/c4 csn-free)\n",
+    );
+    for e in 0..case3.per_env_coop.len() {
+        let name = format!("TE{}", e + 1);
+        let p = paper.get(e).copied().unwrap_or(("", "-", "-", "-", "-"));
+        let _ = writeln!(
+            out,
+            "{:<5} {:>8} {:>9} {:>13} {:>13}   ({}/{}, {}/{})",
+            name,
+            pct(case3.per_env_coop[e].mean().unwrap_or(0.0), 0),
+            pct(case4.per_env_coop[e].mean().unwrap_or(0.0), 0),
+            pct(case3.per_env_csn_free[e].mean().unwrap_or(0.0), 0),
+            pct(case4.per_env_csn_free[e].mean().unwrap_or(0.0), 0),
+            p.1,
+            p.2,
+            p.3,
+            p.4,
+        );
+    }
+    out
+}
+
+/// Table 6 — responses to forwarding requests from normal nodes and CSN
+/// for the two multi-environment cases.
+pub fn table6(case3: &ExperimentResult, case4: &ExperimentResult) -> String {
+    let mut out = String::from(
+        "Table 6 — response to packet forwarding requests, EC3 (EC4)\n\
+         (paper: NN accepted 77/78%, NN rej-by-NP 0.23/3.5%, NN rej-by-CSN 22/18%;\n\
+          CSN accepted 4/3%, CSN rej-by-NP 53/49%, CSN rej-by-CSN 43/47%)\n",
+    );
+    let row = |label: &str, v3: &ahn_stats::Summary, v4: &ahn_stats::Summary| -> String {
+        format!(
+            "  {:<30} {:>7} ({:>7})\n",
+            label,
+            pct(v3.mean().unwrap_or(0.0), 2),
+            pct(v4.mean().unwrap_or(0.0), 2),
+        )
+    };
+    out.push_str("Requests from normal players:\n");
+    out.push_str(&row("accepted", &case3.req_from_nn.accepted, &case4.req_from_nn.accepted));
+    out.push_str(&row(
+        "rejected by normal players",
+        &case3.req_from_nn.rejected_by_nn,
+        &case4.req_from_nn.rejected_by_nn,
+    ));
+    out.push_str(&row(
+        "rejected by CSN",
+        &case3.req_from_nn.rejected_by_csn,
+        &case4.req_from_nn.rejected_by_csn,
+    ));
+    out.push_str("Requests from CSN:\n");
+    out.push_str(&row("accepted", &case3.req_from_csn.accepted, &case4.req_from_csn.accepted));
+    out.push_str(&row(
+        "rejected by normal players",
+        &case3.req_from_csn.rejected_by_nn,
+        &case4.req_from_csn.rejected_by_nn,
+    ));
+    out.push_str(&row(
+        "rejected by CSN",
+        &case3.req_from_csn.rejected_by_csn,
+        &case4.req_from_csn.rejected_by_csn,
+    ));
+    out
+}
+
+/// Table 7 — the five most popular final strategies per case.
+pub fn table7(results: &[&ExperimentResult]) -> String {
+    let mut out = String::from("Table 7 — most popular strategies in final populations\n");
+    for r in results {
+        let _ = writeln!(out, "{}:", r.case_name);
+        for (s, share) in r.census.top_strategies(5) {
+            let _ = writeln!(out, "  {s}   ({})", pct(share, 1));
+        }
+    }
+    out
+}
+
+/// Tables 8–9 — sub-strategy distribution per trust level for one case,
+/// filtered to shares above `min_share` (the paper shows > 3 %).
+pub fn table8_9(result: &ExperimentResult, min_share: f64) -> String {
+    let mut out = format!(
+        "Table 8/9 — evolved sub-strategies for {} (shares > {})\n",
+        result.case_name,
+        pct(min_share, 0),
+    );
+    for t in TrustLevel::ALL {
+        let _ = write!(out, "  Trust {}: ", t.value());
+        let rows = result.census.sub_strategies(t, min_share);
+        if rows.is_empty() {
+            let _ = writeln!(out, "(none above cutoff)");
+            continue;
+        }
+        let mut first = true;
+        for (code, share) in rows {
+            if !first {
+                let _ = write!(out, ", ");
+            }
+            first = false;
+            let _ = write!(out, "{} ({})", sub_strategy_str(code), pct(share, 0));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "  unknown-node bit forwards in {} of final strategies",
+        pct(result.census.unknown_forward_share(), 0),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::CaseSpec;
+    use crate::config::ExperimentConfig;
+    use crate::experiment::run_experiment;
+    use ahn_net::PathMode;
+
+    fn tiny_result(name: &str, csn: &[usize]) -> ExperimentResult {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.generations = 4;
+        cfg.replications = 2;
+        let mut case = CaseSpec::mini(name, csn, 8, PathMode::Shorter);
+        case.name = name.to_string();
+        run_experiment(&cfg, &case)
+    }
+
+    #[test]
+    fn fig4_csv_has_header_and_rows() {
+        let r = tiny_result("case 1", &[0]);
+        let csv = fig4_csv(&[&r]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "generation,case 1");
+        assert_eq!(csv.lines().count(), 5, "header + 4 generations");
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,"));
+    }
+
+    #[test]
+    fn fig4_summary_mentions_paper_reference() {
+        let r = tiny_result("case 1", &[0]);
+        let s = fig4_summary(&[&r]);
+        assert!(s.contains("case 1"));
+        assert!(s.contains("(paper: 97%)"));
+    }
+
+    #[test]
+    fn table5_renders_every_environment() {
+        let c3 = tiny_result("case 3", &[0, 2]);
+        let c4 = tiny_result("case 4", &[0, 2]);
+        let t = table5(&c3, &c4);
+        assert!(t.contains("TE1"));
+        assert!(t.contains("TE2"));
+        assert!(!t.contains("TE3"), "only two environments were run");
+    }
+
+    #[test]
+    fn table6_has_both_sides() {
+        let c3 = tiny_result("case 3", &[2]);
+        let c4 = tiny_result("case 4", &[2]);
+        let t = table6(&c3, &c4);
+        assert!(t.contains("Requests from normal players"));
+        assert!(t.contains("Requests from CSN"));
+        assert!(t.contains("rejected by CSN"));
+    }
+
+    #[test]
+    fn table7_lists_up_to_five() {
+        let r = tiny_result("case 3", &[0]);
+        let t = table7(&[&r]);
+        assert!(t.contains("case 3:"));
+        // Each listed strategy renders in the paper's grouped notation.
+        assert!(t.lines().skip(2).take(1).all(|l| l.contains(' ')));
+    }
+
+    #[test]
+    fn table8_lists_trust_levels() {
+        let r = tiny_result("case 3", &[0]);
+        let t = table8_9(&r, 0.03);
+        for lvl in 0..4 {
+            assert!(t.contains(&format!("Trust {lvl}:")), "{t}");
+        }
+        assert!(t.contains("unknown-node bit"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Parameter sweeps.
+//!
+//! Three curves the paper never plots but that govern its results:
+//!
+//! * [`sweep_rounds`] — cooperation vs. the reputation horizon `R`. The
+//!   defection basin swallows every run below a critical `R`
+//!   (EXPERIMENTS.md, "scale sensitivity"); the paper's R = 300 sits
+//!   comfortably above it.
+//! * [`sweep_csn`] — cooperation vs. selfish-node density, the
+//!   continuous version of environments TE1–TE4.
+//! * [`sweep_mutation`] — cooperation vs. the GA's mutation rate; too
+//!   much mutation destroys the evolved conventions.
+
+use crate::cases::CaseSpec;
+use crate::config::ExperimentConfig;
+use crate::experiment::run_experiment;
+use ahn_net::PathMode;
+use ahn_stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// One point of a sweep curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// Final cooperation level across replications.
+    pub cooperation: Summary,
+}
+
+/// Cooperation as a function of tournament rounds `R`.
+pub fn sweep_rounds(
+    base: &ExperimentConfig,
+    case: &CaseSpec,
+    rounds: &[usize],
+) -> Vec<SweepPoint> {
+    rounds
+        .iter()
+        .map(|&r| {
+            let mut cfg = base.clone();
+            cfg.rounds = r;
+            SweepPoint {
+                x: r as f64,
+                cooperation: run_experiment(&cfg, case).final_coop,
+            }
+        })
+        .collect()
+}
+
+/// Cooperation as a function of CSN density (fraction of each
+/// tournament's `size` participants that are constantly selfish).
+///
+/// # Panics
+/// Panics if a density would leave fewer than one normal player.
+pub fn sweep_csn(
+    base: &ExperimentConfig,
+    size: usize,
+    mode: PathMode,
+    densities: &[f64],
+) -> Vec<SweepPoint> {
+    densities
+        .iter()
+        .map(|&d| {
+            assert!((0.0..1.0).contains(&d), "density {d} outside [0, 1)");
+            let csn = ((size as f64) * d).round() as usize;
+            let case = CaseSpec::mini(&format!("csn {:.0}%", d * 100.0), &[csn], size, mode);
+            SweepPoint {
+                x: d,
+                cooperation: run_experiment(base, &case).final_coop,
+            }
+        })
+        .collect()
+}
+
+/// Cooperation as a function of the per-bit mutation probability.
+pub fn sweep_mutation(
+    base: &ExperimentConfig,
+    case: &CaseSpec,
+    rates: &[f64],
+) -> Vec<SweepPoint> {
+    rates
+        .iter()
+        .map(|&p| {
+            let mut cfg = base.clone();
+            cfg.ga.mutation_prob = p;
+            SweepPoint {
+                x: p,
+                cooperation: run_experiment(&cfg, case).final_coop,
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as an aligned text table.
+pub fn render_sweep(title: &str, x_label: &str, points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("{title}\n  {x_label:>12}  cooperation (±95% CI)\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "  {:>12}  {:>7} ± {:>5}",
+            trim_float(p.x),
+            ahn_stats::pct(p.cooperation.mean().unwrap_or(0.0), 1),
+            ahn_stats::pct(p.cooperation.ci95_half_width().unwrap_or(0.0), 1),
+        );
+    }
+    out
+}
+
+/// Formats sweep x-values without trailing zeros (300 not 300.000,
+/// 0.001 stays 0.001).
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        let mut c = ExperimentConfig::smoke();
+        c.population = 16;
+        c.rounds = 30;
+        c.generations = 20;
+        c.replications = 3;
+        c
+    }
+
+    #[test]
+    fn rounds_sweep_shows_the_defection_basin() {
+        // At 8-participant scale the crossover sits between ~5 and ~40
+        // rounds: the short-horizon end must do markedly worse.
+        let case = CaseSpec::mini("r-sweep", &[0], 8, PathMode::Shorter);
+        let points = sweep_rounds(&cfg(), &case, &[4, 40]);
+        assert_eq!(points.len(), 2);
+        let short = points[0].cooperation.mean().unwrap();
+        let long = points[1].cooperation.mean().unwrap();
+        assert!(
+            long > short + 0.2,
+            "reputation horizon should matter: R=4 -> {short:.2}, R=40 -> {long:.2}"
+        );
+    }
+
+    #[test]
+    fn csn_sweep_is_monotone_at_the_extremes() {
+        let points = sweep_csn(&cfg(), 8, PathMode::Shorter, &[0.0, 0.5]);
+        let clean = points[0].cooperation.mean().unwrap();
+        let half = points[1].cooperation.mean().unwrap();
+        assert!(clean > half, "CSN must hurt: {clean:.2} vs {half:.2}");
+        assert_eq!(points[0].x, 0.0);
+    }
+
+    #[test]
+    fn mutation_sweep_extreme_rates_destroy_convention() {
+        let case = CaseSpec::mini("m-sweep", &[0], 8, PathMode::Shorter);
+        let points = sweep_mutation(&cfg(), &case, &[0.001, 0.25]);
+        let paper_rate = points[0].cooperation.mean().unwrap();
+        let scrambled = points[1].cooperation.mean().unwrap();
+        assert!(
+            paper_rate > scrambled,
+            "25% per-bit mutation should destroy conventions: {paper_rate:.2} vs {scrambled:.2}"
+        );
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let points = vec![
+            SweepPoint {
+                x: 300.0,
+                cooperation: [0.97, 0.99].into_iter().collect(),
+            },
+            SweepPoint {
+                x: 0.001,
+                cooperation: [0.5].into_iter().collect(),
+            },
+        ];
+        let text = render_sweep("demo", "rounds", &points);
+        assert!(text.contains("300"));
+        assert!(text.contains("0.001"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn csn_density_one_is_rejected() {
+        let _ = sweep_csn(&cfg(), 8, PathMode::Shorter, &[1.0]);
+    }
+}

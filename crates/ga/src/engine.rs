@@ -1,0 +1,317 @@
+//! The generational loop (paper §5).
+//!
+//! One generation: evaluate every genome, then build the next population
+//! by repeating, once per offspring slot, *select two parents → one-point
+//! crossover with probability `crossover_prob` → keep one child at random
+//! → bit-flip mutate*. Optional elitism copies the fittest genomes
+//! through unchanged (off by default; the paper uses none).
+
+use crate::selection::Selection;
+use crate::stats::GenStats;
+use ahn_bitstr::{ops, BitStr};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaParams {
+    /// Probability a selected pair is crossed over (paper: 0.9); with the
+    /// complementary probability one parent is cloned.
+    pub crossover_prob: f64,
+    /// Per-bit mutation probability (paper: 0.001).
+    pub mutation_prob: f64,
+    /// Parent selection operator.
+    pub selection: Selection,
+    /// Number of fittest genomes copied unchanged into the next
+    /// generation (0 = none, as in the paper).
+    pub elitism: usize,
+}
+
+impl GaParams {
+    /// The paper's §6.1 settings: crossover 0.9, mutation 0.001, size-2
+    /// tournament selection, no elitism.
+    pub fn paper() -> Self {
+        GaParams {
+            crossover_prob: 0.9,
+            mutation_prob: 0.001,
+            selection: Selection::paper(),
+            elitism: 0,
+        }
+    }
+
+    /// Validates probability ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.crossover_prob) {
+            return Err(format!("crossover_prob {} outside [0,1]", self.crossover_prob));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_prob) {
+            return Err(format!("mutation_prob {} outside [0,1]", self.mutation_prob));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams::paper()
+    }
+}
+
+/// Produces the next generation from the current population and its
+/// fitnesses.
+///
+/// # Panics
+/// Panics if lengths mismatch, the population is empty, or `elitism`
+/// exceeds the population size.
+pub fn next_generation<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &GaParams,
+    population: &[BitStr],
+    fitnesses: &[f64],
+) -> Vec<BitStr> {
+    assert_eq!(
+        population.len(),
+        fitnesses.len(),
+        "one fitness per genome is required"
+    );
+    assert!(!population.is_empty(), "empty population");
+    assert!(
+        params.elitism <= population.len(),
+        "elitism exceeds population size"
+    );
+    params.validate().expect("invalid GA parameters");
+
+    let mut next = Vec::with_capacity(population.len());
+
+    if params.elitism > 0 {
+        let mut ranked: Vec<usize> = (0..population.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            fitnesses[b]
+                .partial_cmp(&fitnesses[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for &i in ranked.iter().take(params.elitism) {
+            next.push(population[i].clone());
+        }
+    }
+
+    while next.len() < population.len() {
+        let p1 = params.selection.select(rng, fitnesses);
+        let p2 = params.selection.select(rng, fitnesses);
+        let child = if rng.gen_bool(params.crossover_prob) {
+            let (c1, c2) = ops::one_point_crossover(rng, &population[p1], &population[p2]);
+            // "One of the two strategies created after crossover is
+            // randomly selected to the next generation" (§5).
+            if rng.gen_bool(0.5) {
+                c1
+            } else {
+                c2
+            }
+        } else if rng.gen_bool(0.5) {
+            population[p1].clone()
+        } else {
+            population[p2].clone()
+        };
+        let mut child = child;
+        ops::bit_flip_mutation(rng, &mut child, params.mutation_prob);
+        next.push(child);
+    }
+    next
+}
+
+/// One generation's record from [`evolve`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenerationRecord {
+    /// Generation index (0 = the initial random population).
+    pub generation: usize,
+    /// Fitness statistics of the evaluated population.
+    pub stats: GenStats,
+    /// The fittest genome of the generation.
+    pub best: BitStr,
+}
+
+/// Runs a complete evolution: random initial population of `pop_size`
+/// genomes of `genome_bits` bits, `generations` iterations of
+/// evaluate-and-breed, returning one record per generation.
+///
+/// `evaluate` receives the whole population and returns one fitness per
+/// genome — the ad hoc experiments plug the tournament evaluation in
+/// here.
+pub fn evolve<R, F>(
+    rng: &mut R,
+    params: &GaParams,
+    pop_size: usize,
+    genome_bits: usize,
+    generations: usize,
+    mut evaluate: F,
+) -> Vec<GenerationRecord>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[BitStr]) -> Vec<f64>,
+{
+    assert!(pop_size > 0 && generations > 0, "empty evolution requested");
+    let mut population: Vec<BitStr> =
+        (0..pop_size).map(|_| BitStr::random(rng, genome_bits)).collect();
+    let mut history = Vec::with_capacity(generations);
+    for generation in 0..generations {
+        let fitnesses = evaluate(&population);
+        assert_eq!(fitnesses.len(), population.len(), "evaluator length mismatch");
+        let stats = GenStats::from_fitnesses(&fitnesses);
+        let best_idx = (0..fitnesses.len())
+            .max_by(|&a, &b| {
+                fitnesses[a]
+                    .partial_cmp(&fitnesses[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty population");
+        history.push(GenerationRecord {
+            generation,
+            stats,
+            best: population[best_idx].clone(),
+        });
+        if generation + 1 < generations {
+            population = next_generation(rng, params, &population, &fitnesses);
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn ones_fitness(pop: &[BitStr]) -> Vec<f64> {
+        pop.iter().map(|g| g.count_ones() as f64).collect()
+    }
+
+    #[test]
+    fn next_generation_preserves_size_and_width() {
+        let mut r = rng(0);
+        let pop: Vec<BitStr> = (0..20).map(|_| BitStr::random(&mut r, 13)).collect();
+        let fit = ones_fitness(&pop);
+        let next = next_generation(&mut r, &GaParams::paper(), &pop, &fit);
+        assert_eq!(next.len(), 20);
+        assert!(next.iter().all(|g| g.len() == 13));
+    }
+
+    #[test]
+    fn onemax_converges() {
+        let mut r = rng(1);
+        let history = evolve(&mut r, &GaParams::paper(), 40, 16, 60, ones_fitness);
+        assert_eq!(history.len(), 60);
+        let first = &history[0];
+        let last = &history[59];
+        assert!(
+            last.stats.mean > first.stats.mean + 3.0,
+            "mean fitness should rise: {} -> {}",
+            first.stats.mean,
+            last.stats.mean
+        );
+        assert!(last.stats.best >= 15.0, "best = {}", last.stats.best);
+    }
+
+    #[test]
+    fn elitism_never_loses_the_best() {
+        let mut r = rng(2);
+        let params = GaParams {
+            elitism: 2,
+            ..GaParams::paper()
+        };
+        let pop: Vec<BitStr> = (0..10).map(|_| BitStr::random(&mut r, 8)).collect();
+        let fit = ones_fitness(&pop);
+        let best_fit = fit.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for seed in 0..20 {
+            let next = next_generation(&mut rng(seed), &params, &pop, &fit);
+            let next_best = next.iter().map(|g| g.count_ones()).max().unwrap();
+            assert!(next_best as f64 >= best_fit, "elite lost at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_mutation_zero_crossover_only_clones() {
+        let mut r = rng(3);
+        let params = GaParams {
+            crossover_prob: 0.0,
+            mutation_prob: 0.0,
+            ..GaParams::paper()
+        };
+        let pop: Vec<BitStr> = (0..10).map(|_| BitStr::random(&mut r, 13)).collect();
+        let fit = ones_fitness(&pop);
+        let next = next_generation(&mut r, &params, &pop, &fit);
+        for child in &next {
+            assert!(pop.contains(child), "child is not a clone of any parent");
+        }
+    }
+
+    #[test]
+    fn selection_pressure_enriches_fit_genomes() {
+        // Population: half all-zeros, half all-ones. With cloning only,
+        // the next generation should be mostly all-ones.
+        let mut pop = vec![BitStr::zeros(8); 10];
+        pop.extend(vec![BitStr::ones(8); 10]);
+        let fit = ones_fitness(&pop);
+        let params = GaParams {
+            crossover_prob: 0.0,
+            mutation_prob: 0.0,
+            ..GaParams::paper()
+        };
+        let next = next_generation(&mut rng(4), &params, &pop, &fit);
+        let ones = next.iter().filter(|g| g.count_ones() == 8).count();
+        assert!(ones > 12, "expected enrichment, got {ones}/20");
+    }
+
+    #[test]
+    fn evolve_is_deterministic_under_seed() {
+        let run = |seed| {
+            let mut r = rng(seed);
+            evolve(&mut r, &GaParams::paper(), 10, 13, 10, ones_fitness)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn history_records_are_indexed() {
+        let mut r = rng(5);
+        let history = evolve(&mut r, &GaParams::paper(), 5, 5, 7, ones_fitness);
+        for (i, rec) in history.iter().enumerate() {
+            assert_eq!(rec.generation, i);
+            assert!(rec.stats.best >= rec.stats.mean);
+            assert!(rec.stats.mean >= rec.stats.worst);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one fitness per genome")]
+    fn fitness_length_mismatch_panics() {
+        let pop = vec![BitStr::zeros(5)];
+        next_generation(&mut rng(0), &GaParams::paper(), &pop, &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "elitism exceeds")]
+    fn oversized_elitism_panics() {
+        let pop = vec![BitStr::zeros(5)];
+        let params = GaParams {
+            elitism: 2,
+            ..GaParams::paper()
+        };
+        next_generation(&mut rng(0), &params, &pop, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid GA parameters")]
+    fn bad_probability_panics() {
+        let pop = vec![BitStr::zeros(5)];
+        let params = GaParams {
+            crossover_prob: 1.5,
+            ..GaParams::paper()
+        };
+        next_generation(&mut rng(0), &params, &pop, &[1.0]);
+    }
+}

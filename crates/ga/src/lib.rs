@@ -1,0 +1,37 @@
+//! Generic genetic-algorithm engine (paper §5).
+//!
+//! The paper evolves 13-bit strategies with: tournament parent selection,
+//! standard one-point crossover (probability 0.9), random choice of one
+//! of the two children, and uniform bit-flip mutation (probability
+//! 0.001). The engine here is genome-length agnostic (the IPDRP baseline
+//! reuses it with 5-bit genomes) and adds the operators needed by the
+//! ablation studies (roulette selection, elitism, alternative crossover).
+//!
+//! # Example
+//!
+//! ```
+//! use ahn_ga::{GaParams, Selection, evolve};
+//! use rand::SeedableRng;
+//!
+//! // Maximize the number of ones in an 8-bit genome.
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let params = GaParams::paper();
+//! let history = evolve(
+//!     &mut rng,
+//!     &params,
+//!     30,  // population
+//!     8,   // genome bits
+//!     40,  // generations
+//!     |pop| pop.iter().map(|g| g.count_ones() as f64).collect(),
+//! );
+//! let last = history.last().unwrap();
+//! assert!(last.stats.best >= 7.0);
+//! ```
+
+pub mod engine;
+pub mod selection;
+pub mod stats;
+
+pub use engine::{evolve, next_generation, GaParams, GenerationRecord};
+pub use selection::Selection;
+pub use stats::GenStats;

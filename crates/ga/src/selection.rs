@@ -1,0 +1,158 @@
+//! Parent-selection operators.
+//!
+//! The paper uses *tournament selection* ("we apply similar evolutionary
+//! technique as in IPDRP problem \[12\] except that we use a tournament
+//! selection instead of a roulette one", §5); roulette is provided for
+//! ablation A3 and for the IPDRP baseline itself.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A parent-selection operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Selection {
+    /// Pick `size` individuals uniformly, keep the fittest (ties go to
+    /// the earlier pick). The paper does not state the tournament size;
+    /// 2 is the standard default (DESIGN.md §1).
+    Tournament {
+        /// Number of contestants per selection.
+        size: usize,
+    },
+    /// Fitness-proportionate selection over min-shifted fitnesses (the
+    /// operator of the IPDRP reference \[12\]).
+    Roulette,
+}
+
+impl Selection {
+    /// The paper's operator: size-2 tournament.
+    pub fn paper() -> Self {
+        Selection::Tournament { size: 2 }
+    }
+
+    /// Selects one parent index given the population's fitnesses.
+    ///
+    /// # Panics
+    /// Panics on an empty population or a zero-size tournament.
+    pub fn select<R: Rng + ?Sized>(&self, rng: &mut R, fitnesses: &[f64]) -> usize {
+        assert!(!fitnesses.is_empty(), "cannot select from an empty population");
+        match *self {
+            Selection::Tournament { size } => {
+                assert!(size > 0, "tournament size must be positive");
+                let mut best = rng.gen_range(0..fitnesses.len());
+                for _ in 1..size {
+                    let c = rng.gen_range(0..fitnesses.len());
+                    if fitnesses[c] > fitnesses[best] {
+                        best = c;
+                    }
+                }
+                best
+            }
+            Selection::Roulette => {
+                // Shift so the minimum is 0; a flat population degrades to
+                // uniform selection.
+                let min = fitnesses.iter().copied().fold(f64::INFINITY, f64::min);
+                let total: f64 = fitnesses.iter().map(|f| f - min).sum();
+                if total <= 0.0 {
+                    return rng.gen_range(0..fitnesses.len());
+                }
+                let mut x = rng.gen::<f64>() * total;
+                for (i, f) in fitnesses.iter().enumerate() {
+                    x -= f - min;
+                    if x <= 0.0 {
+                        return i;
+                    }
+                }
+                fitnesses.len() - 1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn selection_counts(sel: Selection, fitnesses: &[f64], n: usize, seed: u64) -> Vec<usize> {
+        let mut r = rng(seed);
+        let mut counts = vec![0usize; fitnesses.len()];
+        for _ in 0..n {
+            counts[sel.select(&mut r, fitnesses)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn tournament_prefers_fitter_individuals() {
+        let counts = selection_counts(Selection::paper(), &[1.0, 2.0, 3.0, 4.0], 40_000, 1);
+        // Size-2 tournament selection probabilities for ranked fitnesses
+        // (n=4): (2*rank-1)/n^2 = 1/16, 3/16, 5/16, 7/16.
+        let expect = [2_500.0, 7_500.0, 12_500.0, 17_500.0];
+        for (i, (&c, &e)) in counts.iter().zip(&expect).enumerate() {
+            let c = c as f64;
+            assert!((c - e).abs() < e * 0.12 + 200.0, "idx {i}: {c} vs {e}");
+        }
+    }
+
+    #[test]
+    fn tournament_size_one_is_uniform() {
+        let counts = selection_counts(
+            Selection::Tournament { size: 1 },
+            &[1.0, 100.0],
+            10_000,
+            2,
+        );
+        assert!((counts[0] as i64 - 5_000).abs() < 500, "{counts:?}");
+    }
+
+    #[test]
+    fn large_tournament_is_nearly_elitist() {
+        let counts = selection_counts(
+            Selection::Tournament { size: 16 },
+            &[0.0, 0.0, 0.0, 10.0],
+            1_000,
+            3,
+        );
+        assert!(counts[3] > 980, "{counts:?}");
+    }
+
+    #[test]
+    fn roulette_is_fitness_proportionate_after_shift() {
+        // Shifted fitnesses: [0, 1, 3] -> probabilities 0, 1/4, 3/4.
+        let counts = selection_counts(Selection::Roulette, &[1.0, 2.0, 4.0], 40_000, 4);
+        assert_eq!(counts[0], 0, "minimum gets zero mass after the shift");
+        assert!((counts[1] as f64 - 10_000.0).abs() < 1_000.0, "{counts:?}");
+        assert!((counts[2] as f64 - 30_000.0).abs() < 1_000.0, "{counts:?}");
+    }
+
+    #[test]
+    fn roulette_flat_population_is_uniform() {
+        let counts = selection_counts(Selection::Roulette, &[2.0, 2.0, 2.0, 2.0], 20_000, 5);
+        for &c in &counts {
+            assert!((c as f64 - 5_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        Selection::paper().select(&mut rng(0), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tournament size")]
+    fn zero_tournament_panics() {
+        Selection::Tournament { size: 0 }.select(&mut rng(0), &[1.0]);
+    }
+
+    #[test]
+    fn single_individual_is_always_selected() {
+        assert_eq!(Selection::paper().select(&mut rng(0), &[3.0]), 0);
+        assert_eq!(Selection::Roulette.select(&mut rng(0), &[3.0]), 0);
+    }
+}

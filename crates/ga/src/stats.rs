@@ -1,0 +1,78 @@
+//! Per-generation fitness statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of one generation's fitness distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenStats {
+    /// Highest fitness.
+    pub best: f64,
+    /// Mean fitness.
+    pub mean: f64,
+    /// Lowest fitness.
+    pub worst: f64,
+    /// Sample standard deviation (0 for populations of one).
+    pub std_dev: f64,
+}
+
+impl GenStats {
+    /// Computes the statistics of a fitness vector.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_fitnesses(fitnesses: &[f64]) -> Self {
+        assert!(!fitnesses.is_empty(), "no fitnesses to summarize");
+        let n = fitnesses.len() as f64;
+        let mean = fitnesses.iter().sum::<f64>() / n;
+        let best = fitnesses.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let worst = fitnesses.iter().copied().fold(f64::INFINITY, f64::min);
+        let std_dev = if fitnesses.len() > 1 {
+            (fitnesses.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        GenStats {
+            best,
+            mean,
+            worst,
+            std_dev,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let s = GenStats::from_fitnesses(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.best, 4.0);
+        assert_eq!(s.worst, 1.0);
+        assert_eq!(s.mean, 2.5);
+        // Sample variance of 1..4 is 5/3.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_individual() {
+        let s = GenStats::from_fitnesses(&[7.5]);
+        assert_eq!(s.best, 7.5);
+        assert_eq!(s.worst, 7.5);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no fitnesses")]
+    fn empty_panics() {
+        let _ = GenStats::from_fitnesses(&[]);
+    }
+
+    #[test]
+    fn flat_population_has_zero_spread() {
+        let s = GenStats::from_fitnesses(&[2.0; 50]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.best, s.worst);
+    }
+}

@@ -1,0 +1,322 @@
+//! Tournament environments and the multi-environment evaluation schedule
+//! (paper §4.4, Fig. 3, and Table 1).
+//!
+//! Environments differ only in their CSN count; the tournament size is
+//! fixed (50 in the paper):
+//!
+//! | environment | CSN | normal |
+//! |-------------|-----|--------|
+//! | TE1         | 0   | 50     |
+//! | TE2         | 10  | 40     |
+//! | TE3         | 25  | 25     |
+//! | TE4         | 30  | 20     |
+//!
+//! The evaluation scheme plays the whole population (N = 100) through a
+//! sequence of environments: in each environment, tournaments of `P_i`
+//! normal players (drawn among those who have played fewer than `L`
+//! times) plus `S_i` CSN are run until everyone has played `L` times. The
+//! paper leaves `L` unspecified; we default to 1 (DESIGN.md §1) and fill
+//! short tournaments with the least-played players.
+
+use crate::arena::Arena;
+use crate::tournament::Tournament;
+use ahn_net::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One tournament environment: `size` participants of which `csn` are
+/// constantly selfish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvironmentSpec {
+    /// Total participants per tournament (paper: 50).
+    pub size: usize,
+    /// Constantly selfish participants.
+    pub csn: usize,
+}
+
+impl EnvironmentSpec {
+    /// Builds a spec.
+    ///
+    /// # Panics
+    /// Panics unless `csn < size` and at least 3 participants exist.
+    pub fn new(size: usize, csn: usize) -> Self {
+        assert!(size >= 3, "environments need at least 3 participants");
+        assert!(csn < size, "an environment needs at least one normal player");
+        EnvironmentSpec { size, csn }
+    }
+
+    /// Normal players per tournament (`P_i = T − S_i`).
+    pub fn normal(&self) -> usize {
+        self.size - self.csn
+    }
+
+    /// Table 1's environments, 1-indexed like the paper.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= i <= 4`.
+    pub fn paper_te(i: usize) -> Self {
+        match i {
+            1 => EnvironmentSpec::new(50, 0),
+            2 => EnvironmentSpec::new(50, 10),
+            3 => EnvironmentSpec::new(50, 25),
+            4 => EnvironmentSpec::new(50, 30),
+            _ => panic!("the paper defines TE1..TE4, not TE{i}"),
+        }
+    }
+
+    /// All four paper environments in order.
+    pub fn paper_all() -> Vec<Self> {
+        (1..=4).map(Self::paper_te).collect()
+    }
+}
+
+/// The evaluation schedule: which environments are played, for how many
+/// rounds, and how many times each player must appear per environment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvaluationSchedule {
+    /// Environment sequence (the `E` environments of Fig. 3).
+    pub envs: Vec<EnvironmentSpec>,
+    /// Rounds per tournament (`R`, paper: 300).
+    pub rounds: usize,
+    /// Times each player plays per environment (`L`, defaulted to 1).
+    pub plays_per_env: usize,
+}
+
+impl EvaluationSchedule {
+    /// Builds a schedule.
+    ///
+    /// # Panics
+    /// Panics on an empty environment list or zero rounds/plays.
+    pub fn new(envs: Vec<EnvironmentSpec>, rounds: usize, plays_per_env: usize) -> Self {
+        assert!(!envs.is_empty(), "at least one environment is required");
+        assert!(rounds > 0 && plays_per_env > 0, "rounds and plays must be positive");
+        EvaluationSchedule {
+            envs,
+            rounds,
+            plays_per_env,
+        }
+    }
+
+    /// Largest CSN pool any environment needs — the arena must reserve
+    /// this many selfish nodes.
+    pub fn required_csn(&self) -> usize {
+        self.envs.iter().map(|e| e.csn).max().unwrap_or(0)
+    }
+
+    /// Evaluates the arena's current strategies: clears per-generation
+    /// state, then plays every environment in order until every normal
+    /// player appeared `plays_per_env` times in each (§4.4's scheme).
+    ///
+    /// Fitness accumulates in `arena.payoffs`; metrics in
+    /// `arena.metrics` (environment index = position in `envs`).
+    ///
+    /// # Panics
+    /// Panics if the arena's population or CSN pool is too small for the
+    /// schedule.
+    pub fn run<R: Rng + ?Sized>(&self, arena: &mut Arena, rng: &mut R) {
+        let n = arena.n_normal();
+        let csn_pool: Vec<NodeId> = arena.selfish_ids().collect();
+        assert!(
+            csn_pool.len() >= self.required_csn(),
+            "arena has {} selfish nodes, schedule needs {}",
+            csn_pool.len(),
+            self.required_csn()
+        );
+        assert_eq!(
+            arena.metrics.n_envs(),
+            self.envs.len(),
+            "arena metrics must be sized for the schedule's environments"
+        );
+        arena.begin_generation();
+
+        let tournament = Tournament::new(self.rounds);
+        let mut plays: Vec<u32> = vec![0; n];
+        let mut eligible: Vec<NodeId> = Vec::with_capacity(n);
+        let mut participants: Vec<NodeId> = Vec::new();
+
+        for (env_idx, env) in self.envs.iter().enumerate() {
+            assert!(
+                env.normal() <= n,
+                "environment needs {} normal players, population has {n}",
+                env.normal()
+            );
+            plays.fill(0);
+            let target = self.plays_per_env as u32;
+            loop {
+                eligible.clear();
+                eligible.extend((0..n).map(NodeId::from).filter(|id| plays[id.index()] < target));
+                if eligible.is_empty() {
+                    break;
+                }
+                participants.clear();
+                if eligible.len() >= env.normal() {
+                    // Uniform sample of P_i eligible players.
+                    let (chosen, _) = eligible.partial_shuffle(rng, env.normal());
+                    participants.extend_from_slice(chosen);
+                } else {
+                    // Last tournament of this environment: take everyone
+                    // still eligible and fill with the least-played rest.
+                    participants.extend_from_slice(&eligible);
+                    let mut rest: Vec<NodeId> = (0..n)
+                        .map(NodeId::from)
+                        .filter(|id| plays[id.index()] >= target)
+                        .collect();
+                    rest.shuffle(rng);
+                    rest.sort_by_key(|id| plays[id.index()]);
+                    participants.extend(rest.into_iter().take(env.normal() - eligible.len()));
+                }
+                for id in &participants {
+                    plays[id.index()] += 1;
+                }
+                participants.extend_from_slice(&csn_pool[..env.csn]);
+                tournament.run(arena, rng, &participants, env_idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::GameConfig;
+    use ahn_net::PathMode;
+    use ahn_strategy::Strategy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_te_specs_match_table_1() {
+        assert_eq!(EnvironmentSpec::paper_te(1), EnvironmentSpec { size: 50, csn: 0 });
+        assert_eq!(EnvironmentSpec::paper_te(2), EnvironmentSpec { size: 50, csn: 10 });
+        assert_eq!(EnvironmentSpec::paper_te(3), EnvironmentSpec { size: 50, csn: 25 });
+        assert_eq!(EnvironmentSpec::paper_te(4), EnvironmentSpec { size: 50, csn: 30 });
+        assert_eq!(EnvironmentSpec::paper_te(2).normal(), 40);
+        assert_eq!(EnvironmentSpec::paper_all().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "TE1..TE4")]
+    fn te5_does_not_exist() {
+        let _ = EnvironmentSpec::paper_te(5);
+    }
+
+    #[test]
+    fn required_csn_is_the_max() {
+        let s = EvaluationSchedule::new(EnvironmentSpec::paper_all(), 10, 1);
+        assert_eq!(s.required_csn(), 30);
+    }
+
+    /// Small-scale version of the paper's setup: population 20,
+    /// tournament size 10.
+    fn small_schedule(csn_counts: &[usize]) -> EvaluationSchedule {
+        EvaluationSchedule::new(
+            csn_counts.iter().map(|&c| EnvironmentSpec::new(10, c)).collect(),
+            5,
+            1,
+        )
+    }
+
+    fn small_arena(n: usize, csn: usize, n_envs: usize) -> Arena {
+        Arena::new(
+            vec![Strategy::always_forward(); n],
+            csn,
+            GameConfig::paper(PathMode::Shorter),
+            n_envs,
+        )
+    }
+
+    #[test]
+    fn every_player_plays_at_least_l_times_per_env() {
+        // CSN-free environments so every sourced packet is delivered and
+        // tps / 5 counts source events exactly.
+        let schedule = small_schedule(&[0, 0]);
+        let mut arena = small_arena(20, 0, 2);
+        schedule.run(&mut arena, &mut rng(0));
+        // Every normal player sourced >= rounds * plays_per_env * n_envs
+        // games: ne >= source events alone.
+        for i in 0..20 {
+            let source_events = arena.payoffs[i].tps / 5.0; // every source event pays S=5 in an all-cooperator world
+            assert!(
+                source_events >= (5 * 2) as f64,
+                "player {i} sourced only {source_events}"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_population_fills_last_tournament() {
+        // 25 players, tournaments of 10 normals: 3 tournaments per env,
+        // the last filled with 5 repeat players.
+        let schedule = small_schedule(&[0]);
+        let mut arena = small_arena(25, 0, 1);
+        schedule.run(&mut arena, &mut rng(1));
+        // Total nn source games = 3 tournaments x 10 participants x 5 rounds.
+        assert_eq!(arena.metrics.env(0).nn_games, 150);
+    }
+
+    #[test]
+    fn metrics_split_per_environment() {
+        let schedule = small_schedule(&[0, 8]);
+        let mut arena = small_arena(20, 8, 2);
+        schedule.run(&mut arena, &mut rng(2));
+        let clean = arena.metrics.env(0);
+        let hostile = arena.metrics.env(1);
+        assert!(clean.cooperation_level() > 0.95, "CSN-free env should deliver");
+        assert!(
+            hostile.cooperation_level() < clean.cooperation_level(),
+            "80% CSN env must hurt cooperation: {} vs {}",
+            hostile.cooperation_level(),
+            clean.cooperation_level()
+        );
+        assert_eq!(clean.from_csn.total(), 0, "no CSN sources in TE-clean");
+        assert!(hostile.from_csn.total() > 0);
+    }
+
+    #[test]
+    fn run_clears_previous_generation() {
+        let schedule = small_schedule(&[0]);
+        let mut arena = small_arena(20, 0, 1);
+        schedule.run(&mut arena, &mut rng(3));
+        let first = arena.metrics.env(0).nn_games;
+        schedule.run(&mut arena, &mut rng(4));
+        assert_eq!(arena.metrics.env(0).nn_games, first, "counters must reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "selfish nodes")]
+    fn arena_too_small_for_schedule_panics() {
+        let schedule = small_schedule(&[5]);
+        let mut arena = small_arena(20, 2, 1);
+        schedule.run(&mut arena, &mut rng(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics must be sized")]
+    fn env_count_mismatch_panics() {
+        let schedule = small_schedule(&[0, 1]);
+        let mut arena = small_arena(20, 1, 1);
+        schedule.run(&mut arena, &mut rng(6));
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let run = |seed| {
+            let schedule = small_schedule(&[0, 4]);
+            let mut arena = small_arena(20, 4, 2);
+            schedule.run(&mut arena, &mut rng(seed));
+            (arena.fitnesses(), arena.metrics.total())
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one normal")]
+    fn all_csn_environment_is_rejected() {
+        let _ = EnvironmentSpec::new(10, 10);
+    }
+}

@@ -1,0 +1,419 @@
+//! A single Ad Hoc Network Game (paper §4.1).
+//!
+//! The source draws candidate paths toward a destination, selects the
+//! best-reputation one (§3.1), and the chosen intermediates decide in
+//! sequence. The first discard ends the game. Afterwards:
+//!
+//! * every intermediate that received the packet is paid per the
+//!   intermediate payoff table (its trust in the *source* selects the
+//!   column), the source is paid by transmission status (Fig. 2);
+//! * reputation is updated per the watchdog rule (Fig. 1a);
+//! * metrics and energy ledgers are updated.
+
+use crate::arena::Arena;
+use ahn_net::watchdog::{apply_route_outcome, RouteOutcome};
+use ahn_net::{NodeId, TrustLevel};
+use ahn_strategy::Decision;
+use rand::Rng;
+
+/// Reusable buffers so the hot game loop performs no steady-state
+/// allocations (one `Scratch` per tournament). After [`play_game`]
+/// returns, the scratch retains the last game's chosen path and decision
+/// trace for inspection — tests and the trace tooling read them without
+/// imposing a per-game allocation on the million-game hot loop.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    pool: Vec<NodeId>,
+    shuffle: Vec<NodeId>,
+    decisions: Vec<(Decision, TrustLevel)>,
+    chosen: Vec<NodeId>,
+}
+
+impl Scratch {
+    /// The relay path chosen by the most recent game.
+    pub fn last_path(&self) -> &[NodeId] {
+        &self.chosen
+    }
+
+    /// The decision trace of the most recent game: one entry per relay
+    /// that received the packet, in path order.
+    pub fn last_decisions(&self) -> &[(Decision, TrustLevel)] {
+        &self.decisions
+    }
+}
+
+/// What one game looked like. Deliberately `Copy`-light: the chosen path
+/// stays in the [`Scratch`] (see [`Scratch::last_path`]) so the hot loop
+/// never allocates per game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GameReport {
+    /// Chosen destination.
+    pub destination: NodeId,
+    /// Number of hops of the chosen path (relays + 1).
+    pub hops: usize,
+    /// How the attempt ended.
+    pub outcome: RouteOutcome,
+}
+
+/// The decision (and the trust level backing its payoff) `node` takes on
+/// a packet originated by `source`.
+///
+/// Normal nodes consult their strategy: known sources are looked up by
+/// (trust, activity); unknown sources use strategy bit 12 with the
+/// default trust level for the payoff column (§6.1). Fixed-behavior kinds
+/// (CSN, random droppers) ignore the strategy but still carry a trust
+/// level so their payoff accounting stays uniform.
+pub fn decide<R: Rng + ?Sized>(
+    arena: &Arena,
+    rng: &mut R,
+    node: NodeId,
+    source: NodeId,
+) -> (Decision, TrustLevel) {
+    let rate = arena.reputation.rate(node, source);
+    let trust = arena.config.trust.level_opt(rate);
+    if let Some(fixed) = arena.kind(node).fixed_decision(rng) {
+        return (fixed, trust);
+    }
+    let strategy = arena.strategy(node);
+    let decision = match rate {
+        None => strategy.unknown_decision(),
+        Some(_) => {
+            let activity = arena.config.activity.level(&arena.reputation, node, source);
+            strategy.decision(trust, activity)
+        }
+    };
+    (decision, trust)
+}
+
+/// Plays one game with `source` as originator among `participants`
+/// (which must contain `source`), charging metrics to environment `env`.
+///
+/// Returns a [`GameReport`] describing the attempt.
+///
+/// # Panics
+/// Panics if `participants` has fewer than three nodes (source,
+/// destination and at least one potential relay are required).
+pub fn play_game<R: Rng + ?Sized>(
+    arena: &mut Arena,
+    rng: &mut R,
+    source: NodeId,
+    participants: &[NodeId],
+    env: usize,
+    scratch: &mut Scratch,
+) -> GameReport {
+    assert!(
+        participants.len() >= 3,
+        "a game needs a source, a destination and a relay candidate"
+    );
+
+    // Step 2 of the tournament scheme: random destination, then the relay
+    // pool is everyone else.
+    let destination = loop {
+        let d = participants[rng.gen_range(0..participants.len())];
+        if d != source {
+            break d;
+        }
+    };
+    scratch.pool.clear();
+    scratch
+        .pool
+        .extend(participants.iter().copied().filter(|&n| n != source && n != destination));
+
+    // Steps 2-3: draw candidate paths, pick the best-rated one.
+    let candidates = arena
+        .config
+        .paths
+        .generate(rng, &scratch.pool, &mut scratch.shuffle);
+    let best = arena
+        .config
+        .route_selection
+        .select(rng, &arena.reputation, source, &candidates);
+    scratch.chosen.clear();
+    scratch.chosen.extend_from_slice(&candidates[best]);
+    let path = &scratch.chosen;
+
+    // Step 4: sequential decisions. Each node's choice depends only on
+    // its own pre-game view of the source, so a read-only pass suffices.
+    scratch.decisions.clear();
+    let mut outcome = RouteOutcome::Delivered;
+    for (k, &node) in path.iter().enumerate() {
+        let (decision, trust) = decide(arena, rng, node, source);
+        scratch.decisions.push((decision, trust));
+        if decision == Decision::Discard {
+            outcome = RouteOutcome::DroppedAt(k);
+            break;
+        }
+    }
+
+    // Step 5: payoffs for the source and every decider.
+    let delivered = outcome.delivered();
+    arena.payoffs[source.index()].add_source(arena.config.payoff.source(delivered));
+    arena.energy[source.index()].add_tx();
+    for (&node, &(decision, trust)) in path.iter().zip(scratch.decisions.iter()) {
+        match decision {
+            Decision::Forward => {
+                arena.payoffs[node.index()].add_forward(arena.config.payoff.forward(trust));
+                arena.energy[node.index()].add_forward();
+            }
+            Decision::Discard => {
+                arena.payoffs[node.index()].add_discard(arena.config.payoff.discard(trust));
+                arena.energy[node.index()].add_discard();
+            }
+        }
+    }
+    if delivered {
+        arena.energy[destination.index()].add_rx();
+    }
+
+    // Metrics: game-level (Fig. 4 / Tab. 5) and request-level (Tab. 6).
+    let source_normal = arena.kind(source).is_normal();
+    let csn_free = !path.iter().any(|&n| arena.kind(n).is_csn());
+    let mut req = crate::metrics::ReqCounts::default();
+    for (&node, &(decision, _)) in path.iter().zip(scratch.decisions.iter()) {
+        match decision {
+            Decision::Forward => req.accepted += 1,
+            Decision::Discard => {
+                if arena.kind(node).is_normal() {
+                    req.rejected_by_nn += 1;
+                } else {
+                    req.rejected_by_csn += 1;
+                }
+            }
+        }
+    }
+    {
+        let m = arena.metrics.env_mut(env);
+        if source_normal {
+            m.nn_games += 1;
+            if delivered {
+                m.nn_delivered += 1;
+            }
+            if csn_free {
+                m.nn_csn_free_path += 1;
+            }
+            m.from_nn.merge(&req);
+        } else {
+            m.from_csn.merge(&req);
+        }
+    }
+
+    // Step 6: reputation updates per the watchdog rule.
+    apply_route_outcome(&mut arena.reputation, source, &scratch.chosen, outcome);
+
+    GameReport {
+        destination,
+        hops: scratch.chosen.len() + 1,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::GameConfig;
+    use crate::players::NodeKind;
+    use ahn_net::PathMode;
+    use ahn_strategy::Strategy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn participants(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::from).collect()
+    }
+
+    fn cooperative_arena(n: usize) -> Arena {
+        Arena::new(
+            vec![Strategy::always_forward(); n],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        )
+    }
+
+    #[test]
+    fn all_cooperators_always_deliver() {
+        let mut a = cooperative_arena(10);
+        let mut r = rng(1);
+        let mut s = Scratch::default();
+        let ids = participants(10);
+        for _ in 0..100 {
+            let rep = play_game(&mut a, &mut r, NodeId(0), &ids, 0, &mut s);
+            assert!(rep.outcome.delivered());
+            assert_ne!(rep.destination, NodeId(0));
+            assert!(!s.last_path().contains(&NodeId(0)));
+            assert!(!s.last_path().contains(&rep.destination));
+            assert_eq!(rep.hops, s.last_path().len() + 1);
+        }
+        let m = a.metrics.env(0);
+        assert_eq!(m.nn_games, 100);
+        assert_eq!(m.nn_delivered, 100);
+        assert_eq!(m.nn_csn_free_path, 100);
+        assert_eq!(m.from_nn.rejected_by_nn, 0);
+        assert!(m.from_nn.accepted > 0);
+        a.reputation.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_defectors_never_deliver() {
+        let mut a = Arena::new(
+            vec![Strategy::always_discard(); 10],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        let mut r = rng(2);
+        let mut s = Scratch::default();
+        let ids = participants(10);
+        for _ in 0..50 {
+            let rep = play_game(&mut a, &mut r, NodeId(3), &ids, 0, &mut s);
+            assert!(!rep.outcome.delivered());
+            assert_eq!(rep.outcome, RouteOutcome::DroppedAt(0));
+        }
+        let m = a.metrics.env(0);
+        assert_eq!(m.nn_delivered, 0);
+        assert_eq!(m.from_nn.accepted, 0);
+        assert_eq!(m.from_nn.rejected_by_nn, 50);
+    }
+
+    #[test]
+    fn csn_discards_are_attributed_to_csn() {
+        // 3 cooperators + 7 CSN: with only CSN available as relays often,
+        // drops must be recorded as rejected_by_csn.
+        let mut a = Arena::new(
+            vec![Strategy::always_forward(); 3],
+            7,
+            GameConfig::paper(PathMode::Longer),
+            1,
+        );
+        let mut r = rng(3);
+        let mut s = Scratch::default();
+        let ids = participants(10);
+        for _ in 0..200 {
+            play_game(&mut a, &mut r, NodeId(0), &ids, 0, &mut s);
+        }
+        let m = a.metrics.env(0);
+        assert!(m.from_nn.rejected_by_csn > 0);
+        assert_eq!(m.from_nn.rejected_by_nn, 0);
+        assert!(m.nn_csn_free_path < m.nn_games);
+    }
+
+    #[test]
+    fn source_payoff_matches_outcome() {
+        let mut a = cooperative_arena(5);
+        let mut r = rng(4);
+        let mut s = Scratch::default();
+        let ids = participants(5);
+        play_game(&mut a, &mut r, NodeId(0), &ids, 0, &mut s);
+        // Delivered -> S = 5 as the single source event.
+        assert_eq!(a.payoffs[0].tps, 5.0);
+        assert_eq!(a.payoffs[0].ne, 1);
+    }
+
+    #[test]
+    fn unknown_source_uses_bit_12() {
+        // Strategy: discard for everything known, forward for unknown.
+        let s: Strategy = "000 000 000 000 1".parse().unwrap();
+        let mut a = Arena::new(vec![s; 5], 0, GameConfig::paper(PathMode::Shorter), 1);
+        let mut r = rng(5);
+        let mut scratch = Scratch::default();
+        let ids = participants(5);
+        // First game: everyone is unknown -> delivery must succeed.
+        let rep = play_game(&mut a, &mut r, NodeId(0), &ids, 0, &mut scratch);
+        assert!(rep.outcome.delivered());
+    }
+
+    #[test]
+    fn known_bad_source_is_punished_by_threshold_strategy() {
+        // Normal players forward only for trust >= 2; node 4 is CSN whose
+        // rate collapses to 0 once observed.
+        let strat = Strategy::trust_threshold(ahn_net::TrustLevel::T2, true);
+        let kinds = vec![
+            NodeKind::Normal,
+            NodeKind::Normal,
+            NodeKind::Normal,
+            NodeKind::Normal,
+            NodeKind::ConstantlySelfish,
+        ];
+        let mut a = Arena::with_kinds(
+            vec![strat; 4],
+            kinds,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        let mut r = rng(6);
+        let mut scratch = Scratch::default();
+        let ids = participants(5);
+        // Let the CSN be observed dropping: normal players source games.
+        for _ in 0..200 {
+            for src in 0..4u32 {
+                play_game(&mut a, &mut r, NodeId(src), &ids, 0, &mut scratch);
+            }
+        }
+        // Now the CSN sources: its packets should be discarded by
+        // normal players that know it.
+        let before = a.metrics.env(0).from_csn;
+        for _ in 0..100 {
+            play_game(&mut a, &mut r, NodeId(4), &ids, 0, &mut scratch);
+        }
+        let after = a.metrics.env(0).from_csn;
+        let rejected = after.rejected_by_nn - before.rejected_by_nn;
+        let accepted = after.accepted - before.accepted;
+        assert!(
+            rejected > accepted,
+            "CSN packets should mostly be rejected: rejected={rejected} accepted={accepted}"
+        );
+    }
+
+    #[test]
+    fn energy_accounting_per_role() {
+        let mut a = cooperative_arena(4);
+        let mut r = rng(7);
+        let mut s = Scratch::default();
+        let ids = participants(4);
+        let rep = play_game(&mut a, &mut r, NodeId(0), &ids, 0, &mut s);
+        assert_eq!(a.energy[0].tx_packets, 1, "source transmits");
+        let path: Vec<NodeId> = s.last_path().to_vec();
+        for &n in &path {
+            assert_eq!(a.energy[n.index()].tx_packets, 1, "forwarder retransmits");
+            assert_eq!(a.energy[n.index()].rx_packets, 1, "forwarder receives");
+        }
+        assert_eq!(a.energy[rep.destination.index()].rx_packets, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a game needs")]
+    fn too_few_participants_panics() {
+        let mut a = cooperative_arena(2);
+        let mut r = rng(8);
+        let mut s = Scratch::default();
+        play_game(&mut a, &mut r, NodeId(0), &participants(2), 0, &mut s);
+    }
+
+    #[test]
+    fn decide_reflects_trust_lookup() {
+        let strat = Strategy::trust_threshold(ahn_net::TrustLevel::T2, false);
+        let mut a = Arena::new(
+            vec![strat; 3],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        let mut r = rng(9);
+        // Unknown source: bit 12 = 0 -> discard.
+        assert_eq!(
+            decide(&a, &mut r, NodeId(1), NodeId(0)).0,
+            Decision::Discard
+        );
+        // Make node 0 a known perfect forwarder from node 1's view.
+        for _ in 0..10 {
+            a.reputation.record_forward(NodeId(1), NodeId(0));
+        }
+        let (d, t) = decide(&a, &mut r, NodeId(1), NodeId(0));
+        assert_eq!(t, ahn_net::TrustLevel::T3);
+        assert_eq!(d, Decision::Forward);
+    }
+}

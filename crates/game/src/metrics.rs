@@ -1,0 +1,223 @@
+//! Experiment counters (paper §6.2, Fig. 4, Tables 5–6).
+//!
+//! * **Cooperation level** — "percentage of packets that originated by
+//!   normal nodes and then successfully reached the destination";
+//! * **CSN-free paths** — the share of chosen paths containing no CSN
+//!   (Tab. 5, last columns);
+//! * **Forwarding-request responses** — how requests from normal nodes
+//!   and from CSN were treated: accepted, rejected by a normal player, or
+//!   rejected by a CSN (Tab. 6).
+//!
+//! Counters are kept per tournament environment so Table 5's
+//! per-environment breakdown falls out directly; whole-generation numbers
+//! (Fig. 4) are the merge over environments.
+
+use serde::{Deserialize, Serialize};
+
+/// Responses to forwarding requests originating from one kind of source
+/// (one side of Table 6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReqCounts {
+    /// Request accepted (packet forwarded) — by any kind of decider.
+    pub accepted: u64,
+    /// Request rejected by a normal player.
+    pub rejected_by_nn: u64,
+    /// Request rejected by a CSN (or other non-normal kind).
+    pub rejected_by_csn: u64,
+}
+
+impl ReqCounts {
+    /// Total decision events recorded.
+    pub fn total(&self) -> u64 {
+        self.accepted + self.rejected_by_nn + self.rejected_by_csn
+    }
+
+    /// Fractions `(accepted, rejected_by_nn, rejected_by_csn)`; zeros when
+    /// empty.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.accepted as f64 / t,
+            self.rejected_by_nn as f64 / t,
+            self.rejected_by_csn as f64 / t,
+        )
+    }
+
+    /// Merges another counter set.
+    pub fn merge(&mut self, other: &ReqCounts) {
+        self.accepted += other.accepted;
+        self.rejected_by_nn += other.rejected_by_nn;
+        self.rejected_by_csn += other.rejected_by_csn;
+    }
+}
+
+/// Counters for one tournament environment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvMetrics {
+    /// Games whose source was a normal node.
+    pub nn_games: u64,
+    /// Of those, games whose packet reached the destination.
+    pub nn_delivered: u64,
+    /// Of those, games whose *chosen* path contained no CSN.
+    pub nn_csn_free_path: u64,
+    /// Responses to requests from normal sources.
+    pub from_nn: ReqCounts,
+    /// Responses to requests from CSN sources.
+    pub from_csn: ReqCounts,
+}
+
+impl EnvMetrics {
+    /// The cooperation level (Fig. 4 / Tab. 5): delivered / originated,
+    /// for normal sources. 0 when no games were played.
+    pub fn cooperation_level(&self) -> f64 {
+        if self.nn_games == 0 {
+            0.0
+        } else {
+            self.nn_delivered as f64 / self.nn_games as f64
+        }
+    }
+
+    /// Share of chosen paths free of CSN (Tab. 5, last columns).
+    pub fn csn_free_share(&self) -> f64 {
+        if self.nn_games == 0 {
+            0.0
+        } else {
+            self.nn_csn_free_path as f64 / self.nn_games as f64
+        }
+    }
+
+    /// Merges another environment's counters (used for whole-generation
+    /// aggregates).
+    pub fn merge(&mut self, other: &EnvMetrics) {
+        self.nn_games += other.nn_games;
+        self.nn_delivered += other.nn_delivered;
+        self.nn_csn_free_path += other.nn_csn_free_path;
+        self.from_nn.merge(&other.from_nn);
+        self.from_csn.merge(&other.from_csn);
+    }
+}
+
+/// All counters of one generation, split per tournament environment.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    envs: Vec<EnvMetrics>,
+}
+
+impl Metrics {
+    /// Creates counters for `n_envs` environments.
+    pub fn new(n_envs: usize) -> Self {
+        Metrics {
+            envs: vec![EnvMetrics::default(); n_envs],
+        }
+    }
+
+    /// Number of environments tracked.
+    pub fn n_envs(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Mutable counters for environment `env`.
+    ///
+    /// # Panics
+    /// Panics if `env` is out of range.
+    pub fn env_mut(&mut self, env: usize) -> &mut EnvMetrics {
+        &mut self.envs[env]
+    }
+
+    /// Counters for environment `env`.
+    pub fn env(&self, env: usize) -> &EnvMetrics {
+        &self.envs[env]
+    }
+
+    /// Whole-generation aggregate over every environment.
+    pub fn total(&self) -> EnvMetrics {
+        let mut t = EnvMetrics::default();
+        for e in &self.envs {
+            t.merge(e);
+        }
+        t
+    }
+
+    /// Resets all counters (start of a generation).
+    pub fn clear(&mut self) {
+        self.envs.fill(EnvMetrics::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooperation_level_definition() {
+        let e = EnvMetrics {
+            nn_games: 100,
+            nn_delivered: 97,
+            ..EnvMetrics::default()
+        };
+        assert!((e.cooperation_level() - 0.97).abs() < 1e-12);
+        assert_eq!(EnvMetrics::default().cooperation_level(), 0.0);
+    }
+
+    #[test]
+    fn csn_free_share() {
+        let e = EnvMetrics {
+            nn_games: 50,
+            nn_csn_free_path: 10,
+            ..EnvMetrics::default()
+        };
+        assert!((e.csn_free_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn req_fractions_sum_to_one() {
+        let r = ReqCounts {
+            accepted: 77,
+            rejected_by_nn: 1,
+            rejected_by_csn: 22,
+        };
+        let (a, n, c) = r.fractions();
+        assert!((a + n + c - 1.0).abs() < 1e-12);
+        assert!((a - 0.77).abs() < 1e-12);
+        assert_eq!(ReqCounts::default().fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn metrics_total_merges_envs() {
+        let mut m = Metrics::new(2);
+        m.env_mut(0).nn_games = 10;
+        m.env_mut(0).nn_delivered = 9;
+        m.env_mut(1).nn_games = 10;
+        m.env_mut(1).nn_delivered = 1;
+        let t = m.total();
+        assert_eq!(t.nn_games, 20);
+        assert_eq!(t.nn_delivered, 10);
+        assert!((t.cooperation_level() - 0.5).abs() < 1e-12);
+        // Per-env views stay split (Table 5).
+        assert!((m.env(0).cooperation_level() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_zeroes_but_keeps_env_count() {
+        let mut m = Metrics::new(3);
+        m.env_mut(2).nn_games = 5;
+        m.clear();
+        assert_eq!(m.n_envs(), 3);
+        assert_eq!(m.env(2).nn_games, 0);
+    }
+
+    #[test]
+    fn merge_request_counters() {
+        let mut a = ReqCounts {
+            accepted: 1,
+            rejected_by_nn: 2,
+            rejected_by_csn: 3,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 12);
+    }
+}

@@ -1,0 +1,272 @@
+//! Payoff tables and payoff accounts (paper §4.2, Fig. 2).
+//!
+//! Two tables exist: the *source* table pays on transmission status
+//! (S = 5 on success, F = 0 on failure) and the *intermediate* table pays
+//! each decision depending on the decider's trust in the source.
+//!
+//! The intermediate table's numbers are OCR-garbled in the available
+//! paper text; the defaults here are the reconstruction argued in
+//! DESIGN.md (substitution 3):
+//!
+//! | decision | TL3 | TL2 | TL1 | TL0 |
+//! |----------|-----|-----|-----|-----|
+//! | forward  | 2.0 | 1.0 | 0.5 | 0.0 |
+//! | discard  | 0.5 | 1.0 | 3.0 | 2.0 |
+//!
+//! satisfying every prose constraint: forwarding pays more the higher the
+//! trust; discarding a *less trusted* (TL1) source pays more than
+//! discarding an *untrusted* (TL0) one; discarding dominates forwarding
+//! at low trust (enforcement) and loses at high trust. The literal OCR
+//! reading and a no-reputation table are provided as presets for
+//! ablations A1 and A4.
+
+use ahn_net::TrustLevel;
+use serde::{Deserialize, Serialize};
+
+/// The payoff tables of Fig. 2, fully configurable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PayoffConfig {
+    /// Source payoff when the packet reaches the destination (S).
+    pub success: f64,
+    /// Source payoff when it does not (F).
+    pub failure: f64,
+    /// Intermediate payoff for forwarding, indexed by trust level value
+    /// (`forward[0]` = TL0 … `forward[3]` = TL3).
+    pub forward: [f64; 4],
+    /// Intermediate payoff for discarding, same indexing.
+    pub discard: [f64; 4],
+}
+
+impl Default for PayoffConfig {
+    fn default() -> Self {
+        PayoffConfig::paper()
+    }
+}
+
+impl PayoffConfig {
+    /// The reconstructed paper table (see module docs / DESIGN.md).
+    pub fn paper() -> Self {
+        PayoffConfig {
+            success: 5.0,
+            failure: 0.0,
+            forward: [0.0, 0.5, 1.0, 2.0],
+            discard: [2.0, 3.0, 1.0, 0.5],
+        }
+    }
+
+    /// The *literal* OCR reading of Fig. 2 (`C: 2 1 0.5 3`,
+    /// `D: 0.5 1 3 2` for TL3..TL0) — ablation A1 demonstrates that its
+    /// forward-for-TL0 = 3 cell undermines enforcement.
+    pub fn literal_ocr() -> Self {
+        PayoffConfig {
+            success: 5.0,
+            failure: 0.0,
+            forward: [3.0, 0.5, 1.0, 2.0],
+            discard: [2.0, 3.0, 1.0, 0.5],
+        }
+    }
+
+    /// A table for a network *without* a reputation response mechanism:
+    /// discarding pays more than forwarding at every trust level (§4.2:
+    /// "If such system was not used, the payoff for selfish behavior ...
+    /// would always be higher than for forwarding"). Ablation A4.
+    pub fn no_reputation() -> Self {
+        PayoffConfig {
+            success: 5.0,
+            failure: 0.0,
+            forward: [0.5, 0.5, 0.5, 0.5],
+            discard: [2.0, 2.0, 2.0, 2.0],
+        }
+    }
+
+    /// Source payoff for a transmission status.
+    #[inline]
+    pub fn source(&self, delivered: bool) -> f64 {
+        if delivered {
+            self.success
+        } else {
+            self.failure
+        }
+    }
+
+    /// Intermediate payoff for forwarding a packet from a source seen at
+    /// `trust`.
+    #[inline]
+    pub fn forward(&self, trust: TrustLevel) -> f64 {
+        self.forward[trust.value() as usize]
+    }
+
+    /// Intermediate payoff for discarding.
+    #[inline]
+    pub fn discard(&self, trust: TrustLevel) -> f64 {
+        self.discard[trust.value() as usize]
+    }
+
+    /// Checks the prose constraints of §4.2 (used by tests; ablation
+    /// presets intentionally violate some of them):
+    /// forwarding payoff non-decreasing in trust, discard(TL1) >
+    /// discard(TL0), enforcement at the extremes.
+    pub fn check_paper_constraints(&self) -> Result<(), String> {
+        for w in self.forward.windows(2) {
+            if w[1] < w[0] {
+                return Err(format!("forward payoffs not monotone in trust: {:?}", self.forward));
+            }
+        }
+        if self.discard[1] <= self.discard[0] {
+            return Err("discard(TL1) must exceed discard(TL0)".into());
+        }
+        if self.discard[0] <= self.forward[0] {
+            return Err("discarding must dominate forwarding at TL0".into());
+        }
+        if self.forward[3] <= self.discard[3] {
+            return Err("forwarding must dominate discarding at TL3".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-player payoff account implementing the fitness function (eq. 1):
+/// `fitness = (tps + tpf + tpd) / ne`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PayoffAccount {
+    /// Total payoff received for sending own packets.
+    pub tps: f64,
+    /// Total payoff received for forwarding others' packets.
+    pub tpf: f64,
+    /// Total payoff received for discarding others' packets.
+    pub tpd: f64,
+    /// Number of events (own packets sent + packets forwarded +
+    /// packets discarded).
+    pub ne: u64,
+}
+
+impl PayoffAccount {
+    /// Creates a zeroed account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one own-packet transmission.
+    pub fn add_source(&mut self, payoff: f64) {
+        self.tps += payoff;
+        self.ne += 1;
+    }
+
+    /// Accounts one forward.
+    pub fn add_forward(&mut self, payoff: f64) {
+        self.tpf += payoff;
+        self.ne += 1;
+    }
+
+    /// Accounts one discard.
+    pub fn add_discard(&mut self, payoff: f64) {
+        self.tpd += payoff;
+        self.ne += 1;
+    }
+
+    /// The fitness value (eq. 1); 0 when no events occurred.
+    pub fn fitness(&self) -> f64 {
+        if self.ne == 0 {
+            0.0
+        } else {
+            (self.tps + self.tpf + self.tpd) / self.ne as f64
+        }
+    }
+
+    /// Resets the account (start of a generation).
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_satisfies_all_prose_constraints() {
+        PayoffConfig::paper().check_paper_constraints().unwrap();
+    }
+
+    #[test]
+    fn literal_ocr_table_breaks_enforcement_at_tl0() {
+        let c = PayoffConfig::literal_ocr();
+        let err = c.check_paper_constraints().unwrap_err();
+        assert!(err.contains("monotone") || err.contains("TL0"), "{err}");
+        // Specifically: forwarding for an untrusted source pays the most.
+        assert!(c.forward(TrustLevel::T0) > c.discard(TrustLevel::T0));
+    }
+
+    #[test]
+    fn no_reputation_table_makes_discarding_dominant_everywhere() {
+        let c = PayoffConfig::no_reputation();
+        for t in TrustLevel::ALL {
+            assert!(c.discard(t) > c.forward(t), "{t}");
+        }
+    }
+
+    #[test]
+    fn source_payoffs_are_the_stated_s_and_f() {
+        let c = PayoffConfig::paper();
+        assert_eq!(c.source(true), 5.0);
+        assert_eq!(c.source(false), 0.0);
+    }
+
+    #[test]
+    fn intermediate_lookups_by_trust() {
+        let c = PayoffConfig::paper();
+        assert_eq!(c.forward(TrustLevel::T3), 2.0);
+        assert_eq!(c.forward(TrustLevel::T1), 0.5);
+        assert_eq!(c.discard(TrustLevel::T1), 3.0);
+        assert_eq!(c.discard(TrustLevel::T0), 2.0);
+        assert_eq!(c.discard(TrustLevel::T3), 0.5);
+    }
+
+    #[test]
+    fn fig2_example_game_payoffs() {
+        // Fig. 2b: B forwards with TL3 -> 2.0; C discards with TL1 -> 3.0;
+        // source fails -> 0.
+        let c = PayoffConfig::paper();
+        let mut b = PayoffAccount::new();
+        b.add_forward(c.forward(TrustLevel::T3));
+        let mut cc = PayoffAccount::new();
+        cc.add_discard(c.discard(TrustLevel::T1));
+        let mut a = PayoffAccount::new();
+        a.add_source(c.source(false));
+        assert_eq!(b.fitness(), 2.0);
+        assert_eq!(cc.fitness(), 3.0);
+        assert_eq!(a.fitness(), 0.0);
+    }
+
+    #[test]
+    fn fitness_is_the_event_average() {
+        let mut acc = PayoffAccount::new();
+        acc.add_source(5.0);
+        acc.add_forward(1.0);
+        acc.add_discard(3.0);
+        acc.add_source(0.0);
+        assert_eq!(acc.ne, 4);
+        assert!((acc.fitness() - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_account_fitness_is_zero() {
+        assert_eq!(PayoffAccount::new().fitness(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut acc = PayoffAccount::new();
+        acc.add_source(5.0);
+        acc.clear();
+        assert_eq!(acc, PayoffAccount::new());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = PayoffConfig::paper();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PayoffConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

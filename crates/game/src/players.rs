@@ -1,0 +1,107 @@
+//! Node kinds (paper §4.3) and per-player state.
+//!
+//! The paper uses two kinds: *normal nodes* (NN) that follow an evolving
+//! strategy, and *constantly selfish nodes* (CSN) that always discard and
+//! never take part in selection/reproduction. The *random dropper* is an
+//! extension kind (not in the paper) used by robustness tests: it drops
+//! with a fixed probability irrespective of reputation.
+
+use ahn_strategy::Decision;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The behavioral class of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Plays its evolving 13-bit strategy (NN).
+    Normal,
+    /// Always discards; immune to evolution (CSN).
+    ConstantlySelfish,
+    /// Extension: drops each forwarding request independently with this
+    /// probability, ignoring reputation entirely.
+    RandomDropper(f64),
+}
+
+impl NodeKind {
+    /// `true` for the paper's CSN kind.
+    #[inline]
+    pub fn is_csn(self) -> bool {
+        matches!(self, NodeKind::ConstantlySelfish)
+    }
+
+    /// `true` for strategy-driven normal nodes.
+    #[inline]
+    pub fn is_normal(self) -> bool {
+        matches!(self, NodeKind::Normal)
+    }
+
+    /// The fixed decision this kind makes regardless of strategy, or
+    /// `None` when the decision is strategy-driven.
+    pub fn fixed_decision<R: Rng + ?Sized>(self, rng: &mut R) -> Option<Decision> {
+        match self {
+            NodeKind::Normal => None,
+            NodeKind::ConstantlySelfish => Some(Decision::Discard),
+            NodeKind::RandomDropper(p) => Some(if rng.gen_bool(p) {
+                Decision::Discard
+            } else {
+                Decision::Forward
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::ConstantlySelfish.is_csn());
+        assert!(!NodeKind::Normal.is_csn());
+        assert!(NodeKind::Normal.is_normal());
+        assert!(!NodeKind::RandomDropper(0.5).is_normal());
+        assert!(!NodeKind::RandomDropper(0.5).is_csn());
+    }
+
+    #[test]
+    fn csn_always_discards() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(
+                NodeKind::ConstantlySelfish.fixed_decision(&mut rng),
+                Some(Decision::Discard)
+            );
+        }
+    }
+
+    #[test]
+    fn normal_defers_to_strategy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(NodeKind::Normal.fixed_decision(&mut rng), None);
+    }
+
+    #[test]
+    fn random_dropper_matches_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let kind = NodeKind::RandomDropper(0.25);
+        let drops = (0..10_000)
+            .filter(|_| kind.fixed_decision(&mut rng) == Some(Decision::Discard))
+            .count();
+        assert!((2_200..=2_800).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn dropper_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(
+            NodeKind::RandomDropper(0.0).fixed_decision(&mut rng),
+            Some(Decision::Forward)
+        );
+        assert_eq!(
+            NodeKind::RandomDropper(1.0).fixed_decision(&mut rng),
+            Some(Decision::Discard)
+        );
+    }
+}

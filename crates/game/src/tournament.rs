@@ -1,0 +1,296 @@
+//! The tournament scheme (paper §4.4).
+//!
+//! A tournament is `R` rounds over a fixed participant set; in every
+//! round each participant sources exactly one packet (plays "its own
+//! game") and serves as relay in the others' games as drawn by the path
+//! model.
+
+use crate::arena::Arena;
+use crate::game::{play_game, Scratch};
+use ahn_net::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Wall-clock seconds one tournament round represents in the energy
+/// ledgers (idle listening for awake nodes, sleep for the rest).
+pub const ROUND_SECONDS: f64 = 1.0;
+
+/// Tournament parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tournament {
+    /// Number of rounds `R` (the paper uses 300).
+    pub rounds: usize,
+}
+
+impl Tournament {
+    /// Creates a tournament of `rounds` rounds.
+    pub fn new(rounds: usize) -> Self {
+        assert!(rounds > 0, "a tournament needs at least one round");
+        Tournament { rounds }
+    }
+
+    /// Runs the tournament among `participants`, charging metrics to
+    /// environment `env`. Every participant sources exactly
+    /// [`Tournament::rounds`] packets.
+    ///
+    /// # Panics
+    /// Panics if fewer than three participants are supplied.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        arena: &mut Arena,
+        rng: &mut R,
+        participants: &[NodeId],
+        env: usize,
+    ) {
+        assert!(
+            participants.len() >= 3,
+            "a tournament needs at least three participants"
+        );
+        let mut scratch = Scratch::default();
+        let mut awake: Vec<NodeId> = Vec::with_capacity(participants.len() + 1);
+        let sample_sleep = arena.has_sleepers();
+        for _round in 0..self.rounds {
+            // Sample this round's awake set (extension X6). With every
+            // duty cycle at 1.0 — the paper's model — no RNG is consumed
+            // and the round is exactly the paper's.
+            if sample_sleep {
+                awake.clear();
+                for &p in participants {
+                    let duty = arena.duty_cycle(p);
+                    if duty >= 1.0 || rng.gen_bool(duty) {
+                        awake.push(p);
+                        arena.energy[p.index()].add_idle(ROUND_SECONDS);
+                    } else {
+                        arena.energy[p.index()].add_sleep(ROUND_SECONDS);
+                    }
+                }
+                if awake.len() < 2 {
+                    // Too few listeners to route anything this round.
+                    continue;
+                }
+            }
+            for &source in participants {
+                if !sample_sleep {
+                    play_game(arena, rng, source, participants, env, &mut scratch);
+                    continue;
+                }
+                // A sleeping node still wakes to send its own packet
+                // (sleep saves listening energy, not transmission), so the
+                // eligible set for its game is the awake set plus itself.
+                let was_awake = awake.contains(&source);
+                if !was_awake {
+                    awake.push(source);
+                }
+                if awake.len() >= 3 {
+                    play_game(arena, rng, source, &awake, env, &mut scratch);
+                }
+                if !was_awake {
+                    awake.pop();
+                }
+            }
+            if let Some(gossip) = arena.config.gossip {
+                // Each participant hears from one random other participant
+                // per round (extension; see ahn_net::gossip). Sleeping
+                // nodes neither tell nor listen.
+                let pool: &[NodeId] = if sample_sleep { &awake } else { participants };
+                if pool.len() < 2 {
+                    continue;
+                }
+                for &listener in pool {
+                    let teller = loop {
+                        let t = pool[rng.gen_range(0..pool.len())];
+                        if t != listener {
+                            break t;
+                        }
+                    };
+                    ahn_net::gossip::share_observations(
+                        &mut arena.reputation,
+                        teller,
+                        listener,
+                        &gossip,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::GameConfig;
+    use ahn_net::PathMode;
+    use ahn_strategy::Strategy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn every_participant_sources_r_games() {
+        let mut a = Arena::new(
+            vec![Strategy::always_forward(); 6],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        let ids: Vec<NodeId> = (0u32..6).map(NodeId::from).collect();
+        Tournament::new(25).run(&mut a, &mut rng(0), &ids, 0);
+        // 6 participants x 25 rounds, all normal sources.
+        assert_eq!(a.metrics.env(0).nn_games, 150);
+        // Every player has exactly 25 source events (tps counts S=5 each,
+        // all delivered in a cooperative arena).
+        for i in 0..6 {
+            assert_eq!(a.payoffs[i].tps, 125.0, "player {i}");
+        }
+    }
+
+    #[test]
+    fn csn_participants_source_too_but_do_not_count_as_nn_games() {
+        let mut a = Arena::new(
+            vec![Strategy::always_forward(); 4],
+            2,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        let ids: Vec<NodeId> = (0u32..6).map(NodeId::from).collect();
+        Tournament::new(10).run(&mut a, &mut rng(1), &ids, 0);
+        let m = a.metrics.env(0);
+        // Only the 4 normal players' games count toward cooperation.
+        assert_eq!(m.nn_games, 40);
+        // CSN games produced request events from CSN sources.
+        assert!(m.from_csn.total() > 0);
+        // CSN sourced packets and accrued source events.
+        assert!(a.payoffs[4].ne >= 10);
+    }
+
+    #[test]
+    fn subsets_of_the_arena_can_play() {
+        // 8 nodes exist but only 5 participate; non-participants must be
+        // untouched.
+        let mut a = Arena::new(
+            vec![Strategy::always_forward(); 8],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        let ids: Vec<NodeId> = (0u32..5).map(NodeId::from).collect();
+        Tournament::new(5).run(&mut a, &mut rng(2), &ids, 0);
+        for i in 5..8 {
+            assert_eq!(a.payoffs[i].ne, 0, "non-participant {i} was touched");
+            assert_eq!(a.reputation.known_count(NodeId::from(i)), 0);
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let build = |seed| {
+            let mut a = Arena::new(
+                vec![Strategy::always_forward(); 6],
+                1,
+                GameConfig::paper(PathMode::Longer),
+                1,
+            );
+            let ids: Vec<NodeId> = (0u32..7).map(NodeId::from).collect();
+            Tournament::new(20).run(&mut a, &mut rng(seed), &ids, 0);
+            (a.fitnesses(), *a.metrics.env(0))
+        };
+        assert_eq!(build(42), build(42));
+        assert_ne!(build(42).1.nn_delivered, 0);
+    }
+
+    #[test]
+    fn sleepers_save_listening_energy_and_relay_less() {
+        let mut a = Arena::new(
+            vec![Strategy::always_forward(); 8],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        // Node 7 sleeps 70% of rounds.
+        a.set_duty_cycle(NodeId(7), 0.3);
+        let ids: Vec<NodeId> = (0u32..8).map(NodeId::from).collect();
+        Tournament::new(100).run(&mut a, &mut rng(5), &ids, 0);
+        // The sleeper accumulated sleep time; the others only idle time.
+        assert!(a.energy[7].sleep_s > 0.0);
+        assert!(a.energy[7].idle_s < 100.0 * ROUND_SECONDS);
+        assert_eq!(a.energy[0].sleep_s, 0.0);
+        // It still sourced packets every round it could (>= awake rounds)
+        // but relayed far less than an always-on peer.
+        let sleeper_forwards = a.energy[7].rx_packets;
+        let active_forwards = a.energy[0].rx_packets;
+        assert!(
+            sleeper_forwards * 2 < active_forwards,
+            "sleeper relayed {sleeper_forwards}, active {active_forwards}"
+        );
+        // Everyone still sourced every round (the sleeper wakes to send).
+        assert_eq!(a.metrics.env(0).nn_games, 800);
+    }
+
+    #[test]
+    fn all_awake_matches_paper_model_exactly() {
+        // With all duty cycles at 1.0 the sleep machinery must not
+        // consume RNG: results equal the pre-extension behavior.
+        let run = |set_duty: bool| {
+            let mut a = Arena::new(
+                vec![Strategy::always_forward(); 6],
+                1,
+                GameConfig::paper(PathMode::Longer),
+                1,
+            );
+            if set_duty {
+                // Setting a duty cycle of exactly 1.0 is a no-op.
+                a.set_duty_cycle(NodeId(0), 1.0);
+            }
+            let ids: Vec<NodeId> = (0u32..7).map(NodeId::from).collect();
+            Tournament::new(20).run(&mut a, &mut rng(42), &ids, 0);
+            (a.fitnesses(), *a.metrics.env(0))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn gossip_spreads_reputation_beyond_witnesses() {
+        use ahn_net::GossipConfig;
+        // Without gossip only game participants learn; with CONFIDANT
+        // gossip, knowledge spreads to many more observer pairs.
+        let known_pairs = |gossip: Option<GossipConfig>| {
+            let mut config = GameConfig::paper(PathMode::Shorter);
+            config.gossip = gossip;
+            let mut a = Arena::new(vec![Strategy::always_forward(); 10], 0, config, 1);
+            let ids: Vec<NodeId> = (0u32..10).map(NodeId::from).collect();
+            Tournament::new(3).run(&mut a, &mut rng(7), &ids, 0);
+            let mut pairs = 0;
+            for o in 0..10u32 {
+                pairs += a.reputation.known_count(NodeId(o));
+            }
+            pairs
+        };
+        let without = known_pairs(None);
+        let with = known_pairs(Some(GossipConfig::confidant_style()));
+        assert!(
+            with > without,
+            "gossip should spread knowledge: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let _ = Tournament::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three participants")]
+    fn tiny_tournament_panics() {
+        let mut a = Arena::new(
+            vec![Strategy::always_forward(); 2],
+            0,
+            GameConfig::paper(PathMode::Shorter),
+            1,
+        );
+        Tournament::new(1).run(&mut a, &mut rng(3), &[NodeId(0), NodeId(1)], 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The one-round Prisoner's Dilemma and the 5-bit single-round-memory
+//! strategy.
+
+use ahn_bitstr::BitStr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A move in the Prisoner's Dilemma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Move {
+    /// Defect (`D`).
+    Defect,
+    /// Cooperate (`C`).
+    Cooperate,
+}
+
+impl Move {
+    /// Builds from a strategy bit (1 = cooperate).
+    #[inline]
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Move::Cooperate
+        } else {
+            Move::Defect
+        }
+    }
+}
+
+/// PD payoff matrix; must satisfy `T > R > P > S` and `2R > T + S`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PdPayoffs {
+    /// Temptation (defect vs cooperator).
+    pub t: f64,
+    /// Reward (mutual cooperation).
+    pub r: f64,
+    /// Punishment (mutual defection).
+    pub p: f64,
+    /// Sucker (cooperate vs defector).
+    pub s: f64,
+}
+
+impl Default for PdPayoffs {
+    fn default() -> Self {
+        // The canonical Axelrod values.
+        PdPayoffs {
+            t: 5.0,
+            r: 3.0,
+            p: 1.0,
+            s: 0.0,
+        }
+    }
+}
+
+impl PdPayoffs {
+    /// Checks the dilemma conditions.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.t > self.r && self.r > self.p && self.p > self.s) {
+            return Err(format!("need T > R > P > S, got {self:?}"));
+        }
+        if 2.0 * self.r <= self.t + self.s {
+            return Err("need 2R > T + S (alternation must not beat cooperation)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Payoffs `(mine, theirs)` for one round.
+pub fn payoff(payoffs: &PdPayoffs, mine: Move, theirs: Move) -> (f64, f64) {
+    match (mine, theirs) {
+        (Move::Cooperate, Move::Cooperate) => (payoffs.r, payoffs.r),
+        (Move::Cooperate, Move::Defect) => (payoffs.s, payoffs.t),
+        (Move::Defect, Move::Cooperate) => (payoffs.t, payoffs.s),
+        (Move::Defect, Move::Defect) => (payoffs.p, payoffs.p),
+    }
+}
+
+/// A 5-bit single-round-memory strategy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct IpdrpStrategy {
+    bits: BitStr,
+}
+
+/// Number of bits in an IPDRP strategy.
+pub const IPDRP_BITS: usize = 5;
+
+impl IpdrpStrategy {
+    /// Wraps a 5-bit genome.
+    ///
+    /// # Panics
+    /// Panics unless `bits.len() == 5`.
+    pub fn from_bits(bits: BitStr) -> Self {
+        assert_eq!(bits.len(), IPDRP_BITS, "an IPDRP strategy has 5 bits");
+        IpdrpStrategy { bits }
+    }
+
+    /// A uniformly random strategy.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        IpdrpStrategy::from_bits(BitStr::random(rng, IPDRP_BITS))
+    }
+
+    /// Tit-for-Tat: cooperate first, then mirror the opponent.
+    pub fn tit_for_tat() -> Self {
+        "11010".parse().unwrap()
+    }
+
+    /// Always cooperate.
+    pub fn all_c() -> Self {
+        IpdrpStrategy::from_bits(BitStr::ones(IPDRP_BITS))
+    }
+
+    /// Always defect.
+    pub fn all_d() -> Self {
+        IpdrpStrategy::from_bits(BitStr::zeros(IPDRP_BITS))
+    }
+
+    /// The underlying genome.
+    pub fn bits(&self) -> &BitStr {
+        &self.bits
+    }
+
+    /// First-round move (bit 0).
+    pub fn first_move(&self) -> Move {
+        Move::from_bit(self.bits.get(0))
+    }
+
+    /// Move given the previous round's outcome.
+    pub fn next_move(&self, my_last: Move, their_last: Move) -> Move {
+        // Bits 1-4 cover (mine, theirs) = CC, CD, DC, DD.
+        let idx = match (my_last, their_last) {
+            (Move::Cooperate, Move::Cooperate) => 1,
+            (Move::Cooperate, Move::Defect) => 2,
+            (Move::Defect, Move::Cooperate) => 3,
+            (Move::Defect, Move::Defect) => 4,
+        };
+        Move::from_bit(self.bits.get(idx))
+    }
+
+    /// Move given an optional memory (first round = `None`).
+    pub fn decide(&self, memory: Option<(Move, Move)>) -> Move {
+        match memory {
+            None => self.first_move(),
+            Some((m, t)) => self.next_move(m, t),
+        }
+    }
+}
+
+impl std::str::FromStr for IpdrpStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bits: BitStr = s.parse().map_err(|e| format!("{e}"))?;
+        if bits.len() != IPDRP_BITS {
+            return Err(format!("an IPDRP strategy needs 5 bits, got {}", bits.len()));
+        }
+        Ok(IpdrpStrategy::from_bits(bits))
+    }
+}
+
+impl std::fmt::Display for IpdrpStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.bits.get(0) as u8, {
+            let mut s = String::new();
+            for i in 1..5 {
+                s.push(if self.bits.get(i) { '1' } else { '0' });
+            }
+            s
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_payoffs_form_a_dilemma() {
+        PdPayoffs::default().validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_payoffs_are_rejected() {
+        let bad = PdPayoffs {
+            t: 1.0,
+            r: 3.0,
+            p: 1.0,
+            s: 0.0,
+        };
+        assert!(bad.validate().is_err());
+        let alternation = PdPayoffs {
+            t: 6.0,
+            r: 3.0,
+            p: 1.0,
+            s: 0.0,
+        };
+        assert!(alternation.validate().is_err());
+    }
+
+    #[test]
+    fn payoff_matrix_cells() {
+        let p = PdPayoffs::default();
+        assert_eq!(payoff(&p, Move::Cooperate, Move::Cooperate), (3.0, 3.0));
+        assert_eq!(payoff(&p, Move::Cooperate, Move::Defect), (0.0, 5.0));
+        assert_eq!(payoff(&p, Move::Defect, Move::Cooperate), (5.0, 0.0));
+        assert_eq!(payoff(&p, Move::Defect, Move::Defect), (1.0, 1.0));
+    }
+
+    #[test]
+    fn tit_for_tat_behavior() {
+        let tft = IpdrpStrategy::tit_for_tat();
+        assert_eq!(tft.first_move(), Move::Cooperate);
+        assert_eq!(tft.next_move(Move::Cooperate, Move::Cooperate), Move::Cooperate);
+        assert_eq!(tft.next_move(Move::Cooperate, Move::Defect), Move::Defect);
+        assert_eq!(tft.next_move(Move::Defect, Move::Cooperate), Move::Cooperate);
+        assert_eq!(tft.next_move(Move::Defect, Move::Defect), Move::Defect);
+    }
+
+    #[test]
+    fn all_c_and_all_d() {
+        for memory in [
+            None,
+            Some((Move::Cooperate, Move::Defect)),
+            Some((Move::Defect, Move::Defect)),
+        ] {
+            assert_eq!(IpdrpStrategy::all_c().decide(memory), Move::Cooperate);
+            assert_eq!(IpdrpStrategy::all_d().decide(memory), Move::Defect);
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        let s: IpdrpStrategy = "10110".parse().unwrap();
+        assert_eq!(s.to_string(), "1 0110");
+        assert!("101".parse::<IpdrpStrategy>().is_err());
+        assert!("1011x".parse::<IpdrpStrategy>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "5 bits")]
+    fn wrong_width_panics() {
+        let _ = IpdrpStrategy::from_bits(BitStr::zeros(13));
+    }
+}

@@ -1,0 +1,26 @@
+//! The Iterated Prisoner's Dilemma under Random Pairing (IPDRP).
+//!
+//! This is the model of Namikawa & Ishibuchi (CEC'05), the paper's
+//! reference \[12\]: "each player plays against a different randomly chosen
+//! opponent at every round. Each player has a single round memory
+//! strategy represented by a binary string of the length five." The
+//! paper's evolutionary setup is explicitly "similar ... as in IPDRP
+//! except that we use a tournament selection instead of a roulette one"
+//! (§5), so this crate doubles as a validation target for the GA engine
+//! and as the conceptual baseline (experiment X3 in DESIGN.md).
+//!
+//! Strategy encoding (5 bits):
+//!
+//! * bit 0 — the move of the very first round (1 = cooperate);
+//! * bits 1–4 — the move given the previous round's outcome
+//!   `(my move, opponent move)` ∈ {CC, CD, DC, DD} in that order.
+//!
+//! Classic strategies are expressible: Tit-for-Tat is `1 1010`
+//! (cooperate first; repeat the opponent's last move), Always-Defect is
+//! `0 0000`.
+
+pub mod evolution;
+pub mod game;
+
+pub use evolution::{run_ipdrp, IpdrpConfig, IpdrpGeneration};
+pub use game::{payoff, IpdrpStrategy, Move, PdPayoffs};

@@ -1,0 +1,199 @@
+//! Activity levels (paper §3.2).
+//!
+//! Nodes that keep their radio in sleep mode cannot be distinguished from
+//! nodes that temporarily left the network, so sleeping is invisible to
+//! the reputation system. The paper therefore rewards *activity*: an
+//! intermediate node classifies the packet's source as LO / MI / HI
+//! active by comparing the number of packets the source is known to have
+//! forwarded with the average over all known nodes (`av`):
+//!
+//! * within `[av − 0.2·av, av + 0.2·av]` → medium (MI),
+//! * below that band → low (LO),
+//! * above it → high (HI).
+
+use crate::{NodeId, ReputationMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A discrete activity level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ActivityLevel {
+    /// Below the medium band.
+    Lo,
+    /// Within ±band of the known-node average.
+    Mi,
+    /// Above the medium band.
+    Hi,
+}
+
+impl ActivityLevel {
+    /// All levels in ascending order.
+    pub const ALL: [ActivityLevel; 3] = [ActivityLevel::Lo, ActivityLevel::Mi, ActivityLevel::Hi];
+
+    /// Numeric value 0..=2 (LO..HI) — the column index inside a
+    /// trust-level block of the 13-bit strategy (Fig. 1c).
+    #[inline]
+    pub fn value(self) -> u8 {
+        match self {
+            ActivityLevel::Lo => 0,
+            ActivityLevel::Mi => 1,
+            ActivityLevel::Hi => 2,
+        }
+    }
+
+    /// Builds a level from its numeric value.
+    ///
+    /// # Panics
+    /// Panics if `v > 2`.
+    pub fn from_value(v: u8) -> Self {
+        match v {
+            0 => ActivityLevel::Lo,
+            1 => ActivityLevel::Mi,
+            2 => ActivityLevel::Hi,
+            _ => panic!("activity level {v} out of range 0..=2"),
+        }
+    }
+}
+
+impl std::fmt::Display for ActivityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ActivityLevel::Lo => "LO",
+            ActivityLevel::Mi => "MI",
+            ActivityLevel::Hi => "HI",
+        })
+    }
+}
+
+/// The activity classification rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityBands {
+    /// Half-width of the medium band as a fraction of the average
+    /// (the paper uses 0.2).
+    pub band: f64,
+    /// Level assigned when the observer has no data at all (vacuous
+    /// average). The paper leaves this unspecified; MI is the neutral
+    /// choice and is what we document in DESIGN.md §4.
+    pub empty_default: ActivityLevel,
+}
+
+impl Default for ActivityBands {
+    fn default() -> Self {
+        ActivityBands::paper()
+    }
+}
+
+impl ActivityBands {
+    /// The paper's rule: ±20 % band, MI when no information exists.
+    pub fn paper() -> Self {
+        ActivityBands {
+            band: 0.2,
+            empty_default: ActivityLevel::Mi,
+        }
+    }
+
+    /// Classifies a raw forwarded-count against a known-node average.
+    #[inline]
+    pub fn classify(&self, source_forwarded: f64, average: f64) -> ActivityLevel {
+        let lo = average - self.band * average;
+        let hi = average + self.band * average;
+        if source_forwarded < lo {
+            ActivityLevel::Lo
+        } else if source_forwarded > hi {
+            ActivityLevel::Hi
+        } else {
+            ActivityLevel::Mi
+        }
+    }
+
+    /// Activity level of `source` as seen by `observer` through its
+    /// reputation table (§3.2).
+    ///
+    /// The comparison value is the observer's `pf` count for the source
+    /// (0 for an unknown source — the *trust* side separately handles
+    /// unknowns via strategy bit 12).
+    pub fn level(
+        &self,
+        matrix: &ReputationMatrix,
+        observer: NodeId,
+        source: NodeId,
+    ) -> ActivityLevel {
+        match matrix.mean_forwarded_of_known(observer) {
+            None => self.empty_default,
+            Some(av) => self.classify(f64::from(matrix.forwarded_count(observer, source)), av),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_edges_are_medium() {
+        let b = ActivityBands::paper();
+        // av = 10 -> band [8, 12].
+        assert_eq!(b.classify(8.0, 10.0), ActivityLevel::Mi);
+        assert_eq!(b.classify(12.0, 10.0), ActivityLevel::Mi);
+        assert_eq!(b.classify(7.999, 10.0), ActivityLevel::Lo);
+        assert_eq!(b.classify(12.001, 10.0), ActivityLevel::Hi);
+        assert_eq!(b.classify(10.0, 10.0), ActivityLevel::Mi);
+    }
+
+    #[test]
+    fn zero_average_makes_everything_mi_or_hi() {
+        let b = ActivityBands::paper();
+        assert_eq!(b.classify(0.0, 0.0), ActivityLevel::Mi);
+        assert_eq!(b.classify(1.0, 0.0), ActivityLevel::Hi);
+    }
+
+    #[test]
+    fn level_through_reputation_matrix() {
+        let mut m = ReputationMatrix::new(4);
+        let (obs, a, b, c) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        // a forwarded 10, b forwarded 2 -> av = 6, band [4.8, 7.2].
+        for _ in 0..10 {
+            m.record_forward(obs, a);
+        }
+        for _ in 0..2 {
+            m.record_forward(obs, b);
+        }
+        let bands = ActivityBands::paper();
+        assert_eq!(bands.level(&m, obs, a), ActivityLevel::Hi);
+        assert_eq!(bands.level(&m, obs, b), ActivityLevel::Lo);
+        // Unknown source compares as 0 forwards -> LO here.
+        assert_eq!(bands.level(&m, obs, c), ActivityLevel::Lo);
+    }
+
+    #[test]
+    fn empty_observer_uses_default() {
+        let m = ReputationMatrix::new(2);
+        let bands = ActivityBands::paper();
+        assert_eq!(bands.level(&m, NodeId(0), NodeId(1)), ActivityLevel::Mi);
+    }
+
+    #[test]
+    fn value_roundtrip_and_display() {
+        for lvl in ActivityLevel::ALL {
+            assert_eq!(ActivityLevel::from_value(lvl.value()), lvl);
+        }
+        assert_eq!(ActivityLevel::Lo.to_string(), "LO");
+        assert_eq!(ActivityLevel::Mi.to_string(), "MI");
+        assert_eq!(ActivityLevel::Hi.to_string(), "HI");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_value_rejects_3() {
+        let _ = ActivityLevel::from_value(3);
+    }
+
+    #[test]
+    fn wider_band_absorbs_more() {
+        let wide = ActivityBands {
+            band: 0.5,
+            empty_default: ActivityLevel::Mi,
+        };
+        assert_eq!(wide.classify(6.0, 10.0), ActivityLevel::Mi);
+        assert_eq!(ActivityBands::paper().classify(6.0, 10.0), ActivityLevel::Lo);
+    }
+}

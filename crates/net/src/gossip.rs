@@ -1,0 +1,201 @@
+//! Second-hand reputation exchange (extension; paper §2, refs \[1\], \[2\],
+//! \[10\]).
+//!
+//! The paper's model uses only first-hand watchdog observations. Its
+//! related-work section discusses systems that also *exchange*
+//! reputation: CORE propagates only positive reports (so a malicious
+//! node cannot broadcast slander), CONFIDANT also uses negative
+//! second-hand information. This module implements both policies so the
+//! harness can measure what second-hand information buys (ablation A7 in
+//! DESIGN.md):
+//!
+//! * [`GossipPolicy::PositiveOnly`] — CORE-style: a node shares only
+//!   records whose forwarding rate is at least 0.5;
+//! * [`GossipPolicy::All`] — CONFIDANT-style: every record is shared,
+//!   including denunciations.
+//!
+//! Second-hand records are *capped* before merging so hearsay can bias a
+//! fresh opinion but never outweigh sustained first-hand observation.
+
+use crate::reputation::ReputationMatrix;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// What a node is willing to share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GossipPolicy {
+    /// Share only records with forwarding rate ≥ 0.5 (CORE, ref \[10\]).
+    PositiveOnly,
+    /// Share everything (CONFIDANT, ref \[2\]).
+    All,
+}
+
+/// Gossip parameters, carried in the game configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GossipConfig {
+    /// Which records are shared.
+    pub policy: GossipPolicy,
+    /// Maximum observation weight (requests) a single exchange may
+    /// transfer per subject — hearsay is bounded.
+    pub cap: u32,
+}
+
+impl GossipConfig {
+    /// CORE-style defaults: positive-only, hearsay weight capped at 3.
+    pub fn core_style() -> Self {
+        GossipConfig {
+            policy: GossipPolicy::PositiveOnly,
+            cap: 3,
+        }
+    }
+
+    /// CONFIDANT-style defaults: full sharing, same cap.
+    pub fn confidant_style() -> Self {
+        GossipConfig {
+            policy: GossipPolicy::All,
+            cap: 3,
+        }
+    }
+}
+
+/// Transfers a bounded copy of `from`'s observations to `to`.
+///
+/// For every subject `from` knows (other than the two parties), a
+/// capped, proportionally scaled copy of the record is merged into
+/// `to`'s table, subject to the policy filter. Returns the number of
+/// subjects shared.
+pub fn share_observations(
+    matrix: &mut ReputationMatrix,
+    from: NodeId,
+    to: NodeId,
+    config: &GossipConfig,
+) -> usize {
+    if from == to {
+        return 0;
+    }
+    let n = matrix.len();
+    let mut shared = 0;
+    for s in 0..n {
+        let subject = NodeId::from(s);
+        if subject == from || subject == to {
+            continue;
+        }
+        let record = matrix.record(from, subject);
+        if record.requests == 0 {
+            continue;
+        }
+        if config.policy == GossipPolicy::PositiveOnly
+            && record.rate().expect("requests > 0") < 0.5
+        {
+            continue;
+        }
+        let requests = record.requests.min(config.cap);
+        // Scale forwarded proportionally (floor) so pf <= ps holds.
+        let forwarded =
+            (u64::from(record.forwarded) * u64::from(requests) / u64::from(record.requests)) as u32;
+        matrix.absorb(to, subject, requests, forwarded);
+        shared += 1;
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    /// Builds a matrix where node 0 has observed: node 2 forwarding 10/10
+    /// and node 3 dropping 0/10.
+    fn seeded() -> ReputationMatrix {
+        let mut m = ReputationMatrix::new(5);
+        for _ in 0..10 {
+            m.record_forward(id(0), id(2));
+            m.record_drop(id(0), id(3));
+        }
+        m
+    }
+
+    #[test]
+    fn positive_only_shares_good_news() {
+        let mut m = seeded();
+        let shared = share_observations(&mut m, id(0), id(1), &GossipConfig::core_style());
+        assert_eq!(shared, 1, "only the positive record travels");
+        assert_eq!(m.rate(id(1), id(2)), Some(1.0));
+        assert!(!m.knows(id(1), id(3)), "denunciation must not travel");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn confidant_shares_denunciations_too() {
+        let mut m = seeded();
+        let shared = share_observations(&mut m, id(0), id(1), &GossipConfig::confidant_style());
+        assert_eq!(shared, 2);
+        assert_eq!(m.rate(id(1), id(2)), Some(1.0));
+        assert_eq!(m.rate(id(1), id(3)), Some(0.0));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hearsay_is_capped() {
+        let mut m = seeded();
+        share_observations(&mut m, id(0), id(1), &GossipConfig::confidant_style());
+        // 10 first-hand observations were capped to 3.
+        assert_eq!(m.record(id(1), id(2)).requests, 3);
+        assert_eq!(m.record(id(1), id(2)).forwarded, 3);
+        assert_eq!(m.record(id(1), id(3)).requests, 3);
+        assert_eq!(m.record(id(1), id(3)).forwarded, 0);
+    }
+
+    #[test]
+    fn proportional_scaling_preserves_rate_roughly() {
+        let mut m = ReputationMatrix::new(3);
+        // 7/10 forwarding rate.
+        for _ in 0..7 {
+            m.record_forward(id(0), id(2));
+        }
+        for _ in 0..3 {
+            m.record_drop(id(0), id(2));
+        }
+        share_observations(&mut m, id(0), id(1), &GossipConfig::confidant_style());
+        let rec = m.record(id(1), id(2));
+        assert_eq!(rec.requests, 3);
+        assert_eq!(rec.forwarded, 2); // floor(7 * 3 / 10)
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parties_never_gossip_about_each_other_or_themselves() {
+        let mut m = ReputationMatrix::new(3);
+        for _ in 0..5 {
+            m.record_forward(id(0), id(1));
+        }
+        // Node 0 knows about node 1; sharing *to* node 1 must not create
+        // a self-record.
+        share_observations(&mut m, id(0), id(1), &GossipConfig::confidant_style());
+        assert!(!m.knows(id(1), id(1)));
+        m.check_invariants().unwrap();
+        // Self-exchange is a no-op.
+        assert_eq!(
+            share_observations(&mut m, id(0), id(0), &GossipConfig::confidant_style()),
+            0
+        );
+    }
+
+    #[test]
+    fn gossip_accumulates_across_sources() {
+        // Two witnesses both vouch for node 3 to node 2.
+        let mut m = ReputationMatrix::new(4);
+        for w in [0u32, 1] {
+            for _ in 0..5 {
+                m.record_forward(id(w), id(3));
+            }
+        }
+        share_observations(&mut m, id(0), id(2), &GossipConfig::core_style());
+        share_observations(&mut m, id(1), id(2), &GossipConfig::core_style());
+        assert_eq!(m.record(id(2), id(3)).requests, 6, "3 + 3 capped units");
+        assert_eq!(m.rate(id(2), id(3)), Some(1.0));
+    }
+}

@@ -1,0 +1,543 @@
+//! The random-path model (paper §3.1 and §6.1, Tables 2–3).
+//!
+//! When a node plays its own game it must reach a random destination
+//! through randomly drawn intermediate nodes:
+//!
+//! 1. a *path length* (hop count, 2–10) is drawn from the mode-specific
+//!    distribution of Table 2 (*shorter* or *longer* path mode);
+//! 2. the *number of alternative paths* of that length (1–3) is drawn
+//!    from the hop-bucket distribution of Table 3;
+//! 3. each candidate path is filled with distinct random intermediates;
+//! 4. the path with the best *rating* — the product of the known
+//!    forwarding rates of its nodes, 0.5 for unknown nodes — is selected
+//!    (§3.1).
+//!
+//! A path of `h` hops crosses `h − 1` intermediate nodes (2 hops =
+//! source → relay → destination).
+//!
+//! Table 2's numbers are *per hop count* probabilities (the only reading
+//! under which both columns sum to 1; see DESIGN.md §1).
+
+use crate::{NodeId, ReputationMatrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Forwarding rate assumed for nodes the rater has no data about (§3.1).
+pub const UNKNOWN_RATE: f64 = 0.5;
+
+/// The two path modes of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathMode {
+    /// Higher probability of short paths (Tab. 2, left column).
+    Shorter,
+    /// Higher probability of long paths (Tab. 2, right column).
+    Longer,
+}
+
+impl std::fmt::Display for PathMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PathMode::Shorter => "SP",
+            PathMode::Longer => "LP",
+        })
+    }
+}
+
+/// Distribution over hop counts (path lengths).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathLengthDist {
+    /// `probs[i]` is the probability of `min_hops + i` hops.
+    probs: Vec<f64>,
+    /// Smallest hop count with non-zero support range start.
+    min_hops: usize,
+}
+
+impl PathLengthDist {
+    /// Builds a distribution from per-hop-count probabilities starting at
+    /// `min_hops`.
+    ///
+    /// # Panics
+    /// Panics unless the probabilities are non-negative and sum to ~1.
+    pub fn new(min_hops: usize, probs: Vec<f64>) -> Self {
+        assert!(!probs.is_empty(), "empty distribution");
+        assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
+        let sum: f64 = probs.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "hop-count probabilities sum to {sum}, not 1"
+        );
+        PathLengthDist { probs, min_hops }
+    }
+
+    /// Table 2, *shorter paths* column: 2 hops 0.2; 3–4 hops 0.3 each;
+    /// 5–8 hops 0.05 each; 9–10 hops 0.
+    pub fn paper_shorter() -> Self {
+        PathLengthDist::new(
+            2,
+            vec![0.2, 0.3, 0.3, 0.05, 0.05, 0.05, 0.05, 0.0, 0.0],
+        )
+    }
+
+    /// Table 2, *longer paths* column: 2 hops 0.1; 3–4 hops 0.1 each;
+    /// 5–8 hops 0.1 each; 9–10 hops 0.15 each.
+    pub fn paper_longer() -> Self {
+        PathLengthDist::new(2, vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.15, 0.15])
+    }
+
+    /// The distribution for a [`PathMode`].
+    pub fn for_mode(mode: PathMode) -> Self {
+        match mode {
+            PathMode::Shorter => Self::paper_shorter(),
+            PathMode::Longer => Self::paper_longer(),
+        }
+    }
+
+    /// Smallest representable hop count.
+    pub fn min_hops(&self) -> usize {
+        self.min_hops
+    }
+
+    /// Largest representable hop count.
+    pub fn max_hops(&self) -> usize {
+        self.min_hops + self.probs.len() - 1
+    }
+
+    /// Probability of exactly `hops` hops.
+    pub fn prob(&self, hops: usize) -> f64 {
+        if hops < self.min_hops {
+            return 0.0;
+        }
+        self.probs.get(hops - self.min_hops).copied().unwrap_or(0.0)
+    }
+
+    /// Draws a hop count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut x = rng.gen::<f64>();
+        for (i, &p) in self.probs.iter().enumerate() {
+            if x < p {
+                return self.min_hops + i;
+            }
+            x -= p;
+        }
+        // Floating-point slack: fall back to the last non-zero category.
+        self.min_hops
+            + self
+                .probs
+                .iter()
+                .rposition(|&p| p > 0.0)
+                .expect("distribution has support")
+    }
+}
+
+/// Distribution over the number of alternative paths per hop bucket
+/// (Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AltPathDist {
+    /// `(max_hops_inclusive, [p(1 path), p(2 paths), p(3 paths)])` rows in
+    /// ascending bucket order; a hop count uses the first row whose bound
+    /// covers it, and counts beyond the last bound reuse the last row
+    /// (Table 3 stops at 8 hops; 9–10-hop paths reuse the 7–8 row, see
+    /// DESIGN.md §1).
+    rows: Vec<(usize, [f64; 3])>,
+}
+
+impl AltPathDist {
+    /// Builds a distribution from bucket rows.
+    ///
+    /// # Panics
+    /// Panics unless every row's probabilities sum to ~1 and bucket bounds
+    /// strictly increase.
+    pub fn new(rows: Vec<(usize, [f64; 3])>) -> Self {
+        assert!(!rows.is_empty(), "empty distribution");
+        for (i, (bound, probs)) in rows.iter().enumerate() {
+            let sum: f64 = probs.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "row {i} probabilities sum to {sum}, not 1"
+            );
+            if i > 0 {
+                assert!(*bound > rows[i - 1].0, "bucket bounds must increase");
+            }
+        }
+        AltPathDist { rows }
+    }
+
+    /// Table 3: 2–3 hops → (0.5, 0.3, 0.2); 4–6 → (0.6, 0.25, 0.15);
+    /// 7–8 (and beyond) → (0.8, 0.15, 0.05).
+    pub fn paper() -> Self {
+        AltPathDist::new(vec![
+            (3, [0.5, 0.3, 0.2]),
+            (6, [0.6, 0.25, 0.15]),
+            (8, [0.8, 0.15, 0.05]),
+        ])
+    }
+
+    /// The probability row for `hops`.
+    pub fn row(&self, hops: usize) -> &[f64; 3] {
+        for (bound, probs) in &self.rows {
+            if hops <= *bound {
+                return probs;
+            }
+        }
+        &self.rows.last().expect("non-empty").1
+    }
+
+    /// Draws the number of available paths (1..=3) for a path of `hops`
+    /// hops.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, hops: usize) -> usize {
+        let probs = self.row(hops);
+        let mut x = rng.gen::<f64>();
+        for (i, &p) in probs.iter().enumerate() {
+            if x < p {
+                return i + 1;
+            }
+            x -= p;
+        }
+        3
+    }
+}
+
+impl Default for AltPathDist {
+    fn default() -> Self {
+        AltPathDist::paper()
+    }
+}
+
+/// A source route: the intermediates between a source and a destination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Originator of the packet.
+    pub source: NodeId,
+    /// Relay nodes in forwarding order (possibly empty only in degenerate
+    /// test setups; the paper's minimum is one relay = 2 hops).
+    pub intermediates: Vec<NodeId>,
+    /// Final recipient (not a game participant).
+    pub destination: NodeId,
+}
+
+impl Route {
+    /// Number of hops (`intermediates + 1`).
+    pub fn hops(&self) -> usize {
+        self.intermediates.len() + 1
+    }
+
+    /// `true` when the route passes through `node` as a relay.
+    pub fn relays_through(&self, node: NodeId) -> bool {
+        self.intermediates.contains(&node)
+    }
+}
+
+/// Rates a candidate intermediate list from `rater`'s point of view:
+/// the product of known forwarding rates, [`UNKNOWN_RATE`] for unknown
+/// nodes (§3.1).
+pub fn path_rating(matrix: &ReputationMatrix, rater: NodeId, intermediates: &[NodeId]) -> f64 {
+    intermediates
+        .iter()
+        .map(|&n| matrix.rate(rater, n).unwrap_or(UNKNOWN_RATE))
+        .product()
+}
+
+/// How a source chooses among candidate paths.
+///
+/// The paper always selects the best-rated path (§3.1); `Random` disables
+/// reputation-based avoidance and exists for the watchdog/pathrater
+/// baseline (DESIGN.md X1), where the interesting claim is precisely the
+/// throughput gained by avoidance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RouteSelection {
+    /// Pick the candidate with the highest reputation rating (paper).
+    #[default]
+    BestRated,
+    /// Pick a uniformly random candidate (avoidance disabled).
+    Random,
+}
+
+impl RouteSelection {
+    /// Selects a candidate index according to the policy.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn select<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        matrix: &ReputationMatrix,
+        rater: NodeId,
+        candidates: &[Vec<NodeId>],
+    ) -> usize {
+        assert!(!candidates.is_empty(), "no candidate paths");
+        match self {
+            RouteSelection::BestRated => select_best_path(matrix, rater, candidates),
+            RouteSelection::Random => rng.gen_range(0..candidates.len()),
+        }
+    }
+}
+
+/// Selects the index of the best-rated candidate path (ties go to the
+/// earliest candidate, keeping runs reproducible).
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn select_best_path(
+    matrix: &ReputationMatrix,
+    rater: NodeId,
+    candidates: &[Vec<NodeId>],
+) -> usize {
+    assert!(!candidates.is_empty(), "no candidate paths");
+    let mut best = 0;
+    let mut best_rating = f64::NEG_INFINITY;
+    for (i, c) in candidates.iter().enumerate() {
+        let r = path_rating(matrix, rater, c);
+        if r > best_rating {
+            best_rating = r;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Generates candidate paths per the paper's model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathGenerator {
+    /// Hop-count distribution (Table 2 column).
+    pub lengths: PathLengthDist,
+    /// Alternative-path-count distribution (Table 3).
+    pub alternates: AltPathDist,
+}
+
+impl PathGenerator {
+    /// Generator for one of the paper's path modes.
+    pub fn for_mode(mode: PathMode) -> Self {
+        PathGenerator {
+            lengths: PathLengthDist::for_mode(mode),
+            alternates: AltPathDist::paper(),
+        }
+    }
+
+    /// Draws the candidate intermediate lists for one game.
+    ///
+    /// `pool` is the set of nodes that may relay (tournament participants
+    /// except the source and the destination). Each candidate path
+    /// consists of distinct intermediates; different candidates are drawn
+    /// independently and may overlap. If the pool cannot support the drawn
+    /// hop count, the length is clamped to `pool.len() + 1` hops so a game
+    /// can always be played.
+    ///
+    /// # Panics
+    /// Panics if `pool` is empty.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        pool: &[NodeId],
+        scratch: &mut Vec<NodeId>,
+    ) -> Vec<Vec<NodeId>> {
+        assert!(!pool.is_empty(), "cannot route without relay candidates");
+        let hops = self.lengths.sample(rng);
+        let relays = (hops - 1).min(pool.len());
+        let n_paths = self.alternates.sample(rng, relays + 1);
+        (0..n_paths)
+            .map(|_| {
+                scratch.clear();
+                scratch.extend_from_slice(pool);
+                // Partial Fisher–Yates: the first `relays` slots become a
+                // uniform distinct sample.
+                let (sampled, _) = scratch.partial_shuffle(rng, relays);
+                sampled.to_vec()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn paper_length_distributions_are_normalized() {
+        // Constructors assert the sums; also spot-check Table 2 entries.
+        let sp = PathLengthDist::paper_shorter();
+        assert_eq!(sp.prob(2), 0.2);
+        assert_eq!(sp.prob(3), 0.3);
+        assert_eq!(sp.prob(5), 0.05);
+        assert_eq!(sp.prob(9), 0.0);
+        assert_eq!(sp.prob(11), 0.0);
+        let lp = PathLengthDist::paper_longer();
+        assert_eq!(lp.prob(2), 0.1);
+        assert_eq!(lp.prob(10), 0.15);
+        assert_eq!(sp.min_hops(), 2);
+        assert_eq!(sp.max_hops(), 10);
+    }
+
+    #[test]
+    fn length_sampling_matches_table2() {
+        // Chi-squared goodness of fit at 99.9% over the supported hops.
+        let dist = PathLengthDist::paper_shorter();
+        let mut rng = rng(17);
+        let mut counts = [0u64; 9];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[dist.sample(&mut rng) - 2] += 1;
+        }
+        assert_eq!(counts[7], 0, "9 hops has probability 0 in SP mode");
+        assert_eq!(counts[8], 0, "10 hops has probability 0 in SP mode");
+        let expected = [0.2, 0.3, 0.3, 0.05, 0.05, 0.05, 0.05];
+        let stat = ahn_stats_chi(&counts[..7], &expected);
+        assert!(stat < 22.458, "chi2 = {stat}"); // 99.9% crit for dof 6
+    }
+
+    /// Minimal local chi-squared (avoids a dev-dependency cycle with
+    /// ahn-stats).
+    fn ahn_stats_chi(obs: &[u64], expected: &[f64]) -> f64 {
+        let n: u64 = obs.iter().sum();
+        obs.iter()
+            .zip(expected)
+            .map(|(&o, &p)| {
+                let e = n as f64 * p;
+                let d = o as f64 - e;
+                d * d / e
+            })
+            .sum()
+    }
+
+    #[test]
+    fn alt_path_rows_match_table3() {
+        let d = AltPathDist::paper();
+        assert_eq!(d.row(2), &[0.5, 0.3, 0.2]);
+        assert_eq!(d.row(3), &[0.5, 0.3, 0.2]);
+        assert_eq!(d.row(4), &[0.6, 0.25, 0.15]);
+        assert_eq!(d.row(6), &[0.6, 0.25, 0.15]);
+        assert_eq!(d.row(7), &[0.8, 0.15, 0.05]);
+        assert_eq!(d.row(8), &[0.8, 0.15, 0.05]);
+        // 9-10 hops reuse the last row (DESIGN.md §1).
+        assert_eq!(d.row(10), &[0.8, 0.15, 0.05]);
+    }
+
+    #[test]
+    fn alt_path_sampling_matches_table3() {
+        let d = AltPathDist::paper();
+        let mut rng = rng(23);
+        let mut counts = [0u64; 3];
+        const N: usize = 100_000;
+        for _ in 0..N {
+            counts[d.sample(&mut rng, 5) - 1] += 1;
+        }
+        let stat = ahn_stats_chi(&counts, &[0.6, 0.25, 0.15]);
+        assert!(stat < 13.816, "chi2 = {stat}"); // 99.9% crit for dof 2
+    }
+
+    #[test]
+    fn path_rating_uses_unknown_default() {
+        let m = ReputationMatrix::new(4);
+        // All unknown: rating = 0.5^k.
+        let r = path_rating(&m, NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert!((r - 0.125).abs() < 1e-12);
+        assert_eq!(path_rating(&m, NodeId(0), &[]), 1.0);
+    }
+
+    #[test]
+    fn path_rating_multiplies_known_rates() {
+        let mut m = ReputationMatrix::new(3);
+        // Node 1 rate 1.0 (2/2), node 2 rate 0.5 (1/2).
+        m.record_forward(NodeId(0), NodeId(1));
+        m.record_forward(NodeId(0), NodeId(1));
+        m.record_forward(NodeId(0), NodeId(2));
+        m.record_drop(NodeId(0), NodeId(2));
+        let r = path_rating(&m, NodeId(0), &[NodeId(1), NodeId(2)]);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_path_avoids_known_droppers() {
+        let mut m = ReputationMatrix::new(4);
+        // Node 3 is a known dropper.
+        m.record_drop(NodeId(0), NodeId(3));
+        let good = vec![NodeId(1), NodeId(2)];
+        let bad = vec![NodeId(1), NodeId(3)];
+        assert_eq!(select_best_path(&m, NodeId(0), &[bad.clone(), good.clone()]), 1);
+        assert_eq!(select_best_path(&m, NodeId(0), &[good, bad]), 0);
+    }
+
+    #[test]
+    fn best_path_tie_breaks_to_first() {
+        let m = ReputationMatrix::new(4);
+        let a = vec![NodeId(1)];
+        let b = vec![NodeId(2)];
+        assert_eq!(select_best_path(&m, NodeId(0), &[a, b]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate paths")]
+    fn best_path_of_nothing_panics() {
+        let m = ReputationMatrix::new(1);
+        let _ = select_best_path(&m, NodeId(0), &[]);
+    }
+
+    #[test]
+    fn generated_paths_are_distinct_and_from_pool() {
+        let gen = PathGenerator::for_mode(PathMode::Longer);
+        let pool: Vec<NodeId> = (2..50u32).map(NodeId).collect();
+        let mut rng = rng(5);
+        let mut scratch = Vec::new();
+        for _ in 0..500 {
+            let candidates = gen.generate(&mut rng, &pool, &mut scratch);
+            assert!((1..=3).contains(&candidates.len()));
+            for path in &candidates {
+                assert!((1..=9).contains(&path.len()), "1..=9 relays");
+                let mut seen = path.clone();
+                seen.sort();
+                seen.dedup();
+                assert_eq!(seen.len(), path.len(), "duplicate relay in path");
+                assert!(path.iter().all(|n| pool.contains(n)));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_clamps_to_small_pools() {
+        let gen = PathGenerator::for_mode(PathMode::Longer);
+        let pool = vec![NodeId(1), NodeId(2)];
+        let mut rng = rng(9);
+        let mut scratch = Vec::new();
+        for _ in 0..200 {
+            for path in gen.generate(&mut rng, &pool, &mut scratch) {
+                assert!(path.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn route_accessors() {
+        let r = Route {
+            source: NodeId(0),
+            intermediates: vec![NodeId(1), NodeId(2)],
+            destination: NodeId(3),
+        };
+        assert_eq!(r.hops(), 3);
+        assert!(r.relays_through(NodeId(1)));
+        assert!(!r.relays_through(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_length_distribution_panics() {
+        let _ = PathLengthDist::new(2, vec![0.5, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn bad_alt_distribution_panics() {
+        let _ = AltPathDist::new(vec![(3, [0.5, 0.2, 0.2])]);
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(PathMode::Shorter.to_string(), "SP");
+        assert_eq!(PathMode::Longer.to_string(), "LP");
+    }
+}

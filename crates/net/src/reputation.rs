@@ -1,0 +1,277 @@
+//! Reputation tables (paper §3.1).
+//!
+//! Every node keeps, for every other node it has observed, two counters:
+//! `ps` — the number of packets *sent to* that node for forwarding, and
+//! `pf` — the number of packets that node actually *forwarded*. The
+//! forwarding rate `fr = pf / ps` feeds the trust lookup (Fig. 1b) and the
+//! `pf` counters feed the activity classification (§3.2).
+//!
+//! Because node ids are dense (`0..n`), the whole network's reputation
+//! state is a flat `n × n` matrix of counter pairs: row = observer,
+//! column = subject. This is the hot data structure of the simulation —
+//! every game touches up to ~10 × 9 entries — so it avoids hashing
+//! entirely.
+
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One observer→subject reputation record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RepRecord {
+    /// Packets the subject was asked to forward (observed by this observer).
+    pub requests: u32,
+    /// Packets the subject actually forwarded.
+    pub forwarded: u32,
+}
+
+impl RepRecord {
+    /// Forwarding rate `pf / ps`; `None` when the subject is unknown
+    /// (no observed requests).
+    #[inline]
+    pub fn rate(&self) -> Option<f64> {
+        (self.requests > 0).then(|| f64::from(self.forwarded) / f64::from(self.requests))
+    }
+}
+
+/// Dense observer × subject reputation matrix for `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReputationMatrix {
+    n: usize,
+    /// Row-major `n × n` records; the diagonal stays zero (nodes never
+    /// rate themselves).
+    records: Vec<RepRecord>,
+}
+
+impl ReputationMatrix {
+    /// Creates an all-unknown matrix for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ReputationMatrix {
+            n,
+            records: vec![RepRecord::default(); n * n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn idx(&self, observer: NodeId, subject: NodeId) -> usize {
+        let (o, s) = (observer.index(), subject.index());
+        debug_assert!(o < self.n && s < self.n, "node id out of range");
+        o * self.n + s
+    }
+
+    /// The record `observer` holds about `subject`.
+    #[inline]
+    pub fn record(&self, observer: NodeId, subject: NodeId) -> RepRecord {
+        self.records[self.idx(observer, subject)]
+    }
+
+    /// Records that `observer` saw `subject` forward a packet
+    /// (`ps += 1`, `pf += 1`).
+    ///
+    /// # Panics
+    /// Panics (debug) if observer == subject — nodes never rate themselves.
+    #[inline]
+    pub fn record_forward(&mut self, observer: NodeId, subject: NodeId) {
+        debug_assert_ne!(observer, subject, "self-rating is a logic error");
+        let i = self.idx(observer, subject);
+        self.records[i].requests += 1;
+        self.records[i].forwarded += 1;
+    }
+
+    /// Records that `observer` saw (or was told about) `subject`
+    /// discarding a packet (`ps += 1`).
+    #[inline]
+    pub fn record_drop(&mut self, observer: NodeId, subject: NodeId) {
+        debug_assert_ne!(observer, subject, "self-rating is a logic error");
+        let i = self.idx(observer, subject);
+        self.records[i].requests += 1;
+    }
+
+    /// Forwarding rate of `subject` as known by `observer`; `None` when
+    /// unknown.
+    #[inline]
+    pub fn rate(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
+        self.record(observer, subject).rate()
+    }
+
+    /// `true` when `observer` has at least one observation about
+    /// `subject`.
+    #[inline]
+    pub fn knows(&self, observer: NodeId, subject: NodeId) -> bool {
+        self.record(observer, subject).requests > 0
+    }
+
+    /// Number of packets `observer` knows `subject` to have forwarded
+    /// (the activity datum of §3.2).
+    #[inline]
+    pub fn forwarded_count(&self, observer: NodeId, subject: NodeId) -> u32 {
+        self.record(observer, subject).forwarded
+    }
+
+    /// Mean forwarded-packet count over all nodes known to `observer`
+    /// (the `av` of §3.2); `None` when the observer knows nobody.
+    pub fn mean_forwarded_of_known(&self, observer: NodeId) -> Option<f64> {
+        let row = &self.records[observer.index() * self.n..(observer.index() + 1) * self.n];
+        let (mut sum, mut known) = (0u64, 0u64);
+        for r in row {
+            if r.requests > 0 {
+                sum += u64::from(r.forwarded);
+                known += 1;
+            }
+        }
+        (known > 0).then(|| sum as f64 / known as f64)
+    }
+
+    /// Number of subjects known to `observer`.
+    pub fn known_count(&self, observer: NodeId) -> usize {
+        let row = &self.records[observer.index() * self.n..(observer.index() + 1) * self.n];
+        row.iter().filter(|r| r.requests > 0).count()
+    }
+
+    /// Merges externally supplied observation counts into
+    /// `observer`'s record about `subject` — the entry point for
+    /// second-hand reputation ([`crate::gossip`]).
+    ///
+    /// # Panics
+    /// Panics if `forwarded > requests` (would corrupt the `pf <= ps`
+    /// invariant) or (debug) if observer == subject.
+    pub fn absorb(&mut self, observer: NodeId, subject: NodeId, requests: u32, forwarded: u32) {
+        assert!(forwarded <= requests, "absorb would set pf > ps");
+        debug_assert_ne!(observer, subject, "self-rating is a logic error");
+        let i = self.idx(observer, subject);
+        self.records[i].requests += requests;
+        self.records[i].forwarded += forwarded;
+    }
+
+    /// Resets every record to unknown. Called at the start of each
+    /// generation's evaluation (§4.4, Step 1: "Clear the memory
+    /// (reputation/activity data) of all N players").
+    pub fn clear(&mut self) {
+        self.records.fill(RepRecord::default());
+    }
+
+    /// Checks the structural invariants (used by tests and debug builds):
+    /// `pf ≤ ps` everywhere and an all-zero diagonal.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for o in 0..self.n {
+            for s in 0..self.n {
+                let r = self.records[o * self.n + s];
+                if r.forwarded > r.requests {
+                    return Err(format!("pf > ps for observer n{o} subject n{s}: {r:?}"));
+                }
+                if o == s && r != RepRecord::default() {
+                    return Err(format!("non-empty self-record at n{o}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(v: u32) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn fresh_matrix_is_all_unknown() {
+        let m = ReputationMatrix::new(4);
+        assert_eq!(m.len(), 4);
+        assert!(!m.knows(id(0), id(1)));
+        assert_eq!(m.rate(id(0), id(1)), None);
+        assert_eq!(m.mean_forwarded_of_known(id(0)), None);
+        assert_eq!(m.known_count(id(2)), 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forwarding_rate_matches_fig1b_example() {
+        // Fig 1b: forwarding rate 0.95 -> 19 of 20 packets forwarded.
+        let mut m = ReputationMatrix::new(2);
+        for _ in 0..19 {
+            m.record_forward(id(1), id(0));
+        }
+        m.record_drop(id(1), id(0));
+        assert!((m.rate(id(1), id(0)).unwrap() - 0.95).abs() < 1e-12);
+        assert!(m.knows(id(1), id(0)));
+        assert!(!m.knows(id(0), id(1)), "reputation is directional");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn drops_only_give_rate_zero() {
+        let mut m = ReputationMatrix::new(2);
+        m.record_drop(id(0), id(1));
+        m.record_drop(id(0), id(1));
+        assert_eq!(m.rate(id(0), id(1)), Some(0.0));
+        assert_eq!(m.forwarded_count(id(0), id(1)), 0);
+    }
+
+    #[test]
+    fn mean_forwarded_counts_only_known_nodes() {
+        let mut m = ReputationMatrix::new(4);
+        // Node 0 knows node 1 (3 forwards) and node 2 (1 forward, 1 drop);
+        // node 3 is unknown.
+        for _ in 0..3 {
+            m.record_forward(id(0), id(1));
+        }
+        m.record_forward(id(0), id(2));
+        m.record_drop(id(0), id(2));
+        assert_eq!(m.mean_forwarded_of_known(id(0)), Some(2.0));
+        assert_eq!(m.known_count(id(0)), 2);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m = ReputationMatrix::new(3);
+        m.record_forward(id(0), id(1));
+        m.record_drop(id(2), id(1));
+        m.clear();
+        assert_eq!(m, ReputationMatrix::new(3));
+    }
+
+    #[test]
+    fn invariant_checker_catches_corruption() {
+        let mut m = ReputationMatrix::new(2);
+        m.record_forward(id(0), id(1));
+        assert!(m.check_invariants().is_ok());
+        // Corrupt: forwarded > requests.
+        let mut bad = m.clone();
+        // Reach in through serde to simulate corruption without exposing
+        // mutable internals.
+        let mut json: serde_json::Value = serde_json::to_value(&bad).unwrap();
+        json["records"][1]["forwarded"] = serde_json::json!(5);
+        bad = serde_json::from_value(json).unwrap();
+        assert!(bad.check_invariants().is_err());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "self-rating")]
+    fn self_rating_panics_in_debug() {
+        let mut m = ReputationMatrix::new(2);
+        m.record_forward(id(1), id(1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = ReputationMatrix::new(2);
+        m.record_forward(id(0), id(1));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ReputationMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

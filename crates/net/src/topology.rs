@@ -1,0 +1,381 @@
+//! Geometric topology extension (not part of the paper's model).
+//!
+//! The paper abstracts mobility away by drawing intermediates uniformly at
+//! random ("simulates a network with a high mobility level", §4.1). This
+//! module provides the concrete thing being abstracted: nodes moving over
+//! a unit square under the random-waypoint model, a disc radio range, and
+//! BFS route discovery. It lets users of the library test how sensitive
+//! the evolved strategies are to the random-relay abstraction (see
+//! DESIGN.md, substitution 1).
+
+use crate::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A position in the unit square (coordinates in meters when `side` ≠ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Random-waypoint mobility parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointParams {
+    /// Side length of the square arena (m).
+    pub side: f64,
+    /// Uniform speed range (m/s).
+    pub speed_min: f64,
+    pub speed_max: f64,
+    /// Pause time at each waypoint (s).
+    pub pause: f64,
+}
+
+impl Default for WaypointParams {
+    fn default() -> Self {
+        // A common MANET simulation setup: 1000 m arena, pedestrian-to-
+        // vehicular speeds, short pauses.
+        WaypointParams {
+            side: 1000.0,
+            speed_min: 1.0,
+            speed_max: 20.0,
+            pause: 5.0,
+        }
+    }
+}
+
+/// Per-node mobility state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct NodeMotion {
+    pos: Point,
+    target: Point,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// A mobile network of `n` nodes under random waypoint motion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobileNetwork {
+    params: WaypointParams,
+    /// Radio range (m); two nodes are neighbors iff within this distance.
+    radio_range: f64,
+    nodes: Vec<NodeMotion>,
+}
+
+impl MobileNetwork {
+    /// Creates a network of `n` nodes at uniform random positions.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: usize,
+        params: WaypointParams,
+        radio_range: f64,
+    ) -> Self {
+        assert!(radio_range > 0.0, "radio range must be positive");
+        assert!(
+            params.speed_min > 0.0 && params.speed_max >= params.speed_min,
+            "bad speed range"
+        );
+        let nodes = (0..n)
+            .map(|_| {
+                let pos = Point {
+                    x: rng.gen::<f64>() * params.side,
+                    y: rng.gen::<f64>() * params.side,
+                };
+                NodeMotion {
+                    pos,
+                    target: pos,
+                    speed: 0.0,
+                    pause_left: 0.0,
+                }
+            })
+            .collect();
+        MobileNetwork {
+            params,
+            radio_range,
+            nodes,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current position of a node.
+    pub fn position(&self, node: NodeId) -> Point {
+        self.nodes[node.index()].pos
+    }
+
+    /// Advances the mobility model by `dt` seconds.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R, dt: f64) {
+        let p = self.params;
+        for m in &mut self.nodes {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                if m.pause_left > 0.0 {
+                    let t = m.pause_left.min(remaining);
+                    m.pause_left -= t;
+                    remaining -= t;
+                    continue;
+                }
+                let dist_to_target = m.pos.distance(&m.target);
+                if dist_to_target < 1e-9 || m.speed == 0.0 {
+                    // Pick a fresh waypoint and speed; pause first.
+                    m.target = Point {
+                        x: rng.gen::<f64>() * p.side,
+                        y: rng.gen::<f64>() * p.side,
+                    };
+                    m.speed = rng.gen_range(p.speed_min..=p.speed_max);
+                    m.pause_left = p.pause;
+                    continue;
+                }
+                let travel = (m.speed * remaining).min(dist_to_target);
+                let f = travel / dist_to_target;
+                m.pos.x += (m.target.x - m.pos.x) * f;
+                m.pos.y += (m.target.y - m.pos.y) * f;
+                remaining -= travel / m.speed;
+                if m.pos.distance(&m.target) < 1e-9 {
+                    m.speed = 0.0; // arrive; next loop picks a waypoint
+                }
+            }
+        }
+    }
+
+    /// `true` when two nodes are within radio range.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.nodes[a.index()].pos.distance(&self.nodes[b.index()].pos) <= self.radio_range
+    }
+
+    /// All neighbors of `node`.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&o| self.connected(node, o))
+            .collect()
+    }
+
+    /// BFS shortest relay chain from `src` to `dst` (exclusive of both),
+    /// or `None` when unreachable. `max_hops` bounds the search (the
+    /// paper's model caps paths at 10 hops).
+    pub fn shortest_route(&self, src: NodeId, dst: NodeId, max_hops: usize) -> Option<Vec<NodeId>> {
+        self.route_avoiding(src, dst, max_hops, &[])
+    }
+
+    /// BFS route that avoids the `banned` relays — used to discover
+    /// *alternate* paths by banning the relays of already-found routes.
+    pub fn route_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        max_hops: usize,
+        banned: &[NodeId],
+    ) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        if src == dst || src.index() >= n || dst.index() >= n {
+            return None;
+        }
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src.index()] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            if dist[u.index()] >= max_hops {
+                continue;
+            }
+            for v in 0..n as u32 {
+                let v = NodeId(v);
+                if dist[v.index()] != usize::MAX || !self.connected(u, v) {
+                    continue;
+                }
+                if v != dst && banned.contains(&v) {
+                    continue;
+                }
+                dist[v.index()] = dist[u.index()] + 1;
+                prev[v.index()] = Some(u);
+                if v == dst {
+                    // Reconstruct relay chain (exclusive of endpoints).
+                    let mut chain = Vec::new();
+                    let mut cur = prev[dst.index()];
+                    while let Some(c) = cur {
+                        if c == src {
+                            break;
+                        }
+                        chain.push(c);
+                        cur = prev[c.index()];
+                    }
+                    chain.reverse();
+                    return Some(chain);
+                }
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// Up to `k` relay-disjoint routes from `src` to `dst`, shortest
+    /// first. Mirrors the paper's "number of available alternate paths"
+    /// concept on a concrete topology.
+    pub fn disjoint_routes(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        max_hops: usize,
+        k: usize,
+    ) -> Vec<Vec<NodeId>> {
+        let mut banned: Vec<NodeId> = Vec::new();
+        let mut routes = Vec::new();
+        for _ in 0..k {
+            match self.route_avoiding(src, dst, max_hops, &banned) {
+                Some(r) => {
+                    banned.extend_from_slice(&r);
+                    routes.push(r);
+                }
+                None => break,
+            }
+        }
+        routes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A hand-placed 4-node line topology: 0 - 1 - 2 - 3.
+    fn line() -> MobileNetwork {
+        let mut net = MobileNetwork::new(&mut rng(0), 4, WaypointParams::default(), 110.0);
+        for (i, x) in [0.0, 100.0, 200.0, 300.0].into_iter().enumerate() {
+            net.nodes[i].pos = Point { x, y: 0.0 };
+            net.nodes[i].target = net.nodes[i].pos;
+        }
+        net
+    }
+
+    #[test]
+    fn connectivity_is_symmetric_and_irreflexive() {
+        let net = line();
+        assert!(net.connected(NodeId(0), NodeId(1)));
+        assert!(net.connected(NodeId(1), NodeId(0)));
+        assert!(!net.connected(NodeId(0), NodeId(2)));
+        assert!(!net.connected(NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn neighbors_on_the_line() {
+        let net = line();
+        assert_eq!(net.neighbors(NodeId(0)), vec![NodeId(1)]);
+        assert_eq!(net.neighbors(NodeId(1)), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn shortest_route_walks_the_line() {
+        let net = line();
+        let r = net.shortest_route(NodeId(0), NodeId(3), 10).unwrap();
+        assert_eq!(r, vec![NodeId(1), NodeId(2)]);
+        // Direct neighbors need no relays.
+        assert_eq!(net.shortest_route(NodeId(0), NodeId(1), 10).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn hop_limit_is_enforced() {
+        let net = line();
+        // 0 -> 3 needs 3 hops; a 2-hop cap makes it unreachable.
+        assert!(net.shortest_route(NodeId(0), NodeId(3), 2).is_none());
+        assert!(net.shortest_route(NodeId(0), NodeId(3), 3).is_some());
+    }
+
+    #[test]
+    fn disjoint_routes_ban_reused_relays() {
+        // Diamond: 0 - {1,2} - 3.
+        let mut net = MobileNetwork::new(&mut rng(0), 4, WaypointParams::default(), 115.0);
+        net.nodes[0].pos = Point { x: 0.0, y: 50.0 };
+        net.nodes[1].pos = Point { x: 100.0, y: 0.0 };
+        net.nodes[2].pos = Point { x: 100.0, y: 100.0 };
+        net.nodes[3].pos = Point { x: 200.0, y: 50.0 };
+        for m in &mut net.nodes {
+            m.target = m.pos;
+        }
+        let routes = net.disjoint_routes(NodeId(0), NodeId(3), 5, 3);
+        assert_eq!(routes.len(), 2);
+        assert_ne!(routes[0], routes[1]);
+        let all: Vec<NodeId> = routes.iter().flatten().copied().collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "routes share a relay");
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut net = line();
+        net.nodes[3].pos = Point { x: 9000.0, y: 9000.0 };
+        assert!(net.shortest_route(NodeId(0), NodeId(3), 10).is_none());
+        assert!(net.shortest_route(NodeId(0), NodeId(0), 10).is_none());
+    }
+
+    #[test]
+    fn step_keeps_nodes_in_arena() {
+        let params = WaypointParams {
+            side: 500.0,
+            ..WaypointParams::default()
+        };
+        let mut r = rng(77);
+        let mut net = MobileNetwork::new(&mut r, 20, params, 100.0);
+        for _ in 0..200 {
+            net.step(&mut r, 1.0);
+            for i in 0..net.len() {
+                let p = net.position(NodeId(i as u32));
+                assert!((0.0..=500.0).contains(&p.x), "x={}", p.x);
+                assert!((0.0..=500.0).contains(&p.y), "y={}", p.y);
+            }
+        }
+    }
+
+    #[test]
+    fn step_actually_moves_nodes() {
+        let mut r = rng(3);
+        let mut net = MobileNetwork::new(&mut r, 5, WaypointParams::default(), 100.0);
+        let before: Vec<Point> = (0..5).map(|i| net.position(NodeId(i))).collect();
+        // Enough time to exhaust the initial pause and travel.
+        for _ in 0..50 {
+            net.step(&mut r, 1.0);
+        }
+        let moved = (0..5).any(|i| {
+            let p = net.position(NodeId(i));
+            p.distance(&before[i as usize]) > 1.0
+        });
+        assert!(moved, "no node moved after 50 s");
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let build = |seed| {
+            let mut r = rng(seed);
+            let mut net = MobileNetwork::new(&mut r, 10, WaypointParams::default(), 150.0);
+            for _ in 0..20 {
+                net.step(&mut r, 0.5);
+            }
+            (0..10).map(|i| net.position(NodeId(i))).collect::<Vec<_>>()
+        };
+        assert_eq!(build(5), build(5));
+    }
+}

@@ -1,0 +1,216 @@
+//! Trust levels and the forwarding-rate lookup table (paper Fig. 1b).
+//!
+//! A node's forwarding rate is mapped onto four discrete trust levels:
+//!
+//! | forwarding rate | trust level |
+//! |-----------------|-------------|
+//! | 0.9 – 1.0       | 3 (highest) |
+//! | 0.6 – 0.9       | 2           |
+//! | 0.3 – 0.6       | 1           |
+//! | 0.0 – 0.3       | 0 (lowest)  |
+//!
+//! The paper's example pins the boundary semantics: "forwarding rate of
+//! 0.95 results in the trust level 3", and an unknown node has "a default
+//! trust value assigned to 1" (§6.1) with forwarding rate 0.5 for path
+//! rating (§3.1) — note 0.5 also maps to level 1, so the two defaults are
+//! consistent.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete trust level, 0 (lowest) to 3 (highest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrustLevel {
+    /// Forwarding rate below the first threshold (untrusted).
+    T0,
+    /// Low trust.
+    T1,
+    /// Medium trust.
+    T2,
+    /// High trust.
+    T3,
+}
+
+impl TrustLevel {
+    /// All levels in ascending order.
+    pub const ALL: [TrustLevel; 4] = [TrustLevel::T0, TrustLevel::T1, TrustLevel::T2, TrustLevel::T3];
+
+    /// Numeric value 0..=3.
+    #[inline]
+    pub fn value(self) -> u8 {
+        match self {
+            TrustLevel::T0 => 0,
+            TrustLevel::T1 => 1,
+            TrustLevel::T2 => 2,
+            TrustLevel::T3 => 3,
+        }
+    }
+
+    /// Builds a level from its numeric value.
+    ///
+    /// # Panics
+    /// Panics if `v > 3`.
+    pub fn from_value(v: u8) -> Self {
+        match v {
+            0 => TrustLevel::T0,
+            1 => TrustLevel::T1,
+            2 => TrustLevel::T2,
+            3 => TrustLevel::T3,
+            _ => panic!("trust level {v} out of range 0..=3"),
+        }
+    }
+}
+
+impl std::fmt::Display for TrustLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TL{}", self.value())
+    }
+}
+
+/// The forwarding-rate → trust-level lookup table.
+///
+/// The thresholds are the *lower bounds* of levels 1..=3: a rate `r` maps
+/// to the highest level whose lower bound is ≤ `r`. The paper's table
+/// (Fig. 1b) is the default; ablation A5 sweeps alternatives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustTable {
+    /// Lower bounds for T1, T2, T3 (T0 covers everything below `t1`).
+    pub t1: f64,
+    pub t2: f64,
+    pub t3: f64,
+    /// Level assigned to nodes with no reputation data. The paper assigns
+    /// default trust 1 (§6.1).
+    pub unknown: TrustLevel,
+}
+
+impl Default for TrustTable {
+    fn default() -> Self {
+        TrustTable::paper()
+    }
+}
+
+impl TrustTable {
+    /// The paper's Fig. 1b table: `[0,0.3) → 0`, `[0.3,0.6) → 1`,
+    /// `[0.6,0.9) → 2`, `[0.9,1] → 3`, unknown → 1.
+    pub fn paper() -> Self {
+        TrustTable {
+            t1: 0.3,
+            t2: 0.6,
+            t3: 0.9,
+            unknown: TrustLevel::T1,
+        }
+    }
+
+    /// Maps a forwarding rate to a trust level.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not within `[0, 1]` (forwarding rates are
+    /// counts ratios, so anything else is a bug upstream).
+    #[inline]
+    pub fn level(&self, rate: f64) -> TrustLevel {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "forwarding rate {rate} outside [0,1]"
+        );
+        if rate >= self.t3 {
+            TrustLevel::T3
+        } else if rate >= self.t2 {
+            TrustLevel::T2
+        } else if rate >= self.t1 {
+            TrustLevel::T1
+        } else {
+            TrustLevel::T0
+        }
+    }
+
+    /// Maps an optional forwarding rate (`None` = unknown node) to a trust
+    /// level, applying the unknown-node default.
+    #[inline]
+    pub fn level_opt(&self, rate: Option<f64>) -> TrustLevel {
+        rate.map_or(self.unknown, |r| self.level(r))
+    }
+
+    /// Validates the threshold ordering `0 < t1 < t2 < t3 ≤ 1`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.t1 && self.t1 < self.t2 && self.t2 < self.t3 && self.t3 <= 1.0) {
+            return Err(format!(
+                "trust thresholds must satisfy 0 < t1 < t2 < t3 <= 1, got {} {} {}",
+                self.t1, self.t2, self.t3
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_rate_095_is_t3() {
+        assert_eq!(TrustTable::paper().level(0.95), TrustLevel::T3);
+    }
+
+    #[test]
+    fn boundaries_belong_to_the_higher_level() {
+        let t = TrustTable::paper();
+        assert_eq!(t.level(0.0), TrustLevel::T0);
+        assert_eq!(t.level(0.29999), TrustLevel::T0);
+        assert_eq!(t.level(0.3), TrustLevel::T1);
+        assert_eq!(t.level(0.59999), TrustLevel::T1);
+        assert_eq!(t.level(0.6), TrustLevel::T2);
+        assert_eq!(t.level(0.89999), TrustLevel::T2);
+        assert_eq!(t.level(0.9), TrustLevel::T3);
+        assert_eq!(t.level(1.0), TrustLevel::T3);
+    }
+
+    #[test]
+    fn unknown_default_is_t1_and_matches_rate_half() {
+        let t = TrustTable::paper();
+        assert_eq!(t.level_opt(None), TrustLevel::T1);
+        // The path-rating default rate (0.5) maps to the same level.
+        assert_eq!(t.level_opt(Some(0.5)), TrustLevel::T1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn out_of_range_rate_panics() {
+        let _ = TrustTable::paper().level(1.5);
+    }
+
+    #[test]
+    fn level_value_roundtrip() {
+        for lvl in TrustLevel::ALL {
+            assert_eq!(TrustLevel::from_value(lvl.value()), lvl);
+        }
+        assert_eq!(TrustLevel::T2.to_string(), "TL2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_value_rejects_4() {
+        let _ = TrustLevel::from_value(4);
+    }
+
+    #[test]
+    fn validate_catches_bad_thresholds() {
+        assert!(TrustTable::paper().validate().is_ok());
+        let bad = TrustTable {
+            t1: 0.6,
+            t2: 0.3,
+            t3: 0.9,
+            unknown: TrustLevel::T1,
+        };
+        assert!(bad.validate().is_err());
+        let bad = TrustTable {
+            t1: 0.0,
+            ..TrustTable::paper()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(TrustLevel::T0 < TrustLevel::T1);
+        assert!(TrustLevel::T2 < TrustLevel::T3);
+    }
+}

@@ -1,0 +1,210 @@
+//! The watchdog reputation-update rule (paper §3.1, Fig. 1a).
+//!
+//! Every node on a source route monitors its next hop; when a packet is
+//! discarded the observing node sends an alert back toward the source. The
+//! net effect, shown in Fig. 1a for the route `A → B → C → D → E` with `D`
+//! dropping, is:
+//!
+//! * `A` updates reputation about `B`, `C`, `D`;
+//! * `B` updates about `C`, `D`;
+//! * `C` updates about `B`, `D`;
+//! * `D` (the dropper) and `E` (which never received anything) update
+//!   nothing.
+//!
+//! Generalized rule implemented here:
+//!
+//! * **success** — raters are the source and every intermediate; subjects
+//!   are every intermediate (each forwarded once); every rater records a
+//!   *forward* for every subject other than itself.
+//! * **drop at index k** — raters are the source and the intermediates
+//!   *before* the dropper; subjects are the intermediates up to and
+//!   including the dropper (the only nodes whose behavior was exercised);
+//!   forwarders get a *forward* record, the dropper a *drop* record.
+//!   Intermediates after the dropper never saw the packet: no updates.
+
+use crate::{NodeId, ReputationMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of routing one packet along a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteOutcome {
+    /// Every intermediate forwarded; the packet reached the destination.
+    Delivered,
+    /// The intermediate at this index (into the intermediate list)
+    /// discarded the packet.
+    DroppedAt(usize),
+}
+
+impl RouteOutcome {
+    /// `true` for [`RouteOutcome::Delivered`].
+    pub fn delivered(self) -> bool {
+        matches!(self, RouteOutcome::Delivered)
+    }
+
+    /// Number of intermediates that actually forwarded the packet.
+    pub fn forwards(self, intermediate_count: usize) -> usize {
+        match self {
+            RouteOutcome::Delivered => intermediate_count,
+            RouteOutcome::DroppedAt(k) => k,
+        }
+    }
+
+    /// Number of intermediates that received (and decided on) the packet.
+    pub fn deciders(self, intermediate_count: usize) -> usize {
+        match self {
+            RouteOutcome::Delivered => intermediate_count,
+            RouteOutcome::DroppedAt(k) => k + 1,
+        }
+    }
+}
+
+/// Applies the Fig. 1a update rule for one routed packet.
+///
+/// `source` originated the packet; `intermediates` is the relay list in
+/// order. The destination is not a game participant and is deliberately
+/// not an argument.
+///
+/// # Panics
+/// Panics if `outcome` is `DroppedAt(k)` with `k >= intermediates.len()`.
+pub fn apply_route_outcome(
+    matrix: &mut ReputationMatrix,
+    source: NodeId,
+    intermediates: &[NodeId],
+    outcome: RouteOutcome,
+) {
+    let deciders = match outcome {
+        RouteOutcome::Delivered => intermediates.len(),
+        RouteOutcome::DroppedAt(k) => {
+            assert!(k < intermediates.len(), "drop index {k} out of range");
+            k + 1
+        }
+    };
+    let forwards = outcome.forwards(intermediates.len());
+
+    // Raters: the source plus every intermediate that *forwarded* (on a
+    // drop, the dropper does not update; on success everyone does).
+    let rater_count = forwards;
+    let subjects = &intermediates[..deciders];
+
+    let mut rate = |rater: NodeId| {
+        for (j, &subject) in subjects.iter().enumerate() {
+            if subject == rater {
+                continue;
+            }
+            if j < forwards {
+                matrix.record_forward(rater, subject);
+            } else {
+                matrix.record_drop(rater, subject);
+            }
+        }
+    };
+
+    rate(source);
+    for &r in &intermediates[..rater_count] {
+        rate(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    /// Reproduces Fig. 1a: A(0) -> B(1) C(2) D(3) -> E, D drops.
+    #[test]
+    fn fig_1a_drop_pattern() {
+        let mut m = ReputationMatrix::new(5);
+        let inter = ids(&[1, 2, 3]);
+        apply_route_outcome(&mut m, NodeId(0), &inter, RouteOutcome::DroppedAt(2));
+        m.check_invariants().unwrap();
+
+        // A knows about B, C (forwards) and D (drop).
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(m.rate(NodeId(0), NodeId(2)), Some(1.0));
+        assert_eq!(m.rate(NodeId(0), NodeId(3)), Some(0.0));
+        // B knows about C and D.
+        assert_eq!(m.rate(NodeId(1), NodeId(2)), Some(1.0));
+        assert_eq!(m.rate(NodeId(1), NodeId(3)), Some(0.0));
+        // C knows about B and D.
+        assert_eq!(m.rate(NodeId(2), NodeId(1)), Some(1.0));
+        assert_eq!(m.rate(NodeId(2), NodeId(3)), Some(0.0));
+        // The dropper D updates nothing (matches the figure).
+        assert!(!m.knows(NodeId(3), NodeId(1)));
+        assert!(!m.knows(NodeId(3), NodeId(2)));
+        // Nobody learned anything about the source or destination.
+        for o in 0..5u32 {
+            assert!(!m.knows(NodeId(o), NodeId(0)));
+            assert!(!m.knows(NodeId(o), NodeId(4)));
+        }
+    }
+
+    #[test]
+    fn successful_delivery_updates_everyone_about_every_intermediate() {
+        let mut m = ReputationMatrix::new(5);
+        let inter = ids(&[1, 2, 3]);
+        apply_route_outcome(&mut m, NodeId(0), &inter, RouteOutcome::Delivered);
+        m.check_invariants().unwrap();
+        let raters = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        for r in raters {
+            for &s in &inter {
+                if r == s {
+                    continue;
+                }
+                assert_eq!(m.rate(r, s), Some(1.0), "rater {r} subject {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_hop_drop_only_informs_source() {
+        let mut m = ReputationMatrix::new(4);
+        let inter = ids(&[1, 2]);
+        apply_route_outcome(&mut m, NodeId(0), &inter, RouteOutcome::DroppedAt(0));
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), Some(0.0));
+        // Node 2 never received the packet: no records at all about it or by it.
+        assert!(!m.knows(NodeId(0), NodeId(2)));
+        assert!(!m.knows(NodeId(2), NodeId(1)));
+        // Dropper learned nothing.
+        assert!(!m.knows(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn single_hop_route_success() {
+        let mut m = ReputationMatrix::new(3);
+        apply_route_outcome(&mut m, NodeId(0), &ids(&[1]), RouteOutcome::Delivered);
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), Some(1.0));
+        assert_eq!(m.known_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert!(RouteOutcome::Delivered.delivered());
+        assert!(!RouteOutcome::DroppedAt(0).delivered());
+        assert_eq!(RouteOutcome::Delivered.forwards(3), 3);
+        assert_eq!(RouteOutcome::DroppedAt(1).forwards(3), 1);
+        assert_eq!(RouteOutcome::Delivered.deciders(3), 3);
+        assert_eq!(RouteOutcome::DroppedAt(1).deciders(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn drop_index_out_of_range_panics() {
+        let mut m = ReputationMatrix::new(3);
+        apply_route_outcome(&mut m, NodeId(0), &ids(&[1]), RouteOutcome::DroppedAt(1));
+    }
+
+    #[test]
+    fn repeated_games_accumulate_rates() {
+        let mut m = ReputationMatrix::new(3);
+        let inter = ids(&[1]);
+        // 3 forwards, 1 drop -> rate 0.75 from the source's perspective.
+        for _ in 0..3 {
+            apply_route_outcome(&mut m, NodeId(0), &inter, RouteOutcome::Delivered);
+        }
+        apply_route_outcome(&mut m, NodeId(0), &inter, RouteOutcome::DroppedAt(0));
+        assert_eq!(m.rate(NodeId(0), NodeId(1)), Some(0.75));
+    }
+}

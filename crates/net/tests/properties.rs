@@ -1,0 +1,189 @@
+//! Property-based tests for the network substrate.
+
+use ahn_net::watchdog::apply_route_outcome;
+use ahn_net::{
+    paths::{path_rating, select_best_path, UNKNOWN_RATE},
+    ActivityBands, NodeId, PathGenerator, PathMode, ReputationMatrix, RouteOutcome, TrustLevel,
+    TrustTable,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// An arbitrary sequence of reputation operations on a small network.
+#[derive(Debug, Clone)]
+enum RepOp {
+    Forward(u8, u8),
+    Drop(u8, u8),
+}
+
+fn rep_ops(n_nodes: u8, max_len: usize) -> impl Strategy<Value = Vec<RepOp>> {
+    proptest::collection::vec(
+        (0..n_nodes, 0..n_nodes, any::<bool>()).prop_map(|(o, s, fwd)| {
+            if fwd {
+                RepOp::Forward(o, s)
+            } else {
+                RepOp::Drop(o, s)
+            }
+        }),
+        0..max_len,
+    )
+}
+
+proptest! {
+    /// After any operation sequence: pf <= ps, rates in [0,1], diagonal
+    /// untouched, and the structural invariant checker agrees.
+    #[test]
+    fn reputation_invariants_hold(ops in rep_ops(8, 200)) {
+        let mut m = ReputationMatrix::new(8);
+        for op in &ops {
+            match *op {
+                RepOp::Forward(o, s) if o != s => {
+                    m.record_forward(NodeId(o.into()), NodeId(s.into()))
+                }
+                RepOp::Drop(o, s) if o != s => {
+                    m.record_drop(NodeId(o.into()), NodeId(s.into()))
+                }
+                _ => {}
+            }
+        }
+        m.check_invariants().unwrap();
+        for o in 0..8u32 {
+            for s in 0..8u32 {
+                if let Some(r) = m.rate(NodeId(o), NodeId(s)) {
+                    prop_assert!((0.0..=1.0).contains(&r));
+                }
+            }
+        }
+    }
+
+    /// Trust levels are monotone in the forwarding rate.
+    #[test]
+    fn trust_is_monotone(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let t = TrustTable::paper();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.level(lo) <= t.level(hi));
+    }
+
+    /// The activity classification is monotone in the source's forwarded
+    /// count and LO/HI flank MI.
+    #[test]
+    fn activity_is_monotone(av in 0.1f64..1000.0, x in 0.0f64..1000.0, y in 0.0f64..1000.0) {
+        let bands = ActivityBands::paper();
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(bands.classify(lo, av) <= bands.classify(hi, av));
+    }
+
+    /// Path ratings multiply rates, so they are in [0,1] and adding a
+    /// relay never increases the rating.
+    #[test]
+    fn path_rating_shrinks_with_length(ops in rep_ops(8, 100), len in 1usize..6) {
+        let mut m = ReputationMatrix::new(8);
+        for op in &ops {
+            match *op {
+                RepOp::Forward(o, s) if o != s => {
+                    m.record_forward(NodeId(o.into()), NodeId(s.into()))
+                }
+                RepOp::Drop(o, s) if o != s => {
+                    m.record_drop(NodeId(o.into()), NodeId(s.into()))
+                }
+                _ => {}
+            }
+        }
+        let path: Vec<NodeId> = (1..=len as u32).map(NodeId).collect();
+        let r_full = path_rating(&m, NodeId(0), &path);
+        let r_prefix = path_rating(&m, NodeId(0), &path[..len - 1]);
+        prop_assert!((0.0..=1.0).contains(&r_full));
+        prop_assert!(r_full <= r_prefix + 1e-12);
+    }
+
+    /// select_best_path returns the argmax of path_rating.
+    #[test]
+    fn best_path_is_argmax(seed in any::<u64>(), n_paths in 1usize..5) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut m = ReputationMatrix::new(10);
+        // Random reputation state.
+        use rand::Rng as _;
+        for _ in 0..100 {
+            let o = NodeId(rng.gen_range(0..10));
+            let s = NodeId(rng.gen_range(0..10));
+            if o == s { continue; }
+            if rng.gen_bool(0.5) { m.record_forward(o, s) } else { m.record_drop(o, s) }
+        }
+        let generator = PathGenerator::for_mode(PathMode::Shorter);
+        let pool: Vec<NodeId> = (1..10u32).map(NodeId).collect();
+        let mut scratch = Vec::new();
+        let candidates: Vec<Vec<NodeId>> = (0..n_paths)
+            .map(|_| generator.generate(&mut rng, &pool, &mut scratch).remove(0))
+            .collect();
+        let chosen = select_best_path(&m, NodeId(0), &candidates);
+        let best = candidates
+            .iter()
+            .map(|c| path_rating(&m, NodeId(0), c))
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((path_rating(&m, NodeId(0), &candidates[chosen]) - best).abs() < 1e-12);
+    }
+
+    /// Generated candidate paths always satisfy the structural contract.
+    #[test]
+    fn generated_paths_are_wellformed(seed in any::<u64>(), pool_size in 1usize..40) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let generator = PathGenerator::for_mode(PathMode::Longer);
+        let pool: Vec<NodeId> = (0..pool_size as u32).map(NodeId).collect();
+        let mut scratch = Vec::new();
+        let candidates = generator.generate(&mut rng, &pool, &mut scratch);
+        prop_assert!((1..=3).contains(&candidates.len()));
+        for path in &candidates {
+            prop_assert!(!path.is_empty() || pool_size == 0);
+            prop_assert!(path.len() <= pool.len());
+            prop_assert!(path.len() <= 9, "at most 10 hops");
+            let mut sorted = path.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len(), "relays must be distinct");
+            prop_assert!(path.iter().all(|n| pool.contains(n)));
+        }
+    }
+
+    /// Watchdog updates never touch nodes outside the deciding prefix and
+    /// never rate the source.
+    #[test]
+    fn watchdog_update_scope(
+        n_inter in 1usize..8,
+        drop_at in proptest::option::of(0usize..8),
+    ) {
+        let n_inter = n_inter;
+        let drop_at = drop_at.filter(|&k| k < n_inter);
+        let mut m = ReputationMatrix::new(12);
+        let source = NodeId(0);
+        let inter: Vec<NodeId> = (1..=n_inter as u32).map(NodeId).collect();
+        let outcome = match drop_at {
+            Some(k) => RouteOutcome::DroppedAt(k),
+            None => RouteOutcome::Delivered,
+        };
+        apply_route_outcome(&mut m, source, &inter, outcome);
+        m.check_invariants().unwrap();
+
+        let deciders = outcome.deciders(n_inter);
+        // Nobody rates the source; nodes beyond the dropper are unknown.
+        for o in 0..12u32 {
+            prop_assert!(!m.knows(NodeId(o), source));
+            for s in (deciders + 1)..=(n_inter) {
+                prop_assert!(!m.knows(NodeId(o), NodeId(s as u32)));
+            }
+        }
+        // Forwarders have rate 1 as seen by the source; the dropper 0.
+        for (j, &s) in inter[..deciders].iter().enumerate() {
+            let expected = if j < outcome.forwards(n_inter) { 1.0 } else { 0.0 };
+            prop_assert_eq!(m.rate(source, s), Some(expected));
+        }
+    }
+
+    /// Unknown-rate constant is consistent with the unknown trust level.
+    #[test]
+    fn unknown_rate_maps_to_unknown_trust(_x in 0..1) {
+        let t = TrustTable::paper();
+        prop_assert_eq!(t.level(UNKNOWN_RATE), t.unknown);
+        prop_assert_eq!(t.unknown, TrustLevel::T1);
+    }
+}

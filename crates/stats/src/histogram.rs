@@ -1,0 +1,177 @@
+//! Counting histograms over small discrete domains.
+//!
+//! Tables 7–9 of the paper are popularity histograms: how often each
+//! 13-bit strategy / 3-bit sub-strategy appears in final populations.
+//! [`Histogram`] counts occurrences of `u64`-encodable keys and reports
+//! sorted fractions with a minimum-share cutoff ("only sub-strategies that
+//! appeared in more than 3 % ... are shown").
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A counting histogram keyed by `u64`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation of `key`.
+    pub fn add(&mut self, key: u64) {
+        self.add_n(key, 1);
+    }
+
+    /// Adds `n` observations of `key`.
+    pub fn add_n(&mut self, key: u64, n: u64) {
+        *self.counts.entry(key).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&k, &n) in &other.counts {
+            self.add_n(k, n);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for `key` (0 when absent).
+    pub fn count(&self, key: u64) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Fraction of observations with `key` (0 when empty).
+    pub fn fraction(&self, key: u64) -> f64 {
+        crate::ratio(self.count(key), self.total)
+    }
+
+    /// Number of distinct keys observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// All `(key, count)` pairs sorted by descending count, ties broken by
+    /// ascending key for deterministic output.
+    pub fn ranked(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.counts.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The `n` most frequent keys with their fractions.
+    pub fn top(&self, n: usize) -> Vec<(u64, f64)> {
+        self.ranked()
+            .into_iter()
+            .take(n)
+            .map(|(k, c)| (k, crate::ratio(c, self.total)))
+            .collect()
+    }
+
+    /// Keys whose share strictly exceeds `min_fraction`, with fractions,
+    /// sorted by descending share (the paper's "> 3 %" cutoff for
+    /// Tables 8–9).
+    pub fn above(&self, min_fraction: f64) -> Vec<(u64, f64)> {
+        self.ranked()
+            .into_iter()
+            .map(|(k, c)| (k, crate::ratio(c, self.total)))
+            .filter(|&(_, f)| f > min_fraction)
+            .collect()
+    }
+
+    /// Shannon entropy in bits — a diversity measure for strategy
+    /// populations (0 = converged population).
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        -self
+            .counts
+            .values()
+            .map(|&n| {
+                let p = n as f64 / self.total as f64;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for k in iter {
+            h.add(k);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_fractions() {
+        let h: Histogram = [1u64, 1, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(9), 0);
+        assert!((h.fraction(3) - 0.5).abs() < 1e-12);
+        assert_eq!(h.distinct(), 3);
+    }
+
+    #[test]
+    fn ranked_is_deterministic() {
+        let h: Histogram = [5u64, 4, 5, 4, 1].into_iter().collect();
+        // 4 and 5 tie at 2; ascending key breaks the tie.
+        assert_eq!(h.ranked(), vec![(4, 2), (5, 2), (1, 1)]);
+        assert_eq!(h.top(2), vec![(4, 0.4), (5, 0.4)]);
+    }
+
+    #[test]
+    fn above_threshold_mimics_paper_cutoff() {
+        let mut h = Histogram::new();
+        h.add_n(0b000, 40);
+        h.add_n(0b010, 33);
+        h.add_n(0b001, 11);
+        h.add_n(0b111, 16);
+        let shown = h.above(0.03);
+        assert_eq!(shown.len(), 4);
+        h.add_n(0b100, 2); // 2/102 < 3%
+        assert_eq!(h.above(0.03).len(), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a: Histogram = [1u64, 2].into_iter().collect();
+        let b: Histogram = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let converged: Histogram = std::iter::repeat_n(7u64, 100).collect();
+        assert_eq!(converged.entropy_bits(), 0.0);
+        let uniform: Histogram = (0u64..8).collect();
+        assert!((uniform.entropy_bits() - 3.0).abs() < 1e-12);
+        assert_eq!(Histogram::new().entropy_bits(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.fraction(0), 0.0);
+        assert!(h.top(3).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Streaming univariate summary statistics (Welford's algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance accumulator.
+///
+/// Uses Welford's online algorithm, which is numerically stable for the
+/// long per-generation accumulations the harness performs. The state is
+/// serializable so experiment results can be persisted mid-run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford/Chan).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance; `None` with fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> Option<f64> {
+        self.std_dev().map(|s| s / (self.count as f64).sqrt())
+    }
+
+    /// Half-width of the ~95 % normal-approximation confidence interval.
+    ///
+    /// Uses z = 1.96; adequate for the ≥ 12 replications the harness runs.
+    pub fn ci95_half_width(&self) -> Option<f64> {
+        self.std_err().map(|se| 1.96 * se)
+    }
+
+    /// Smallest observation; `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_has_no_stats() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn known_values() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), Some(5.0));
+        // Population variance is 4 -> sample variance = 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: Summary = [3.5].into_iter().collect();
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), Some(3.5));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let seq: Summary = xs.iter().copied().collect();
+        let mut a: Summary = xs[..37].iter().copied().collect();
+        let b: Summary = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean().unwrap() - seq.mean().unwrap()).abs() < 1e-10);
+        assert!((a.variance().unwrap() - seq.variance().unwrap()).abs() < 1e-8);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: Summary = [1.0, 2.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn ci_shrinks_with_samples() {
+        let small: Summary = (0..10).map(|i| (i % 2) as f64).collect();
+        let large: Summary = (0..1000).map(|i| (i % 2) as f64).collect();
+        assert!(large.ci95_half_width().unwrap() < small.ci95_half_width().unwrap());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s: Summary = [1.0, 2.0, 3.0].into_iter().collect();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Summary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,151 @@
+//! Trust-only (5-bit) strategies for the activity-dimension ablation
+//! (DESIGN.md A2).
+//!
+//! The paper's strategy conditions on trust × activity (13 bits). To
+//! measure what the activity dimension buys, this module provides the
+//! reduced chromosome: one bit per trust level plus the unknown-node bit.
+//! A reduced strategy can be *lifted* into a full [`Strategy`] (same
+//! decision for every activity level), so the whole game engine runs
+//! unchanged for the ablation — only the genome the GA mutates shrinks.
+
+use crate::{Decision, Strategy};
+use ahn_bitstr::{fmt::Grouped, BitStr};
+use ahn_net::TrustLevel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in a reduced strategy.
+pub const REDUCED_BITS: usize = 5;
+
+/// A 5-bit trust-only strategy: bits 0–3 decide for trust levels 0–3,
+/// bit 4 decides for unknown sources.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ReducedStrategy {
+    bits: BitStr,
+}
+
+impl ReducedStrategy {
+    /// Wraps a 5-bit string.
+    ///
+    /// # Panics
+    /// Panics unless `bits.len() == 5`.
+    pub fn from_bits(bits: BitStr) -> Self {
+        assert_eq!(bits.len(), REDUCED_BITS, "a reduced strategy has 5 bits");
+        ReducedStrategy { bits }
+    }
+
+    /// A uniformly random reduced strategy.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ReducedStrategy::from_bits(BitStr::random(rng, REDUCED_BITS))
+    }
+
+    /// The underlying genome.
+    pub fn bits(&self) -> &BitStr {
+        &self.bits
+    }
+
+    /// Decision for a known source at `trust` (activity is ignored — that
+    /// is the point of the ablation).
+    pub fn decision(&self, trust: TrustLevel) -> Decision {
+        Decision::from_bit(self.bits.get(trust.value() as usize))
+    }
+
+    /// Decision for an unknown source.
+    pub fn unknown_decision(&self) -> Decision {
+        Decision::from_bit(self.bits.get(4))
+    }
+
+    /// Expands into a full 13-bit [`Strategy`] that makes the same
+    /// decision for every activity level.
+    pub fn lift(&self) -> Strategy {
+        let mut bits = BitStr::zeros(crate::STRATEGY_BITS);
+        for t in TrustLevel::ALL {
+            let d = self.bits.get(t.value() as usize);
+            for a in ahn_net::ActivityLevel::ALL {
+                bits.set(crate::cell_index(t, a), d);
+            }
+        }
+        bits.set(crate::UNKNOWN_BIT, self.bits.get(4));
+        Strategy::from_bits(bits)
+    }
+
+    /// Projects a full strategy down by majority vote within each trust
+    /// level (ties round toward Discard). The left inverse of
+    /// [`ReducedStrategy::lift`].
+    pub fn project(full: &Strategy) -> Self {
+        let mut bits = BitStr::zeros(REDUCED_BITS);
+        for t in TrustLevel::ALL {
+            let forwards = full.sub_strategy(t).count_ones();
+            bits.set(t.value() as usize, forwards >= 2);
+        }
+        bits.set(4, full.unknown_decision() == Decision::Forward);
+        ReducedStrategy::from_bits(bits)
+    }
+}
+
+impl std::fmt::Display for ReducedStrategy {
+    /// Prints as `TTTT u`, e.g. `0111 1`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Grouped(&self.bits, 4).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahn_net::ActivityLevel;
+
+    #[test]
+    fn lift_is_activity_invariant() {
+        let r: ReducedStrategy = ReducedStrategy::from_bits("01011".parse().unwrap());
+        let full = r.lift();
+        for t in TrustLevel::ALL {
+            for a in ActivityLevel::ALL {
+                assert_eq!(full.decision(t, a), r.decision(t));
+            }
+        }
+        assert_eq!(full.unknown_decision(), r.unknown_decision());
+    }
+
+    #[test]
+    fn project_inverts_lift() {
+        for code in 0u16..(1 << REDUCED_BITS) {
+            let r = ReducedStrategy::from_bits(BitStr::from_value(u64::from(code), REDUCED_BITS));
+            assert_eq!(ReducedStrategy::project(&r.lift()), r);
+        }
+    }
+
+    #[test]
+    fn project_majority_votes() {
+        // T0 block 010 -> one forward of three -> majority Discard.
+        // T1 block 011 -> two forwards -> Forward.
+        let full: Strategy = "010 011 111 000 1".parse().unwrap();
+        let r = ReducedStrategy::project(&full);
+        assert_eq!(r.decision(TrustLevel::T0), Decision::Discard);
+        assert_eq!(r.decision(TrustLevel::T1), Decision::Forward);
+        assert_eq!(r.decision(TrustLevel::T2), Decision::Forward);
+        assert_eq!(r.decision(TrustLevel::T3), Decision::Discard);
+        assert_eq!(r.unknown_decision(), Decision::Forward);
+    }
+
+    #[test]
+    fn display_groups_trust_bits() {
+        let r = ReducedStrategy::from_bits("10101".parse().unwrap());
+        assert_eq!(r.to_string(), "1010 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "5 bits")]
+    fn wrong_width_panics() {
+        let _ = ReducedStrategy::from_bits(BitStr::zeros(13));
+    }
+
+    #[test]
+    fn random_is_seedable() {
+        use rand::SeedableRng;
+        let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(ReducedStrategy::random(&mut a), ReducedStrategy::random(&mut b));
+    }
+}

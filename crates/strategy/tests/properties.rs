@@ -1,0 +1,98 @@
+//! Property-based tests for the strategy codec.
+
+use ahn_bitstr::BitStr;
+use ahn_net::{ActivityLevel, TrustLevel};
+use ahn_strategy::{
+    analysis::StrategyCensus, cell_index, reduced::ReducedStrategy, Decision,
+    Strategy as FwdStrategy, STRATEGY_BITS, UNKNOWN_BIT,
+};
+use proptest::prelude::*;
+
+/// An arbitrary 13-bit forwarding strategy (`FwdStrategy` aliases our
+/// `Strategy` to dodge the clash with proptest's trait of the same name).
+fn any_strategy() -> impl Strategy<Value = FwdStrategy> {
+    (0u16..(1 << 13)).prop_map(FwdStrategy::decode)
+}
+
+proptest! {
+    /// Every decision a strategy makes equals the bit at the Fig. 1c
+    /// index.
+    #[test]
+    fn decisions_match_bit_layout(s in any_strategy()) {
+        for t in TrustLevel::ALL {
+            for a in ActivityLevel::ALL {
+                let bit = s.bits().get(cell_index(t, a));
+                prop_assert_eq!(s.decision(t, a) == Decision::Forward, bit);
+            }
+        }
+        prop_assert_eq!(
+            s.unknown_decision() == Decision::Forward,
+            s.bits().get(UNKNOWN_BIT)
+        );
+    }
+
+    /// encode/decode and text round-trips are lossless.
+    #[test]
+    fn roundtrips(s in any_strategy()) {
+        prop_assert_eq!(FwdStrategy::decode(s.encode()), s.clone());
+        let text: FwdStrategy = s.to_string().parse().unwrap();
+        prop_assert_eq!(text, s.clone());
+        let json: FwdStrategy = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        prop_assert_eq!(json, s);
+    }
+
+    /// Sub-strategies reassemble into the original 12 decision bits.
+    #[test]
+    fn sub_strategies_partition_the_genome(s in any_strategy()) {
+        let mut bits = BitStr::zeros(STRATEGY_BITS);
+        for t in TrustLevel::ALL {
+            let sub = s.sub_strategy(t);
+            for a in ActivityLevel::ALL {
+                let bit = (sub >> (2 - a.value())) & 1 == 1;
+                bits.set(cell_index(t, a), bit);
+            }
+        }
+        bits.set(UNKNOWN_BIT, s.unknown_decision() == Decision::Forward);
+        prop_assert_eq!(FwdStrategy::from_bits(bits), s);
+    }
+
+    /// Cooperativeness equals the density of forward bits over the 12
+    /// known-source cells.
+    #[test]
+    fn cooperativeness_is_forward_density(s in any_strategy()) {
+        let forwards = TrustLevel::ALL
+            .iter()
+            .flat_map(|&t| ActivityLevel::ALL.iter().map(move |&a| (t, a)))
+            .filter(|&(t, a)| s.decision(t, a) == Decision::Forward)
+            .count();
+        prop_assert!((s.cooperativeness() - forwards as f64 / 12.0).abs() < 1e-12);
+    }
+
+    /// lift∘project is the identity on reduced strategies and project is
+    /// total on full strategies.
+    #[test]
+    fn reduced_lift_project(code in 0u64..32) {
+        let r = ReducedStrategy::from_bits(BitStr::from_value(code, 5));
+        prop_assert_eq!(ReducedStrategy::project(&r.lift()), r);
+    }
+
+    /// Census shares sum to 1 over the full table and the top-k is sorted.
+    #[test]
+    fn census_shares_sum_to_one(codes in proptest::collection::vec(0u16..(1 << 13), 1..60)) {
+        let pop: Vec<FwdStrategy> = codes.into_iter().map(FwdStrategy::decode).collect();
+        let mut census = StrategyCensus::new();
+        census.add_population(&pop);
+        prop_assert_eq!(census.total(), pop.len() as u64);
+        let all = census.top_strategies(usize::MAX);
+        let total_share: f64 = all.iter().map(|(_, f)| f).sum();
+        prop_assert!((total_share - 1.0).abs() < 1e-9);
+        for w in all.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "top-k must be sorted by share");
+        }
+        // Per-trust sub-strategy shares also sum to 1.
+        for t in TrustLevel::ALL {
+            let sum: f64 = census.sub_strategies(t, 0.0).iter().map(|(_, f)| f).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Energy accounting: the economics that motivate the whole paper
+//! (§1 and ref [4], Feeney & Nilsson).
+//!
+//! ```text
+//! cargo run --release --example energy_accounting
+//! ```
+//!
+//! Sleeping costs ~2 % of idle listening, and discarding a packet saves
+//! a transmission — that is why selfishness pays, and why the activity
+//! dimension exists (sleepers are invisible to the reputation system).
+//! This example prices the behaviors and then measures real per-kind
+//! energy from a short evolution run.
+
+use ahn::core::{cases::CaseSpec, config::ExperimentConfig, experiment::run_replication};
+use ahn::net::energy::{EnergyLedger, PowerProfile, RadioState};
+use ahn::net::PathMode;
+
+fn main() {
+    let profile = PowerProfile::wavelan();
+    println!("WaveLAN-class power profile (mW):");
+    for (label, state) in [
+        ("sleep", RadioState::Sleep),
+        ("idle", RadioState::Idle),
+        ("receive", RadioState::Receive),
+        ("transmit", RadioState::Transmit),
+    ] {
+        println!("  {label:<9} {:>8.1}", profile.power_mw(state));
+    }
+    println!(
+        "  sleep/idle ratio: {:.1}% (the paper's \"about 98% lower\")\n",
+        profile.sleep_fraction() * 100.0
+    );
+
+    // Price one hour of the three behaviors the paper contrasts.
+    let hour = 3600.0;
+    let mut listener = EnergyLedger::new();
+    listener.add_idle(hour);
+    let mut sleeper = EnergyLedger::new();
+    sleeper.add_sleep(hour);
+    let mut forwarder = EnergyLedger::new();
+    forwarder.add_idle(hour);
+    for _ in 0..1000 {
+        forwarder.add_forward();
+    }
+    println!("One hour of behavior (joules):");
+    println!("  sleeping:                    {:>8.0}", sleeper.total_mj(&profile) / 1000.0);
+    println!("  idle listening:              {:>8.0}", listener.total_mj(&profile) / 1000.0);
+    println!("  listening + 1000 forwards:   {:>8.0}", forwarder.total_mj(&profile) / 1000.0);
+
+    // Measure actual event energy from a short evolution run.
+    let mut config = ExperimentConfig::smoke();
+    config.population = 6;
+    config.rounds = 60;
+    config.generations = 15;
+    let case = CaseSpec::mini("energy", &[4], 10, PathMode::Shorter);
+    let rep = run_replication(&config, &case, 11);
+    println!("\nMeasured per-node packet energy in the final generation (mJ):");
+    println!("  normal (forwarding) nodes:   {:>8.1}", rep.energy_normal_mj);
+    println!("  constantly selfish nodes:    {:>8.1}", rep.energy_selfish_mj);
+    println!(
+        "  selfishness saves {:.0}% of packet energy — the temptation the\n\
+         cooperation-enforcement system has to beat.",
+        (1.0 - rep.energy_selfish_mj / rep.energy_normal_mj) * 100.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Second-hand reputation: what the CORE/CONFIDANT-style gossip the
+//! paper's related work discusses would do to this model (ablation A7).
+//!
+//! ```text
+//! cargo run --release --example gossip_effects
+//! ```
+//!
+//! The surprise (see EXPERIMENTS.md, A7): gossip *lowers* cooperation
+//! here. The evolved convention relies on a generous default toward
+//! unknown nodes (strategy bit 12 → Forward); hearsay makes strangers
+//! "known" at middling trust before any first-hand evidence exists,
+//! bypassing that default and triggering low-trust punishment of
+//! innocents. CORE's positive-only filter — designed against slander —
+//! loses less than CONFIDANT-style full sharing.
+
+use ahn::core::{cases::CaseSpec, config::ExperimentConfig, experiment::run_experiment};
+use ahn::net::{GossipConfig, PathMode};
+
+fn main() {
+    let mut config = ExperimentConfig::smoke();
+    config.population = 20;
+    config.rounds = 60;
+    config.generations = 35;
+    config.replications = 4;
+    let case = CaseSpec::mini("gossip", &[0, 4], 10, PathMode::Shorter);
+
+    let variants: [(&str, Option<GossipConfig>); 3] = [
+        ("first-hand only (paper)", None),
+        ("positive gossip (CORE-style)", Some(GossipConfig::core_style())),
+        ("full gossip (CONFIDANT-style)", Some(GossipConfig::confidant_style())),
+    ];
+
+    println!("Evolving under three reputation-sharing policies...\n");
+    for (label, gossip) in variants {
+        let mut cfg = config.clone();
+        cfg.gossip = gossip;
+        let result = run_experiment(&cfg, &case);
+        println!(
+            "{label:<32} cooperation {:>5.1}%   CSN acceptance {:>4.1}%   unknown-bit=F {:>3.0}%",
+            result.final_coop.mean().unwrap_or(0.0) * 100.0,
+            result.req_from_csn.accepted.mean().unwrap_or(0.0) * 100.0,
+            result.census.unknown_forward_share() * 100.0,
+        );
+    }
+
+    println!(
+        "\nSharing reputation speeds up *knowing* — but in this model the\n\
+         unknown-node default is already maximally generous, so hearsay\n\
+         mostly converts friendly strangers into distrusted acquaintances.\n\
+         Selfish nodes were already starved by first-hand watchdogs."
+    );
+}

@@ -1,0 +1,64 @@
+//! The IPDRP baseline (paper ref [12], our experiment X3): why plain
+//! random-pairing Prisoner's Dilemma *cannot* sustain cooperation — and
+//! why the ad hoc model needs reputation.
+//!
+//! ```text
+//! cargo run --release --example ipdrp_baseline
+//! ```
+//!
+//! In the IPDRP every round pairs you with a random stranger and your
+//! single-round memory almost never refers to them, so defectors cannot
+//! be targeted. Cooperation collapses. The paper's contribution is
+//! precisely the missing ingredient: a reputation system that makes
+//! behavior *addressable*, letting conditional strategies punish the
+//! right nodes.
+
+use ahn::ipdrp::{run_ipdrp, IpdrpConfig, IpdrpStrategy, Move, PdPayoffs};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let config = IpdrpConfig {
+        population: 60,
+        rounds: 60,
+        generations: 60,
+        payoffs: PdPayoffs::default(),
+        ..IpdrpConfig::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    println!(
+        "IPDRP: population {}, {} pairing rounds, {} generations, roulette selection\n",
+        config.population, config.rounds, config.generations
+    );
+    let history = run_ipdrp(&mut rng, &config);
+
+    println!("generation  cooperation  mean-fitness");
+    for g in history.iter().step_by(6) {
+        println!(
+            "{:>10}  {:>10.1}%  {:>12.2}",
+            g.generation,
+            g.cooperation * 100.0,
+            g.stats.mean
+        );
+    }
+    let last = history.last().expect("at least one generation");
+    println!(
+        "\nFinal: {:.1}% cooperation, mean fitness {:.2} (P = 1.0 is all-defect)",
+        last.cooperation * 100.0,
+        last.stats.mean
+    );
+
+    // Show why: even Tit-for-Tat is helpless against strangers.
+    let tft = IpdrpStrategy::tit_for_tat();
+    println!("\nTit-for-Tat's problem under random pairing:");
+    println!("  round 1 vs defector D1: TFT plays {:?} (first move)", tft.first_move());
+    println!(
+        "  round 2 vs *fresh* defector D2: TFT plays {:?} — it punishes D2 for D1's sin",
+        tft.next_move(Move::Cooperate, Move::Defect)
+    );
+    println!(
+        "\nReciprocity needs identity. The ad hoc model restores it through\n\
+         watchdog reputation — run `cargo run --release --example quickstart`\n\
+         to see cooperation evolve once behavior is addressable."
+    );
+}

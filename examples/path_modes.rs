@@ -1,0 +1,55 @@
+//! Path-mode sensitivity: shorter vs longer paths (the paper's cases 3
+//! vs 4).
+//!
+//! ```text
+//! cargo run --release --example path_modes
+//! ```
+//!
+//! Longer routes are more likely to contain a selfish node, so the same
+//! CSN density hurts much more under the longer-path mode — that is the
+//! whole difference between the paper's cases 3 and 4, and it also makes
+//! evolved strategies less forgiving toward low-trust sources (Tables
+//! 8–9).
+
+use ahn::core::{cases::CaseSpec, config::ExperimentConfig, experiment::run_experiment};
+use ahn::net::{PathMode, TrustLevel};
+
+fn main() {
+    let mut config = ExperimentConfig::smoke();
+    config.population = 24;
+    config.rounds = 60;
+    config.generations = 30;
+    config.replications = 4;
+
+    for mode in [PathMode::Shorter, PathMode::Longer] {
+        // Two environments: CSN-free and one-third selfish.
+        let case = CaseSpec::mini(&format!("{mode} mode"), &[0, 4], 12, mode);
+        let result = run_experiment(&config, &case);
+        println!("== {} paths ==", if mode == PathMode::Shorter { "shorter" } else { "longer" });
+        println!(
+            "  overall cooperation: {:.1}%",
+            result.final_coop.mean().unwrap_or(0.0) * 100.0
+        );
+        for (e, label) in ["CSN-free env", "33% CSN env"].iter().enumerate() {
+            println!(
+                "  {label}: cooperation {:.1}%, CSN-free paths {:.1}%",
+                result.per_env_coop[e].mean().unwrap_or(0.0) * 100.0,
+                result.per_env_csn_free[e].mean().unwrap_or(0.0) * 100.0,
+            );
+        }
+        print!("  evolved tolerance (share of forwarding cells per trust level):");
+        for t in TrustLevel::ALL {
+            let mut weighted = 0.0;
+            let rows = result.census.sub_strategies(t, 0.0);
+            for (code, share) in rows {
+                weighted += share * f64::from(code.count_ones()) / 3.0;
+            }
+            print!("  TL{}={:.0}%", t.value(), weighted * 100.0);
+        }
+        println!("\n");
+    }
+    println!(
+        "Expected shape (paper Tables 5, 8-9): the longer-path runs deliver\n\
+         less, avoid CSN less often, and evolve harsher low-trust rules."
+    );
+}

@@ -1,0 +1,169 @@
+//! End-to-end behavioral tests of the full reproduction stack.
+//!
+//! These assert the paper's *qualitative* claims at test scale: the
+//! cooperation-enforcement mechanism works, it needs the reputation
+//! response to work, and selfish nodes are starved rather than served.
+
+use ahn::core::{
+    baselines,
+    cases::CaseSpec,
+    config::ExperimentConfig,
+    experiment::{run_experiment, run_replication},
+};
+use ahn::game::PayoffConfig;
+use ahn::net::{PathMode, TrustLevel};
+use ahn::strategy::Strategy;
+
+fn test_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.population = 20;
+    cfg.rounds = 30;
+    cfg.generations = 35;
+    cfg.replications = 3;
+    cfg
+}
+
+#[test]
+fn cooperation_evolves_without_selfish_nodes() {
+    let cfg = test_config();
+    let case = CaseSpec::mini("clean", &[0], 10, PathMode::Shorter);
+    let result = run_experiment(&cfg, &case);
+    let means = result.coop_series.means();
+    let early: f64 = means[..5].iter().sum::<f64>() / 5.0;
+    let late = result.final_coop.mean().unwrap();
+    assert!(
+        late > early + 0.2,
+        "cooperation should rise substantially: early {early:.2} -> late {late:.2}"
+    );
+    assert!(late > 0.5, "final cooperation too low: {late:.2}");
+}
+
+#[test]
+fn cooperation_collapses_without_reputation_response() {
+    // DESIGN.md A4: with no reputation response at all — discarding
+    // always out-pays forwarding AND routes are chosen blindly —
+    // selfishness must win (§4.2's counterfactual).
+    let mut cfg = test_config();
+    cfg.payoff = PayoffConfig::no_reputation();
+    cfg.route_selection = ahn::net::RouteSelection::Random;
+    let case = CaseSpec::mini("no-rep", &[0], 10, PathMode::Shorter);
+    let result = run_experiment(&cfg, &case);
+    let late = result.final_coop.mean().unwrap();
+    assert!(late < 0.15, "defection should dominate, got {late:.2}");
+}
+
+#[test]
+fn selfish_majority_depresses_cooperation() {
+    let cfg = test_config();
+    let clean = run_experiment(&cfg, &CaseSpec::mini("clean", &[0], 10, PathMode::Shorter));
+    let hostile = run_experiment(&cfg, &CaseSpec::mini("hostile", &[6], 10, PathMode::Shorter));
+    let clean_coop = clean.final_coop.mean().unwrap();
+    let hostile_coop = hostile.final_coop.mean().unwrap();
+    assert!(
+        hostile_coop < clean_coop * 0.6,
+        "60% CSN should slash cooperation: {clean_coop:.2} vs {hostile_coop:.2}"
+    );
+}
+
+#[test]
+fn csn_are_starved_not_served() {
+    // The paper's Table 6 shape: requests from CSN are mostly rejected
+    // once reputation forms; requests from normal nodes fare far better.
+    let mut cfg = test_config();
+    cfg.generations = 40;
+    let case = CaseSpec::mini("starve", &[3], 10, PathMode::Shorter);
+    let result = run_experiment(&cfg, &case);
+    let nn_accept = result.req_from_nn.accepted.mean().unwrap();
+    let csn_accept = result.req_from_csn.accepted.mean().unwrap();
+    assert!(
+        csn_accept < nn_accept,
+        "CSN should be served less than normal nodes: {csn_accept:.2} vs {nn_accept:.2}"
+    );
+    assert!(csn_accept < 0.35, "CSN acceptance should collapse, got {csn_accept:.2}");
+}
+
+#[test]
+fn longer_paths_hurt_cooperation() {
+    // Cases 3 vs 4 in miniature (Table 5's shape).
+    let cfg = test_config();
+    let sp = run_experiment(&cfg, &CaseSpec::mini("sp", &[4], 10, PathMode::Shorter));
+    let lp = run_experiment(&cfg, &CaseSpec::mini("lp", &[4], 10, PathMode::Longer));
+    let sp_coop = sp.final_coop.mean().unwrap();
+    let lp_coop = lp.final_coop.mean().unwrap();
+    assert!(
+        lp_coop < sp_coop,
+        "longer paths should deliver less under CSN: SP {sp_coop:.2} vs LP {lp_coop:.2}"
+    );
+    // And CSN-free paths are rarer under LP.
+    let sp_free = sp.per_env_csn_free[0].mean().unwrap();
+    let lp_free = lp.per_env_csn_free[0].mean().unwrap();
+    assert!(lp_free < sp_free, "SP {sp_free:.2} vs LP {lp_free:.2}");
+}
+
+#[test]
+fn evolved_strategies_discriminate_by_trust() {
+    // Table 8's shape: full service at trust 3, harshness at trust 0.
+    let mut cfg = test_config();
+    cfg.generations = 45;
+    cfg.replications = 4;
+    let case = CaseSpec::mini("disc", &[0, 4], 10, PathMode::Shorter);
+    let result = run_experiment(&cfg, &case);
+    let full_service_t3 = result.census.forward_at_least(TrustLevel::T3, 3);
+    let full_service_t0 = result.census.forward_at_least(TrustLevel::T0, 3);
+    assert!(
+        full_service_t3 > full_service_t0,
+        "trust 3 should be served more than trust 0: {full_service_t3:.2} vs {full_service_t0:.2}"
+    );
+}
+
+#[test]
+fn static_baseline_ordering_under_csn() {
+    // AllC delivers the most but feeds CSN; AllD delivers nothing; the
+    // trust-threshold discriminator sits in between on delivery.
+    let mut cfg = test_config();
+    cfg.rounds = 50;
+    let case = CaseSpec::mini("static", &[3], 10, PathMode::Shorter);
+    let allc = baselines::evaluate_static(&cfg, &case, &[Strategy::always_forward()], 1);
+    let alld = baselines::evaluate_static(&cfg, &case, &[Strategy::always_discard()], 1);
+    let disc = baselines::evaluate_static(
+        &cfg,
+        &case,
+        &[Strategy::trust_threshold(TrustLevel::T1, true)],
+        1,
+    );
+    assert_eq!(alld.cooperation_level(), 0.0);
+    // AllC and the discriminator both deliver well (both route around
+    // CSN, and normal sources keep high trust under the discriminator);
+    // the difference is who they serve, checked below.
+    assert!(allc.cooperation_level() > 0.3);
+    assert!(disc.cooperation_level() > 0.1);
+    // But AllC accepts CSN packets wholesale while the discriminator
+    // rejects them - the enforcement difference.
+    let (allc_accept, _, _) = allc.from_csn.fractions();
+    let (disc_accept, _, _) = disc.from_csn.fractions();
+    assert!(
+        disc_accept < allc_accept,
+        "discriminator should starve CSN: {disc_accept:.2} vs {allc_accept:.2}"
+    );
+}
+
+#[test]
+fn replication_metrics_are_internally_consistent() {
+    let cfg = test_config();
+    let case = CaseSpec::mini("consistency", &[2, 4], 10, PathMode::Longer);
+    let r = run_replication(&cfg, &case, 9);
+    // Per-env totals must add up to the whole-run totals.
+    let sum_games: u64 = r.final_by_env.iter().map(|m| m.nn_games).sum();
+    assert_eq!(sum_games, r.final_total.nn_games);
+    let sum_delivered: u64 = r.final_by_env.iter().map(|m| m.nn_delivered).sum();
+    assert_eq!(sum_delivered, r.final_total.nn_delivered);
+    // Cooperation values are probabilities.
+    for m in &r.final_by_env {
+        assert!(m.nn_delivered <= m.nn_games);
+        assert!(m.nn_csn_free_path <= m.nn_games);
+    }
+    // Request accounting: acceptance fractions in [0,1] and the matrix is
+    // populated on both sides (CSN sourced packets too).
+    assert!(r.final_total.from_nn.total() > 0);
+    assert!(r.final_total.from_csn.total() > 0);
+}

@@ -70,7 +70,10 @@ fn bench_table6(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let r = run_replication(&cfg, &case, seed);
-            black_box((r.final_total.from_nn.fractions(), r.final_total.from_csn.fractions()))
+            black_box((
+                r.final_total.from_nn.fractions(),
+                r.final_total.from_csn.fractions(),
+            ))
         })
     });
     group.finish();

@@ -11,6 +11,8 @@
 //!   performance so regressions in the simulation core are caught by
 //!   `cargo bench`.
 
+#![deny(missing_docs)]
+
 use ahn_core::{cases::CaseSpec, config::ExperimentConfig};
 use ahn_game::{Arena, GameConfig};
 use ahn_net::{NodeId, PathMode};

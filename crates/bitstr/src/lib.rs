@@ -10,7 +10,8 @@
 //!   per-bit flip mutation) in [`ops`],
 //! * the paper's textual notation (`"010 101 101 111 1"`) via
 //!   [`fmt::Grouped`] and [`std::str::FromStr`],
-//! * serde support (serialized as the compact `0`/`1` string).
+//! * serde support (serialized as the compact `0`/`1` string), behind
+//!   the optional `serde` feature.
 //!
 //! Bits are stored little-endian inside `u64` words: bit `i` of the string
 //! lives in word `i / 64` at position `i % 64`. Bit index 0 is the first
@@ -29,9 +30,12 @@
 //! assert_eq!(s.count_ones(), 9);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod fmt;
 pub mod ops;
 
+#[cfg(feature = "serde")]
 mod serde_impl;
 
 use rand::Rng;
@@ -199,7 +203,10 @@ impl BitStr {
     /// # Panics
     /// Panics if the range is out of bounds or wider than 64 bits.
     pub fn slice_value(&self, range: std::ops::Range<usize>) -> u64 {
-        assert!(range.end <= self.len && range.len() <= 64, "bad slice {range:?}");
+        assert!(
+            range.end <= self.len && range.len() <= 64,
+            "bad slice {range:?}"
+        );
         let mut v = 0u64;
         for i in range {
             v = (v << 1) | self.get(i) as u64;

@@ -110,7 +110,10 @@ pub fn uniform_crossover<R: Rng + ?Sized>(
 /// # Panics
 /// Panics if `p ∉ [0, 1]`.
 pub fn bit_flip_mutation<R: Rng + ?Sized>(rng: &mut R, genome: &mut BitStr, p: f64) -> usize {
-    assert!((0.0..=1.0).contains(&p), "mutation probability out of range");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "mutation probability out of range"
+    );
     let mut flipped = 0;
     for i in 0..genome.len() {
         if rng.gen_bool(p) {

@@ -35,8 +35,7 @@
 //! ```
 
 use ahn_core::{
-    ablations, baselines, cases::CaseSpec, config::ExperimentConfig, experiment, extensions,
-    report,
+    ablations, baselines, cases::CaseSpec, config::ExperimentConfig, experiment, extensions, report,
 };
 use std::io::Write as _;
 
@@ -69,9 +68,11 @@ fn main() {
         "ablate-payoff" => ablate(&opts, "A1 payoff-table reading", ablations::ablate_payoff),
         "ablate-activity" => ablate(&opts, "A2 activity dimension", ablations::ablate_activity),
         "ablate-selection" => ablate(&opts, "A3 selection operator", ablations::ablate_selection),
-        "ablate-trust-table" => {
-            ablate(&opts, "A5 trust-table thresholds", ablations::ablate_trust_table)
-        }
+        "ablate-trust-table" => ablate(
+            &opts,
+            "A5 trust-table thresholds",
+            ablations::ablate_trust_table,
+        ),
         "ablate-unknown" => ablate(&opts, "A6 unknown-node bit", ablations::ablate_unknown),
         "ablate-gossip" => ablate(&opts, "A7 second-hand reputation", ablations::ablate_gossip),
         "transfer" => transfer(&opts),
@@ -139,20 +140,24 @@ impl Options {
                     };
                 }
                 "--reps" => {
-                    config.replications =
-                        value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?
+                    config.replications = value("--reps")?
+                        .parse()
+                        .map_err(|e| format!("--reps: {e}"))?
                 }
                 "--gens" => {
-                    config.generations =
-                        value("--gens")?.parse().map_err(|e| format!("--gens: {e}"))?
+                    config.generations = value("--gens")?
+                        .parse()
+                        .map_err(|e| format!("--gens: {e}"))?
                 }
                 "--rounds" => {
-                    config.rounds =
-                        value("--rounds")?.parse().map_err(|e| format!("--rounds: {e}"))?
+                    config.rounds = value("--rounds")?
+                        .parse()
+                        .map_err(|e| format!("--rounds: {e}"))?
                 }
                 "--seed" => {
-                    config.base_seed =
-                        value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+                    config.base_seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--config" => {
                     let path = value("--config")?;
@@ -245,7 +250,10 @@ fn table8_9(opts: &Options, case_no: usize) {
     let r = run_case(opts, case_no);
     let t = report::table8_9(&r, 0.03);
     print!("{t}");
-    opts.maybe_write(&format!("table{}.txt", if case_no == 3 { 8 } else { 9 }), &t);
+    opts.maybe_write(
+        &format!("table{}.txt", if case_no == 3 { 8 } else { 9 }),
+        &t,
+    );
 }
 
 fn all(opts: &Options) {
@@ -462,7 +470,6 @@ fn sweep_mutation(opts: &Options) {
 }
 
 fn trace(opts: &Options) {
-    use ahn_core::config::StrategyCodec;
     use rand::SeedableRng;
     // Evolve briefly, then trace the first games of a converged
     // tournament so the dump shows meaningful trust-driven decisions.
@@ -476,12 +483,8 @@ fn trace(opts: &Options) {
     let game_config = ahn_core::game_config_of(&cfg, &case);
     let size = case.envs[1].normal().min(rep.final_population.len());
     let csn = case.envs[1].csn;
-    let mut arena = ahn_core::AhnArena::new(
-        rep.final_population[..size].to_vec(),
-        csn,
-        game_config,
-        1,
-    );
+    let mut arena =
+        ahn_core::AhnArena::new(rep.final_population[..size].to_vec(), csn, game_config, 1);
     let participants: Vec<ahn_core::AhnNodeId> =
         (0..(size + csn) as u32).map(ahn_core::AhnNodeId).collect();
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.base_seed ^ 0xdecaf);

@@ -127,7 +127,10 @@ pub fn ablate_gossip(base: &ExperimentConfig, case: &CaseSpec) -> Vec<Variant> {
     [
         ("first-hand only (paper)", None),
         ("positive gossip (CORE)", Some(GossipConfig::core_style())),
-        ("full gossip (CONFIDANT)", Some(GossipConfig::confidant_style())),
+        (
+            "full gossip (CONFIDANT)",
+            Some(GossipConfig::confidant_style()),
+        ),
     ]
     .into_iter()
     .map(|(label, gossip)| {

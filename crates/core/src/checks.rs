@@ -58,7 +58,7 @@ pub fn run_all() -> Vec<CheckResult> {
     ));
     let mut rng = ChaCha8Rng::seed_from_u64(2007);
     for (label, dist) in [("SP", &sp), ("LP", &lp)] {
-        let mut counts = vec![0u64; 9];
+        let mut counts = [0u64; 9];
         for _ in 0..50_000 {
             counts[dist.sample(&mut rng) - 2] += 1;
         }

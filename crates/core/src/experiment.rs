@@ -39,6 +39,7 @@ pub struct ReplicationResult {
     /// Mean per-node energy in the final generation (mJ, WaveLAN
     /// profile), split normal / selfish — the extension metric.
     pub energy_normal_mj: f64,
+    /// Mean final-generation energy per selfish node (mJ).
     pub energy_selfish_mj: f64,
 }
 
@@ -121,7 +122,9 @@ pub fn run_replication(config: &ExperimentConfig, case: &CaseSpec, seed: u64) ->
 
     ReplicationResult {
         coop_by_gen,
-        final_by_env: (0..case.envs.len()).map(|e| *arena.metrics.env(e)).collect(),
+        final_by_env: (0..case.envs.len())
+            .map(|e| *arena.metrics.env(e))
+            .collect(),
         final_total: arena.metrics.total(),
         final_population: decode(&genomes),
         fitness_by_gen,
@@ -178,6 +181,7 @@ pub struct ExperimentResult {
     pub fitness_mean_series: Series,
     /// Mean final-generation energy per node kind (mJ).
     pub energy_normal_mj: Summary,
+    /// Mean final-generation energy per selfish node (mJ).
     pub energy_selfish_mj: Summary,
 }
 
@@ -212,9 +216,7 @@ pub fn aggregate(
 
     for r in results {
         coop_series.add_run(&r.coop_by_gen);
-        fitness_mean_series.add_run(
-            &r.fitness_by_gen.iter().map(|s| s.mean).collect::<Vec<_>>(),
-        );
+        fitness_mean_series.add_run(&r.fitness_by_gen.iter().map(|s| s.mean).collect::<Vec<_>>());
         if let Some(&last) = r.coop_by_gen.last() {
             final_coop.add(last);
         }
@@ -274,7 +276,10 @@ mod tests {
         let b = run_replication(&cfg, &case, 42);
         assert_eq!(a, b);
         let c = run_replication(&cfg, &case, 43);
-        assert_ne!(a.coop_by_gen, c.coop_by_gen, "different seeds should differ");
+        assert_ne!(
+            a.coop_by_gen, c.coop_by_gen,
+            "different seeds should differ"
+        );
     }
 
     #[test]
@@ -312,7 +317,10 @@ mod tests {
         for s in &r.final_population {
             for t in ahn_net::TrustLevel::ALL {
                 let sub = s.sub_strategy(t);
-                assert!(sub == 0b000 || sub == 0b111, "activity-variant sub {sub:03b}");
+                assert!(
+                    sub == 0b000 || sub == 0b111,
+                    "activity-variant sub {sub:03b}"
+                );
             }
         }
     }

@@ -25,15 +25,20 @@
 //! ```
 //! use ahn_core::{cases::CaseSpec, config::ExperimentConfig, experiment};
 //!
-//! // A deliberately tiny configuration so the doctest stays fast.
+//! // A deliberately tiny configuration so the doctest stays fast (the
+//! // longer R = 100 reputation horizon keeps 10-participant
+//! // tournaments inside the cooperative basin).
 //! let mut cfg = ExperimentConfig::smoke();
 //! cfg.replications = 2;
-//! cfg.generations = 20;
+//! cfg.rounds = 100;
+//! cfg.generations = 40;
 //! let case = CaseSpec::mini("demo", &[0], 10, ahn_net::PathMode::Shorter);
 //! let result = experiment::run_experiment(&cfg, &case);
 //! // A CSN-free world with evolving strategies learns to cooperate.
 //! assert!(result.final_coop.mean().unwrap() > 0.4);
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod baselines;

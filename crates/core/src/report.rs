@@ -123,7 +123,11 @@ pub fn table6(case3: &ExperimentResult, case4: &ExperimentResult) -> String {
         )
     };
     out.push_str("Requests from normal players:\n");
-    out.push_str(&row("accepted", &case3.req_from_nn.accepted, &case4.req_from_nn.accepted));
+    out.push_str(&row(
+        "accepted",
+        &case3.req_from_nn.accepted,
+        &case4.req_from_nn.accepted,
+    ));
     out.push_str(&row(
         "rejected by normal players",
         &case3.req_from_nn.rejected_by_nn,
@@ -135,7 +139,11 @@ pub fn table6(case3: &ExperimentResult, case4: &ExperimentResult) -> String {
         &case4.req_from_nn.rejected_by_csn,
     ));
     out.push_str("Requests from CSN:\n");
-    out.push_str(&row("accepted", &case3.req_from_csn.accepted, &case4.req_from_csn.accepted));
+    out.push_str(&row(
+        "accepted",
+        &case3.req_from_csn.accepted,
+        &case4.req_from_csn.accepted,
+    ));
     out.push_str(&row(
         "rejected by normal players",
         &case3.req_from_csn.rejected_by_nn,

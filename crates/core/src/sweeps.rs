@@ -28,11 +28,7 @@ pub struct SweepPoint {
 }
 
 /// Cooperation as a function of tournament rounds `R`.
-pub fn sweep_rounds(
-    base: &ExperimentConfig,
-    case: &CaseSpec,
-    rounds: &[usize],
-) -> Vec<SweepPoint> {
+pub fn sweep_rounds(base: &ExperimentConfig, case: &CaseSpec, rounds: &[usize]) -> Vec<SweepPoint> {
     rounds
         .iter()
         .map(|&r| {
@@ -72,11 +68,7 @@ pub fn sweep_csn(
 }
 
 /// Cooperation as a function of the per-bit mutation probability.
-pub fn sweep_mutation(
-    base: &ExperimentConfig,
-    case: &CaseSpec,
-    rates: &[f64],
-) -> Vec<SweepPoint> {
+pub fn sweep_mutation(base: &ExperimentConfig, case: &CaseSpec, rates: &[f64]) -> Vec<SweepPoint> {
     rates
         .iter()
         .map(|&p| {

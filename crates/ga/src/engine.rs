@@ -42,10 +42,16 @@ impl GaParams {
     /// Validates probability ranges.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.crossover_prob) {
-            return Err(format!("crossover_prob {} outside [0,1]", self.crossover_prob));
+            return Err(format!(
+                "crossover_prob {} outside [0,1]",
+                self.crossover_prob
+            ));
         }
         if !(0.0..=1.0).contains(&self.mutation_prob) {
-            return Err(format!("mutation_prob {} outside [0,1]", self.mutation_prob));
+            return Err(format!(
+                "mutation_prob {} outside [0,1]",
+                self.mutation_prob
+            ));
         }
         Ok(())
     }
@@ -150,12 +156,17 @@ where
     F: FnMut(&[BitStr]) -> Vec<f64>,
 {
     assert!(pop_size > 0 && generations > 0, "empty evolution requested");
-    let mut population: Vec<BitStr> =
-        (0..pop_size).map(|_| BitStr::random(rng, genome_bits)).collect();
+    let mut population: Vec<BitStr> = (0..pop_size)
+        .map(|_| BitStr::random(rng, genome_bits))
+        .collect();
     let mut history = Vec::with_capacity(generations);
     for generation in 0..generations {
         let fitnesses = evaluate(&population);
-        assert_eq!(fitnesses.len(), population.len(), "evaluator length mismatch");
+        assert_eq!(
+            fitnesses.len(),
+            population.len(),
+            "evaluator length mismatch"
+        );
         let stats = GenStats::from_fitnesses(&fitnesses);
         let best_idx = (0..fitnesses.len())
             .max_by(|&a, &b| {

@@ -28,6 +28,8 @@
 //! assert!(last.stats.best >= 7.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod selection;
 pub mod stats;

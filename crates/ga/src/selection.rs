@@ -34,7 +34,10 @@ impl Selection {
     /// # Panics
     /// Panics on an empty population or a zero-size tournament.
     pub fn select<R: Rng + ?Sized>(&self, rng: &mut R, fitnesses: &[f64]) -> usize {
-        assert!(!fitnesses.is_empty(), "cannot select from an empty population");
+        assert!(
+            !fitnesses.is_empty(),
+            "cannot select from an empty population"
+        );
         match *self {
             Selection::Tournament { size } => {
                 assert!(size > 0, "tournament size must be positive");
@@ -101,12 +104,7 @@ mod tests {
 
     #[test]
     fn tournament_size_one_is_uniform() {
-        let counts = selection_counts(
-            Selection::Tournament { size: 1 },
-            &[1.0, 100.0],
-            10_000,
-            2,
-        );
+        let counts = selection_counts(Selection::Tournament { size: 1 }, &[1.0, 100.0], 10_000, 2);
         assert!((counts[0] as i64 - 5_000).abs() < 500, "{counts:?}");
     }
 

@@ -11,8 +11,8 @@ use crate::payoff::{PayoffAccount, PayoffConfig};
 use crate::players::NodeKind;
 use ahn_net::energy::EnergyLedger;
 use ahn_net::{
-    ActivityBands, GossipConfig, NodeId, PathGenerator, PathMode, ReputationMatrix,
-    RouteSelection, TrustTable,
+    ActivityBands, GossipConfig, NodeId, PathGenerator, PathMode, ReputationMatrix, RouteSelection,
+    TrustTable,
 };
 use ahn_strategy::Strategy;
 use serde::{Deserialize, Serialize};
@@ -78,7 +78,12 @@ impl Arena {
     /// Builds an arena with `strategies.len()` normal players followed by
     /// `csn_count` constantly selfish nodes, tracking metrics for
     /// `n_envs` environments.
-    pub fn new(strategies: Vec<Strategy>, csn_count: usize, config: GameConfig, n_envs: usize) -> Self {
+    pub fn new(
+        strategies: Vec<Strategy>,
+        csn_count: usize,
+        config: GameConfig,
+        n_envs: usize,
+    ) -> Self {
         let n_normal = strategies.len();
         let total = n_normal + csn_count;
         let mut kinds = vec![NodeKind::Normal; n_normal];
@@ -246,7 +251,10 @@ mod tests {
         assert!(a.kind(NodeId(5)).is_csn());
         assert!(a.kind(NodeId(7)).is_csn());
         assert_eq!(a.normal_ids().count(), 5);
-        assert_eq!(a.selfish_ids().collect::<Vec<_>>(), vec![NodeId(5), NodeId(6), NodeId(7)]);
+        assert_eq!(
+            a.selfish_ids().collect::<Vec<_>>(),
+            vec![NodeId(5), NodeId(6), NodeId(7)]
+        );
         assert_eq!(a.reputation.len(), 8);
     }
 

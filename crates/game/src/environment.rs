@@ -42,7 +42,10 @@ impl EnvironmentSpec {
     /// Panics unless `csn < size` and at least 3 participants exist.
     pub fn new(size: usize, csn: usize) -> Self {
         assert!(size >= 3, "environments need at least 3 participants");
-        assert!(csn < size, "an environment needs at least one normal player");
+        assert!(
+            csn < size,
+            "an environment needs at least one normal player"
+        );
         EnvironmentSpec { size, csn }
     }
 
@@ -90,7 +93,10 @@ impl EvaluationSchedule {
     /// Panics on an empty environment list or zero rounds/plays.
     pub fn new(envs: Vec<EnvironmentSpec>, rounds: usize, plays_per_env: usize) -> Self {
         assert!(!envs.is_empty(), "at least one environment is required");
-        assert!(rounds > 0 && plays_per_env > 0, "rounds and plays must be positive");
+        assert!(
+            rounds > 0 && plays_per_env > 0,
+            "rounds and plays must be positive"
+        );
         EvaluationSchedule {
             envs,
             rounds,
@@ -145,7 +151,11 @@ impl EvaluationSchedule {
             let target = self.plays_per_env as u32;
             loop {
                 eligible.clear();
-                eligible.extend((0..n).map(NodeId::from).filter(|id| plays[id.index()] < target));
+                eligible.extend(
+                    (0..n)
+                        .map(NodeId::from)
+                        .filter(|id| plays[id.index()] < target),
+                );
                 if eligible.is_empty() {
                     break;
                 }
@@ -191,10 +201,22 @@ mod tests {
 
     #[test]
     fn paper_te_specs_match_table_1() {
-        assert_eq!(EnvironmentSpec::paper_te(1), EnvironmentSpec { size: 50, csn: 0 });
-        assert_eq!(EnvironmentSpec::paper_te(2), EnvironmentSpec { size: 50, csn: 10 });
-        assert_eq!(EnvironmentSpec::paper_te(3), EnvironmentSpec { size: 50, csn: 25 });
-        assert_eq!(EnvironmentSpec::paper_te(4), EnvironmentSpec { size: 50, csn: 30 });
+        assert_eq!(
+            EnvironmentSpec::paper_te(1),
+            EnvironmentSpec { size: 50, csn: 0 }
+        );
+        assert_eq!(
+            EnvironmentSpec::paper_te(2),
+            EnvironmentSpec { size: 50, csn: 10 }
+        );
+        assert_eq!(
+            EnvironmentSpec::paper_te(3),
+            EnvironmentSpec { size: 50, csn: 25 }
+        );
+        assert_eq!(
+            EnvironmentSpec::paper_te(4),
+            EnvironmentSpec { size: 50, csn: 30 }
+        );
         assert_eq!(EnvironmentSpec::paper_te(2).normal(), 40);
         assert_eq!(EnvironmentSpec::paper_all().len(), 4);
     }
@@ -215,7 +237,10 @@ mod tests {
     /// tournament size 10.
     fn small_schedule(csn_counts: &[usize]) -> EvaluationSchedule {
         EvaluationSchedule::new(
-            csn_counts.iter().map(|&c| EnvironmentSpec::new(10, c)).collect(),
+            csn_counts
+                .iter()
+                .map(|&c| EnvironmentSpec::new(10, c))
+                .collect(),
             5,
             1,
         )
@@ -266,7 +291,10 @@ mod tests {
         schedule.run(&mut arena, &mut rng(2));
         let clean = arena.metrics.env(0);
         let hostile = arena.metrics.env(1);
-        assert!(clean.cooperation_level() > 0.95, "CSN-free env should deliver");
+        assert!(
+            clean.cooperation_level() > 0.95,
+            "CSN-free env should deliver"
+        );
         assert!(
             hostile.cooperation_level() < clean.cooperation_level(),
             "80% CSN env must hurt cooperation: {} vs {}",

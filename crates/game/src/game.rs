@@ -115,9 +115,12 @@ pub fn play_game<R: Rng + ?Sized>(
         }
     };
     scratch.pool.clear();
-    scratch
-        .pool
-        .extend(participants.iter().copied().filter(|&n| n != source && n != destination));
+    scratch.pool.extend(
+        participants
+            .iter()
+            .copied()
+            .filter(|&n| n != source && n != destination),
+    );
 
     // Steps 2-3: draw candidate paths, pick the best-rated one.
     let candidates = arena
@@ -396,12 +399,7 @@ mod tests {
     #[test]
     fn decide_reflects_trust_lookup() {
         let strat = Strategy::trust_threshold(ahn_net::TrustLevel::T2, false);
-        let mut a = Arena::new(
-            vec![strat; 3],
-            0,
-            GameConfig::paper(PathMode::Shorter),
-            1,
-        );
+        let mut a = Arena::new(vec![strat; 3], 0, GameConfig::paper(PathMode::Shorter), 1);
         let mut r = rng(9);
         // Unknown source: bit 12 = 0 -> discard.
         assert_eq!(

@@ -21,6 +21,8 @@
 //! * [`environment`] — tournament environments TE1–TE4 (Tab. 1) and the
 //!   multi-environment evaluation schedule (§4.4, Fig. 3).
 
+#![deny(missing_docs)]
+
 pub mod arena;
 pub mod environment;
 pub mod game;

@@ -109,7 +109,10 @@ impl PayoffConfig {
     pub fn check_paper_constraints(&self) -> Result<(), String> {
         for w in self.forward.windows(2) {
             if w[1] < w[0] {
-                return Err(format!("forward payoffs not monotone in trust: {:?}", self.forward));
+                return Err(format!(
+                    "forward payoffs not monotone in trust: {:?}",
+                    self.forward
+                ));
             }
         }
         if self.discard[1] <= self.discard[0] {

@@ -8,11 +8,13 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// An arbitrary population of 13-bit strategies.
-fn strategies(
-    n: usize,
-) -> impl proptest::strategy::Strategy<Value = Vec<ahn_strategy::Strategy>> {
-    proptest::collection::vec(0u16..(1 << 13), n)
-        .prop_map(|codes| codes.into_iter().map(ahn_strategy::Strategy::decode).collect())
+fn strategies(n: usize) -> impl proptest::strategy::Strategy<Value = Vec<ahn_strategy::Strategy>> {
+    proptest::collection::vec(0u16..(1 << 13), n).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(ahn_strategy::Strategy::decode)
+            .collect()
+    })
 }
 
 proptest! {
@@ -51,10 +53,6 @@ proptest! {
         prop_assert!(m.nn_games <= games as u64);
 
         // Every played game produced exactly one source event.
-        let total_source_events: u64 = m.nn_games + arena
-            .selfish_ids()
-            .count() as u64 * 0; // CSN source events are counted below
-        let _ = total_source_events;
         let source_event_count: f64 = arena.payoffs.iter().map(|p| p.ne as f64).sum();
         prop_assert!(source_event_count >= games as f64, "every game pays the source");
 

@@ -7,8 +7,8 @@
 //! per round. The GA uses roulette selection as in the reference \[12\].
 
 use crate::game::{payoff, IpdrpStrategy, Move, PdPayoffs, IPDRP_BITS};
-use ahn_ga::{next_generation, GaParams, GenStats, Selection};
 use ahn_bitstr::BitStr;
+use ahn_ga::{next_generation, GaParams, GenStats, Selection};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -149,26 +149,35 @@ mod tests {
         // random pairing with single-round memory, reciprocity cannot be
         // targeted at the defector, so cooperation collapses well below
         // the initial ~50%.
-        let h = run_ipdrp(&mut rng(1), &IpdrpConfig {
-            population: 60,
-            rounds: 60,
-            generations: 60,
-            ..IpdrpConfig::default()
-        });
+        let h = run_ipdrp(
+            &mut rng(1),
+            &IpdrpConfig {
+                population: 60,
+                rounds: 60,
+                generations: 60,
+                ..IpdrpConfig::default()
+            },
+        );
         let first = h.first().unwrap().cooperation;
         let last = h.last().unwrap().cooperation;
         assert!(first > 0.3, "random start should be mixed, got {first}");
-        assert!(last < first * 0.6, "cooperation should collapse: {first} -> {last}");
+        assert!(
+            last < first * 0.6,
+            "cooperation should collapse: {first} -> {last}"
+        );
     }
 
     #[test]
     fn mean_fitness_approaches_punishment_when_defection_wins() {
-        let h = run_ipdrp(&mut rng(2), &IpdrpConfig {
-            population: 40,
-            rounds: 40,
-            generations: 80,
-            ..IpdrpConfig::default()
-        });
+        let h = run_ipdrp(
+            &mut rng(2),
+            &IpdrpConfig {
+                population: 40,
+                rounds: 40,
+                generations: 80,
+                ..IpdrpConfig::default()
+            },
+        );
         let last = h.last().unwrap();
         assert!(
             last.stats.mean < 2.0,

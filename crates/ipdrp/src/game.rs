@@ -151,7 +151,10 @@ impl std::str::FromStr for IpdrpStrategy {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bits: BitStr = s.parse().map_err(|e| format!("{e}"))?;
         if bits.len() != IPDRP_BITS {
-            return Err(format!("an IPDRP strategy needs 5 bits, got {}", bits.len()));
+            return Err(format!(
+                "an IPDRP strategy needs 5 bits, got {}",
+                bits.len()
+            ));
         }
         Ok(IpdrpStrategy::from_bits(bits))
     }
@@ -209,9 +212,15 @@ mod tests {
     fn tit_for_tat_behavior() {
         let tft = IpdrpStrategy::tit_for_tat();
         assert_eq!(tft.first_move(), Move::Cooperate);
-        assert_eq!(tft.next_move(Move::Cooperate, Move::Cooperate), Move::Cooperate);
+        assert_eq!(
+            tft.next_move(Move::Cooperate, Move::Cooperate),
+            Move::Cooperate
+        );
         assert_eq!(tft.next_move(Move::Cooperate, Move::Defect), Move::Defect);
-        assert_eq!(tft.next_move(Move::Defect, Move::Cooperate), Move::Cooperate);
+        assert_eq!(
+            tft.next_move(Move::Defect, Move::Cooperate),
+            Move::Cooperate
+        );
         assert_eq!(tft.next_move(Move::Defect, Move::Defect), Move::Defect);
     }
 

@@ -19,6 +19,8 @@
 //! (cooperate first; repeat the opponent's last move), Always-Defect is
 //! `0 0000`.
 
+#![deny(missing_docs)]
+
 pub mod evolution;
 pub mod game;
 

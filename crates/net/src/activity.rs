@@ -194,6 +194,9 @@ mod tests {
             empty_default: ActivityLevel::Mi,
         };
         assert_eq!(wide.classify(6.0, 10.0), ActivityLevel::Mi);
-        assert_eq!(ActivityBands::paper().classify(6.0, 10.0), ActivityLevel::Lo);
+        assert_eq!(
+            ActivityBands::paper().classify(6.0, 10.0),
+            ActivityLevel::Lo
+        );
     }
 }

@@ -26,9 +26,13 @@ pub enum RadioState {
 /// Power draw per radio state, in milliwatts.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerProfile {
+    /// Draw while sleeping.
     pub sleep_mw: f64,
+    /// Draw while idle-listening.
     pub idle_mw: f64,
+    /// Draw while receiving a packet.
     pub receive_mw: f64,
+    /// Draw while transmitting a packet.
     pub transmit_mw: f64,
 }
 

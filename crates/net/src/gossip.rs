@@ -84,8 +84,7 @@ pub fn share_observations(
         if record.requests == 0 {
             continue;
         }
-        if config.policy == GossipPolicy::PositiveOnly
-            && record.rate().expect("requests > 0") < 0.5
+        if config.policy == GossipPolicy::PositiveOnly && record.rate().expect("requests > 0") < 0.5
         {
             continue;
         }

@@ -26,6 +26,8 @@
 //! substrate actually used by the experiments; [`topology`] exists for
 //! sensitivity analysis.
 
+#![deny(missing_docs)]
+
 pub mod activity;
 pub mod energy;
 pub mod gossip;

@@ -73,10 +73,7 @@ impl PathLengthDist {
     /// Table 2, *shorter paths* column: 2 hops 0.2; 3–4 hops 0.3 each;
     /// 5–8 hops 0.05 each; 9–10 hops 0.
     pub fn paper_shorter() -> Self {
-        PathLengthDist::new(
-            2,
-            vec![0.2, 0.3, 0.3, 0.05, 0.05, 0.05, 0.05, 0.0, 0.0],
-        )
+        PathLengthDist::new(2, vec![0.2, 0.3, 0.3, 0.05, 0.05, 0.05, 0.05, 0.0, 0.0])
     }
 
     /// Table 2, *longer paths* column: 2 hops 0.1; 3–4 hops 0.1 each;
@@ -459,7 +456,10 @@ mod tests {
         m.record_drop(NodeId(0), NodeId(3));
         let good = vec![NodeId(1), NodeId(2)];
         let bad = vec![NodeId(1), NodeId(3)];
-        assert_eq!(select_best_path(&m, NodeId(0), &[bad.clone(), good.clone()]), 1);
+        assert_eq!(
+            select_best_path(&m, NodeId(0), &[bad.clone(), good.clone()]),
+            1
+        );
         assert_eq!(select_best_path(&m, NodeId(0), &[good, bad]), 0);
     }
 

@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// A position in the unit square (coordinates in meters when `side` ≠ 1).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Point {
+    /// Horizontal coordinate.
     pub x: f64,
+    /// Vertical coordinate.
     pub y: f64,
 }
 
@@ -31,8 +33,9 @@ impl Point {
 pub struct WaypointParams {
     /// Side length of the square arena (m).
     pub side: f64,
-    /// Uniform speed range (m/s).
+    /// Lower bound of the uniform speed range (m/s).
     pub speed_min: f64,
+    /// Upper bound of the uniform speed range (m/s).
     pub speed_max: f64,
     /// Pause time at each waypoint (s).
     pub pause: f64,
@@ -155,7 +158,11 @@ impl MobileNetwork {
 
     /// `true` when two nodes are within radio range.
     pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.nodes[a.index()].pos.distance(&self.nodes[b.index()].pos) <= self.radio_range
+        a != b
+            && self.nodes[a.index()]
+                .pos
+                .distance(&self.nodes[b.index()].pos)
+                <= self.radio_range
     }
 
     /// All neighbors of `node`.
@@ -292,7 +299,10 @@ mod tests {
         let r = net.shortest_route(NodeId(0), NodeId(3), 10).unwrap();
         assert_eq!(r, vec![NodeId(1), NodeId(2)]);
         // Direct neighbors need no relays.
-        assert_eq!(net.shortest_route(NodeId(0), NodeId(1), 10).unwrap(), vec![]);
+        assert_eq!(
+            net.shortest_route(NodeId(0), NodeId(1), 10).unwrap(),
+            vec![]
+        );
     }
 
     #[test]
@@ -327,7 +337,10 @@ mod tests {
     #[test]
     fn unreachable_returns_none() {
         let mut net = line();
-        net.nodes[3].pos = Point { x: 9000.0, y: 9000.0 };
+        net.nodes[3].pos = Point {
+            x: 9000.0,
+            y: 9000.0,
+        };
         assert!(net.shortest_route(NodeId(0), NodeId(3), 10).is_none());
         assert!(net.shortest_route(NodeId(0), NodeId(0), 10).is_none());
     }

@@ -32,7 +32,12 @@ pub enum TrustLevel {
 
 impl TrustLevel {
     /// All levels in ascending order.
-    pub const ALL: [TrustLevel; 4] = [TrustLevel::T0, TrustLevel::T1, TrustLevel::T2, TrustLevel::T3];
+    pub const ALL: [TrustLevel; 4] = [
+        TrustLevel::T0,
+        TrustLevel::T1,
+        TrustLevel::T2,
+        TrustLevel::T3,
+    ];
 
     /// Numeric value 0..=3.
     #[inline]
@@ -73,9 +78,11 @@ impl std::fmt::Display for TrustLevel {
 /// (Fig. 1b) is the default; ablation A5 sweeps alternatives.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrustTable {
-    /// Lower bounds for T1, T2, T3 (T0 covers everything below `t1`).
+    /// Lower bound of T1 (T0 covers everything below it).
     pub t1: f64,
+    /// Lower bound of T2.
     pub t2: f64,
+    /// Lower bound of T3.
     pub t3: f64,
     /// Level assigned to nodes with no reputation data. The paper assigns
     /// default trust 1 (§6.1).

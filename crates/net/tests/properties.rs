@@ -152,7 +152,6 @@ proptest! {
         n_inter in 1usize..8,
         drop_at in proptest::option::of(0usize..8),
     ) {
-        let n_inter = n_inter;
         let drop_at = drop_at.filter(|&k| k < n_inter);
         let mut m = ReputationMatrix::new(12);
         let source = NodeId(0);

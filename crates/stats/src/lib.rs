@@ -12,6 +12,8 @@
 //! * [`chi_squared_uniformity`] and friends — goodness-of-fit helpers used
 //!   by the distribution tests for Tables 2–3.
 
+#![deny(missing_docs)]
+
 pub mod histogram;
 pub mod plot;
 pub mod series;

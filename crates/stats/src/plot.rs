@@ -32,6 +32,9 @@ pub fn ascii_chart(series: &[PlotSeries<'_>], width: usize, height: usize) -> St
         if s.values.is_empty() {
             continue;
         }
+        // The column indexes a different row of `grid` each iteration, so
+        // no single iterator replaces the range loop.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..width {
             // Map the column to an index in the series.
             let idx = if max_len <= 1 {
@@ -39,7 +42,9 @@ pub fn ascii_chart(series: &[PlotSeries<'_>], width: usize, height: usize) -> St
             } else {
                 col * (max_len - 1) / (width - 1).max(1)
             };
-            let Some(&v) = s.values.get(idx) else { continue };
+            let Some(&v) = s.values.get(idx) else {
+                continue;
+            };
             let v = v.clamp(0.0, 1.0);
             let row = ((1.0 - v) * (height - 1) as f64).round() as usize;
             grid[row][col] = s.marker;
@@ -121,8 +126,16 @@ mod tests {
         let low = [0.1; 10];
         let chart = ascii_chart(
             &[
-                PlotSeries { label: "a", values: &flat, marker: 'a' },
-                PlotSeries { label: "b", values: &low, marker: 'b' },
+                PlotSeries {
+                    label: "a",
+                    values: &flat,
+                    marker: 'a',
+                },
+                PlotSeries {
+                    label: "b",
+                    values: &low,
+                    marker: 'b',
+                },
             ],
             20,
             10,
@@ -136,8 +149,16 @@ mod tests {
         let v = [0.5; 5];
         let chart = ascii_chart(
             &[
-                PlotSeries { label: "front", values: &v, marker: 'F' },
-                PlotSeries { label: "back", values: &v, marker: 'B' },
+                PlotSeries {
+                    label: "front",
+                    values: &v,
+                    marker: 'F',
+                },
+                PlotSeries {
+                    label: "back",
+                    values: &v,
+                    marker: 'B',
+                },
             ],
             10,
             5,
@@ -152,7 +173,11 @@ mod tests {
     #[test]
     fn empty_series_is_tolerated() {
         let chart = ascii_chart(
-            &[PlotSeries { label: "none", values: &[], marker: 'x' }],
+            &[PlotSeries {
+                label: "none",
+                values: &[],
+                marker: 'x',
+            }],
             10,
             4,
         );

@@ -69,7 +69,10 @@ impl Series {
 
     /// Mean value at each index (0.0 for indices with no data).
     pub fn means(&self) -> Vec<f64> {
-        self.points.iter().map(|s| s.mean().unwrap_or(0.0)).collect()
+        self.points
+            .iter()
+            .map(|s| s.mean().unwrap_or(0.0))
+            .collect()
     }
 
     /// Mean of the final index, i.e. the "last generation" value the

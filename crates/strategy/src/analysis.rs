@@ -154,10 +154,7 @@ pub fn convergence_spread(pop: &[Strategy]) -> f64 {
     let mut census = StrategyCensus::new();
     census.add_population(pop);
     let center = census.top_strategies(1)[0].0.clone();
-    let total: usize = pop
-        .iter()
-        .map(|s| s.bits().hamming(center.bits()))
-        .sum();
+    let total: usize = pop.iter().map(|s| s.bits().hamming(center.bits())).sum();
     total as f64 / (pop.len() * STRATEGY_BITS) as f64
 }
 

@@ -20,6 +20,8 @@
 //! Tables 7–9, and [`reduced`] the 5-bit trust-only variant used by the
 //! activity-dimension ablation (DESIGN.md A2).
 
+#![deny(missing_docs)]
+
 pub mod analysis;
 pub mod reduced;
 
@@ -235,9 +237,18 @@ mod tests {
             Decision::Forward,
             "bit 9 of the example strategy is F"
         );
-        assert_eq!(s.decision(TrustLevel::T3, ActivityLevel::Mi), Decision::Discard);
-        assert_eq!(s.decision(TrustLevel::T0, ActivityLevel::Lo), Decision::Discard);
-        assert_eq!(s.decision(TrustLevel::T1, ActivityLevel::Hi), Decision::Forward);
+        assert_eq!(
+            s.decision(TrustLevel::T3, ActivityLevel::Mi),
+            Decision::Discard
+        );
+        assert_eq!(
+            s.decision(TrustLevel::T0, ActivityLevel::Lo),
+            Decision::Discard
+        );
+        assert_eq!(
+            s.decision(TrustLevel::T1, ActivityLevel::Hi),
+            Decision::Forward
+        );
         assert_eq!(s.unknown_decision(), Decision::Forward);
     }
 
@@ -269,9 +280,18 @@ mod tests {
     #[test]
     fn trust_threshold_strategy() {
         let s = Strategy::trust_threshold(TrustLevel::T2, true);
-        assert_eq!(s.decision(TrustLevel::T1, ActivityLevel::Hi), Decision::Discard);
-        assert_eq!(s.decision(TrustLevel::T2, ActivityLevel::Lo), Decision::Forward);
-        assert_eq!(s.decision(TrustLevel::T3, ActivityLevel::Mi), Decision::Forward);
+        assert_eq!(
+            s.decision(TrustLevel::T1, ActivityLevel::Hi),
+            Decision::Discard
+        );
+        assert_eq!(
+            s.decision(TrustLevel::T2, ActivityLevel::Lo),
+            Decision::Forward
+        );
+        assert_eq!(
+            s.decision(TrustLevel::T3, ActivityLevel::Mi),
+            Decision::Forward
+        );
         assert_eq!(s.unknown_decision(), Decision::Forward);
         assert!((s.cooperativeness() - 0.5).abs() < 1e-12);
     }

@@ -146,6 +146,9 @@ mod tests {
         use rand::SeedableRng;
         let mut a = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         let mut b = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-        assert_eq!(ReducedStrategy::random(&mut a), ReducedStrategy::random(&mut b));
+        assert_eq!(
+            ReducedStrategy::random(&mut a),
+            ReducedStrategy::random(&mut b)
+        );
     }
 }

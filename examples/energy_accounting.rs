@@ -43,9 +43,18 @@ fn main() {
         forwarder.add_forward();
     }
     println!("One hour of behavior (joules):");
-    println!("  sleeping:                    {:>8.0}", sleeper.total_mj(&profile) / 1000.0);
-    println!("  idle listening:              {:>8.0}", listener.total_mj(&profile) / 1000.0);
-    println!("  listening + 1000 forwards:   {:>8.0}", forwarder.total_mj(&profile) / 1000.0);
+    println!(
+        "  sleeping:                    {:>8.0}",
+        sleeper.total_mj(&profile) / 1000.0
+    );
+    println!(
+        "  idle listening:              {:>8.0}",
+        listener.total_mj(&profile) / 1000.0
+    );
+    println!(
+        "  listening + 1000 forwards:   {:>8.0}",
+        forwarder.total_mj(&profile) / 1000.0
+    );
 
     // Measure actual event energy from a short evolution run.
     let mut config = ExperimentConfig::smoke();
@@ -55,8 +64,14 @@ fn main() {
     let case = CaseSpec::mini("energy", &[4], 10, PathMode::Shorter);
     let rep = run_replication(&config, &case, 11);
     println!("\nMeasured per-node packet energy in the final generation (mJ):");
-    println!("  normal (forwarding) nodes:   {:>8.1}", rep.energy_normal_mj);
-    println!("  constantly selfish nodes:    {:>8.1}", rep.energy_selfish_mj);
+    println!(
+        "  normal (forwarding) nodes:   {:>8.1}",
+        rep.energy_normal_mj
+    );
+    println!(
+        "  constantly selfish nodes:    {:>8.1}",
+        rep.energy_selfish_mj
+    );
     println!(
         "  selfishness saves {:.0}% of packet energy — the temptation the\n\
          cooperation-enforcement system has to beat.",

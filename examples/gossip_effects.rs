@@ -26,8 +26,14 @@ fn main() {
 
     let variants: [(&str, Option<GossipConfig>); 3] = [
         ("first-hand only (paper)", None),
-        ("positive gossip (CORE-style)", Some(GossipConfig::core_style())),
-        ("full gossip (CONFIDANT-style)", Some(GossipConfig::confidant_style())),
+        (
+            "positive gossip (CORE-style)",
+            Some(GossipConfig::core_style()),
+        ),
+        (
+            "full gossip (CONFIDANT-style)",
+            Some(GossipConfig::confidant_style()),
+        ),
     ];
 
     println!("Evolving under three reputation-sharing policies...\n");

@@ -51,7 +51,10 @@ fn main() {
     // Show why: even Tit-for-Tat is helpless against strangers.
     let tft = IpdrpStrategy::tit_for_tat();
     println!("\nTit-for-Tat's problem under random pairing:");
-    println!("  round 1 vs defector D1: TFT plays {:?} (first move)", tft.first_move());
+    println!(
+        "  round 1 vs defector D1: TFT plays {:?} (first move)",
+        tft.first_move()
+    );
     println!(
         "  round 2 vs *fresh* defector D2: TFT plays {:?} — it punishes D2 for D1's sin",
         tft.next_move(Move::Cooperate, Move::Defect)

@@ -61,9 +61,7 @@ fn main() {
     }
 
     if observations > 0 {
-        println!(
-            "\nRoute churn: {changes}/{observations} minutes changed the relay chain."
-        );
+        println!("\nRoute churn: {changes}/{observations} minutes changed the relay chain.");
     }
     println!(
         "\nAt vehicular speeds the relay chain rarely survives a minute —\n\

@@ -25,7 +25,14 @@ fn main() {
         // Two environments: CSN-free and one-third selfish.
         let case = CaseSpec::mini(&format!("{mode} mode"), &[0, 4], 12, mode);
         let result = run_experiment(&config, &case);
-        println!("== {} paths ==", if mode == PathMode::Shorter { "shorter" } else { "longer" });
+        println!(
+            "== {} paths ==",
+            if mode == PathMode::Shorter {
+                "shorter"
+            } else {
+                "longer"
+            }
+        );
         println!(
             "  overall cooperation: {:.1}%",
             result.final_coop.mean().unwrap_or(0.0) * 100.0

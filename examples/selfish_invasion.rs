@@ -29,7 +29,10 @@ fn main() {
     let result = run_experiment(&config, &case);
 
     let coop = result.final_coop.mean().unwrap_or(0.0);
-    println!("Final cooperation level: {:.1}%  (paper, full scale: ~19%)", coop * 100.0);
+    println!(
+        "Final cooperation level: {:.1}%  (paper, full scale: ~19%)",
+        coop * 100.0
+    );
     println!(
         "Chosen paths free of CSN: {:.1}%",
         result.per_env_csn_free[0].mean().unwrap_or(0.0) * 100.0
@@ -38,7 +41,10 @@ fn main() {
     println!("\nHow forwarding requests were treated (final generation):");
     let nn = &result.req_from_nn;
     println!("  from normal nodes:");
-    println!("    accepted            {:>6.1}%", nn.accepted.mean().unwrap_or(0.0) * 100.0);
+    println!(
+        "    accepted            {:>6.1}%",
+        nn.accepted.mean().unwrap_or(0.0) * 100.0
+    );
     println!(
         "    rejected by normals {:>6.1}%",
         nn.rejected_by_nn.mean().unwrap_or(0.0) * 100.0
@@ -49,7 +55,10 @@ fn main() {
     );
     let csn = &result.req_from_csn;
     println!("  from CSN:");
-    println!("    accepted            {:>6.1}%", csn.accepted.mean().unwrap_or(0.0) * 100.0);
+    println!(
+        "    accepted            {:>6.1}%",
+        csn.accepted.mean().unwrap_or(0.0) * 100.0
+    );
     println!(
         "    rejected by normals {:>6.1}%",
         csn.rejected_by_nn.mean().unwrap_or(0.0) * 100.0

@@ -47,7 +47,10 @@ fn main() {
 
     // Decode the winner in human terms.
     if let Some((winner, share)) = result.census.top_strategies(1).into_iter().next() {
-        println!("\nThe most popular strategy ({:.0}% of final populations):", share * 100.0);
+        println!(
+            "\nThe most popular strategy ({:.0}% of final populations):",
+            share * 100.0
+        );
         println!("{}", winner.describe());
         println!(
             "\nReading: trusted sources are served unconditionally, untrusted\n\

@@ -40,6 +40,8 @@
 //! `cargo run --release --example quickstart`); the `ahn-exp` binary in
 //! `crates/cli` regenerates every table and figure of the paper.
 
+#![deny(missing_docs)]
+
 pub use ahn_bitstr as bitstr;
 pub use ahn_core as core;
 pub use ahn_ga as ga;

@@ -46,7 +46,10 @@ fn games_on_topology_derived_pools() {
             continue;
         }
         let report = play_game(&mut arena, &mut r, src, &participants, 0, &mut scratch);
-        assert!(report.outcome.delivered(), "all-cooperator pool must deliver");
+        assert!(
+            report.outcome.delivered(),
+            "all-cooperator pool must deliver"
+        );
         assert!(report.hops >= 1);
         played += 1;
     }
@@ -112,7 +115,10 @@ fn random_droppers_interpolate() {
     let none = coop_with_dropper(0.0);
     let half = coop_with_dropper(0.5);
     let full = coop_with_dropper(1.0);
-    assert!(none > half && half > full, "{none:.2} / {half:.2} / {full:.2}");
+    assert!(
+        none > half && half > full,
+        "{none:.2} / {half:.2} / {full:.2}"
+    );
     assert_eq!(none, 1.0);
 }
 

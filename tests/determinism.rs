@@ -54,11 +54,16 @@ fn aggregation_is_order_insensitive_for_series_means() {
     let r2 = run_replication(&config, &case, 11);
     let ab = aggregate(&config, &case, &[r1.clone(), r2.clone()]);
     let ba = aggregate(&config, &case, &[r2, r1]);
-    // Means are order-independent; the full Summary may differ in
-    // internal state only through floating-point association, so compare
-    // the reported statistics.
-    assert_eq!(ab.coop_series.means(), ba.coop_series.means());
-    assert_eq!(ab.final_coop.mean(), ba.final_coop.mean());
+    // The Welford accumulators are association-sensitive in the last
+    // ulps, so reported statistics agree to floating-point noise (the
+    // census, being integer counts, must match exactly).
+    let (ma, mb) = (ab.coop_series.means(), ba.coop_series.means());
+    assert_eq!(ma.len(), mb.len());
+    for (a, b) in ma.iter().zip(&mb) {
+        assert!((a - b).abs() < 1e-12, "means diverge: {a} vs {b}");
+    }
+    let (fa, fb) = (ab.final_coop.mean().unwrap(), ba.final_coop.mean().unwrap());
+    assert!((fa - fb).abs() < 1e-12, "final coop diverges: {fa} vs {fb}");
     assert_eq!(ab.census, ba.census);
 }
 

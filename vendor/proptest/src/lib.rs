@@ -1,0 +1,89 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Differences from the real crate, by design (see `vendor/README.md`):
+//! no shrinking (a failing case reports its values via the assert
+//! message, not a minimized counterexample) and no persisted failure
+//! seeds. Generation is deterministic per test function (seeded from the
+//! test name), overridable with `PROPTEST_SEED`; the case count defaults
+//! to 64, overridable with `PROPTEST_CASES`.
+
+#![deny(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The usual imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over many generated inputs.
+/// An optional `#![proptest_config(ProptestConfig::with_cases(N))]`
+/// header overrides the per-block case count.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_with_cases! { ({ $config }.cases) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_with_cases! { ($crate::test_runner::case_count()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_with_cases {
+    (($cases:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::test_runner::ProptestConfig;
+            let cases: usize = $cases;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for _ in 0..cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}

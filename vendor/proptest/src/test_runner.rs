@@ -1,0 +1,71 @@
+//! The RNG driving value generation and the runner configuration.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of cases each property runs: `PROPTEST_CASES` or 64.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic RNG for one property test.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: ChaCha8Rng,
+}
+
+impl TestRng {
+    /// RNG seeded from the test name (stable across runs) xor
+    /// `PROPTEST_SEED` when set (to explore different cases).
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let extra: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        TestRng {
+            inner: ChaCha8Rng::seed_from_u64(hash ^ extra),
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property in the block runs.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}

@@ -1,0 +1,152 @@
+//! Distributions: the `Standard` distribution and uniform ranges.
+
+use crate::Rng;
+
+/// Types that can produce values of `T` from a random source.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: full-range integers, `[0, 1)` floats,
+/// fair booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use crate::Rng;
+
+    /// Range types that can be sampled from directly.
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Draws a uniform integer in `[0, span)` by rejection sampling, so
+    /// every value is exactly equally likely.
+    #[inline]
+    pub(crate) fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return rng.next_u64() & (span - 1);
+        }
+        // Largest multiple of span that fits in u64.
+        let zone = u64::MAX - (u64::MAX % span) - 1;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! range_int {
+        ($($t:ty as $wide:ty),* $(,)?) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    range_int!(
+        u8 as u64,
+        u16 as u64,
+        u32 as u64,
+        u64 as u64,
+        usize as u64,
+        i8 as i64,
+        i16 as i64,
+        i32 as i64,
+        i64 as i64,
+        isize as i64,
+    );
+
+    macro_rules! range_float {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let unit: $t = rng.gen();
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let unit: $t = rng.gen();
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    range_float!(f32, f64);
+}

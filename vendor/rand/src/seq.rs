@@ -1,0 +1,60 @@
+//! Sequence helpers: shuffling and choosing, mirroring `rand::seq`.
+
+use crate::distributions::uniform::uniform_u64_below;
+use crate::Rng;
+
+/// Extension trait adding random operations to slices.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Fisher–Yates shuffle of the whole slice.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffles `amount` randomly chosen elements into the *end* of the
+    /// slice (upstream `rand` 0.8 convention) and returns
+    /// `(shuffled, rest)`.
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = uniform_u64_below(rng, self.len() as u64) as usize;
+            Some(&self[i])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let (shuffled, _) = self.partial_shuffle(rng, self.len());
+        debug_assert_eq!(shuffled.len(), self.len());
+    }
+
+    fn partial_shuffle<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let len = self.len();
+        let amount = amount.min(len);
+        // Swap a random earlier element into each of the last `amount`
+        // positions, back to front — upstream's algorithm.
+        for i in ((len - amount)..len).rev() {
+            let j = uniform_u64_below(rng, (i + 1) as u64) as usize;
+            self.swap(i, j);
+        }
+        let (rest, shuffled) = self.split_at_mut(len - amount);
+        (shuffled, rest)
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline shim for the slice of `rayon` this workspace uses:
+//! `collection.into_par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Unlike a stub, this really runs the mapped function on
+//! `std::thread::available_parallelism()` OS threads via
+//! `std::thread::scope`, preserving input order in the collected output
+//! (each worker owns a contiguous chunk). Nested parallelism spawns
+//! nested scopes, which is wasteful but correct; the workspace only
+//! parallelizes at the replication level.
+
+#![deny(missing_docs)]
+
+/// Common traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = ParIter<I::Item>;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// A work list awaiting a parallel consumer.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator: the subset of rayon's operations used here.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Maps every element through `op`, in parallel.
+    fn map<R, F>(self, op: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, op }
+    }
+
+    /// Consumes the iterator into a `Vec`, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>;
+
+    /// Drains the iterator into a plain `Vec` (building block for
+    /// `collect`).
+    fn into_vec(self) -> Vec<Self::Item>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_vec(self.into_vec())
+    }
+    fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct Map<B, F> {
+    base: B,
+    op: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_par_vec(self.into_vec())
+    }
+
+    fn into_vec(self) -> Vec<R> {
+        let items = self.base.into_vec();
+        parallel_map(items, &self.op)
+    }
+}
+
+/// Types constructible from the ordered results of a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds `Self` from the already-ordered result vector.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// Runs `op` over `items` on a scoped thread pool, returning results in
+/// input order.
+fn parallel_map<T, R, F>(items: Vec<T>, op: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(op).collect();
+    }
+
+    // Hand each worker a contiguous chunk; chunk order restores input
+    // order on reassembly.
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    {
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+    }
+
+    let mut results: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(op).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

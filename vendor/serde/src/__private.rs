@@ -1,0 +1,35 @@
+//! Support functions the derive macros expand to. Not a public API.
+
+use crate::content::Content;
+use crate::de::{from_content, DeserializeOwned, Error};
+
+/// Unwraps a `Content::Map` for struct deserialization.
+pub fn expect_map<E: Error>(content: Content, name: &str) -> Result<Vec<(String, Content)>, E> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(E::invalid_type(other.kind(), name)),
+    }
+}
+
+/// Removes and deserializes the named struct field. Absent fields
+/// deserialize from `null`, which makes `Option` fields optional (the
+/// behavior the real serde derive has) while other types report the
+/// missing field.
+pub fn take_field<T: DeserializeOwned, E: Error>(
+    entries: &mut Vec<(String, Content)>,
+    field: &'static str,
+) -> Result<T, E> {
+    let content = match entries.iter().position(|(k, _)| k == field) {
+        Some(i) => entries.remove(i).1,
+        None => Content::Null,
+    };
+    from_content(content).map_err(|e: E| E::custom(format!("field `{field}`: {e}")))
+}
+
+/// Deserializes a value from content, used for newtype/variant payloads.
+pub fn field_from_content<T: DeserializeOwned, E: Error>(
+    content: Content,
+    context: &'static str,
+) -> Result<T, E> {
+    from_content(content).map_err(|e: E| E::custom(format!("{context}: {e}")))
+}

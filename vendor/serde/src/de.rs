@@ -1,0 +1,298 @@
+//! Deserialization half of the shim: a simplified pull model where a
+//! [`Deserializer`] surrenders a self-describing [`Content`] tree and
+//! types build themselves from it. Sufficient for JSON; see the crate
+//! docs for the trade-off against the real visitor-based API.
+
+use crate::content::Content;
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// The input held an unexpected type.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format!("invalid type: {unexpected}, expected {expected}"))
+    }
+
+    /// An enum tag did not match any variant.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
+    }
+}
+
+/// A data structure that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Builds `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A format backend that can surrender its input as a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding the self-describing content.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A [`Deserializer`] reading from an in-memory [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps `content` for deserialization.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a value directly from a [`Content`] tree.
+pub fn from_content<T: DeserializeOwned, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(D::Error::invalid_type(other.kind(), "a boolean")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let out_of_range =
+                    || D::Error::custom(format!("integer out of range for {}", stringify!($t)));
+                match content {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| out_of_range()),
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| out_of_range()),
+                    other => Err(D::Error::invalid_type(other.kind(), "an integer")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    other => Err(D::Error::invalid_type(other.kind(), "a number")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::String(s) => Ok(s),
+            other => Err(D::Error::invalid_type(other.kind(), "a string")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(D::Error::invalid_type(
+                other.kind(),
+                "a single-character string",
+            )),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(D::Error::invalid_type(other.kind(), "null")),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "an array")),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) if items.len() == N => {
+                let collected: Result<Vec<T>, D::Error> =
+                    items.into_iter().map(from_content).collect();
+                collected?
+                    .try_into()
+                    .map_err(|_| D::Error::custom("array length changed during collection"))
+            }
+            Content::Seq(items) => Err(D::Error::custom(format!(
+                "expected an array of length {N}, got length {}",
+                items.len()
+            ))),
+            other => Err(D::Error::invalid_type(other.kind(), "an array")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                match deserializer.take_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut items = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            from_content::<$name, __D::Error>(
+                                items.next().expect("length checked"),
+                            )?
+                        },)+))
+                    }
+                    Content::Seq(items) => Err(__D::Error::custom(format!(
+                        "expected an array of length {}, got length {}", $len, items.len()
+                    ))),
+                    other => Err(__D::Error::invalid_type(other.kind(), "an array")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1; A:0)
+    (2; A:0, B:1)
+    (3; A:0, B:1, C:2)
+    (4; A:0, B:1, C:2, D:3)
+    (5; A:0, B:1, C:2, D:3, E:4)
+    (6; A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+/// Map key types: JSON object keys are strings, so non-string keys
+/// round-trip through their decimal representation (as in serde_json).
+pub trait MapKey: Sized {
+    /// Parses a key from its JSON object-key string.
+    fn from_key<E: Error>(key: String) -> Result<Self, E>;
+}
+
+impl MapKey for String {
+    fn from_key<E: Error>(key: String) -> Result<Self, E> {
+        Ok(key)
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl MapKey for $t {
+            fn from_key<E: Error>(key: String) -> Result<Self, E> {
+                key.parse().map_err(|_| {
+                    E::custom(format!("invalid integer object key `{key}`"))
+                })
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, from_content(v)?)))
+                .collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "an object")),
+        }
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: MapKey + Ord,
+    V: DeserializeOwned,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, from_content(v)?)))
+                .collect(),
+            other => Err(D::Error::invalid_type(other.kind(), "an object")),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_content()
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline shim for the subset of `serde` 1.0 this workspace uses.
+//!
+//! The serialization half keeps the real trait shape (`Serialize` /
+//! `Serializer` with `SerializeStruct`-style builders), so hand-written
+//! impls like `bitstr`'s compile unchanged. The deserialization half is
+//! simplified to a self-describing [`content::Content`] pull model —
+//! sufficient for JSON, which is the only format this workspace speaks.
+//! See `vendor/README.md` for the swap-out path to the real crate.
+
+#![deny(missing_docs)]
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// The derive macros live in the macro namespace, so re-exporting them
+// under the trait names mirrors `serde`'s `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

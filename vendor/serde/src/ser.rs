@@ -1,0 +1,608 @@
+//! Serialization half of the shim: the real `serde` trait shape, trimmed
+//! to the methods JSON needs.
+
+use crate::content::Content;
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Builder for sequences.
+pub trait SerializeSeq {
+    /// Value produced when the sequence ends.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for fixed-size tuples (serialized as sequences in JSON).
+pub trait SerializeTuple {
+    /// Value produced when the tuple ends.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for maps.
+pub trait SerializeMap {
+    /// Value produced when the map ends.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one key.
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes the value for the last key.
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Serializes one key/value entry.
+    fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    /// Finishes the map.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for structs.
+pub trait SerializeStruct {
+    /// Value produced when the struct ends.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Builder for struct enum variants.
+pub trait SerializeStructVariant {
+    /// Value produced when the variant ends.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Serializes one named field.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A format backend: turns Rust values into `Self::Ok`.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Sequence builder.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Tuple builder.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Map builder.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct builder.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct-variant builder.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i64` (narrower signed ints widen to this).
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u64` (narrower unsigned ints widen to this).
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value (`()` / unit structs).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes an `i8`.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(v as i64)
+    }
+    /// Serializes an `i16`.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(v as i64)
+    }
+    /// Serializes an `i32`.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(v as i64)
+    }
+    /// Serializes a `u8`.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(v as u64)
+    }
+    /// Serializes a `u16`.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(v as u64)
+    }
+    /// Serializes a `u32`.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(v as u64)
+    }
+    /// Serializes an `f32`.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(v as f64)
+    }
+    /// Serializes a `char` as a one-character string.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(&v.to_string())
+    }
+
+    /// Serializes a unit struct (`struct X;`).
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_unit()
+    }
+    /// Serializes a unit enum variant as its name.
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(variant)
+    }
+    /// Serializes a newtype struct as its inner value.
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+    /// Serializes a newtype enum variant as `{variant: value}`.
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+
+    /// Starts a sequence of `len` elements (if known).
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Starts a tuple of exactly `len` elements.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Starts a map of `len` entries (if known).
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Starts a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Starts a struct enum variant with `len` fields.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    /// Serializes any `Display` value as a string.
+    fn collect_str<T: ?Sized + Display>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(&value.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_serialize_prim {
+    ($($t:ty => $method:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+impl_serialize_prim!(
+    bool => serialize_bool,
+    i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32, i64 => serialize_i64,
+    u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32, u64 => serialize_u64,
+    f32 => serialize_f32, f64 => serialize_f64,
+    char => serialize_char,
+);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut tup = serializer.serialize_tuple(N)?;
+        for item in self {
+            tup.serialize_element(item)?;
+        }
+        tup.end()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let len = [$(stringify!($idx)),+].len();
+                let mut tup = serializer.serialize_tuple(len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Content::Null => serializer.serialize_unit(),
+            Content::Bool(b) => serializer.serialize_bool(*b),
+            Content::U64(v) => serializer.serialize_u64(*v),
+            Content::I64(v) => serializer.serialize_i64(*v),
+            Content::F64(v) => serializer.serialize_f64(*v),
+            Content::String(s) => serializer.serialize_str(s),
+            Content::Seq(items) => items.serialize(serializer),
+            Content::Map(entries) => {
+                let mut map = serializer.serialize_map(Some(entries.len()))?;
+                for (k, v) in entries {
+                    map.serialize_entry(k, v)?;
+                }
+                map.end()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ContentSerializer: Serializer producing the Content data model.
+// ---------------------------------------------------------------------
+
+/// A [`Serializer`] whose output is the [`Content`] tree, generic over
+/// the caller's error type.
+pub struct ContentSerializer<E> {
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentSerializer<E> {
+    /// Creates a content serializer.
+    pub fn new() -> Self {
+        ContentSerializer {
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<E> Default for ContentSerializer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sequence builder for [`ContentSerializer`].
+pub struct ContentSeq<E> {
+    items: Vec<Content>,
+    marker: PhantomData<E>,
+}
+
+impl<E: Error> SerializeSeq for ContentSeq<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        self.items.push(value.serialize(ContentSerializer::new())?);
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Seq(self.items))
+    }
+}
+
+impl<E: Error> SerializeTuple for ContentSeq<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Content, E> {
+        SerializeSeq::end(self)
+    }
+}
+
+/// Map/struct builder for [`ContentSerializer`].
+pub struct ContentMap<E> {
+    entries: Vec<(String, Content)>,
+    pending_key: Option<String>,
+    /// When set, `end` wraps the map as `{variant: {..}}`.
+    variant: Option<&'static str>,
+    marker: PhantomData<E>,
+}
+
+impl<E: Error> SerializeMap for ContentMap<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), E> {
+        // JSON object keys are strings; integer keys stringify, as in
+        // serde_json.
+        match key.serialize(ContentSerializer::new())? {
+            Content::String(s) => {
+                self.pending_key = Some(s);
+                Ok(())
+            }
+            Content::U64(v) => {
+                self.pending_key = Some(v.to_string());
+                Ok(())
+            }
+            Content::I64(v) => {
+                self.pending_key = Some(v.to_string());
+                Ok(())
+            }
+            other => Err(E::custom(format!(
+                "map key must be a string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), E> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| E::custom("serialize_value called before serialize_key"))?;
+        self.entries
+            .push((key, value.serialize(ContentSerializer::new())?));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.entries))
+    }
+}
+
+impl<E: Error> SerializeStruct for ContentMap<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        self.entries
+            .push((key.to_owned(), value.serialize(ContentSerializer::new())?));
+        Ok(())
+    }
+    fn end(self) -> Result<Content, E> {
+        Ok(Content::Map(self.entries))
+    }
+}
+
+impl<E: Error> SerializeStructVariant for ContentMap<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), E> {
+        SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<Content, E> {
+        let variant = self
+            .variant
+            .expect("struct variant builder carries its tag");
+        Ok(Content::Map(vec![(
+            variant.to_owned(),
+            Content::Map(self.entries),
+        )]))
+    }
+}
+
+impl<E: Error> Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+    type SerializeSeq = ContentSeq<E>;
+    type SerializeTuple = ContentSeq<E>;
+    type SerializeMap = ContentMap<E>;
+    type SerializeStruct = ContentMap<E>;
+    type SerializeStructVariant = ContentMap<E>;
+
+    fn serialize_bool(self, v: bool) -> Result<Content, E> {
+        Ok(Content::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Content, E> {
+        Ok(if v >= 0 {
+            Content::U64(v as u64)
+        } else {
+            Content::I64(v)
+        })
+    }
+    fn serialize_u64(self, v: u64) -> Result<Content, E> {
+        Ok(Content::U64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Content, E> {
+        Ok(Content::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Content, E> {
+        Ok(Content::String(v.to_owned()))
+    }
+    fn serialize_unit(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+    fn serialize_none(self) -> Result<Content, E> {
+        Ok(Content::Null)
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Content, E> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Content, E> {
+        Ok(Content::Map(vec![(
+            variant.to_owned(),
+            value.serialize(ContentSerializer::new())?,
+        )]))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<ContentSeq<E>, E> {
+        Ok(ContentSeq {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+            marker: PhantomData,
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<ContentSeq<E>, E> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<ContentMap<E>, E> {
+        Ok(ContentMap {
+            entries: Vec::with_capacity(len.unwrap_or(0)),
+            pending_key: None,
+            variant: None,
+            marker: PhantomData,
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, len: usize) -> Result<ContentMap<E>, E> {
+        self.serialize_map(Some(len))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<ContentMap<E>, E> {
+        Ok(ContentMap {
+            entries: Vec::with_capacity(len),
+            pending_key: None,
+            variant: Some(variant),
+            marker: PhantomData,
+        })
+    }
+}

@@ -1,0 +1,287 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim. Implemented directly on `proc_macro` token
+//! streams (`syn`/`quote` are not available offline).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields
+//! - tuple structs (serialized as newtype / tuple)
+//! - enums with unit, newtype and struct variants (externally tagged)
+//! - the `#[serde(transparent)]` container attribute
+//!
+//! Unsupported shapes (generics, other serde attributes) abort with a
+//! clear compile error rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Data, Input, VariantKind};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = Input::parse(input);
+    let body = serialize_body(&input);
+    let name = &input.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derived Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = Input::parse(input);
+    let body = deserialize_body(&input);
+    let name = &input.name;
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derived Deserialize impl parses")
+}
+
+fn serialize_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.data {
+        Data::Struct { fields } if input.transparent => {
+            let field = single_field(name, fields.len() == 1, || fields[0].clone());
+            format!("::serde::Serialize::serialize(&self.{field}, __serializer)")
+        }
+        Data::Struct { fields } => {
+            let n = fields.len();
+            let mut out = format!(
+                "let mut __s = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __s, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__s)");
+            out
+        }
+        Data::Tuple { arity } if input.transparent || *arity == 1 => {
+            single_field(name, *arity == 1, String::new);
+            if input.transparent {
+                "::serde::Serialize::serialize(&self.0, __serializer)".to_owned()
+            } else {
+                format!(
+                    "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                )
+            }
+        }
+        Data::Tuple { arity } => {
+            let mut out = format!(
+                "let mut __t = ::serde::Serializer::serialize_tuple(__serializer, {arity}usize)?;\n"
+            );
+            for i in 0..*arity {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTuple::serialize_element(&mut __t, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTuple::end(__t)");
+            out
+        }
+        Data::Unit => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Data::Enum { variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings = fields.join(", ");
+                        let n = fields.len();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn deserialize_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.data {
+        Data::Struct { fields } if input.transparent => {
+            let field = single_field(name, fields.len() == 1, || fields[0].clone());
+            format!(
+                "::core::result::Result::Ok({name} {{ {field}: \
+                 ::serde::de::from_content::<_, __D::Error>(\
+                 ::serde::Deserializer::take_content(__deserializer)?)? }})"
+            )
+        }
+        Data::Struct { fields } => {
+            let mut out = format!(
+                "let __content = ::serde::Deserializer::take_content(__deserializer)?;\n\
+                 let mut __map = ::serde::__private::expect_map::<__D::Error>(__content, \"struct {name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::__private::take_field::<_, __D::Error>(&mut __map, \"{f}\")?,\n"
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        Data::Tuple { arity } => {
+            single_field(name, *arity == 1, String::new);
+            format!(
+                "::core::result::Result::Ok({name}(\
+                 ::serde::de::from_content::<_, __D::Error>(\
+                 ::serde::Deserializer::take_content(__deserializer)?)?))"
+            )
+        }
+        Data::Unit => format!(
+            "::serde::Deserializer::take_content(__deserializer)\
+             .map(|_| {name})"
+        ),
+        Data::Enum { variants } => {
+            let expected: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let expected = expected.join(", ");
+            let units: Vec<_> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let datas: Vec<_> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+
+            let mut out = "let __content = ::serde::Deserializer::take_content(__deserializer)?;\n\
+                 match __content {\n"
+                .to_owned();
+            if !units.is_empty() {
+                out.push_str("::serde::content::Content::String(__s) => match __s.as_str() {\n");
+                for v in &units {
+                    let vname = &v.name;
+                    out.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                out.push_str(&format!(
+                    "__other => ::core::result::Result::Err(\
+                     ::serde::de::Error::unknown_variant(__other, &[{expected}])),\n}},\n"
+                ));
+            }
+            if !datas.is_empty() {
+                out.push_str(
+                    "::serde::content::Content::Map(mut __m) if __m.len() == 1 => {\n\
+                     let (__tag, __inner) = __m.remove(0);\n\
+                     match __tag.as_str() {\n",
+                );
+                for v in &datas {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Newtype => out.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::__private::field_from_content::<_, __D::Error>(\
+                             __inner, \"variant {vname}\")?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut arm = format!(
+                                "\"{vname}\" => {{\n\
+                                 let mut __map = ::serde::__private::expect_map::<__D::Error>(\
+                                 __inner, \"variant {vname}\")?;\n\
+                                 ::core::result::Result::Ok({name}::{vname} {{\n"
+                            );
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "{f}: ::serde::__private::take_field::<_, __D::Error>(&mut __map, \"{f}\")?,\n"
+                                ));
+                            }
+                            arm.push_str("})\n},\n");
+                            out.push_str(&arm);
+                        }
+                        VariantKind::Unit => unreachable!("filtered to data variants"),
+                    }
+                }
+                out.push_str(&format!(
+                    "__other => ::core::result::Result::Err(\
+                     ::serde::de::Error::unknown_variant(__other, &[{expected}])),\n}}\n}},\n"
+                ));
+            }
+            out.push_str(&format!(
+                "__other => ::core::result::Result::Err(::serde::de::Error::invalid_type(\
+                 __other.kind(), \"enum {name}\")),\n}}"
+            ));
+            out
+        }
+    }
+}
+
+/// Validates the single-field expectation of transparent/newtype codegen.
+fn single_field(name: &str, is_single: bool, field: impl FnOnce() -> String) -> String {
+    if !is_single {
+        panic!(
+            "vendored serde_derive: `{name}` must have exactly one field \
+             for transparent/newtype (de)serialization"
+        );
+    }
+    field()
+}
+
+/// Returns true when the attribute group body is `serde(transparent)`.
+fn is_serde_transparent(group_body: TokenStream) -> bool {
+    let mut iter = group_body.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(path)), Some(TokenTree::Group(args)))
+            if path.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let mut saw_transparent = false;
+            for tt in args.stream() {
+                match tt {
+                    TokenTree::Ident(i) if i.to_string() == "transparent" => saw_transparent = true,
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => panic!(
+                        "vendored serde_derive: unsupported serde attribute `{other}` \
+                         (only #[serde(transparent)] is implemented)"
+                    ),
+                }
+            }
+            saw_transparent
+        }
+        (Some(TokenTree::Ident(path)), _) if path.to_string() == "serde" => {
+            panic!("vendored serde_derive: unsupported bare #[serde] attribute")
+        }
+        _ => false,
+    }
+}

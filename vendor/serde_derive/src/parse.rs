@@ -1,0 +1,258 @@
+//! A minimal parser from `proc_macro::TokenStream` to the handful of
+//! item shapes the derive macros support.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// Shape of the type.
+    pub data: Data,
+    /// Whether `#[serde(transparent)]` was present.
+    pub transparent: bool,
+}
+
+/// Shape of the derived type.
+pub enum Data {
+    /// `struct X { a: T, .. }`
+    Struct { fields: Vec<String> },
+    /// `struct X(T, ..);`
+    Tuple { arity: usize },
+    /// `struct X;`
+    Unit,
+    /// `enum X { .. }`
+    Enum { variants: Vec<Variant> },
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant shape.
+    pub kind: VariantKind,
+}
+
+/// Shape of an enum variant.
+pub enum VariantKind {
+    /// `V`
+    Unit,
+    /// `V(T)`
+    Newtype,
+    /// `V { a: T, .. }`
+    Struct(Vec<String>),
+}
+
+impl Input {
+    /// Parses a derive input item.
+    ///
+    /// # Panics
+    /// Panics (aborting compilation with the message) on unsupported
+    /// shapes: generics, unions, multi-field tuple variants.
+    pub fn parse(stream: TokenStream) -> Input {
+        let mut iter = stream.into_iter().peekable();
+        let mut transparent = false;
+
+        // Outer attributes, visibility, then `struct` / `enum`.
+        let keyword = loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if crate::is_serde_transparent(g.stream()) {
+                            transparent = true;
+                        }
+                    }
+                    other => panic!("expected attribute body, found {other:?}"),
+                },
+                Some(TokenTree::Ident(id)) => {
+                    let word = id.to_string();
+                    match word.as_str() {
+                        "pub" | "crate" => {}
+                        "struct" | "enum" => break word,
+                        "union" => panic!("vendored serde_derive: unions are not supported"),
+                        other => panic!("unexpected token `{other}` before struct/enum"),
+                    }
+                }
+                // `pub(crate)` / `pub(in ..)` visibility payload.
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {}
+                other => panic!("unexpected token {other:?} before struct/enum"),
+            }
+        };
+
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected type name, found {other:?}"),
+        };
+
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '<' {
+                panic!(
+                    "vendored serde_derive: generic type `{name}` is not supported; \
+                     write the impls by hand or extend vendor/serde_derive"
+                );
+            }
+        }
+
+        let data = if keyword == "enum" {
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Data::Enum {
+                    variants: parse_variants(g.stream()),
+                },
+                other => panic!("expected enum body, found {other:?}"),
+            }
+        } else {
+            match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Data::Struct {
+                    fields: parse_named_fields(g.stream()),
+                },
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Data::Tuple {
+                        arity: count_tuple_fields(g.stream()),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Unit,
+                other => panic!("expected struct body, found {other:?}"),
+            }
+        };
+
+        Input {
+            name,
+            data,
+            transparent,
+        }
+    }
+}
+
+/// Skips `#[..]` attribute pairs, returning the first non-attribute token.
+fn next_skipping_attributes(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Option<TokenTree> {
+    loop {
+        match iter.next()? {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let body = iter.next();
+                debug_assert!(matches!(
+                    &body,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket
+                ));
+            }
+            other => return Some(other),
+        }
+    }
+}
+
+/// Parses `a: T, pub b: U, ..` into field names, skipping types (with
+/// `<`/`>` depth tracking so `HashMap<K, V>` commas don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Field name, skipping attributes and visibility.
+        let name = loop {
+            match next_skipping_attributes(&mut iter) {
+                None => return fields,
+                Some(TokenTree::Ident(id)) => {
+                    let word = id.to_string();
+                    if word == "pub" || word == "crate" {
+                        continue;
+                    }
+                    break word;
+                }
+                // `pub(crate)` payload.
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {}
+                Some(other) => panic!("expected field name, found {other}"),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        skip_type_until_comma(&mut iter);
+    }
+}
+
+/// Consumes tokens of a type up to (and including) the next top-level `,`.
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0usize;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the top-level comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tt in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+/// Parses enum variants: `A, B(T), C { a: T }`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let name = match next_skipping_attributes(&mut iter) {
+            None => return variants,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            Some(other) => panic!("expected variant name, found {other}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.clone().stream());
+                iter.next();
+                if arity != 1 {
+                    panic!(
+                        "vendored serde_derive: variant `{name}` has {arity} tuple fields; \
+                         only newtype variants are supported"
+                    );
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.clone().stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip to the variant separator (tolerates discriminants).
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    iter.next();
+                    break;
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline shim for the subset of `serde_json` 1.0 this workspace uses:
+//! `to_string` / `to_string_pretty` / `from_str`, `Value` with indexing,
+//! `to_value` / `from_value`, and the `json!` macro.
+//!
+//! Backed by a complete little JSON parser and writer (string escapes,
+//! `\uXXXX` with surrogate pairs, exponent floats) over the vendored
+//! serde data model.
+
+#![deny(missing_docs)]
+
+use serde::content;
+use serde::ser::ContentSerializer;
+use std::fmt;
+
+mod parser;
+
+/// A parsed JSON value (re-export of the serde shim's data model).
+pub type Value = content::Content;
+
+/// Errors from (de)serializing JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let content = value.serialize(ContentSerializer::<Error>::new())?;
+    let mut out = String::new();
+    content::write_compact(&mut out, &content);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String, Error> {
+    let content = value.serialize(ContentSerializer::<Error>::new())?;
+    let mut out = String::new();
+    content::write_pretty(&mut out, &content, 0);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: serde::DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = parser::parse(input)?;
+    serde::de::from_content(value)
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+pub fn to_value<T: ?Sized + serde::Serialize>(value: &T) -> Result<Value, Error> {
+    value.serialize(ContentSerializer::<Error>::new())
+}
+
+/// Builds a value of any deserializable type from a [`Value`] tree.
+pub fn from_value<T: serde::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    serde::de::from_content(value)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Map(vec![ $(($key.to_owned(), $crate::json!($val))),* ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value() {
+        let text = r#"{"a": [1, -2, 3.5, true, null, "x\né"], "b": {"c": 18446744073709551615}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][2], Value::F64(3.5));
+        assert_eq!(v["b"]["c"], Value::U64(u64::MAX));
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(5), Value::U64(5));
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(
+            json!([1, "two"]),
+            Value::Seq(vec![Value::U64(1), Value::String("two".into())])
+        );
+        assert_eq!(
+            json!({"k": 1}),
+            Value::Map(vec![("k".into(), Value::U64(1))])
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_syntax() {
+        assert!(from_str::<Value>("{} x").is_err());
+        assert!(from_str::<Value>("{,}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v: Value = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, Value::String("\u{1F600}".into()));
+    }
+}

@@ -7,11 +7,11 @@
 
 use ahn_bench::{bench_arena, bench_rng};
 use ahn_bitstr::{ops, BitStr};
-use ahn_ga::{next_generation, GaParams};
+use ahn_ga::{next_generation, next_generation_into, GaParams};
 use ahn_game::{game::Scratch, play_game, Tournament};
 use ahn_net::{
-    paths::{path_rating, select_best_path, PathGenerator},
-    NodeId, PathMode, ReputationMatrix, TrustTable,
+    paths::{path_rating, select_best_path, AltPathDist, PathGenerator, PathLengthDist},
+    NodeId, PathMode, PathScratch, ReputationMatrix, TrustTable,
 };
 use ahn_strategy::Strategy;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -62,12 +62,32 @@ fn bench_reputation(c: &mut Criterion) {
     c.bench_function("reputation/rate_lookup", |b| {
         b.iter(|| black_box(m.rate(NodeId(3), NodeId(77))))
     });
+    c.bench_function("reputation/rate_or_unknown_lookup", |b| {
+        b.iter(|| black_box(m.rate_or_unknown(NodeId(3), NodeId(77))))
+    });
     c.bench_function("reputation/mean_forwarded_of_known_130", |b| {
         b.iter(|| black_box(m.mean_forwarded_of_known(NodeId(3))))
     });
     let trust = TrustTable::paper();
     c.bench_function("reputation/trust_level_lookup", |b| {
         b.iter(|| black_box(trust.level_opt(m.rate(NodeId(3), NodeId(77)))))
+    });
+    // The update path, including the incremental rate / row-aggregate
+    // maintenance: one forward and one drop per iteration, on a matrix
+    // that is periodically reset so the counters stay small.
+    c.bench_function("reputation/record_forward_and_drop", |b| {
+        let mut fresh = ReputationMatrix::new(130);
+        let mut i = 0u32;
+        b.iter(|| {
+            fresh.record_forward(NodeId(3), NodeId(77));
+            fresh.record_drop(NodeId(77), NodeId(3));
+            i += 1;
+            if i >= 1_000_000 {
+                fresh.clear();
+                i = 0;
+            }
+            black_box(fresh.rate_or_unknown(NodeId(3), NodeId(77)))
+        })
     });
 }
 
@@ -78,6 +98,23 @@ fn bench_path_generation(c: &mut Criterion) {
     let mut scratch = Vec::new();
     c.bench_function("paths/generate_candidates_LP", |b| {
         b.iter(|| black_box(generator.generate(&mut rng, &pool, &mut scratch)))
+    });
+    let mut path_scratch = PathScratch::default();
+    c.bench_function("paths/generate_into_candidates_LP", |b| {
+        b.iter(|| {
+            generator.generate_into(&mut rng, &pool, &mut path_scratch);
+            black_box(path_scratch.n_candidates())
+        })
+    });
+
+    // The precomputed-table samplers on their own.
+    let lengths = PathLengthDist::paper_longer();
+    c.bench_function("paths/sample_length_LP", |b| {
+        b.iter(|| black_box(lengths.sample(&mut rng)))
+    });
+    let alts = AltPathDist::paper();
+    c.bench_function("paths/sample_alt_count_5hops", |b| {
+        b.iter(|| black_box(alts.sample(&mut rng, 5)))
     });
 
     let m = ReputationMatrix::new(50);
@@ -113,6 +150,13 @@ fn bench_ga(c: &mut Criterion) {
     let params = GaParams::paper();
     c.bench_function("ga/next_generation_100x13", |b| {
         b.iter(|| black_box(next_generation(&mut rng, &params, &population, &fitnesses)))
+    });
+    let mut offspring: Vec<BitStr> = Vec::new();
+    c.bench_function("ga/next_generation_into_100x13", |b| {
+        b.iter(|| {
+            next_generation_into(&mut rng, &params, &population, &fitnesses, &mut offspring);
+            black_box(offspring.len())
+        })
     });
     let a = BitStr::random(&mut rng, 13);
     let bgen = BitStr::random(&mut rng, 13);

@@ -1,0 +1,273 @@
+//! The `ahn-exp bench` measurement harness.
+//!
+//! Wall-clock times the paper-artifact pipelines (Figure 4, Table 5, the
+//! IPDRP baseline) at the fixed *bench scale* plus raw game throughput
+//! on a paper-sized tournament, and packages the numbers as a serde
+//! report. The `ahn-exp bench --json` command prints the report;
+//! `BENCH_N.json` files at the repository root commit before/after pairs
+//! of these reports so every performance PR leaves a trajectory
+//! (measurement protocol: PERFORMANCE.md).
+//!
+//! Every pipeline is run [`MEASURE_RUNS`] times and the **minimum** is
+//! reported: minima are the standard low-noise estimator for
+//! deterministic workloads (everything above the minimum is scheduler
+//! noise, not the code under test).
+
+use crate::{bench_arena, bench_case, bench_config, bench_rng};
+use ahn_core::experiment::run_replication;
+use ahn_game::Tournament;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// How often each pipeline is timed (minimum wins).
+pub const MEASURE_RUNS: usize = 5;
+
+/// Rounds of the throughput tournament (the paper's R).
+const THROUGHPUT_ROUNDS: usize = 300;
+
+/// Distinct seeds per replication pipeline, so the timing averages over
+/// path-length and evolution variance instead of pinning one trajectory.
+pub const SEEDS_PER_PIPELINE: u64 = 2;
+
+/// One timed bench run: artifact-pipeline seconds plus game throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report schema tag (`"ahn-bench/1"`).
+    pub schema: String,
+    /// Human description of the measured scale.
+    pub scale: String,
+    /// Seconds for the Figure-4 pipeline (CSN-free + CSN-heavy case,
+    /// [`SEEDS_PER_PIPELINE`] seeded replications each).
+    pub fig4_seconds: f64,
+    /// Seconds for the Table-5 pipeline (three-environment case,
+    /// [`SEEDS_PER_PIPELINE`] seeded replications).
+    pub table5_seconds: f64,
+    /// Seconds for the IPDRP baseline pipeline.
+    pub ipdrp_seconds: f64,
+    /// Steady-state Ad Hoc Network Games per second in a 50-node,
+    /// 300-round tournament (the paper-scale inner loop).
+    pub games_per_second: f64,
+}
+
+/// A committed before/after baseline pair (the `BENCH_N.json` format).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    /// File schema tag (`"ahn-bench-baseline/1"`).
+    pub schema: String,
+    /// What changed between `before` and `after`.
+    pub note: String,
+    /// Report measured on the tree *before* the change.
+    pub before: BenchReport,
+    /// Report measured on the tree *after* the change.
+    pub after: BenchReport,
+}
+
+impl BenchBaseline {
+    /// End-to-end speedup factors (`before / after`) per pipeline, in
+    /// report order, plus the throughput ratio (`after / before`).
+    pub fn speedups(&self) -> [(&'static str, f64); 4] {
+        [
+            ("fig4", self.before.fig4_seconds / self.after.fig4_seconds),
+            (
+                "table5",
+                self.before.table5_seconds / self.after.table5_seconds,
+            ),
+            (
+                "ipdrp",
+                self.before.ipdrp_seconds / self.after.ipdrp_seconds,
+            ),
+            (
+                "games_per_second",
+                self.after.games_per_second / self.before.games_per_second,
+            ),
+        ]
+    }
+}
+
+/// Times `f` [`MEASURE_RUNS`] times and returns the minimum seconds.
+fn time_min<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..MEASURE_RUNS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs the full measurement suite.
+pub fn run_bench() -> BenchReport {
+    let cfg = bench_config();
+
+    // Figure 4: cooperation evolution, CSN-free and CSN-heavy.
+    let fig4_cases = [bench_case(&[0]), bench_case(&[6])];
+    let fig4_seconds = time_min(|| {
+        for case in &fig4_cases {
+            for seed in 0..SEEDS_PER_PIPELINE {
+                std::hint::black_box(run_replication(&cfg, case, seed));
+            }
+        }
+    });
+
+    // Table 5: per-environment cooperation over three environments.
+    let table5_case = bench_case(&[0, 3, 6]);
+    let table5_seconds = time_min(|| {
+        for seed in 0..SEEDS_PER_PIPELINE {
+            std::hint::black_box(run_replication(&cfg, &table5_case, seed));
+        }
+    });
+
+    // IPDRP baseline (X3).
+    let ipdrp_config = ahn_ipdrp::IpdrpConfig {
+        population: 40,
+        rounds: 30,
+        generations: 8,
+        ..ahn_ipdrp::IpdrpConfig::default()
+    };
+    let ipdrp_seconds = time_min(|| {
+        for seed in 0..SEEDS_PER_PIPELINE {
+            let mut rng = bench_rng(seed + 1);
+            std::hint::black_box(ahn_ipdrp::run_ipdrp(&mut rng, &ipdrp_config));
+        }
+    });
+
+    // Raw throughput: one paper-scale tournament (50 nodes × 300
+    // rounds = 15 000 games per run).
+    let (mut arena, participants) = bench_arena(1);
+    let mut rng = bench_rng(2);
+    let tournament = Tournament::new(THROUGHPUT_ROUNDS);
+    let games = (participants.len() * THROUGHPUT_ROUNDS) as f64;
+    let tournament_seconds = time_min(|| {
+        arena.begin_generation();
+        tournament.run(&mut arena, &mut rng, &participants, 0);
+    });
+
+    BenchReport {
+        schema: "ahn-bench/1".into(),
+        scale: format!(
+            "pipelines: 10-node tournaments, {} rounds, {} generations, {} seeds; \
+             throughput: 50-node tournament, {} rounds; min of {} runs",
+            cfg.rounds, cfg.generations, SEEDS_PER_PIPELINE, THROUGHPUT_ROUNDS, MEASURE_RUNS
+        ),
+        fig4_seconds,
+        table5_seconds,
+        ipdrp_seconds,
+        games_per_second: games / tournament_seconds,
+    }
+}
+
+/// Renders a report as an aligned human-readable table.
+pub fn render(report: &BenchReport) -> String {
+    format!(
+        "ahn bench ({})\n\
+         pipeline            seconds\n\
+         fig4             {:>10.4}\n\
+         table5           {:>10.4}\n\
+         ipdrp            {:>10.4}\n\
+         throughput       {:>10.0} games/s\n",
+        report.scale,
+        report.fig4_seconds,
+        report.table5_seconds,
+        report.ipdrp_seconds,
+        report.games_per_second,
+    )
+}
+
+/// Compares a fresh report against a committed baseline's `after` side.
+///
+/// Returns `Err` with a description when any pipeline is more than
+/// `factor`× slower, or throughput more than `factor`× lower, than the
+/// baseline — the CI regression gate.
+pub fn check_regression(
+    current: &BenchReport,
+    baseline: &BenchBaseline,
+    factor: f64,
+) -> Result<(), String> {
+    assert!(factor >= 1.0, "regression factor must be >= 1");
+    let mut failures = Vec::new();
+    let pipelines = [
+        ("fig4", current.fig4_seconds, baseline.after.fig4_seconds),
+        (
+            "table5",
+            current.table5_seconds,
+            baseline.after.table5_seconds,
+        ),
+        ("ipdrp", current.ipdrp_seconds, baseline.after.ipdrp_seconds),
+    ];
+    for (name, now, base) in pipelines {
+        if now > base * factor {
+            failures.push(format!(
+                "{name}: {now:.4}s is more than {factor}x the baseline {base:.4}s"
+            ));
+        }
+    }
+    if current.games_per_second * factor < baseline.after.games_per_second {
+        failures.push(format!(
+            "throughput: {:.0} games/s is less than 1/{factor} of the baseline {:.0}",
+            current.games_per_second, baseline.after.games_per_second
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(factor: f64) -> BenchReport {
+        BenchReport {
+            schema: "ahn-bench/1".into(),
+            scale: "test".into(),
+            fig4_seconds: 1.0 * factor,
+            table5_seconds: 2.0 * factor,
+            ipdrp_seconds: 0.5 * factor,
+            games_per_second: 1e6 / factor,
+        }
+    }
+
+    fn baseline() -> BenchBaseline {
+        BenchBaseline {
+            schema: "ahn-bench-baseline/1".into(),
+            note: "test".into(),
+            before: report(2.0),
+            after: report(1.0),
+        }
+    }
+
+    #[test]
+    fn equal_report_passes_the_gate() {
+        check_regression(&report(1.0), &baseline(), 2.0).unwrap();
+    }
+
+    #[test]
+    fn slightly_slower_passes_within_factor() {
+        check_regression(&report(1.8), &baseline(), 2.0).unwrap();
+    }
+
+    #[test]
+    fn gross_regression_fails_the_gate() {
+        let err = check_regression(&report(2.5), &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("fig4"), "{err}");
+        assert!(err.contains("throughput"), "{err}");
+    }
+
+    #[test]
+    fn speedups_divide_the_right_way() {
+        let s = baseline().speedups();
+        for (name, factor) in s {
+            assert!((factor - 2.0).abs() < 1e-12, "{name}: {factor}");
+        }
+    }
+
+    #[test]
+    fn baseline_serde_roundtrip() {
+        let b = baseline();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BenchBaseline = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

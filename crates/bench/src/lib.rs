@@ -10,8 +10,14 @@
 //!   the `ahn-exp` binary's job; these benches track the harness's
 //!   performance so regressions in the simulation core are caught by
 //!   `cargo bench`.
+//!
+//! The [`harness`] module is the `ahn-exp bench` measurement subsystem:
+//! it times the artifact pipelines and game throughput and produces the
+//! `BENCH_N.json` baseline reports (see PERFORMANCE.md).
 
 #![deny(missing_docs)]
+
+pub mod harness;
 
 use ahn_core::{cases::CaseSpec, config::ExperimentConfig};
 use ahn_game::{Arena, GameConfig};

@@ -18,6 +18,13 @@
 //! (leftmost) character of the textual form, matching the paper's "bit
 //! no. 0" convention.
 //!
+//! Strings of at most 64 bits — every genome this workspace evolves (13
+//! bits for the full strategy, 5 for the reduced codec and the IPDRP
+//! baseline) — are stored **inline** in a single word, so constructing,
+//! cloning and breeding them never touches the heap. Longer strings
+//! transparently spill to a `Vec<u64>`; the public API is identical for
+//! both representations.
+//!
 //! # Example
 //!
 //! ```
@@ -46,13 +53,25 @@ use rand::Rng;
 /// (crossover, Hamming distance, ...) panic if the operands' lengths
 /// differ, because mixing genome lengths is always a logic error in this
 /// workspace.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct BitStr {
     /// Number of valid bits.
     len: usize,
     /// Bit storage; bits past `len` in the last word are always zero
     /// (the *canonical form* invariant, relied upon by `Eq`/`Hash`).
-    words: Vec<u64>,
+    repr: Repr,
+}
+
+/// Bit storage: genomes of at most one word live inline (the hot case —
+/// cloning them is a copy), longer strings on the heap. The variant is a
+/// pure function of `len` (≤ 64 bits ⇒ `Inline`), so representation
+/// never leaks into equality or ordering.
+#[derive(Clone)]
+enum Repr {
+    /// Up to 64 bits, stored directly.
+    Inline(u64),
+    /// More than 64 bits, one `u64` per 64-bit chunk.
+    Heap(Vec<u64>),
 }
 
 const WORD_BITS: usize = 64;
@@ -63,47 +82,93 @@ fn words_for(len: usize) -> usize {
 }
 
 impl BitStr {
+    /// The storage words, valid bits first. A zero-length string reports
+    /// one (all-zero) inline word; every bit-level operation guards on
+    /// `len`, and logical comparisons go through this accessor on both
+    /// sides, so the padding word is never observable.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(w) => std::slice::from_ref(w),
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the storage words.
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline(w) => std::slice::from_mut(w),
+            Repr::Heap(v) => v,
+        }
+    }
+
     /// Creates a string of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        BitStr {
-            len,
-            words: vec![0; words_for(len)],
-        }
+        let repr = if len <= WORD_BITS {
+            Repr::Inline(0)
+        } else {
+            Repr::Heap(vec![0; words_for(len)])
+        };
+        BitStr { len, repr }
     }
 
     /// Creates a string of `len` one bits.
     pub fn ones(len: usize) -> Self {
-        let mut s = BitStr {
-            len,
-            words: vec![!0u64; words_for(len)],
+        let repr = if len == 0 {
+            Repr::Inline(0)
+        } else if len <= WORD_BITS {
+            Repr::Inline(!0u64)
+        } else {
+            Repr::Heap(vec![!0u64; words_for(len)])
         };
+        let mut s = BitStr { len, repr };
         s.mask_tail();
         s
     }
 
     /// Creates a string from an iterator of bits; the length is the number
-    /// of items yielded.
+    /// of items yielded. Stays allocation-free for up to 64 bits.
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        let mut words = Vec::new();
         let mut len = 0usize;
+        let mut word = 0u64;
+        let mut heap: Vec<u64> = Vec::new();
         for b in bits {
-            if len.is_multiple_of(WORD_BITS) {
-                words.push(0);
+            if len > 0 && len.is_multiple_of(WORD_BITS) {
+                heap.push(word);
+                word = 0;
             }
             if b {
-                *words.last_mut().expect("just pushed") |= 1u64 << (len % WORD_BITS);
+                word |= 1u64 << (len % WORD_BITS);
             }
             len += 1;
         }
-        BitStr { len, words }
+        if len <= WORD_BITS {
+            BitStr {
+                len,
+                repr: Repr::Inline(word),
+            }
+        } else {
+            heap.push(word);
+            debug_assert_eq!(heap.len(), words_for(len));
+            BitStr {
+                len,
+                repr: Repr::Heap(heap),
+            }
+        }
     }
 
-    /// Creates a uniformly random string of `len` bits.
+    /// Creates a uniformly random string of `len` bits (one RNG draw per
+    /// storage word, so seeded streams are representation-independent).
     pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
-        let mut s = BitStr {
-            len,
-            words: (0..words_for(len)).map(|_| rng.gen::<u64>()).collect(),
+        let repr = if len == 0 {
+            Repr::Inline(0)
+        } else if len <= WORD_BITS {
+            Repr::Inline(rng.gen::<u64>())
+        } else {
+            Repr::Heap((0..words_for(len)).map(|_| rng.gen::<u64>()).collect())
         };
+        let mut s = BitStr { len, repr };
         s.mask_tail();
         s
     }
@@ -113,8 +178,12 @@ impl BitStr {
     fn mask_tail(&mut self) {
         let used = self.len % WORD_BITS;
         if used != 0 {
-            if let Some(last) = self.words.last_mut() {
+            if let Some(last) = self.words_mut().last_mut() {
                 *last &= (1u64 << used) - 1;
+            }
+        } else if self.len == 0 {
+            if let Repr::Inline(w) = &mut self.repr {
+                *w = 0;
             }
         }
     }
@@ -138,7 +207,10 @@ impl BitStr {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
-        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+        match &self.repr {
+            Repr::Inline(w) => (w >> i) & 1 == 1,
+            Repr::Heap(v) => (v[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1,
+        }
     }
 
     /// Sets bit `i` to `value`.
@@ -148,11 +220,15 @@ impl BitStr {
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
+        let word = match &mut self.repr {
+            Repr::Inline(w) => w,
+            Repr::Heap(v) => &mut v[i / WORD_BITS],
+        };
         let mask = 1u64 << (i % WORD_BITS);
         if value {
-            self.words[i / WORD_BITS] |= mask;
+            *word |= mask;
         } else {
-            self.words[i / WORD_BITS] &= !mask;
+            *word &= !mask;
         }
     }
 
@@ -160,13 +236,22 @@ impl BitStr {
     #[inline]
     pub fn flip(&mut self, i: usize) -> bool {
         assert!(i < self.len, "bit index {i} out of range 0..{}", self.len);
-        self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
-        self.get(i)
+        match &mut self.repr {
+            Repr::Inline(w) => {
+                *w ^= 1u64 << i;
+                (*w >> i) & 1 == 1
+            }
+            Repr::Heap(v) => {
+                let w = &mut v[i / WORD_BITS];
+                *w ^= 1u64 << (i % WORD_BITS);
+                (*w >> (i % WORD_BITS)) & 1 == 1
+            }
+        }
     }
 
     /// Number of one bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.words().iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Number of zero bits.
@@ -180,9 +265,9 @@ impl BitStr {
     /// Panics if the lengths differ.
     pub fn hamming(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "hamming distance of unequal lengths");
-        self.words
+        self.words()
             .iter()
-            .zip(&other.words)
+            .zip(other.words())
             .map(|(a, b)| (a ^ b).count_ones() as usize)
             .sum()
     }
@@ -220,6 +305,39 @@ impl BitStr {
     pub fn from_value(value: u64, width: usize) -> Self {
         assert!(width <= 64, "width {width} exceeds 64");
         BitStr::from_bits((0..width).map(|i| (value >> (width - 1 - i)) & 1 == 1))
+    }
+}
+
+impl PartialEq for BitStr {
+    fn eq(&self, other: &Self) -> bool {
+        // Canonical form (masked tails, len-determined representation)
+        // makes word comparison exact.
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for BitStr {}
+
+impl std::hash::Hash for BitStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words().hash(state);
+    }
+}
+
+impl PartialOrd for BitStr {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BitStr {
+    /// Orders by length first, then by storage words — the same total
+    /// order the pre-inline derived implementation produced.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.len
+            .cmp(&other.len)
+            .then_with(|| self.words().cmp(other.words()))
     }
 }
 

@@ -35,6 +35,29 @@ pub fn one_point_crossover<R: Rng + ?Sized>(
     crossover_at(a, b, cut)
 }
 
+/// Builds **one** child of a one-point crossover without materializing
+/// its sibling: `a[..cut] ++ b[cut..]` when `take_second` is false,
+/// `b[..cut] ++ a[cut..]` when true.
+///
+/// This is the breeding hot path's variant of [`crossover_at`]: the
+/// paper's GA keeps only one of the two children (§5), so building both
+/// doubles the work for nothing. The caller draws the cut and the
+/// child pick itself (in that order) to keep RNG streams identical to
+/// the two-child construction.
+///
+/// # Panics
+/// Panics if the lengths differ or `cut > len`.
+pub fn one_point_child(a: &BitStr, b: &BitStr, cut: usize, take_second: bool) -> BitStr {
+    assert_eq!(a.len(), b.len(), "crossover of unequal lengths");
+    assert!(cut <= a.len(), "cut {cut} out of range");
+    let (head, tail) = if take_second { (b, a) } else { (a, b) };
+    let mut child = head.clone();
+    for i in cut..a.len() {
+        child.set(i, tail.get(i));
+    }
+    child
+}
+
 /// Deterministic one-point crossover at a given cut (exposed for tests and
 /// for replaying logged runs).
 ///
@@ -141,6 +164,28 @@ mod tests {
         let (c, d) = crossover_at(&a, &b, 2);
         assert_eq!(c.to_string(), "0011");
         assert_eq!(d.to_string(), "1100");
+    }
+
+    #[test]
+    fn one_point_child_matches_both_siblings() {
+        let mut r = rng(21);
+        for len in [2usize, 13, 64, 90] {
+            let a = BitStr::random(&mut r, len);
+            let b = BitStr::random(&mut r, len);
+            for cut in 0..=len {
+                let (c1, c2) = crossover_at(&a, &b, cut);
+                assert_eq!(
+                    one_point_child(&a, &b, cut, false),
+                    c1,
+                    "len {len} cut {cut}"
+                );
+                assert_eq!(
+                    one_point_child(&a, &b, cut, true),
+                    c2,
+                    "len {len} cut {cut}"
+                );
+            }
+        }
     }
 
     #[test]

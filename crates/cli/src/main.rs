@@ -32,6 +32,7 @@
 //!   sweep-mutation      cooperation vs GA mutation rate
 //!   trace               dump a JSON decision trace of one tournament
 //!   check               verify the paper-input presets (Tables 1-4)
+//!   bench               time the artifact pipelines (PERFORMANCE.md)
 //! ```
 
 use ahn_core::{
@@ -46,6 +47,12 @@ fn main() {
         return;
     }
     let command = args[0].clone();
+    if command == "bench" {
+        // The bench harness has its own fixed scale and flags; it does
+        // not share the experiment-configuration options.
+        bench(&args[1..]);
+        return;
+    }
     let opts = match Options::parse(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
@@ -104,13 +111,93 @@ fn print_usage() {
     println!(
         "ahn-exp — regenerate the tables and figures of Seredynski et al. (IPDPS'07)\n\n\
          usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
-                [--gens N] [--rounds N] [--seed S] [--out DIR]\n\n\
+                [--gens N] [--rounds N] [--seed S] [--out DIR]\n\
+                ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\n\
          commands: fig4 table5 table6 table7 table8 table9 all ipdrp\n\
                    baseline-pathrater ablate-payoff ablate-activity\n\
                    ablate-selection ablate-trust-table ablate-unknown\n\
                    ablate-gossip transfer newcomer sleepers\n\
-                   sweep-rounds sweep-csn sweep-mutation trace check"
+                   sweep-rounds sweep-csn sweep-mutation trace check bench"
     );
+}
+
+/// `ahn-exp bench`: time the artifact pipelines and game throughput
+/// (PERFORMANCE.md documents the protocol and the `BENCH_N.json`
+/// convention).
+fn bench(args: &[String]) {
+    let mut json = false;
+    let mut baseline_path: Option<String> = None;
+    let mut max_regression = 2.0f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --baseline needs a file");
+                    std::process::exit(2);
+                }
+            },
+            "--max-regression" => {
+                let v = it.next().map(|s| s.parse::<f64>());
+                match v {
+                    Some(Ok(f)) if f >= 1.0 => max_regression = f,
+                    _ => {
+                        eprintln!("error: --max-regression needs a factor >= 1");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("error: unknown bench flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("measuring (min of {} runs per pipeline)...", {
+        ahn_bench::harness::MEASURE_RUNS
+    });
+    let report = ahn_bench::harness::run_bench();
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        print!("{}", ahn_bench::harness::render(&report));
+    }
+
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline: ahn_bench::harness::BenchBaseline = match serde_json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: malformed baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match ahn_bench::harness::check_regression(&report, &baseline, max_regression) {
+            Ok(()) => eprintln!(
+                "within {max_regression}x of the committed baseline ({})",
+                baseline.note
+            ),
+            Err(msg) => {
+                eprintln!("error: performance regression vs {path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Parsed command-line options.

@@ -10,7 +10,7 @@
 use crate::cases::CaseSpec;
 use crate::config::ExperimentConfig;
 use ahn_bitstr::BitStr;
-use ahn_ga::{next_generation, GenStats};
+use ahn_ga::{next_generation_into, GenStats};
 use ahn_game::{Arena, EnvMetrics, EvaluationSchedule, GameConfig};
 use ahn_net::energy::{EnergyLedger, PowerProfile};
 use ahn_net::PathGenerator;
@@ -92,6 +92,9 @@ pub fn run_replication(config: &ExperimentConfig, case: &CaseSpec, seed: u64) ->
 
     let mut coop_by_gen = Vec::with_capacity(config.generations);
     let mut fitness_by_gen = Vec::with_capacity(config.generations);
+    // Double-buffered breeding: offspring are written in place and the
+    // buffers swapped, so the generational loop reuses one allocation.
+    let mut offspring: Vec<BitStr> = Vec::with_capacity(config.population);
 
     for generation in 0..config.generations {
         arena.set_strategies(decode(&genomes));
@@ -103,7 +106,8 @@ pub fn run_replication(config: &ExperimentConfig, case: &CaseSpec, seed: u64) ->
         fitness_by_gen.push(GenStats::from_fitnesses(&fitnesses));
 
         if generation + 1 < config.generations {
-            genomes = next_generation(&mut rng, &config.ga, &genomes, &fitnesses);
+            next_generation_into(&mut rng, &config.ga, &genomes, &fitnesses, &mut offspring);
+            std::mem::swap(&mut genomes, &mut offspring);
             for g in &mut genomes {
                 config.mask_genome(g);
             }

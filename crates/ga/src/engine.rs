@@ -66,6 +66,9 @@ impl Default for GaParams {
 /// Produces the next generation from the current population and its
 /// fitnesses.
 ///
+/// Convenience wrapper over [`next_generation_into`] that allocates a
+/// fresh output vector.
+///
 /// # Panics
 /// Panics if lengths mismatch, the population is empty, or `elitism`
 /// exceeds the population size.
@@ -75,6 +78,32 @@ pub fn next_generation<R: Rng + ?Sized>(
     population: &[BitStr],
     fitnesses: &[f64],
 ) -> Vec<BitStr> {
+    let mut next = Vec::with_capacity(population.len());
+    next_generation_into(rng, params, population, fitnesses, &mut next);
+    next
+}
+
+/// Breeds the next generation **into** `next`, reusing its buffer — the
+/// double-buffered hot path of the generational loop.
+///
+/// `next` is cleared and refilled with one offspring per population
+/// slot. Each offspring is built directly (for the paper's ≤ 64-bit
+/// genomes this never touches the heap): on crossover only the one
+/// surviving child is constructed ([`ops::one_point_child`]), on the
+/// no-crossover branch only the surviving parent is cloned. The RNG draw
+/// sequence is identical to the historical build-both-children
+/// implementation, so seeded evolutions are bit-identical.
+///
+/// # Panics
+/// Panics if lengths mismatch, the population is empty, or `elitism`
+/// exceeds the population size.
+pub fn next_generation_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: &GaParams,
+    population: &[BitStr],
+    fitnesses: &[f64],
+    next: &mut Vec<BitStr>,
+) {
     assert_eq!(
         population.len(),
         fitnesses.len(),
@@ -87,7 +116,7 @@ pub fn next_generation<R: Rng + ?Sized>(
     );
     params.validate().expect("invalid GA parameters");
 
-    let mut next = Vec::with_capacity(population.len());
+    next.clear();
 
     if params.elitism > 0 {
         let mut ranked: Vec<usize> = (0..population.len()).collect();
@@ -104,25 +133,32 @@ pub fn next_generation<R: Rng + ?Sized>(
     while next.len() < population.len() {
         let p1 = params.selection.select(rng, fitnesses);
         let p2 = params.selection.select(rng, fitnesses);
-        let child = if rng.gen_bool(params.crossover_prob) {
-            let (c1, c2) = ops::one_point_crossover(rng, &population[p1], &population[p2]);
-            // "One of the two strategies created after crossover is
-            // randomly selected to the next generation" (§5).
-            if rng.gen_bool(0.5) {
-                c1
+        let (a, b) = (&population[p1], &population[p2]);
+        let mut child = if rng.gen_bool(params.crossover_prob) {
+            if a.len() < 2 {
+                // No interior cut point exists: the "children" are the
+                // parents themselves (see ops::one_point_crossover).
+                if rng.gen_bool(0.5) {
+                    a.clone()
+                } else {
+                    b.clone()
+                }
             } else {
-                c2
+                let cut = rng.gen_range(1..a.len());
+                // "One of the two strategies created after crossover is
+                // randomly selected to the next generation" (§5) — so
+                // only that one is ever built.
+                let keep_first = rng.gen_bool(0.5);
+                ops::one_point_child(a, b, cut, !keep_first)
             }
         } else if rng.gen_bool(0.5) {
-            population[p1].clone()
+            a.clone()
         } else {
-            population[p2].clone()
+            b.clone()
         };
-        let mut child = child;
         ops::bit_flip_mutation(rng, &mut child, params.mutation_prob);
         next.push(child);
     }
-    next
 }
 
 /// One generation's record from [`evolve`].
@@ -159,6 +195,7 @@ where
     let mut population: Vec<BitStr> = (0..pop_size)
         .map(|_| BitStr::random(rng, genome_bits))
         .collect();
+    let mut offspring: Vec<BitStr> = Vec::with_capacity(pop_size);
     let mut history = Vec::with_capacity(generations);
     for generation in 0..generations {
         let fitnesses = evaluate(&population);
@@ -181,7 +218,8 @@ where
             best: population[best_idx].clone(),
         });
         if generation + 1 < generations {
-            population = next_generation(rng, params, &population, &fitnesses);
+            next_generation_into(rng, params, &population, &fitnesses, &mut offspring);
+            std::mem::swap(&mut population, &mut offspring);
         }
     }
     history
@@ -209,6 +247,35 @@ mod tests {
         let next = next_generation(&mut r, &GaParams::paper(), &pop, &fit);
         assert_eq!(next.len(), 20);
         assert!(next.iter().all(|g| g.len() == 13));
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer_and_matches_allocating_variant() {
+        let mut r = rng(31);
+        let pop: Vec<BitStr> = (0..20).map(|_| BitStr::random(&mut r, 13)).collect();
+        let fit = ones_fitness(&pop);
+        let fresh = next_generation(&mut rng(99), &GaParams::paper(), &pop, &fit);
+        // Same seed, reused (pre-dirtied) buffer: identical offspring.
+        let mut buffer = vec![BitStr::ones(13); 7];
+        next_generation_into(&mut rng(99), &GaParams::paper(), &pop, &fit, &mut buffer);
+        assert_eq!(fresh, buffer);
+    }
+
+    #[test]
+    fn into_variant_matches_with_elitism_and_tiny_genomes() {
+        for (bits, elitism) in [(1usize, 0usize), (13, 3), (64, 1), (70, 0)] {
+            let mut r = rng(bits as u64);
+            let pop: Vec<BitStr> = (0..10).map(|_| BitStr::random(&mut r, bits)).collect();
+            let fit = ones_fitness(&pop);
+            let params = GaParams {
+                elitism,
+                ..GaParams::paper()
+            };
+            let fresh = next_generation(&mut rng(5), &params, &pop, &fit);
+            let mut buffer = Vec::new();
+            next_generation_into(&mut rng(5), &params, &pop, &fit, &mut buffer);
+            assert_eq!(fresh, buffer, "bits={bits} elitism={elitism}");
+        }
     }
 
     #[test]

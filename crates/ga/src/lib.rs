@@ -34,6 +34,6 @@ pub mod engine;
 pub mod selection;
 pub mod stats;
 
-pub use engine::{evolve, next_generation, GaParams, GenerationRecord};
+pub use engine::{evolve, next_generation, next_generation_into, GaParams, GenerationRecord};
 pub use selection::Selection;
 pub use stats::GenStats;

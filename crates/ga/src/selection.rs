@@ -58,14 +58,22 @@ impl Selection {
                 if total <= 0.0 {
                     return rng.gen_range(0..fitnesses.len());
                 }
-                let mut x = rng.gen::<f64>() * total;
-                for (i, f) in fitnesses.iter().enumerate() {
-                    x -= f - min;
-                    if x <= 0.0 {
-                        return i;
-                    }
-                }
-                fitnesses.len() - 1
+                // Shared categorical walk (ahn_stats::sampling); the
+                // floating-point-slack fallback is the last
+                // positive-weight individual, so a zero-weight (minimum
+                // fitness) straggler can never be selected. Note two
+                // deliberate edge-behavior unifications vs the historical
+                // inline walk (both affect only exact-boundary draws,
+                // probability ~2^-53, and only roulette — the paper's GA
+                // uses tournament selection, which is untouched): a draw
+                // landing exactly on a cumulative sum now selects the
+                // *next* individual (strict `<` before subtracting,
+                // matching the path samplers), and the slack fallback is
+                // the last positive weight rather than the last index.
+                let x = rng.gen::<f64>() * total;
+                let weights = || fitnesses.iter().map(|f| f - min);
+                ahn_stats::walk_categorical(x, weights())
+                    .unwrap_or_else(|| ahn_stats::last_positive_category(weights()))
             }
         }
     }

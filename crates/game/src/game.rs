@@ -12,7 +12,7 @@
 
 use crate::arena::Arena;
 use ahn_net::watchdog::{apply_route_outcome, RouteOutcome};
-use ahn_net::{NodeId, TrustLevel};
+use ahn_net::{NodeId, PathScratch, TrustLevel};
 use ahn_strategy::Decision;
 use rand::Rng;
 
@@ -24,7 +24,7 @@ use rand::Rng;
 #[derive(Debug, Default, Clone)]
 pub struct Scratch {
     pool: Vec<NodeId>,
-    shuffle: Vec<NodeId>,
+    paths: PathScratch,
     decisions: Vec<(Decision, TrustLevel)>,
     chosen: Vec<NodeId>,
 }
@@ -69,7 +69,9 @@ pub fn decide<R: Rng + ?Sized>(
     node: NodeId,
     source: NodeId,
 ) -> (Decision, TrustLevel) {
-    let rate = arena.reputation.rate(node, source);
+    // One indexed reputation access serves both the trust lookup and the
+    // activity classification.
+    let (rate, forwarded) = arena.reputation.rate_and_forwarded(node, source);
     let trust = arena.config.trust.level_opt(rate);
     if let Some(fixed) = arena.kind(node).fixed_decision(rng) {
         return (fixed, trust);
@@ -78,7 +80,10 @@ pub fn decide<R: Rng + ?Sized>(
     let decision = match rate {
         None => strategy.unknown_decision(),
         Some(_) => {
-            let activity = arena.config.activity.level(&arena.reputation, node, source);
+            let activity = arena.config.activity.classify_opt(
+                f64::from(forwarded),
+                arena.reputation.mean_forwarded_of_known(node),
+            );
             strategy.decision(trust, activity)
         }
     };
@@ -114,25 +119,28 @@ pub fn play_game<R: Rng + ?Sized>(
             break d;
         }
     };
+    // One memcpy of the participant list, then an order-preserving
+    // in-place removal of the two non-relay roles — cheaper than a
+    // filtered element-by-element push.
     scratch.pool.clear();
-    scratch.pool.extend(
-        participants
-            .iter()
-            .copied()
-            .filter(|&n| n != source && n != destination),
-    );
+    scratch.pool.extend_from_slice(participants);
+    scratch.pool.retain(|&n| n != source && n != destination);
 
-    // Steps 2-3: draw candidate paths, pick the best-rated one.
-    let candidates = arena
+    // Steps 2-3: draw candidate paths into the reusable scratch, pick
+    // the best-rated one. No per-game allocations at steady state.
+    arena
         .config
         .paths
-        .generate(rng, &scratch.pool, &mut scratch.shuffle);
-    let best = arena
-        .config
-        .route_selection
-        .select(rng, &arena.reputation, source, &candidates);
+        .generate_into(rng, &scratch.pool, &mut scratch.paths);
+    let best =
+        arena
+            .config
+            .route_selection
+            .select_from(rng, &arena.reputation, source, &scratch.paths);
     scratch.chosen.clear();
-    scratch.chosen.extend_from_slice(&candidates[best]);
+    scratch
+        .chosen
+        .extend_from_slice(scratch.paths.candidate(best));
     let path = &scratch.chosen;
 
     // Step 4: sequential decisions. Each node's choice depends only on
@@ -148,19 +156,35 @@ pub fn play_game<R: Rng + ?Sized>(
         }
     }
 
-    // Step 5: payoffs for the source and every decider.
+    // Step 5 + metrics, fused into one pass over the path: payoffs and
+    // energy for every decider, request-level counts (Tab. 6) and the
+    // CSN-free-path flag (Tab. 5) — each node's kind is loaded once.
     let delivered = outcome.delivered();
     arena.payoffs[source.index()].add_source(arena.config.payoff.source(delivered));
     arena.energy[source.index()].add_tx();
-    for (&node, &(decision, trust)) in path.iter().zip(scratch.decisions.iter()) {
-        match decision {
-            Decision::Forward => {
-                arena.payoffs[node.index()].add_forward(arena.config.payoff.forward(trust));
-                arena.energy[node.index()].add_forward();
-            }
-            Decision::Discard => {
-                arena.payoffs[node.index()].add_discard(arena.config.payoff.discard(trust));
-                arena.energy[node.index()].add_discard();
+    let mut req = crate::metrics::ReqCounts::default();
+    let mut csn_free = true;
+    for (k, &node) in path.iter().enumerate() {
+        let kind = arena.kind(node);
+        csn_free &= !kind.is_csn();
+        // Only the first `decisions.len()` nodes received the packet;
+        // the rest still count for path composition above.
+        if let Some(&(decision, trust)) = scratch.decisions.get(k) {
+            match decision {
+                Decision::Forward => {
+                    arena.payoffs[node.index()].add_forward(arena.config.payoff.forward(trust));
+                    arena.energy[node.index()].add_forward();
+                    req.accepted += 1;
+                }
+                Decision::Discard => {
+                    arena.payoffs[node.index()].add_discard(arena.config.payoff.discard(trust));
+                    arena.energy[node.index()].add_discard();
+                    if kind.is_normal() {
+                        req.rejected_by_nn += 1;
+                    } else {
+                        req.rejected_by_csn += 1;
+                    }
+                }
             }
         }
     }
@@ -168,22 +192,8 @@ pub fn play_game<R: Rng + ?Sized>(
         arena.energy[destination.index()].add_rx();
     }
 
-    // Metrics: game-level (Fig. 4 / Tab. 5) and request-level (Tab. 6).
+    // Game-level metrics (Fig. 4 / Tab. 5).
     let source_normal = arena.kind(source).is_normal();
-    let csn_free = !path.iter().any(|&n| arena.kind(n).is_csn());
-    let mut req = crate::metrics::ReqCounts::default();
-    for (&node, &(decision, _)) in path.iter().zip(scratch.decisions.iter()) {
-        match decision {
-            Decision::Forward => req.accepted += 1,
-            Decision::Discard => {
-                if arena.kind(node).is_normal() {
-                    req.rejected_by_nn += 1;
-                } else {
-                    req.rejected_by_csn += 1;
-                }
-            }
-        }
-    }
     {
         let m = arena.metrics.env_mut(env);
         if source_normal {

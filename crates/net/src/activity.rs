@@ -105,6 +105,19 @@ impl ActivityBands {
         }
     }
 
+    /// Classifies a forwarded-count against an *optional* known-node
+    /// average, applying [`ActivityBands::empty_default`] when the
+    /// observer knows nobody — the single home of the §3.2 policy,
+    /// shared by [`ActivityBands::level`] and the game crate's fused
+    /// decision path.
+    #[inline]
+    pub fn classify_opt(&self, source_forwarded: f64, average: Option<f64>) -> ActivityLevel {
+        match average {
+            None => self.empty_default,
+            Some(av) => self.classify(source_forwarded, av),
+        }
+    }
+
     /// Activity level of `source` as seen by `observer` through its
     /// reputation table (§3.2).
     ///
@@ -117,10 +130,10 @@ impl ActivityBands {
         observer: NodeId,
         source: NodeId,
     ) -> ActivityLevel {
-        match matrix.mean_forwarded_of_known(observer) {
-            None => self.empty_default,
-            Some(av) => self.classify(f64::from(matrix.forwarded_count(observer, source)), av),
-        }
+        self.classify_opt(
+            f64::from(matrix.forwarded_count(observer, source)),
+            matrix.mean_forwarded_of_known(observer),
+        )
     }
 }
 

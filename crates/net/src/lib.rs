@@ -39,8 +39,10 @@ pub mod watchdog;
 
 pub use activity::{ActivityBands, ActivityLevel};
 pub use gossip::{GossipConfig, GossipPolicy};
-pub use paths::{AltPathDist, PathGenerator, PathLengthDist, PathMode, Route, RouteSelection};
-pub use reputation::ReputationMatrix;
+pub use paths::{
+    AltPathDist, PathGenerator, PathLengthDist, PathMode, PathScratch, Route, RouteSelection,
+};
+pub use reputation::{ReputationMatrix, UNKNOWN_RATE};
 pub use trust::{TrustLevel, TrustTable};
 pub use watchdog::RouteOutcome;
 

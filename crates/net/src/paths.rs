@@ -19,12 +19,12 @@
 //! under which both columns sum to 1; see DESIGN.md §1).
 
 use crate::{NodeId, ReputationMatrix};
+use ahn_stats::CdfTable;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
-/// Forwarding rate assumed for nodes the rater has no data about (§3.1).
-pub const UNKNOWN_RATE: f64 = 0.5;
+pub use crate::reputation::UNKNOWN_RATE;
 
 /// The two path modes of §6.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,12 +45,22 @@ impl std::fmt::Display for PathMode {
 }
 
 /// Distribution over hop counts (path lengths).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Sampling goes through a [`CdfTable`] precomputed at construction
+/// time: one uniform draw, one ordered comparison per category, and —
+/// by the table's exact-threshold construction — the same category the
+/// historical linear CDF walk would have returned for every
+/// representable draw. Only `probs`/`min_hops` are serialized and
+/// compared; the table is derived state.
+#[derive(Debug, Clone)]
 pub struct PathLengthDist {
     /// `probs[i]` is the probability of `min_hops + i` hops.
     probs: Vec<f64>,
     /// Smallest hop count with non-zero support range start.
     min_hops: usize,
+    /// Precomputed sampler (fallback: last non-zero category, the
+    /// documented floating-point-slack convention).
+    table: CdfTable,
 }
 
 impl PathLengthDist {
@@ -58,16 +68,30 @@ impl PathLengthDist {
     /// `min_hops`.
     ///
     /// # Panics
-    /// Panics unless the probabilities are non-negative and sum to ~1.
+    /// Panics unless the probabilities are non-negative, sum to ~1, and
+    /// number at most [`ahn_stats::sampling::MAX_CATEGORIES`] (the
+    /// precomputed sampler's inline capacity; the paper's Table 2 uses 9).
     pub fn new(min_hops: usize, probs: Vec<f64>) -> Self {
         assert!(!probs.is_empty(), "empty distribution");
+        assert!(
+            probs.len() <= ahn_stats::sampling::MAX_CATEGORIES,
+            "hop-count distribution has {} categories, the precomputed sampler supports {}",
+            probs.len(),
+            ahn_stats::sampling::MAX_CATEGORIES
+        );
         assert!(probs.iter().all(|&p| p >= 0.0), "negative probability");
         let sum: f64 = probs.iter().sum();
         assert!(
             (sum - 1.0).abs() < 1e-9,
             "hop-count probabilities sum to {sum}, not 1"
         );
-        PathLengthDist { probs, min_hops }
+        let fallback = ahn_stats::last_positive_category(probs.iter().copied());
+        let table = CdfTable::new(&probs, fallback);
+        PathLengthDist {
+            probs,
+            min_hops,
+            table,
+        }
     }
 
     /// Table 2, *shorter paths* column: 2 hops 0.2; 3–4 hops 0.3 each;
@@ -108,28 +132,66 @@ impl PathLengthDist {
         self.probs.get(hops - self.min_hops).copied().unwrap_or(0.0)
     }
 
-    /// Draws a hop count.
+    /// Draws a hop count (one `f64` draw, precomputed-table lookup).
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let mut x = rng.gen::<f64>();
-        for (i, &p) in self.probs.iter().enumerate() {
-            if x < p {
-                return self.min_hops + i;
-            }
-            x -= p;
+        self.min_hops + self.table.locate(rng.gen::<f64>())
+    }
+}
+
+impl PartialEq for PathLengthDist {
+    fn eq(&self, other: &Self) -> bool {
+        self.probs == other.probs && self.min_hops == other.min_hops
+    }
+}
+
+/// Serialized shape of [`PathLengthDist`] (the sampler table is derived).
+#[derive(Serialize, Deserialize)]
+struct PathLengthDistRepr {
+    probs: Vec<f64>,
+    min_hops: usize,
+}
+
+impl Serialize for PathLengthDist {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        PathLengthDistRepr {
+            probs: self.probs.clone(),
+            min_hops: self.min_hops,
         }
-        // Floating-point slack: fall back to the last non-zero category.
-        self.min_hops
-            + self
-                .probs
-                .iter()
-                .rposition(|&p| p > 0.0)
-                .expect("distribution has support")
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for PathLengthDist {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = PathLengthDistRepr::deserialize(deserializer)?;
+        if repr.probs.is_empty() || repr.probs.iter().any(|&p| p < 0.0) {
+            return Err(serde::de::Error::custom("invalid hop-count probabilities"));
+        }
+        if repr.probs.len() > ahn_stats::sampling::MAX_CATEGORIES {
+            return Err(serde::de::Error::custom(format!(
+                "hop-count distribution has {} categories, the sampler supports {}",
+                repr.probs.len(),
+                ahn_stats::sampling::MAX_CATEGORIES
+            )));
+        }
+        let sum: f64 = repr.probs.iter().sum();
+        if (sum - 1.0).abs() >= 1e-9 {
+            return Err(serde::de::Error::custom(format!(
+                "hop-count probabilities sum to {sum}, not 1"
+            )));
+        }
+        Ok(PathLengthDist::new(repr.min_hops, repr.probs))
     }
 }
 
 /// Distribution over the number of alternative paths per hop bucket
 /// (Table 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Like [`PathLengthDist`], sampling uses precomputed exact-threshold
+/// [`CdfTable`]s (one per bucket row) that reproduce the historical
+/// linear walk draw for draw; only the rows are serialized/compared.
+#[derive(Debug, Clone)]
 pub struct AltPathDist {
     /// `(max_hops_inclusive, [p(1 path), p(2 paths), p(3 paths)])` rows in
     /// ascending bucket order; a hop count uses the first row whose bound
@@ -137,6 +199,9 @@ pub struct AltPathDist {
     /// (Table 3 stops at 8 hops; 9–10-hop paths reuse the 7–8 row, see
     /// DESIGN.md §1).
     rows: Vec<(usize, [f64; 3])>,
+    /// One precomputed sampler per row (fallback: the last category —
+    /// the historical slack convention for this table).
+    tables: Vec<CdfTable>,
 }
 
 impl AltPathDist {
@@ -157,7 +222,11 @@ impl AltPathDist {
                 assert!(*bound > rows[i - 1].0, "bucket bounds must increase");
             }
         }
-        AltPathDist { rows }
+        let tables = rows
+            .iter()
+            .map(|(_, probs)| CdfTable::new(probs, probs.len() - 1))
+            .collect();
+        AltPathDist { rows, tables }
     }
 
     /// Table 3: 2–3 hops → (0.5, 0.3, 0.2); 4–6 → (0.6, 0.25, 0.15);
@@ -170,28 +239,69 @@ impl AltPathDist {
         ])
     }
 
-    /// The probability row for `hops`.
-    pub fn row(&self, hops: usize) -> &[f64; 3] {
-        for (bound, probs) in &self.rows {
+    /// Index of the bucket row covering `hops`.
+    #[inline]
+    fn row_index(&self, hops: usize) -> usize {
+        for (i, (bound, _)) in self.rows.iter().enumerate() {
             if hops <= *bound {
-                return probs;
+                return i;
             }
         }
-        &self.rows.last().expect("non-empty").1
+        self.rows.len() - 1
+    }
+
+    /// The probability row for `hops`.
+    pub fn row(&self, hops: usize) -> &[f64; 3] {
+        &self.rows[self.row_index(hops)].1
     }
 
     /// Draws the number of available paths (1..=3) for a path of `hops`
-    /// hops.
+    /// hops (one `f64` draw, precomputed-table lookup).
+    #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, hops: usize) -> usize {
-        let probs = self.row(hops);
-        let mut x = rng.gen::<f64>();
-        for (i, &p) in probs.iter().enumerate() {
-            if x < p {
-                return i + 1;
-            }
-            x -= p;
+        self.tables[self.row_index(hops)].locate(rng.gen::<f64>()) + 1
+    }
+}
+
+impl PartialEq for AltPathDist {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+    }
+}
+
+/// Serialized shape of [`AltPathDist`] (the sampler tables are derived).
+#[derive(Serialize, Deserialize)]
+struct AltPathDistRepr {
+    rows: Vec<(usize, [f64; 3])>,
+}
+
+impl Serialize for AltPathDist {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        AltPathDistRepr {
+            rows: self.rows.clone(),
         }
-        3
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for AltPathDist {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = AltPathDistRepr::deserialize(deserializer)?;
+        if repr.rows.is_empty() {
+            return Err(serde::de::Error::custom("empty alternative-path table"));
+        }
+        for (i, (bound, probs)) in repr.rows.iter().enumerate() {
+            let sum: f64 = probs.iter().sum();
+            if (sum - 1.0).abs() >= 1e-9 || probs.iter().any(|&p| p < 0.0) {
+                return Err(serde::de::Error::custom(format!(
+                    "row {i} probabilities sum to {sum}, not 1"
+                )));
+            }
+            if i > 0 && *bound <= repr.rows[i - 1].0 {
+                return Err(serde::de::Error::custom("bucket bounds must increase"));
+            }
+        }
+        Ok(AltPathDist::new(repr.rows))
     }
 }
 
@@ -228,10 +338,15 @@ impl Route {
 /// Rates a candidate intermediate list from `rater`'s point of view:
 /// the product of known forwarding rates, [`UNKNOWN_RATE`] for unknown
 /// nodes (§3.1).
+///
+/// Multiply-only: the matrix serves cached rates with the unknown
+/// default already substituted, so the loop carries no division and no
+/// `Option` branch per node.
+#[inline]
 pub fn path_rating(matrix: &ReputationMatrix, rater: NodeId, intermediates: &[NodeId]) -> f64 {
     intermediates
         .iter()
-        .map(|&n| matrix.rate(rater, n).unwrap_or(UNKNOWN_RATE))
+        .map(|&n| matrix.rate_or_unknown(rater, n))
         .product()
 }
 
@@ -268,6 +383,39 @@ impl RouteSelection {
             RouteSelection::Random => rng.gen_range(0..candidates.len()),
         }
     }
+
+    /// Selects among the candidates held in a [`PathScratch`] — the
+    /// allocation-free hot path twin of [`RouteSelection::select`], with
+    /// identical tie-breaking and RNG consumption.
+    ///
+    /// # Panics
+    /// Panics if the scratch holds no candidates.
+    #[inline]
+    pub fn select_from<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+        matrix: &ReputationMatrix,
+        rater: NodeId,
+        scratch: &PathScratch,
+    ) -> usize {
+        let n = scratch.n_candidates();
+        assert!(n > 0, "no candidate paths");
+        match self {
+            RouteSelection::BestRated => {
+                let mut best = 0;
+                let mut best_rating = f64::NEG_INFINITY;
+                for i in 0..n {
+                    let r = path_rating(matrix, rater, scratch.candidate(i));
+                    if r > best_rating {
+                        best_rating = r;
+                        best = i;
+                    }
+                }
+                best
+            }
+            RouteSelection::Random => rng.gen_range(0..n),
+        }
+    }
 }
 
 /// Selects the index of the best-rated candidate path (ties go to the
@@ -293,6 +441,49 @@ pub fn select_best_path(
     best
 }
 
+/// Reusable buffers for candidate-route generation: the shuffle pool and
+/// up to three candidate intermediate lists.
+///
+/// One `PathScratch` lives for a whole tournament (inside the game
+/// crate's per-tournament scratch); after warm-up, drawing a fresh set
+/// of candidates allocates nothing.
+#[derive(Debug, Default, Clone)]
+pub struct PathScratch {
+    /// One buffer per candidate, each holding a full working copy of the
+    /// relay pool; the partial Fisher–Yates shuffles in place and the
+    /// candidate's intermediates are the buffer's last [`Self::relays`]
+    /// entries (one memcpy per candidate, no separate shuffle buffer).
+    bufs: Vec<Vec<NodeId>>,
+    /// Relays per candidate in the current game (drawn once per game).
+    relays: usize,
+    /// Number of valid entries in `bufs` for the current game.
+    live: usize,
+}
+
+impl PathScratch {
+    /// Number of candidate paths drawn by the most recent generation.
+    #[inline]
+    pub fn n_candidates(&self) -> usize {
+        self.live
+    }
+
+    /// The `i`-th candidate's intermediate list.
+    ///
+    /// # Panics
+    /// Panics if `i >= n_candidates()`.
+    #[inline]
+    pub fn candidate(&self, i: usize) -> &[NodeId] {
+        assert!(i < self.live, "candidate index {i} out of range");
+        let buf = &self.bufs[i];
+        &buf[buf.len() - self.relays..]
+    }
+
+    /// Iterates over the current candidates' intermediate lists.
+    pub fn candidates(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        (0..self.live).map(|i| self.candidate(i))
+    }
+}
+
 /// Generates candidate paths per the paper's model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PathGenerator {
@@ -311,7 +502,8 @@ impl PathGenerator {
         }
     }
 
-    /// Draws the candidate intermediate lists for one game.
+    /// Draws the candidate intermediate lists for one game into
+    /// `scratch`, reusing its buffers — zero allocations at steady state.
     ///
     /// `pool` is the set of nodes that may relay (tournament participants
     /// except the source and the destination). Each candidate path
@@ -319,6 +511,42 @@ impl PathGenerator {
     /// independently and may overlap. If the pool cannot support the drawn
     /// hop count, the length is clamped to `pool.len() + 1` hops so a game
     /// can always be played.
+    ///
+    /// The RNG draw sequence (hop count, candidate count, one partial
+    /// Fisher–Yates per candidate) is identical to the historical
+    /// allocating [`PathGenerator::generate`].
+    ///
+    /// # Panics
+    /// Panics if `pool` is empty.
+    pub fn generate_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        pool: &[NodeId],
+        scratch: &mut PathScratch,
+    ) {
+        assert!(!pool.is_empty(), "cannot route without relay candidates");
+        let hops = self.lengths.sample(rng);
+        let relays = (hops - 1).min(pool.len());
+        let n_paths = self.alternates.sample(rng, relays + 1);
+        if scratch.bufs.len() < n_paths {
+            scratch.bufs.resize_with(n_paths, Vec::new);
+        }
+        scratch.relays = relays;
+        scratch.live = n_paths;
+        for buf in scratch.bufs.iter_mut().take(n_paths) {
+            buf.clear();
+            buf.extend_from_slice(pool);
+            // Partial Fisher–Yates: `relays` distinct uniform picks land
+            // at the end of the buffer, which is exactly the slice
+            // `candidate()` exposes.
+            buf.partial_shuffle(rng, relays);
+        }
+    }
+
+    /// Draws the candidate intermediate lists for one game, allocating
+    /// the result — the convenience twin of
+    /// [`PathGenerator::generate_into`] for tests and tooling, with the
+    /// same RNG stream.
     ///
     /// # Panics
     /// Panics if `pool` is empty.

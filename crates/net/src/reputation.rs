@@ -10,10 +10,26 @@
 //! state is a flat `n × n` matrix of counter pairs: row = observer,
 //! column = subject. This is the hot data structure of the simulation —
 //! every game touches up to ~10 × 9 entries — so it avoids hashing
-//! entirely.
+//! entirely, and it maintains two derived caches *incrementally* at
+//! update time so lookups stay branch- and division-free:
+//!
+//! * the forwarding **rate** of every pair ([`ReputationMatrix::rate_or_unknown`]
+//!   — [`UNKNOWN_RATE`] until the first observation), making
+//!   [`crate::paths::path_rating`] a pure multiply loop;
+//! * per-observer **row aggregates** (known-subject count and summed
+//!   forwarded packets), making the activity average of §3.2
+//!   ([`ReputationMatrix::mean_forwarded_of_known`]) O(1) instead of an
+//!   O(n) row scan per forwarding decision.
+//!
+//! Only the raw counters are serialized and compared; the caches are
+//! rebuilt on deserialization and checked by
+//! [`ReputationMatrix::check_invariants`].
 
 use crate::NodeId;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Forwarding rate assumed for nodes the rater has no data about (§3.1).
+pub const UNKNOWN_RATE: f64 = 0.5;
 
 /// One observer→subject reputation record.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -34,12 +50,20 @@ impl RepRecord {
 }
 
 /// Dense observer × subject reputation matrix for `n` nodes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ReputationMatrix {
     n: usize,
     /// Row-major `n × n` records; the diagonal stays zero (nodes never
     /// rate themselves).
     records: Vec<RepRecord>,
+    /// Cached forwarding rate per record ([`UNKNOWN_RATE`] while
+    /// unknown), maintained on every counter update.
+    rates: Vec<f64>,
+    /// Per-observer count of known subjects (`requests > 0`).
+    row_known: Vec<u32>,
+    /// Per-observer sum of `forwarded` over known subjects (the
+    /// numerator of §3.2's activity average `av`).
+    row_forwarded: Vec<u64>,
 }
 
 impl ReputationMatrix {
@@ -48,7 +72,41 @@ impl ReputationMatrix {
         ReputationMatrix {
             n,
             records: vec![RepRecord::default(); n * n],
+            rates: vec![UNKNOWN_RATE; n * n],
+            row_known: vec![0; n],
+            row_forwarded: vec![0; n],
         }
+    }
+
+    /// Rebuilds a matrix from raw counters (the serialized form),
+    /// recomputing every cache.
+    fn from_parts(n: usize, records: Vec<RepRecord>) -> Result<Self, String> {
+        if records.len() != n * n {
+            return Err(format!(
+                "reputation matrix for {n} nodes needs {} records, got {}",
+                n * n,
+                records.len()
+            ));
+        }
+        let mut m = ReputationMatrix {
+            n,
+            records,
+            rates: vec![UNKNOWN_RATE; n * n],
+            row_known: vec![0; n],
+            row_forwarded: vec![0; n],
+        };
+        for o in 0..n {
+            for s in 0..n {
+                let i = o * n + s;
+                let r = m.records[i];
+                if r.requests > 0 {
+                    m.rates[i] = f64::from(r.forwarded) / f64::from(r.requests);
+                    m.row_known[o] += 1;
+                    m.row_forwarded[o] += u64::from(r.forwarded);
+                }
+            }
+        }
+        Ok(m)
     }
 
     /// Number of nodes.
@@ -83,9 +141,16 @@ impl ReputationMatrix {
     #[inline]
     pub fn record_forward(&mut self, observer: NodeId, subject: NodeId) {
         debug_assert_ne!(observer, subject, "self-rating is a logic error");
+        let o = observer.index();
         let i = self.idx(observer, subject);
-        self.records[i].requests += 1;
-        self.records[i].forwarded += 1;
+        let r = &mut self.records[i];
+        if r.requests == 0 {
+            self.row_known[o] += 1;
+        }
+        r.requests += 1;
+        r.forwarded += 1;
+        self.rates[i] = f64::from(r.forwarded) / f64::from(r.requests);
+        self.row_forwarded[o] += 1;
     }
 
     /// Records that `observer` saw (or was told about) `subject`
@@ -93,15 +158,41 @@ impl ReputationMatrix {
     #[inline]
     pub fn record_drop(&mut self, observer: NodeId, subject: NodeId) {
         debug_assert_ne!(observer, subject, "self-rating is a logic error");
+        let o = observer.index();
         let i = self.idx(observer, subject);
-        self.records[i].requests += 1;
+        let r = &mut self.records[i];
+        if r.requests == 0 {
+            self.row_known[o] += 1;
+        }
+        r.requests += 1;
+        self.rates[i] = f64::from(r.forwarded) / f64::from(r.requests);
     }
 
     /// Forwarding rate of `subject` as known by `observer`; `None` when
     /// unknown.
     #[inline]
     pub fn rate(&self, observer: NodeId, subject: NodeId) -> Option<f64> {
-        self.record(observer, subject).rate()
+        let i = self.idx(observer, subject);
+        (self.records[i].requests > 0).then(|| self.rates[i])
+    }
+
+    /// Forwarding rate of `subject` as known by `observer`, with
+    /// [`UNKNOWN_RATE`] standing in for unknown subjects — the hot-path
+    /// lookup behind [`crate::paths::path_rating`]: one cached load, no
+    /// division, no branch.
+    #[inline]
+    pub fn rate_or_unknown(&self, observer: NodeId, subject: NodeId) -> f64 {
+        self.rates[self.idx(observer, subject)]
+    }
+
+    /// Everything a forwarding decision needs about `subject` in one
+    /// indexed access: the rate (`None` when unknown) and the observed
+    /// forwarded-packet count (§3.2's activity datum).
+    #[inline]
+    pub fn rate_and_forwarded(&self, observer: NodeId, subject: NodeId) -> (Option<f64>, u32) {
+        let i = self.idx(observer, subject);
+        let rec = self.records[i];
+        ((rec.requests > 0).then(|| self.rates[i]), rec.forwarded)
     }
 
     /// `true` when `observer` has at least one observation about
@@ -120,22 +211,20 @@ impl ReputationMatrix {
 
     /// Mean forwarded-packet count over all nodes known to `observer`
     /// (the `av` of §3.2); `None` when the observer knows nobody.
+    ///
+    /// O(1): reads the incrementally maintained row aggregates instead
+    /// of scanning the observer's row per forwarding decision.
+    #[inline]
     pub fn mean_forwarded_of_known(&self, observer: NodeId) -> Option<f64> {
-        let row = &self.records[observer.index() * self.n..(observer.index() + 1) * self.n];
-        let (mut sum, mut known) = (0u64, 0u64);
-        for r in row {
-            if r.requests > 0 {
-                sum += u64::from(r.forwarded);
-                known += 1;
-            }
-        }
-        (known > 0).then(|| sum as f64 / known as f64)
+        let o = observer.index();
+        let known = u64::from(self.row_known[o]);
+        (known > 0).then(|| self.row_forwarded[o] as f64 / known as f64)
     }
 
     /// Number of subjects known to `observer`.
+    #[inline]
     pub fn known_count(&self, observer: NodeId) -> usize {
-        let row = &self.records[observer.index() * self.n..(observer.index() + 1) * self.n];
-        row.iter().filter(|r| r.requests > 0).count()
+        self.row_known[observer.index()] as usize
     }
 
     /// Merges externally supplied observation counts into
@@ -148,9 +237,18 @@ impl ReputationMatrix {
     pub fn absorb(&mut self, observer: NodeId, subject: NodeId, requests: u32, forwarded: u32) {
         assert!(forwarded <= requests, "absorb would set pf > ps");
         debug_assert_ne!(observer, subject, "self-rating is a logic error");
+        let o = observer.index();
         let i = self.idx(observer, subject);
-        self.records[i].requests += requests;
-        self.records[i].forwarded += forwarded;
+        let r = &mut self.records[i];
+        if r.requests == 0 && requests > 0 {
+            self.row_known[o] += 1;
+        }
+        r.requests += requests;
+        r.forwarded += forwarded;
+        if r.requests > 0 {
+            self.rates[i] = f64::from(r.forwarded) / f64::from(r.requests);
+        }
+        self.row_forwarded[o] += u64::from(forwarded);
     }
 
     /// Resets every record to unknown. Called at the start of each
@@ -158,23 +256,82 @@ impl ReputationMatrix {
     /// (reputation/activity data) of all N players").
     pub fn clear(&mut self) {
         self.records.fill(RepRecord::default());
+        self.rates.fill(UNKNOWN_RATE);
+        self.row_known.fill(0);
+        self.row_forwarded.fill(0);
     }
 
     /// Checks the structural invariants (used by tests and debug builds):
-    /// `pf ≤ ps` everywhere and an all-zero diagonal.
+    /// `pf ≤ ps` everywhere, an all-zero diagonal, and derived caches
+    /// (rates, row aggregates) bit-identical to a from-scratch rebuild.
     pub fn check_invariants(&self) -> Result<(), String> {
         for o in 0..self.n {
+            let (mut known, mut forwarded) = (0u32, 0u64);
             for s in 0..self.n {
-                let r = self.records[o * self.n + s];
+                let i = o * self.n + s;
+                let r = self.records[i];
                 if r.forwarded > r.requests {
                     return Err(format!("pf > ps for observer n{o} subject n{s}: {r:?}"));
                 }
                 if o == s && r != RepRecord::default() {
                     return Err(format!("non-empty self-record at n{o}"));
                 }
+                let expected_rate = if r.requests > 0 {
+                    known += 1;
+                    forwarded += u64::from(r.forwarded);
+                    f64::from(r.forwarded) / f64::from(r.requests)
+                } else {
+                    UNKNOWN_RATE
+                };
+                if self.rates[i].to_bits() != expected_rate.to_bits() {
+                    return Err(format!(
+                        "stale rate cache for observer n{o} subject n{s}: {} vs {expected_rate}",
+                        self.rates[i]
+                    ));
+                }
+            }
+            if self.row_known[o] != known || self.row_forwarded[o] != forwarded {
+                return Err(format!(
+                    "stale row aggregates for observer n{o}: known {} vs {known}, forwarded {} vs {forwarded}",
+                    self.row_known[o], self.row_forwarded[o]
+                ));
             }
         }
         Ok(())
+    }
+}
+
+impl PartialEq for ReputationMatrix {
+    /// Counters are the state; the caches are derived from them.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.records == other.records
+    }
+}
+
+impl Eq for ReputationMatrix {}
+
+/// The serialized shape of a [`ReputationMatrix`]: raw counters only,
+/// caches rebuilt on deserialization.
+#[derive(Serialize, Deserialize)]
+struct MatrixRepr {
+    n: usize,
+    records: Vec<RepRecord>,
+}
+
+impl Serialize for ReputationMatrix {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        MatrixRepr {
+            n: self.n,
+            records: self.records.clone(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ReputationMatrix {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = MatrixRepr::deserialize(deserializer)?;
+        ReputationMatrix::from_parts(repr.n, repr.records).map_err(serde::de::Error::custom)
     }
 }
 

@@ -10,17 +10,22 @@
 //! * [`Series`] — aligned per-generation series averaged across runs,
 //! * [`Histogram`] — counting histogram with fraction reports,
 //! * [`chi_squared_uniformity`] and friends — goodness-of-fit helpers used
-//!   by the distribution tests for Tables 2–3.
+//!   by the distribution tests for Tables 2–3,
+//! * [`sampling`] — the shared categorical sampler (linear CDF walk and
+//!   precomputed exact-threshold tables) behind the path distributions
+//!   and roulette selection.
 
 #![deny(missing_docs)]
 
 pub mod histogram;
 pub mod plot;
+pub mod sampling;
 pub mod series;
 pub mod summary;
 
 pub use histogram::Histogram;
 pub use plot::{ascii_chart, sparkline, PlotSeries};
+pub use sampling::{last_positive_category, walk_categorical, CdfTable};
 pub use series::Series;
 pub use summary::Summary;
 

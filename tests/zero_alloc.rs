@@ -1,0 +1,102 @@
+//! Proof that the steady-state hot loop is allocation-free.
+//!
+//! A counting wrapper around the system allocator tracks every
+//! allocation in this test binary (one test, so no cross-test noise).
+//! After a warm-up phase grows every scratch buffer to its high-water
+//! mark, full tournament rounds — and GA breeding into a warm buffer —
+//! must not allocate a single byte.
+
+use ahn::bitstr::BitStr;
+use ahn::game::game::{play_game, Scratch};
+use ahn::game::{Arena, GameConfig};
+use ahn::net::{NodeId, PathMode};
+use ahn::strategy::Strategy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_tournament_round_allocates_zero_bytes() {
+    // Longer-paths mode exercises the deepest buffers (up to 9 relays,
+    // 3 candidates); a CSN minority exercises every decision branch.
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let strategies: Vec<Strategy> = (0..40).map(|_| Strategy::random(&mut rng)).collect();
+    let mut arena = Arena::new(strategies, 10, GameConfig::paper(PathMode::Longer), 1);
+    let participants: Vec<NodeId> = (0..50u32).map(NodeId).collect();
+    let mut scratch = Scratch::default();
+
+    // Warm-up: enough games that every scratch buffer, metrics counter
+    // and reputation cell has reached its steady-state capacity.
+    for _ in 0..40 {
+        for &source in &participants {
+            play_game(&mut arena, &mut rng, source, &participants, 0, &mut scratch);
+        }
+    }
+
+    // Measure: 20 full rounds (1000 games) must allocate nothing.
+    let before = allocations();
+    for _ in 0..20 {
+        for &source in &participants {
+            play_game(&mut arena, &mut rng, source, &participants, 0, &mut scratch);
+        }
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state tournament rounds performed {} allocations",
+        after - before
+    );
+}
+
+#[test]
+fn breeding_into_a_warm_buffer_allocates_zero_bytes() {
+    // 13-bit genomes are stored inline; with a warmed offspring buffer
+    // the whole breed step is allocation-free.
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let population: Vec<BitStr> = (0..100).map(|_| BitStr::random(&mut rng, 13)).collect();
+    let fitnesses: Vec<f64> = (0..100).map(|i| i as f64).collect();
+    let params = ahn::ga::GaParams::paper();
+    let mut offspring: Vec<BitStr> = Vec::new();
+    ahn::ga::next_generation_into(&mut rng, &params, &population, &fitnesses, &mut offspring);
+
+    let before = allocations();
+    for _ in 0..50 {
+        ahn::ga::next_generation_into(&mut rng, &params, &population, &fitnesses, &mut offspring);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state breeding performed {} allocations",
+        after - before
+    );
+}

@@ -76,16 +76,27 @@ pub mod uniform {
 
     /// Draws a uniform integer in `[0, span)` by rejection sampling, so
     /// every value is exactly equally likely.
+    ///
+    /// The accept/reject set is `v <= zone` with
+    /// `zone = u64::MAX - (u64::MAX % span) - 1`; since
+    /// `zone >= u64::MAX - span`, a draw at or below `u64::MAX - span`
+    /// is accepted without ever computing the zone, saving one 64-bit
+    /// division per draw on the (hot) common path. The draw sequence and
+    /// results are identical to the always-compute-the-zone form.
     #[inline]
     pub(crate) fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
         debug_assert!(span > 0);
         if span.is_power_of_two() {
             return rng.next_u64() & (span - 1);
         }
-        // Largest multiple of span that fits in u64.
-        let zone = u64::MAX - (u64::MAX % span) - 1;
         loop {
             let v = rng.next_u64();
+            if v <= u64::MAX - span {
+                return v % span;
+            }
+            // Within `span` of the top: fall back to the exact zone test
+            // (probability < 2^-53 for the small spans used here).
+            let zone = u64::MAX - (u64::MAX % span) - 1;
             if v <= zone {
                 return v % span;
             }

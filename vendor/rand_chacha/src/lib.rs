@@ -95,6 +95,7 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl RngCore for ChaCha8Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         if self.index >= BLOCK_WORDS {
             self.refill();
@@ -104,7 +105,17 @@ impl RngCore for ChaCha8Rng {
         w
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
+        // Fast path: both words are buffered — one bounds branch instead
+        // of two. Word order (lo then hi) matches the generic path, so
+        // the stream is identical.
+        if self.index + 2 <= BLOCK_WORDS {
+            let lo = self.buf[self.index] as u64;
+            let hi = self.buf[self.index + 1] as u64;
+            self.index += 2;
+            return lo | (hi << 32);
+        }
         let lo = self.next_u32() as u64;
         let hi = self.next_u32() as u64;
         lo | (hi << 32)

@@ -29,6 +29,12 @@ const THROUGHPUT_ROUNDS: usize = 300;
 /// path-length and evolution variance instead of pinning one trajectory.
 pub const SEEDS_PER_PIPELINE: u64 = 2;
 
+/// Distinct job specs in the serve bench's cache-miss phase.
+pub const SERVE_DISTINCT: usize = 24;
+
+/// Submissions in the serve bench's cache-hit phase.
+pub const SERVE_HIT_REQUESTS: usize = 600;
+
 /// One timed bench run: artifact-pipeline seconds plus game throughput.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -47,6 +53,16 @@ pub struct BenchReport {
     /// Steady-state Ad Hoc Network Games per second in a 50-node,
     /// 300-round tournament (the paper-scale inner loop).
     pub games_per_second: f64,
+    /// Serving throughput, cache-miss side: sequential submissions of
+    /// [`SERVE_DISTINCT`] distinct specs against an in-process
+    /// `ahn_serve` server, each polled to completion (requests/s over
+    /// the full HTTP + queue + worker + serialize path). `None` in
+    /// reports measured before the serve subsystem existed.
+    pub serve_miss_rps: Option<f64>,
+    /// Serving throughput, cache-hit side: [`SERVE_HIT_REQUESTS`]
+    /// submissions of already-cached specs over 4 keep-alive
+    /// connections (requests/s). `None` in pre-serve reports.
+    pub serve_hit_rps: Option<f64>,
 }
 
 /// A committed before/after baseline pair (the `BENCH_N.json` format).
@@ -142,23 +158,85 @@ pub fn run_bench() -> BenchReport {
         tournament.run(&mut arena, &mut rng, &participants, 0);
     });
 
+    // Serving throughput: an in-process ahn_serve server driven by the
+    // loadtest client, cache-miss and cache-hit phases (best of
+    // MEASURE_RUNS fresh servers — a fresh server per run so every miss
+    // phase really misses).
+    let (serve_miss_rps, serve_hit_rps) = measure_serve();
+
     BenchReport {
         schema: "ahn-bench/1".into(),
         scale: format!(
             "pipelines: 10-node tournaments, {} rounds, {} generations, {} seeds; \
-             throughput: 50-node tournament, {} rounds; min of {} runs",
-            cfg.rounds, cfg.generations, SEEDS_PER_PIPELINE, THROUGHPUT_ROUNDS, MEASURE_RUNS
+             throughput: 50-node tournament, {} rounds; serve: {} distinct + {} hit \
+             requests; min of {} runs",
+            cfg.rounds,
+            cfg.generations,
+            SEEDS_PER_PIPELINE,
+            THROUGHPUT_ROUNDS,
+            SERVE_DISTINCT,
+            SERVE_HIT_REQUESTS,
+            MEASURE_RUNS
         ),
         fig4_seconds,
         table5_seconds,
         ipdrp_seconds,
         games_per_second: games / tournament_seconds,
+        serve_miss_rps,
+        serve_hit_rps,
     }
+}
+
+/// Measures serving throughput (see the `serve_*_rps` field docs);
+/// `(None, None)` when the loopback server cannot run at all.
+fn measure_serve() -> (Option<f64>, Option<f64>) {
+    let mut best_miss: Option<f64> = None;
+    let mut best_hit: Option<f64> = None;
+    for _ in 0..MEASURE_RUNS {
+        let Ok(handle) = ahn_serve::spawn(ahn_serve::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_cap: 2 * SERVE_DISTINCT,
+            queue_cap: 2 * SERVE_DISTINCT,
+        }) else {
+            return (None, None);
+        };
+        let addr = handle.addr().to_string();
+
+        // Miss phase: one connection, every spec distinct, each job
+        // polled to completion.
+        let miss = ahn_serve::run_loadtest(&ahn_serve::LoadtestConfig {
+            addr: addr.clone(),
+            connections: 1,
+            requests: SERVE_DISTINCT,
+            distinct: SERVE_DISTINCT,
+        });
+        // Hit phase: same specs, now all cached, under 4 connections.
+        let hit = ahn_serve::run_loadtest(&ahn_serve::LoadtestConfig {
+            addr,
+            connections: 4,
+            requests: SERVE_HIT_REQUESTS,
+            distinct: SERVE_DISTINCT,
+        });
+        handle.shutdown();
+
+        if let Ok(report) = miss {
+            if report.errors == 0 {
+                best_miss = Some(best_miss.unwrap_or(0.0).max(report.requests_per_second));
+            }
+        }
+        if let Ok(report) = hit {
+            if report.errors == 0 && report.cache_hits == report.requests {
+                best_hit = Some(best_hit.unwrap_or(0.0).max(report.requests_per_second));
+            }
+        }
+    }
+    (best_miss, best_hit)
 }
 
 /// Renders a report as an aligned human-readable table.
 pub fn render(report: &BenchReport) -> String {
-    format!(
+    let mut out = format!(
         "ahn bench ({})\n\
          pipeline            seconds\n\
          fig4             {:>10.4}\n\
@@ -170,7 +248,14 @@ pub fn render(report: &BenchReport) -> String {
         report.table5_seconds,
         report.ipdrp_seconds,
         report.games_per_second,
-    )
+    );
+    if let Some(rps) = report.serve_miss_rps {
+        out.push_str(&format!("serve (miss)     {rps:>10.0} req/s\n"));
+    }
+    if let Some(rps) = report.serve_hit_rps {
+        out.push_str(&format!("serve (hit)      {rps:>10.0} req/s\n"));
+    }
+    out
 }
 
 /// Compares a fresh report against a committed baseline's `after` side.
@@ -207,6 +292,33 @@ pub fn check_regression(
             current.games_per_second, baseline.after.games_per_second
         ));
     }
+    // Serving throughput gates only once a baseline has recorded it
+    // (pre-serve baselines carry `None`).
+    let rates = [
+        (
+            "serve miss",
+            current.serve_miss_rps,
+            baseline.after.serve_miss_rps,
+        ),
+        (
+            "serve hit",
+            current.serve_hit_rps,
+            baseline.after.serve_hit_rps,
+        ),
+    ];
+    for (name, now, base) in rates {
+        let Some(base) = base else { continue };
+        match now {
+            None => failures.push(format!(
+                "{name}: the baseline records {base:.0} req/s but the current report \
+                 has no measurement"
+            )),
+            Some(now) if now * factor < base => failures.push(format!(
+                "{name}: {now:.0} req/s is less than 1/{factor} of the baseline {base:.0}"
+            )),
+            Some(_) => {}
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -226,6 +338,8 @@ mod tests {
             table5_seconds: 2.0 * factor,
             ipdrp_seconds: 0.5 * factor,
             games_per_second: 1e6 / factor,
+            serve_miss_rps: Some(1e3 / factor),
+            serve_hit_rps: Some(1e4 / factor),
         }
     }
 
@@ -261,6 +375,44 @@ mod tests {
         for (name, factor) in s {
             assert!((factor - 2.0).abs() < 1e-12, "{name}: {factor}");
         }
+    }
+
+    #[test]
+    fn pre_serve_baselines_do_not_gate_serving() {
+        // A BENCH_2-era baseline (no serve numbers) accepts any current
+        // serve measurement, present or absent.
+        let mut old = baseline();
+        old.after.serve_miss_rps = None;
+        old.after.serve_hit_rps = None;
+        check_regression(&report(1.0), &old, 2.0).unwrap();
+        let mut absent = report(1.0);
+        absent.serve_miss_rps = None;
+        absent.serve_hit_rps = None;
+        check_regression(&absent, &old, 2.0).unwrap();
+        // But once the baseline records serving throughput, a report
+        // without it fails loudly instead of passing silently.
+        let err = check_regression(&absent, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("no measurement"), "{err}");
+    }
+
+    #[test]
+    fn serve_regression_fails_the_gate() {
+        let mut slow = report(1.0);
+        slow.serve_hit_rps = Some(1e4 / 3.0);
+        let err = check_regression(&slow, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("serve hit"), "{err}");
+        assert!(!err.contains("serve miss"), "{err}");
+    }
+
+    #[test]
+    fn pre_serve_report_json_still_parses() {
+        // The committed BENCH_2.json predates the serve fields; its
+        // reports must keep deserializing (as None).
+        let json = "{\"schema\":\"ahn-bench/1\",\"scale\":\"s\",\"fig4_seconds\":1.0,\
+                    \"table5_seconds\":2.0,\"ipdrp_seconds\":0.5,\"games_per_second\":1e6}";
+        let report: BenchReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.serve_miss_rps, None);
+        assert_eq!(report.serve_hit_rps, None);
     }
 
     #[test]

@@ -33,6 +33,8 @@
 //!   trace               dump a JSON decision trace of one tournament
 //!   check               verify the paper-input presets (Tables 1-4)
 //!   bench               time the artifact pipelines (PERFORMANCE.md)
+//!   serve               run the HTTP job server (crates/serve)
+//!   loadtest            drive a running server, report p50/p99 + req/s
 //! ```
 
 use ahn_core::{
@@ -47,10 +49,18 @@ fn main() {
         return;
     }
     let command = args[0].clone();
+    // bench/serve/loadtest have their own flag sets; they do not share
+    // the experiment-configuration options.
     if command == "bench" {
-        // The bench harness has its own fixed scale and flags; it does
-        // not share the experiment-configuration options.
         bench(&args[1..]);
+        return;
+    }
+    if command == "serve" {
+        serve(&args[1..]);
+        return;
+    }
+    if command == "loadtest" {
+        loadtest(&args[1..]);
         return;
     }
     let opts = match Options::parse(&args[1..]) {
@@ -112,49 +122,66 @@ fn print_usage() {
         "ahn-exp — regenerate the tables and figures of Seredynski et al. (IPDPS'07)\n\n\
          usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
                 [--gens N] [--rounds N] [--seed S] [--out DIR]\n\
-                ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\n\
+                ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\
+                ahn-exp serve [--addr A] [--workers N] [--cache-cap N] [--queue-cap N]\n\
+                ahn-exp loadtest [--addr A] [--connections N] [--requests N]\n\
+                                 [--distinct N] [--json] [--min-hit-rate F] [--shutdown]\n\n\
          commands: fig4 table5 table6 table7 table8 table9 all ipdrp\n\
                    baseline-pathrater ablate-payoff ablate-activity\n\
                    ablate-selection ablate-trust-table ablate-unknown\n\
                    ablate-gossip transfer newcomer sleepers\n\
-                   sweep-rounds sweep-csn sweep-mutation trace check bench"
+                   sweep-rounds sweep-csn sweep-mutation trace check bench\n\
+                   serve loadtest"
     );
+}
+
+/// `ahn-exp bench` flags.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchFlags {
+    json: bool,
+    baseline_path: Option<String>,
+    max_regression: f64,
+}
+
+fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, String> {
+    let mut flags = BenchFlags {
+        json: false,
+        baseline_path: None,
+        max_regression: 2.0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => flags.json = true,
+            "--baseline" => match it.next() {
+                Some(p) => flags.baseline_path = Some(p.clone()),
+                None => return Err("--baseline needs a file".into()),
+            },
+            "--max-regression" => match it.next().map(|s| s.parse::<f64>()) {
+                Some(Ok(f)) if f >= 1.0 => flags.max_regression = f,
+                _ => return Err("--max-regression needs a factor >= 1".into()),
+            },
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    Ok(flags)
 }
 
 /// `ahn-exp bench`: time the artifact pipelines and game throughput
 /// (PERFORMANCE.md documents the protocol and the `BENCH_N.json`
 /// convention).
 fn bench(args: &[String]) {
-    let mut json = false;
-    let mut baseline_path: Option<String> = None;
-    let mut max_regression = 2.0f64;
-    let mut it = args.iter();
-    while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--json" => json = true,
-            "--baseline" => match it.next() {
-                Some(p) => baseline_path = Some(p.clone()),
-                None => {
-                    eprintln!("error: --baseline needs a file");
-                    std::process::exit(2);
-                }
-            },
-            "--max-regression" => {
-                let v = it.next().map(|s| s.parse::<f64>());
-                match v {
-                    Some(Ok(f)) if f >= 1.0 => max_regression = f,
-                    _ => {
-                        eprintln!("error: --max-regression needs a factor >= 1");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => {
-                eprintln!("error: unknown bench flag {other:?}");
-                std::process::exit(2);
-            }
+    let BenchFlags {
+        json,
+        baseline_path,
+        max_regression,
+    } = match parse_bench_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
-    }
+    };
 
     eprintln!("measuring (min of {} runs per pipeline)...", {
         ahn_bench::harness::MEASURE_RUNS
@@ -200,7 +227,182 @@ fn bench(args: &[String]) {
     }
 }
 
+fn parse_serve_flags(args: &[String]) -> Result<ahn_serve::ServerConfig, String> {
+    let mut config = ahn_serve::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--workers" => match value("--workers")?.parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => return Err("--workers needs a positive integer".into()),
+            },
+            "--cache-cap" => {
+                config.cache_cap = value("--cache-cap")?
+                    .parse()
+                    .map_err(|e| format!("--cache-cap: {e}"))?
+            }
+            "--queue-cap" => match value("--queue-cap")?.parse() {
+                Ok(n) if n > 0 => config.queue_cap = n,
+                _ => return Err("--queue-cap needs a positive integer".into()),
+            },
+            other => return Err(format!("unknown serve flag {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+/// `ahn-exp serve`: run the HTTP job server until `POST /v1/shutdown`.
+fn serve(args: &[String]) {
+    let config = match parse_serve_flags(args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Keep worker fan-out and per-job rayon fan-out from multiplying
+    // into oversubscription: unless the operator already pinned
+    // AHN_THREADS (the vendored rayon's cap, vendor/README.md), give
+    // each worker an equal share of the cores.
+    if std::env::var_os("AHN_THREADS").is_none() {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let share = (cores / config.workers.max(1)).max(1);
+        std::env::set_var("AHN_THREADS", share.to_string());
+    }
+    let handle = match ahn_serve::spawn(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("ahn-serve listening on {}", handle.addr());
+    eprintln!(
+        "  {} workers, cache capacity {}, queue capacity {} (POST /v1/shutdown to stop)",
+        config.workers, config.cache_cap, config.queue_cap
+    );
+    handle.join();
+    eprintln!("ahn-serve: shut down cleanly");
+}
+
+/// `ahn-exp loadtest` flags: the client config plus reporting options.
+#[derive(Debug, Clone, PartialEq)]
+struct LoadtestFlags {
+    config: ahn_serve::LoadtestConfig,
+    json: bool,
+    min_hit_rate: Option<f64>,
+    shutdown: bool,
+}
+
+fn parse_loadtest_flags(args: &[String]) -> Result<LoadtestFlags, String> {
+    let mut flags = LoadtestFlags {
+        config: ahn_serve::LoadtestConfig::default(),
+        json: false,
+        min_hit_rate: None,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => flags.config.addr = value("--addr")?.clone(),
+            "--connections" => match value("--connections")?.parse() {
+                Ok(n) if n > 0 => flags.config.connections = n,
+                _ => return Err("--connections needs a positive integer".into()),
+            },
+            "--requests" => match value("--requests")?.parse() {
+                Ok(n) if n > 0 => flags.config.requests = n,
+                _ => return Err("--requests needs a positive integer".into()),
+            },
+            "--distinct" => match value("--distinct")?.parse() {
+                Ok(n) if n > 0 => flags.config.distinct = n,
+                _ => return Err("--distinct needs a positive integer".into()),
+            },
+            "--json" => flags.json = true,
+            "--min-hit-rate" => match value("--min-hit-rate")?.parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => flags.min_hit_rate = Some(f),
+                _ => return Err("--min-hit-rate needs a fraction in [0, 1]".into()),
+            },
+            "--shutdown" => flags.shutdown = true,
+            other => return Err(format!("unknown loadtest flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+/// `ahn-exp loadtest`: drive a running server with a mixed
+/// cache-hit/cache-miss workload and report latency + throughput.
+fn loadtest(args: &[String]) {
+    let flags = match parse_loadtest_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "loadtest: {} requests over {} connections against {} ({} distinct specs)...",
+        flags.config.requests, flags.config.connections, flags.config.addr, flags.config.distinct
+    );
+    let report = match ahn_serve::run_loadtest(&flags.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    if flags.json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error: cannot serialize report: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        print!("{}", ahn_serve::loadtest::render(&report));
+    }
+
+    if flags.shutdown {
+        match ahn_serve::loadtest::one_shot(&flags.config.addr, "POST", "/v1/shutdown", "") {
+            Ok((200, _)) => eprintln!("sent shutdown to {}", flags.config.addr),
+            Ok((status, body)) => {
+                eprintln!("error: shutdown returned {status}: {body}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if report.errors > 0 {
+        eprintln!("error: {} requests failed", report.errors);
+        std::process::exit(1);
+    }
+    if let Some(min) = flags.min_hit_rate {
+        let rate = report
+            .server_metrics
+            .as_ref()
+            .map(|m| m.cache_hit_rate)
+            .unwrap_or(0.0);
+        if rate < min {
+            eprintln!("error: cache hit rate {rate:.3} is below the required {min:.3}");
+            std::process::exit(1);
+        }
+        eprintln!("cache hit rate {rate:.3} >= {min:.3}");
+    }
+}
+
 /// Parsed command-line options.
+#[derive(Debug)]
 struct Options {
     config: ExperimentConfig,
     out_dir: Option<std::path::PathBuf>,
@@ -608,4 +810,155 @@ fn trace(opts: &Options) {
         );
     }
     println!("\n]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        let f = parse_bench_flags(&args(&["--json", "--baseline", "B.json"])).unwrap();
+        assert!(f.json);
+        assert_eq!(f.baseline_path.as_deref(), Some("B.json"));
+        assert_eq!(f.max_regression, 2.0);
+        let f = parse_bench_flags(&args(&["--max-regression", "1.5"])).unwrap();
+        assert_eq!(f.max_regression, 1.5);
+    }
+
+    #[test]
+    fn bench_flag_errors() {
+        let err = parse_bench_flags(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown bench flag"), "{err}");
+        let err = parse_bench_flags(&args(&["--baseline"])).unwrap_err();
+        assert!(err.contains("--baseline needs a file"), "{err}");
+        for bad in [
+            &["--max-regression"][..],
+            &["--max-regression", "0.5"],
+            &["--max-regression", "x"],
+        ] {
+            let err = parse_bench_flags(&args(bad)).unwrap_err();
+            assert!(err.contains("factor >= 1"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let c = parse_serve_flags(&args(&[])).unwrap();
+        assert_eq!(c.addr, "127.0.0.1:7172");
+        let c = parse_serve_flags(&args(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--cache-cap",
+            "512",
+            "--queue-cap",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(
+            (c.addr.as_str(), c.workers, c.cache_cap, c.queue_cap),
+            ("0.0.0.0:9000", 8, 512, 32)
+        );
+        // cache-cap 0 is legal: it disables caching.
+        assert_eq!(
+            parse_serve_flags(&args(&["--cache-cap", "0"]))
+                .unwrap()
+                .cache_cap,
+            0
+        );
+    }
+
+    #[test]
+    fn serve_flag_errors() {
+        let err = parse_serve_flags(&args(&["--port", "80"])).unwrap_err();
+        assert!(err.contains("unknown serve flag"), "{err}");
+        let err = parse_serve_flags(&args(&["--addr"])).unwrap_err();
+        assert!(err.contains("--addr needs a value"), "{err}");
+        for bad in [
+            &["--workers", "0"][..],
+            &["--workers", "-1"],
+            &["--workers", "many"],
+        ] {
+            assert!(parse_serve_flags(&args(bad)).is_err(), "{bad:?}");
+        }
+        assert!(parse_serve_flags(&args(&["--queue-cap", "0"])).is_err());
+        assert!(parse_serve_flags(&args(&["--cache-cap", "x"])).is_err());
+    }
+
+    #[test]
+    fn loadtest_flags_parse() {
+        let f = parse_loadtest_flags(&args(&[])).unwrap();
+        assert!(!f.json && !f.shutdown && f.min_hit_rate.is_none());
+        let f = parse_loadtest_flags(&args(&[
+            "--addr",
+            "127.0.0.1:1",
+            "--connections",
+            "2",
+            "--requests",
+            "50",
+            "--distinct",
+            "5",
+            "--json",
+            "--min-hit-rate",
+            "0.5",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert_eq!(
+            (f.config.connections, f.config.requests, f.config.distinct),
+            (2, 50, 5)
+        );
+        assert!(f.json && f.shutdown);
+        assert_eq!(f.min_hit_rate, Some(0.5));
+    }
+
+    #[test]
+    fn loadtest_flag_errors() {
+        let err = parse_loadtest_flags(&args(&["--what"])).unwrap_err();
+        assert!(err.contains("unknown loadtest flag"), "{err}");
+        for bad in [
+            &["--connections", "0"][..],
+            &["--requests", "0"],
+            &["--distinct", "0"],
+            &["--connections"],
+            &["--min-hit-rate", "1.5"],
+            &["--min-hit-rate", "nan"],
+        ] {
+            assert!(parse_loadtest_flags(&args(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn experiment_options_flag_errors() {
+        let err = Options::parse(&args(&["--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+        let err = Options::parse(&args(&["--reps"])).unwrap_err();
+        assert!(err.contains("--reps needs a value"), "{err}");
+        let err = Options::parse(&args(&["--reps", "zero"])).unwrap_err();
+        assert!(err.contains("--reps"), "{err}");
+        let err = Options::parse(&args(&["--preset", "galactic"])).unwrap_err();
+        assert!(err.contains("unknown preset"), "{err}");
+        let err = Options::parse(&args(&["--config", "/no/such/file.json"])).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+        // Flag values that parse but violate config validation.
+        let err = Options::parse(&args(&["--reps", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn experiment_options_happy_path() {
+        let o =
+            Options::parse(&args(&["--preset", "smoke", "--reps", "3", "--seed", "9"])).unwrap();
+        assert_eq!(o.config.replications, 3);
+        assert_eq!(o.config.base_seed, 9);
+        assert!(o.out_dir.is_none());
+        let o = Options::parse(&args(&["--out", "/tmp/x"])).unwrap();
+        assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
 }

@@ -177,6 +177,30 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Canonical structural hash of any serializable value: FNV-1a 64 over
+/// the compact JSON encoding.
+///
+/// The vendored serde derive serializes struct fields in declaration
+/// order and the writer is deterministic, so two structurally equal
+/// values always produce the same byte stream — the property the
+/// `ahn_serve` result cache keys on. The hash is a pure function of the
+/// value (no per-process randomness), so keys are stable across
+/// processes and restarts.
+pub fn canonical_hash<T: ?Sized + serde::Serialize>(value: &T) -> Result<u64, String> {
+    let json = serde_json::to_string(value).map_err(|e| format!("cannot canonicalize: {e}"))?;
+    Ok(fnv1a_64(json.as_bytes()))
+}
+
+/// FNV-1a, 64-bit: the standard offset basis and prime.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +262,30 @@ mod tests {
         let mut c = ExperimentConfig::smoke();
         c.ga.mutation_prob = 2.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_hash_is_structural() {
+        let a = ExperimentConfig::scaled();
+        let b = ExperimentConfig::scaled();
+        assert_eq!(canonical_hash(&a).unwrap(), canonical_hash(&b).unwrap());
+        // A JSON round-trip must not move the hash (same structure).
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(canonical_hash(&a).unwrap(), canonical_hash(&back).unwrap());
+        // Any field change must move it.
+        let mut c = ExperimentConfig::scaled();
+        c.base_seed ^= 1;
+        assert_ne!(canonical_hash(&a).unwrap(), canonical_hash(&c).unwrap());
+    }
+
+    #[test]
+    fn canonical_hash_is_fnv1a() {
+        // Pin the reference vectors so the on-disk cache-key format can
+        // never drift silently (FNV-1a 64 of the compact JSON bytes).
+        assert_eq!(canonical_hash("").unwrap(), fnv1a_64(b"\"\""));
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
     }
 
     #[test]

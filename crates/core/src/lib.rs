@@ -51,7 +51,7 @@ pub mod report;
 pub mod sweeps;
 
 pub use cases::CaseSpec;
-pub use config::{ExperimentConfig, StrategyCodec};
+pub use config::{canonical_hash, ExperimentConfig, StrategyCodec};
 pub use experiment::{run_experiment, run_replication, ExperimentResult, ReplicationResult};
 
 // Re-exports used by downstream tooling (the `ahn-exp trace` command and

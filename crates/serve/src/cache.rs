@@ -1,0 +1,133 @@
+//! LRU result cache keyed by the canonical config hash.
+//!
+//! Every experiment is a pure function of its submitted specification
+//! (tests/determinism.rs), so a finished result can be replayed for any
+//! structurally identical submission. Keys are
+//! [`ahn_core::config::canonical_hash`] values of the resolved job
+//! specification; entries are the already-serialized result JSON shared
+//! as `Arc<str>` so a cache hit costs one clone of a pointer.
+//!
+//! The implementation is a plain `HashMap` plus a recency `Vec` (most
+//! recently used last). Touch and insert are O(len) in the worst case —
+//! irrelevant at result-cache sizes (hundreds of entries, each worth
+//! seconds-to-hours of compute) and in exchange the structure is
+//! obviously correct and dependency-free.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bounded least-recently-used map from config hash to result JSON.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    entries: HashMap<u64, Arc<str>>,
+    /// Keys ordered least → most recently used.
+    recency: Vec<u64>,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` results. A zero
+    /// capacity disables caching (every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            recency: Vec::with_capacity(capacity.min(1024)),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<str>> {
+        let value = self.entries.get(&key)?.clone();
+        self.touch(key);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when full.
+    pub fn put(&mut self, key: u64, value: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key, value).is_some() {
+            self.touch(key);
+            return;
+        }
+        if self.entries.len() > self.capacity {
+            let evicted = self.recency.remove(0);
+            self.entries.remove(&evicted);
+        }
+        self.recency.push(key);
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Moves `key` to the most-recently-used position.
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.recency.iter().position(|&k| k == key) {
+            self.recency.remove(pos);
+            self.recency.push(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(1).is_none());
+        c.put(1, v("one"));
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(1, v("one"));
+        c.put(2, v("two"));
+        // Touch 1 so 2 is the LRU entry.
+        assert!(c.get(1).is_some());
+        c.put(3, v("three"));
+        assert!(c.get(2).is_none(), "2 was least recently used");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_growing() {
+        let mut c = LruCache::new(2);
+        c.put(1, v("one"));
+        c.put(2, v("two"));
+        c.put(1, v("one again"));
+        assert_eq!(c.len(), 2);
+        c.put(3, v("three"));
+        // 2 was LRU after 1's refresh.
+        assert!(c.get(2).is_none());
+        assert_eq!(c.get(1).as_deref(), Some("one again"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put(1, v("one"));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! A minimal HTTP/1.1 reader/writer over `std::net::TcpStream`.
+//!
+//! Only the slice of the protocol the job server and the load-test
+//! client speak: request line, headers, `Content-Length` bodies,
+//! keep-alive connections. No chunked encoding, no TLS, no HTTP/2 —
+//! deliberately, so the server has zero dependencies beyond `std` and
+//! the vendored JSON codec.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (64 MiB) — a guard against a client
+/// (or a typo'd `Content-Length`) pinning server memory.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Longest accepted request/status/header line. Lines are read through
+/// a [`Read::take`] limit so a peer streaming bytes with no newline
+/// cannot grow a `String` without bound.
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted per message — the same guard for a peer
+/// streaming endless short header lines.
+pub const MAX_HEADERS: usize = 100;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`] bytes.
+///
+/// Returns `Ok(None)` on clean EOF before the first byte; over-long
+/// lines and EOF mid-line are `InvalidData` errors.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> io::Result<Option<()>> {
+    let mut limited = Read::take(&mut *reader, MAX_LINE_BYTES as u64);
+    let n = limited.read_line(line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if !line.ends_with('\n') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            if n == MAX_LINE_BYTES {
+                "line exceeds the size limit"
+            } else {
+                "EOF inside a line"
+            },
+        ));
+    }
+    Ok(Some(()))
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request target path, query string stripped.
+    pub path: String,
+    /// Decoded request body (empty when there is no `Content-Length`).
+    pub body: Vec<u8>,
+    /// True when the client asked for `Connection: close`.
+    pub close: bool,
+}
+
+/// The outcome of reading one request off a keep-alive connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire were not valid HTTP.
+    Malformed(String),
+}
+
+/// Reads one HTTP/1.1 request from `reader`.
+///
+/// Returns [`ReadOutcome::Closed`] on clean EOF before the first byte,
+/// and [`ReadOutcome::Malformed`] (with a human reason) on garbage.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
+    let mut line = String::new();
+    match read_line_bounded(reader, &mut line) {
+        Ok(None) => return Ok(ReadOutcome::Closed),
+        Ok(Some(())) => {}
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Ok(ReadOutcome::Malformed(e.to_string()))
+        }
+        Err(e) => return Err(e),
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m.to_uppercase(), t),
+        _ => {
+            return Ok(ReadOutcome::Malformed(format!(
+                "bad request line {:?}",
+                line.trim_end()
+            )))
+        }
+    };
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut headers_seen = 0usize;
+    loop {
+        headers_seen += 1;
+        if headers_seen > MAX_HEADERS {
+            return Ok(ReadOutcome::Malformed(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
+        }
+        let mut header = String::new();
+        match read_line_bounded(reader, &mut header) {
+            Ok(None) => return Ok(ReadOutcome::Malformed("EOF inside headers".into())),
+            Ok(Some(())) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(ReadOutcome::Malformed(e.to_string()))
+            }
+            Err(e) => return Err(e),
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => match value.parse::<usize>() {
+                    Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                    _ => {
+                        return Ok(ReadOutcome::Malformed(format!(
+                            "unacceptable Content-Length {value:?}"
+                        )))
+                    }
+                },
+                "connection" => close = value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
+}
+
+/// Writes one HTTP/1.1 response with a JSON body.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\
+         Connection: {connection}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one HTTP response (the client side), returning
+/// `(status, body)`.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String)> {
+    let mut line = String::new();
+    if read_line_bounded(reader, &mut line)?.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {:?}", line.trim_end()),
+            )
+        })?;
+
+    let mut content_length = 0usize;
+    let mut headers_seen = 0usize;
+    loop {
+        headers_seen += 1;
+        if headers_seen > MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many response headers",
+            ));
+        }
+        let mut header = String::new();
+        if read_line_bounded(reader, &mut header)?.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside response headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad response Content-Length")
+                })?;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))?;
+    Ok((status, body))
+}
+
+/// Sends one request on an open client connection.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\n\
+         Host: ahn-serve\r\n\
+         Content-Type: application/json\r\n\
+         Content-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

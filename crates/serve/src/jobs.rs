@@ -1,0 +1,250 @@
+//! The bounded job queue and the worker pool that drains it.
+//!
+//! Submissions that miss the result cache become [`QueuedJob`]s in a
+//! bounded FIFO; `workers` OS threads block on the queue's condvar and
+//! run one experiment at a time each. Backpressure is explicit: when
+//! the queue is full, [`JobQueue::try_push`] fails and the server
+//! answers 503 instead of buffering unbounded work.
+
+use crate::protocol::JobSpec;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the result is in the job table (and the cache).
+    Done,
+    /// Finished with an error.
+    Failed,
+}
+
+impl JobStatus {
+    /// Wire name of the status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One queued unit of work.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Server-assigned id.
+    pub id: u64,
+    /// Result-cache key of the resolved spec.
+    pub key: u64,
+    /// The resolved (non-preset) spec to run.
+    pub spec: JobSpec,
+}
+
+/// Error returned when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct QueueInner {
+    jobs: VecDeque<QueuedJob>,
+    open: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO with blocking pop.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::with_capacity(capacity.min(1024)),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        })
+    }
+
+    /// Enqueues a job, failing when the queue is full or closed.
+    pub fn try_push(&self, job: QueuedJob) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if !inner.open || inner.jobs.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available; returns `None` once the queue is
+    /// closed and drained (worker shutdown signal).
+    pub fn pop_blocking(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes fail, and
+    /// blocked workers wake up to exit.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").open = false;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").jobs.len()
+    }
+}
+
+/// Runs a resolved job to completion, returning the serialized result
+/// JSON. This is the only place server-side compute happens; everything
+/// around it is bookkeeping.
+///
+/// Panics inside the simulation (validation holes, internal asserts)
+/// are caught and reported as job failures — a poisoned spec must never
+/// take a worker thread down with it.
+pub fn run_job(spec: &JobSpec) -> Result<String, String> {
+    let spec = std::panic::AssertUnwindSafe(spec);
+    match std::panic::catch_unwind(|| run_job_inner(*spec)) {
+        Ok(outcome) => outcome,
+        Err(panic) => {
+            let reason = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("job panicked: {reason}"))
+        }
+    }
+}
+
+fn run_job_inner(spec: &JobSpec) -> Result<String, String> {
+    match spec {
+        JobSpec::Experiment { config, cases } => {
+            let results: Vec<ahn_core::ExperimentResult> = cases
+                .iter()
+                .map(|case| ahn_core::run_experiment(config, case))
+                .collect();
+            serde_json::to_string(&results).map_err(|e| format!("cannot serialize result: {e}"))
+        }
+        JobSpec::Ipdrp { config, seed } => {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(*seed);
+            let history = ahn_ipdrp::run_ipdrp(&mut rng, config);
+            serde_json::to_string(&history).map_err(|e| format!("cannot serialize result: {e}"))
+        }
+        JobSpec::Preset { name } => Err(format!("unresolved preset {name:?} reached a worker")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::presets;
+
+    fn job(id: u64) -> QueuedJob {
+        QueuedJob {
+            id,
+            key: id,
+            spec: JobSpec::Preset { name: "x".into() },
+        }
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        q.try_push(job(1)).unwrap();
+        q.try_push(job(2)).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop_blocking().unwrap().id, 1);
+        assert_eq!(q.pop_blocking().unwrap().id, 2);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = JobQueue::new(1);
+        q.try_push(job(1)).unwrap();
+        assert_eq!(q.try_push(job(2)), Err(QueueFull));
+        let _ = q.pop_blocking();
+        q.try_push(job(3)).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = JobQueue::new(4);
+        q.try_push(job(1)).unwrap();
+        q.close();
+        assert_eq!(q.try_push(job(2)), Err(QueueFull));
+        assert_eq!(q.pop_blocking().unwrap().id, 1);
+        assert!(q.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = JobQueue::new(1);
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn run_job_executes_every_preset() {
+        for preset in presets() {
+            let json = run_job(&preset.body).unwrap();
+            let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+            assert!(
+                matches!(value, serde_json::Value::Seq(ref items) if !items.is_empty()),
+                "{}: result should be a non-empty array",
+                preset.name
+            );
+        }
+    }
+
+    #[test]
+    fn run_job_is_deterministic() {
+        let spec = presets()[2].body.clone(); // ipdrp: cheapest
+        assert_eq!(run_job(&spec).unwrap(), run_job(&spec).unwrap());
+    }
+
+    #[test]
+    fn unresolved_preset_fails() {
+        assert!(run_job(&JobSpec::Preset { name: "x".into() }).is_err());
+    }
+
+    #[test]
+    fn panicking_job_becomes_a_failure_not_a_dead_worker() {
+        // A spec that dodges validation and trips an internal assert
+        // (no environments) must come back as Err, so the worker thread
+        // survives and the job is marked failed instead of wedging.
+        let case: ahn_core::CaseSpec =
+            serde_json::from_str("{\"name\":\"empty\",\"envs\":[],\"mode\":\"Shorter\"}").unwrap();
+        let spec = JobSpec::Experiment {
+            config: ahn_core::ExperimentConfig::smoke(),
+            cases: vec![case],
+        };
+        let err = run_job(&spec).unwrap_err();
+        assert!(err.contains("job panicked"), "{err}");
+    }
+}

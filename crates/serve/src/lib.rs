@@ -1,0 +1,58 @@
+//! `ahn_serve` — simulation-as-a-service for the ad hoc network game.
+//!
+//! Every experiment in this workspace is a pure function of
+//! `(ExperimentConfig, CaseSpec, seed)` (tests/determinism.rs), which
+//! makes results perfectly cacheable: two structurally identical
+//! submissions must produce bit-identical answers. This crate exploits
+//! that with a dependency-free HTTP/1.1 job server on
+//! `std::net::TcpListener`:
+//!
+//! * [`server`] — routing, a bounded worker pool for experiment jobs,
+//!   graceful shutdown; submissions that miss the cache return `202` +
+//!   a job id to poll, identical in-flight submissions coalesce onto
+//!   one job, and a full queue answers `503` instead of buffering
+//!   unbounded work;
+//! * [`cache`] — an LRU result cache keyed by
+//!   [`ahn_core::config::canonical_hash`] of the resolved job spec;
+//! * [`protocol`] — the JSON wire types ([`protocol::JobSpec`],
+//!   acks, presets);
+//! * [`jobs`] — the bounded queue, job lifecycle and the single place
+//!   compute happens;
+//! * [`metrics`] — `/metrics` counters: requests served, cache hit
+//!   rate, queue depth, games/s;
+//! * [`http`] — the minimal HTTP/1.1 reader/writer both sides share;
+//! * [`loadtest`] — a std-only load generator reporting p50/p99 latency
+//!   and requests/s (the `ahn-exp loadtest` subcommand).
+//!
+//! # In-process round trip
+//!
+//! ```
+//! use ahn_serve::{loadtest, server};
+//!
+//! let handle = server::spawn(server::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     workers: 1,
+//!     cache_cap: 16,
+//!     queue_cap: 16,
+//! })
+//! .unwrap();
+//! let addr = handle.addr().to_string();
+//!
+//! let (status, body) = loadtest::one_shot(&addr, "GET", "/healthz", "").unwrap();
+//! assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+//! handle.shutdown();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod loadtest;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+pub use protocol::JobSpec;
+pub use server::{spawn, ServerConfig, ServerHandle};

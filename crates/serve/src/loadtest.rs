@@ -1,0 +1,362 @@
+//! A std-only load generator for the job server.
+//!
+//! Opens `connections` keep-alive connections, drives `requests` total
+//! submissions round-robin over `distinct` structurally different job
+//! specs, polls every queued job to completion, and reports p50/p99
+//! submit latency plus requests/s. Because the specs repeat, the run is
+//! a *mixed* cache workload by construction: the first submission of
+//! each distinct spec misses (and costs a real experiment), every
+//! repeat hits the LRU cache.
+
+use crate::http::{read_response, write_request};
+use crate::metrics::Snapshot;
+use crate::protocol::JobSpec;
+use ahn_core::{cases::CaseSpec, config::ExperimentConfig};
+use serde::{Deserialize, Serialize};
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-test parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadtestConfig {
+    /// Server address, e.g. `127.0.0.1:7172`.
+    pub addr: String,
+    /// Concurrent keep-alive connections (one thread each).
+    pub connections: usize,
+    /// Total submissions across all connections.
+    pub requests: usize,
+    /// Structurally distinct specs cycled over (each distinct spec costs
+    /// one real experiment; the rest of its submissions are cache hits).
+    pub distinct: usize,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            addr: "127.0.0.1:7172".into(),
+            connections: 4,
+            requests: 200,
+            distinct: 4,
+        }
+    }
+}
+
+/// What one load-test run measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadtestReport {
+    /// Submissions actually attempted (a connection that dies mid-run
+    /// stops attempting, so this can be below the configured total).
+    pub requests: u64,
+    /// Submissions answered inline from the cache.
+    pub cache_hits: u64,
+    /// Submissions that became jobs and were polled to completion.
+    pub jobs_completed: u64,
+    /// Submissions bounced with 503 (queue full).
+    pub rejected: u64,
+    /// Transport or protocol errors.
+    pub errors: u64,
+    /// Median submit latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile submit latency, milliseconds.
+    pub p99_ms: f64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_seconds: f64,
+    /// `requests / wall_seconds`.
+    pub requests_per_second: f64,
+    /// The server's `/metrics` snapshot after the run.
+    pub server_metrics: Option<Snapshot>,
+}
+
+/// The tiny-but-real experiment spec the load test submits; `index`
+/// varies the base seed, making specs structurally distinct (distinct
+/// cache keys) while keeping every job sub-millisecond-scale.
+pub fn smoke_spec(index: u64) -> JobSpec {
+    let mut config = ExperimentConfig::smoke();
+    config.population = 10;
+    config.rounds = 30;
+    config.generations = 3;
+    config.replications = 1;
+    config.base_seed = 0xAD0C ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    JobSpec::Experiment {
+        config,
+        cases: vec![CaseSpec::mini(
+            "loadtest",
+            &[2],
+            10,
+            ahn_net::PathMode::Shorter,
+        )],
+    }
+}
+
+/// One synchronous request on a fresh connection (CLI helper for
+/// one-shot calls like `/metrics` or `/v1/shutdown`).
+pub fn one_shot(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut stream = stream;
+    write_request(&mut stream, method, path, body).map_err(|e| format!("send: {e}"))?;
+    read_response(&mut reader).map_err(|e| format!("read: {e}"))
+}
+
+struct WorkerTally {
+    /// Submissions this connection actually sent (or tried to send).
+    attempted: u64,
+    latencies_us: Vec<u64>,
+    cache_hits: u64,
+    jobs_completed: u64,
+    rejected: u64,
+    errors: u64,
+}
+
+/// Runs the load test to completion.
+pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, String> {
+    if config.connections == 0 || config.requests == 0 {
+        return Err("connections and requests must be positive".into());
+    }
+    let bodies: Arc<Vec<String>> = Arc::new(
+        (0..config.distinct.max(1) as u64)
+            .map(|d| {
+                serde_json::to_string(&smoke_spec(d))
+                    .map_err(|e| format!("cannot serialize spec: {e}"))
+            })
+            .collect::<Result<_, _>>()?,
+    );
+
+    let started = Instant::now();
+    let mut tallies: Vec<WorkerTally> = Vec::with_capacity(config.connections);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.connections)
+            .map(|worker| {
+                let bodies = Arc::clone(&bodies);
+                let addr = config.addr.clone();
+                // Split `requests` across workers, first workers take
+                // the remainder.
+                let base = config.requests / config.connections;
+                let extra = usize::from(worker < config.requests % config.connections);
+                let count = base + extra;
+                scope.spawn(move || drive_connection(&addr, &bodies, worker, count))
+            })
+            .collect();
+        for handle in handles {
+            tallies.push(handle.join().expect("loadtest worker panicked"));
+        }
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(config.requests);
+    let (mut attempted, mut hits, mut completed) = (0u64, 0u64, 0u64);
+    let (mut rejected, mut errors) = (0u64, 0u64);
+    for t in &tallies {
+        latencies.extend_from_slice(&t.latencies_us);
+        attempted += t.attempted;
+        hits += t.cache_hits;
+        completed += t.jobs_completed;
+        rejected += t.rejected;
+        errors += t.errors;
+    }
+    latencies.sort_unstable();
+
+    let server_metrics = one_shot(&config.addr, "GET", "/metrics", "")
+        .ok()
+        .filter(|(status, _)| *status == 200)
+        .and_then(|(_, body)| serde_json::from_str(&body).ok());
+
+    Ok(LoadtestReport {
+        requests: attempted,
+        cache_hits: hits,
+        jobs_completed: completed,
+        rejected,
+        errors,
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        wall_seconds,
+        requests_per_second: attempted as f64 / wall_seconds.max(1e-9),
+        server_metrics,
+    })
+}
+
+/// Renders a report for terminal output.
+pub fn render(report: &LoadtestReport) -> String {
+    let mut out = format!(
+        "loadtest: {} requests in {:.3}s -> {:.0} req/s\n\
+         latency p50 {:.3} ms, p99 {:.3} ms\n\
+         cache hits {}, jobs completed {}, rejected {}, errors {}\n",
+        report.requests,
+        report.wall_seconds,
+        report.requests_per_second,
+        report.p50_ms,
+        report.p99_ms,
+        report.cache_hits,
+        report.jobs_completed,
+        report.rejected,
+        report.errors,
+    );
+    if let Some(m) = &report.server_metrics {
+        out.push_str(&format!(
+            "server: hit rate {:.1}%, queue depth {}, {:.0} games/s busy-side\n",
+            m.cache_hit_rate * 100.0,
+            m.queue_depth,
+            m.games_per_second
+        ));
+    }
+    out
+}
+
+fn drive_connection(addr: &str, bodies: &[String], worker: usize, count: usize) -> WorkerTally {
+    let mut tally = WorkerTally {
+        attempted: 0,
+        latencies_us: Vec::with_capacity(count),
+        cache_hits: 0,
+        jobs_completed: 0,
+        rejected: 0,
+        errors: 0,
+    };
+    let Ok(stream) = TcpStream::connect(addr) else {
+        tally.errors = 1;
+        return tally;
+    };
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        tally.errors = 1;
+        return tally;
+    };
+    let mut stream = stream;
+    let mut reader = BufReader::new(read_half);
+
+    for i in 0..count {
+        let body = &bodies[(worker + i) % bodies.len()];
+        tally.attempted += 1;
+        let submit_started = Instant::now();
+        if write_request(&mut stream, "POST", "/v1/experiments", body).is_err() {
+            tally.errors += 1;
+            break;
+        }
+        let (status, response) = match read_response(&mut reader) {
+            Ok(r) => r,
+            Err(_) => {
+                tally.errors += 1;
+                break;
+            }
+        };
+        tally
+            .latencies_us
+            .push(submit_started.elapsed().as_micros() as u64);
+
+        match status {
+            200 if response.contains("\"cached\":true") => tally.cache_hits += 1,
+            202 => match job_id_of(&response) {
+                Some(job_id) => {
+                    if poll_to_completion(&mut stream, &mut reader, job_id) {
+                        tally.jobs_completed += 1;
+                    } else {
+                        tally.errors += 1;
+                    }
+                }
+                None => tally.errors += 1,
+            },
+            503 => {
+                tally.rejected += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            _ => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Polls `GET /v1/jobs/{id}` on the same connection until the job
+/// leaves the queue; true on `done`.
+fn poll_to_completion(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    job_id: u64,
+) -> bool {
+    let path = format!("/v1/jobs/{job_id}");
+    // 2 ms x 15 000 polls = a 30 s budget, far beyond any smoke job.
+    for _ in 0..15_000 {
+        if write_request(stream, "GET", &path, "").is_err() {
+            return false;
+        }
+        let Ok((status, body)) = read_response(reader) else {
+            return false;
+        };
+        if status != 200 {
+            return false;
+        }
+        if body.contains("\"status\":\"done\"") {
+            return true;
+        }
+        if body.contains("\"status\":\"failed\"") {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+/// Extracts `"job_id": N` from a submit ack.
+fn job_id_of(response: &str) -> Option<u64> {
+    let value: serde_json::Value = serde_json::from_str(response).ok()?;
+    match &value["job_id"] {
+        serde_json::Value::U64(id) => Some(*id),
+        _ => None,
+    }
+}
+
+/// `p`-th percentile of sorted microsecond latencies, in milliseconds.
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_specs_are_distinct_and_valid() {
+        let a = smoke_spec(0);
+        let b = smoke_spec(1);
+        a.validate().unwrap();
+        b.validate().unwrap();
+        assert_ne!(a.cache_key().unwrap(), b.cache_key().unwrap());
+        assert_eq!(
+            smoke_spec(1).cache_key().unwrap(),
+            b.cache_key().unwrap(),
+            "spec construction is deterministic"
+        );
+    }
+
+    #[test]
+    fn percentiles() {
+        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
+        assert!((percentile_ms(&us, 0.50) - 50.0).abs() < 1.5);
+        assert!((percentile_ms(&us, 0.99) - 99.0).abs() < 1.5);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[7000], 0.99), 7.0);
+    }
+
+    #[test]
+    fn job_id_extraction() {
+        assert_eq!(
+            job_id_of("{\"job_id\":17,\"status\":\"queued\",\"cached\":false}"),
+            Some(17)
+        );
+        assert_eq!(job_id_of("{\"job_id\":null,\"status\":\"done\"}"), None);
+        assert_eq!(job_id_of("not json"), None);
+    }
+
+    #[test]
+    fn zero_connections_rejected() {
+        let bad = LoadtestConfig {
+            connections: 0,
+            ..LoadtestConfig::default()
+        };
+        assert!(run_loadtest(&bad).is_err());
+    }
+}

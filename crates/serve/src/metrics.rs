@@ -1,0 +1,147 @@
+//! Lock-free server counters and their JSON snapshot.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters every connection/worker thread bumps with relaxed
+/// atomics; `/metrics` renders a consistent-enough snapshot (individual
+/// counters are exact, cross-counter ratios are racy by a request or
+/// two, which is fine for an operational endpoint).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests served, any route, any status.
+    pub http_requests: AtomicU64,
+    /// `POST /v1/experiments` submissions accepted for processing
+    /// (cache hits + queued jobs + coalesced duplicates).
+    pub submissions: AtomicU64,
+    /// Submissions answered straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Submissions that enqueued a fresh job.
+    pub cache_misses: AtomicU64,
+    /// Submissions coalesced onto an already-queued identical job.
+    pub coalesced: AtomicU64,
+    /// Submissions rejected because the job queue was full (503s).
+    pub rejected_queue_full: AtomicU64,
+    /// Jobs a worker finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs a worker finished with an error.
+    pub jobs_failed: AtomicU64,
+    /// Ad Hoc Network Games simulated by completed jobs.
+    pub games_simulated: AtomicU64,
+    /// Worker wall-nanoseconds spent inside jobs (across all workers).
+    pub busy_nanos: AtomicU64,
+}
+
+impl Metrics {
+    /// Adds one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Builds the `/metrics` response body.
+    pub fn snapshot(&self, queue_depth: usize, cached_results: usize, workers: usize) -> Snapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let hits = load(&self.cache_hits);
+        let misses = load(&self.cache_misses);
+        let games = load(&self.games_simulated);
+        let busy = load(&self.busy_nanos);
+        Snapshot {
+            schema: "ahn-serve-metrics/1".into(),
+            http_requests: load(&self.http_requests),
+            submissions: load(&self.submissions),
+            cache_hits: hits,
+            cache_misses: misses,
+            coalesced: load(&self.coalesced),
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            rejected_queue_full: load(&self.rejected_queue_full),
+            jobs_completed: load(&self.jobs_completed),
+            jobs_failed: load(&self.jobs_failed),
+            queue_depth: queue_depth as u64,
+            cached_results: cached_results as u64,
+            workers: workers as u64,
+            games_simulated: games,
+            games_per_second: if busy == 0 {
+                0.0
+            } else {
+                games as f64 / (busy as f64 / 1e9)
+            },
+        }
+    }
+}
+
+/// One rendered `/metrics` report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Report schema tag (`"ahn-serve-metrics/1"`).
+    pub schema: String,
+    /// HTTP requests served, any route.
+    pub http_requests: u64,
+    /// Experiment submissions accepted.
+    pub submissions: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Submissions that enqueued a fresh job.
+    pub cache_misses: u64,
+    /// Submissions attached to an identical in-flight job.
+    pub coalesced: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 before traffic.
+    pub cache_hit_rate: f64,
+    /// Submissions bounced with 503 because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Jobs finished successfully.
+    pub jobs_completed: u64,
+    /// Jobs finished with an error.
+    pub jobs_failed: u64,
+    /// Jobs currently waiting for a worker.
+    pub queue_depth: u64,
+    /// Results currently held by the LRU cache.
+    pub cached_results: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Ad Hoc Network Games simulated by completed jobs.
+    pub games_simulated: u64,
+    /// `games_simulated` per worker-busy second — the serving-side
+    /// counterpart of the bench harness's throughput number.
+    pub games_per_second: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_games_per_second() {
+        let m = Metrics::default();
+        let s = m.snapshot(0, 0, 2);
+        assert_eq!(s.cache_hit_rate, 0.0);
+        assert_eq!(s.games_per_second, 0.0);
+
+        Metrics::add(&m.cache_hits, 3);
+        Metrics::add(&m.cache_misses, 1);
+        Metrics::add(&m.games_simulated, 2_000_000);
+        Metrics::add(&m.busy_nanos, 500_000_000); // 0.5 s
+        let s = m.snapshot(4, 2, 2);
+        assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert!((s.games_per_second - 4_000_000.0).abs() < 1e-6);
+        assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.cached_results, 2);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let m = Metrics::default();
+        let s = m.snapshot(1, 2, 3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

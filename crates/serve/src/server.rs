@@ -1,0 +1,437 @@
+//! The HTTP job server: routing, submission flow, worker wiring,
+//! graceful shutdown.
+//!
+//! ```text
+//! POST /v1/experiments   submit a JobSpec; cache hit -> result inline,
+//!                        miss -> 202 + job id (503 when the queue is full)
+//! GET  /v1/jobs/{id}     poll a job; done -> result inline
+//! GET  /v1/presets       ready-to-POST bodies for fig4/table5/ipdrp
+//! GET  /healthz          liveness probe
+//! GET  /metrics          counters: requests, cache hit rate, queue
+//!                        depth, games/s
+//! POST /v1/shutdown      graceful stop (drains nothing: pending jobs
+//!                        finish, new submissions are rejected)
+//! ```
+//!
+//! Connections get one OS thread each (keep-alive, so a load generator
+//! with N connections costs N threads); experiment compute runs on the
+//! bounded worker pool of [`crate::jobs`], never on connection threads.
+
+use crate::cache::LruCache;
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::jobs::{run_job, JobQueue, JobStatus, QueuedJob};
+use crate::metrics::Metrics;
+use crate::protocol::{presets, JobSpec, SubmitAck};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7172` (port 0 for ephemeral).
+    pub addr: String,
+    /// Worker threads executing experiment jobs.
+    pub workers: usize,
+    /// Result-cache capacity (finished results, LRU-evicted).
+    pub cache_cap: usize,
+    /// Waiting-job capacity; a full queue answers 503.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7172".into(),
+            workers: 2,
+            cache_cap: 128,
+            queue_cap: 64,
+        }
+    }
+}
+
+/// One finished-or-pending job in the table.
+#[derive(Debug, Clone)]
+struct JobRecord {
+    status: JobStatus,
+    result: Option<Arc<str>>,
+    error: Option<String>,
+}
+
+/// Mutable server state behind one lock (cache, job table, in-flight
+/// dedup map). One mutex keeps the lock ordering trivially correct; all
+/// critical sections are bookkeeping-sized.
+struct State {
+    cache: LruCache,
+    jobs: HashMap<u64, JobRecord>,
+    /// cache key -> job id, for submissions while an identical job is
+    /// already queued or running (request coalescing).
+    inflight: HashMap<u64, u64>,
+    /// Finished job ids, oldest first, for table pruning.
+    finished: VecDeque<u64>,
+    /// Finished jobs kept for polling before pruning.
+    retain_finished: usize,
+}
+
+struct Shared {
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    metrics: Metrics,
+    state: Mutex<State>,
+    queue: Arc<JobQueue>,
+    next_job_id: AtomicU64,
+    running: AtomicBool,
+}
+
+/// A running server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`] or POST `/v1/shutdown`.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Requests a graceful stop and waits for workers and the accept
+    /// loop to exit. Pending queued jobs still run to completion.
+    pub fn shutdown(self) {
+        initiate_shutdown(&self.shared);
+        self.join();
+    }
+
+    /// Waits until the server stops (via `/v1/shutdown` or
+    /// [`ServerHandle::shutdown`]).
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Binds the listener, starts the worker pool and the accept loop, and
+/// returns immediately.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_cap),
+        state: Mutex::new(State {
+            cache: LruCache::new(config.cache_cap),
+            jobs: HashMap::new(),
+            inflight: HashMap::new(),
+            finished: VecDeque::new(),
+            retain_finished: (4 * config.cache_cap).max(256),
+        }),
+        config,
+        local_addr,
+        metrics: Metrics::default(),
+        next_job_id: AtomicU64::new(1),
+        running: AtomicBool::new(true),
+    });
+
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ahn-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("ahn-serve-accept".into())
+        .spawn(move || {
+            accept_loop(&accept_shared, listener);
+            // The accept loop owns the workers' lifetime: once it stops
+            // accepting, close the queue (idempotent) and join them.
+            accept_shared.queue.close();
+            for handle in worker_handles {
+                let _ = handle.join();
+            }
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { shared, accept })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if !shared.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("ahn-serve-conn".into())
+            .spawn(move || handle_connection(&conn_shared, stream));
+    }
+}
+
+/// Flags the server as stopping and pokes the (blocking) accept loop
+/// with a throwaway connection so it observes the flag.
+fn initiate_shutdown(shared: &Shared) {
+    if shared.running.swap(false, Ordering::SeqCst) {
+        shared.queue.close();
+        let _ = TcpStream::connect(shared.local_addr);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut stream = stream;
+    let mut reader = BufReader::new(read_half);
+    loop {
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(req)) => {
+                Metrics::bump(&shared.metrics.http_requests);
+                let (status, body, shutdown) = route(shared, &req);
+                let write_ok = write_response(&mut stream, status, &body, req.close).is_ok();
+                if shutdown {
+                    initiate_shutdown(shared);
+                }
+                if !write_ok || req.close || shutdown {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Malformed(reason)) => {
+                Metrics::bump(&shared.metrics.http_requests);
+                let _ = write_response(&mut stream, 400, &error_body(&reason), true);
+                break;
+            }
+            Ok(ReadOutcome::Closed) | Err(_) => break,
+        }
+    }
+}
+
+/// Dispatches one request; returns `(status, body, initiate_shutdown)`.
+fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into(), false),
+        ("GET", "/metrics") => {
+            let (queue_depth, cached) = {
+                let state = shared.state.lock().expect("state lock");
+                (shared.queue.depth(), state.cache.len())
+            };
+            let snapshot =
+                shared
+                    .metrics
+                    .snapshot(queue_depth, cached, shared.config.workers.max(1));
+            match serde_json::to_string(&snapshot) {
+                Ok(body) => (200, body, false),
+                Err(e) => (500, error_body(&e.to_string()), false),
+            }
+        }
+        ("GET", "/v1/presets") => match serde_json::to_string(&presets()) {
+            Ok(body) => (200, body, false),
+            Err(e) => (500, error_body(&e.to_string()), false),
+        },
+        ("POST", "/v1/experiments") => submit(shared, &req.body),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
+        ("POST", "/v1/shutdown") => (200, "{\"status\":\"shutting-down\"}".into(), true),
+        (_, "/healthz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/shutdown") => {
+            (405, error_body("method not allowed"), false)
+        }
+        (_, path) if path.starts_with("/v1/jobs/") => {
+            (405, error_body("method not allowed"), false)
+        }
+        _ => (404, error_body("no such route"), false),
+    }
+}
+
+/// The `POST /v1/experiments` flow: parse, resolve, validate, hash,
+/// cache lookup, coalesce, enqueue.
+fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8"), false),
+    };
+    let spec: JobSpec = match serde_json::from_str(text) {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                400,
+                error_body(&format!("cannot parse JobSpec: {e}")),
+                false,
+            )
+        }
+    };
+    let spec = match spec.resolve() {
+        Ok(s) => s,
+        Err(e) => return (400, error_body(&e), false),
+    };
+    if let Err(e) = spec.validate() {
+        return (400, error_body(&e), false);
+    }
+    let key = match spec.cache_key() {
+        Ok(k) => k,
+        Err(e) => return (500, error_body(&e), false),
+    };
+
+    let mut state = shared.state.lock().expect("state lock");
+    Metrics::bump(&shared.metrics.submissions);
+
+    if let Some(result) = state.cache.get(key) {
+        Metrics::bump(&shared.metrics.cache_hits);
+        // Format outside the critical section: the response embeds the
+        // whole result JSON, and an O(result-size) copy under the state
+        // lock would serialize the cache-hit hot path.
+        drop(state);
+        let body =
+            format!("{{\"job_id\":null,\"status\":\"done\",\"cached\":true,\"result\":{result}}}");
+        return (200, body, false);
+    }
+
+    if let Some(&job_id) = state.inflight.get(&key) {
+        // An identical job is already queued or running: attach the
+        // caller to it instead of recomputing.
+        Metrics::bump(&shared.metrics.coalesced);
+        let status = state
+            .jobs
+            .get(&job_id)
+            .map(|r| r.status)
+            .unwrap_or(JobStatus::Queued);
+        let ack = SubmitAck {
+            job_id,
+            status: status.as_str().into(),
+            cached: false,
+        };
+        let body = serde_json::to_string(&ack).unwrap_or_else(|_| "{}".into());
+        return (202, body, false);
+    }
+
+    Metrics::bump(&shared.metrics.cache_misses);
+    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    state.jobs.insert(
+        id,
+        JobRecord {
+            status: JobStatus::Queued,
+            result: None,
+            error: None,
+        },
+    );
+    state.inflight.insert(key, id);
+    // Enqueue while holding the state lock so a worker cannot finish the
+    // job before its record and inflight entry exist.
+    if shared.queue.try_push(QueuedJob { id, key, spec }).is_err() {
+        state.jobs.remove(&id);
+        state.inflight.remove(&key);
+        Metrics::bump(&shared.metrics.rejected_queue_full);
+        return (503, error_body("job queue is full, retry later"), false);
+    }
+    drop(state);
+
+    let ack = SubmitAck {
+        job_id: id,
+        status: JobStatus::Queued.as_str().into(),
+        cached: false,
+    };
+    (
+        202,
+        serde_json::to_string(&ack).unwrap_or_else(|_| "{}".into()),
+        false,
+    )
+}
+
+/// The `GET /v1/jobs/{id}` flow.
+fn job_status(shared: &Arc<Shared>, path: &str) -> (u16, String, bool) {
+    let id_text = &path["/v1/jobs/".len()..];
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (400, error_body(&format!("bad job id {id_text:?}")), false);
+    };
+    // Copy the record's cheap parts (the result is an Arc) and format
+    // outside the critical section.
+    let record = {
+        let state = shared.state.lock().expect("state lock");
+        match state.jobs.get(&id) {
+            Some(record) => record.clone(),
+            None => {
+                return (
+                    404,
+                    error_body("no such job (pruned or never created)"),
+                    false,
+                )
+            }
+        }
+    };
+    let body = match record.status {
+        JobStatus::Done => {
+            let result = record.result.as_deref().unwrap_or("null");
+            format!("{{\"job_id\":{id},\"status\":\"done\",\"result\":{result}}}")
+        }
+        JobStatus::Failed => {
+            let error = serde_json::to_string(record.error.as_deref().unwrap_or("unknown"))
+                .unwrap_or_else(|_| "\"unknown\"".into());
+            format!("{{\"job_id\":{id},\"status\":\"failed\",\"error\":{error}}}")
+        }
+        status => format!("{{\"job_id\":{id},\"status\":\"{}\"}}", status.as_str()),
+    };
+    (200, body, false)
+}
+
+/// Worker thread body: drain the queue until it closes.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop_blocking() {
+        if let Some(record) = shared
+            .state
+            .lock()
+            .expect("state lock")
+            .jobs
+            .get_mut(&job.id)
+        {
+            record.status = JobStatus::Running;
+        }
+
+        let started = Instant::now();
+        let outcome = run_job(&job.spec);
+        let elapsed_nanos = started.elapsed().as_nanos() as u64;
+
+        let mut state = shared.state.lock().expect("state lock");
+        match outcome {
+            Ok(json) => {
+                let result: Arc<str> = Arc::from(json);
+                state.cache.put(job.key, Arc::clone(&result));
+                if let Some(record) = state.jobs.get_mut(&job.id) {
+                    record.status = JobStatus::Done;
+                    record.result = Some(result);
+                }
+                Metrics::bump(&shared.metrics.jobs_completed);
+                Metrics::add(&shared.metrics.games_simulated, job.spec.games());
+                Metrics::add(&shared.metrics.busy_nanos, elapsed_nanos);
+            }
+            Err(error) => {
+                if let Some(record) = state.jobs.get_mut(&job.id) {
+                    record.status = JobStatus::Failed;
+                    record.error = Some(error);
+                }
+                Metrics::bump(&shared.metrics.jobs_failed);
+            }
+        }
+        state.inflight.remove(&job.key);
+        state.finished.push_back(job.id);
+        while state.finished.len() > state.retain_finished {
+            if let Some(old) = state.finished.pop_front() {
+                state.jobs.remove(&old);
+            }
+        }
+    }
+}
+
+/// `{"error": <json-escaped message>}`.
+fn error_body(message: &str) -> String {
+    format!(
+        "{{\"error\":{}}}",
+        serde_json::to_string(message).unwrap_or_else(|_| "\"error\"".into())
+    )
+}

@@ -1,0 +1,360 @@
+//! Socket-level integration tests: a real server on an ephemeral port,
+//! a real TCP client, full submit/poll/cache round trips.
+
+use ahn_serve::loadtest::{one_shot, run_loadtest, LoadtestConfig};
+use ahn_serve::server::{spawn, ServerConfig, ServerHandle};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+fn boot(workers: usize, cache_cap: usize, queue_cap: usize) -> (ServerHandle, String) {
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_cap,
+        queue_cap,
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn get(addr: &str, path: &str) -> (u16, Value) {
+    let (status, body) = one_shot(addr, "GET", path, "").expect("request");
+    let value = serde_json::from_str(&body).unwrap_or(Value::Null);
+    (status, value)
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, Value) {
+    let (status, body) = one_shot(addr, "POST", path, body).expect("request");
+    let value = serde_json::from_str(&body).unwrap_or(Value::Null);
+    (status, value)
+}
+
+/// Polls a job until done, panicking on failure or timeout.
+fn await_job(addr: &str, job_id: u64) -> Value {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, value) = get(addr, &format!("/v1/jobs/{job_id}"));
+        assert_eq!(status, 200, "job poll failed: {value:?}");
+        match &value["status"] {
+            Value::String(s) if s == "done" => return value,
+            Value::String(s) if s == "failed" => panic!("job failed: {value:?}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job {job_id} timed out");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn healthz_metrics_presets_and_errors() {
+    let (handle, addr) = boot(1, 8, 8);
+
+    let (status, health) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health["status"], Value::String("ok".into()));
+
+    let (status, metrics) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        metrics["schema"],
+        Value::String("ahn-serve-metrics/1".into())
+    );
+
+    let (status, presets) = get(&addr, "/v1/presets");
+    assert_eq!(status, 200);
+    match &presets {
+        Value::Seq(items) => {
+            let names: Vec<_> = items.iter().map(|p| p["name"].clone()).collect();
+            assert_eq!(items.len(), 3, "{names:?}");
+        }
+        other => panic!("presets should be an array: {other:?}"),
+    }
+
+    let (status, _) = get(&addr, "/no/such/route");
+    assert_eq!(status, 404);
+    let (status, _) = post(&addr, "/healthz", "");
+    assert_eq!(status, 405);
+    let (status, err) = post(&addr, "/v1/experiments", "this is not json");
+    assert_eq!(status, 400);
+    assert!(matches!(err["error"], Value::String(_)));
+    let (status, _) = post(&addr, "/v1/experiments", "{\"Preset\":{\"name\":\"nope\"}}");
+    assert_eq!(status, 400);
+    let (status, _) = get(&addr, "/v1/jobs/999999");
+    assert_eq!(status, 404);
+    let (status, _) = get(&addr, "/v1/jobs/not-a-number");
+    assert_eq!(status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn submit_poll_cache_roundtrip() {
+    let (handle, addr) = boot(2, 8, 8);
+    let body = "{\"Preset\":{\"name\":\"ipdrp\"}}";
+
+    // First submission: a miss that queues a job.
+    let (status, ack) = post(&addr, "/v1/experiments", body);
+    assert_eq!(status, 202, "{ack:?}");
+    assert_eq!(ack["cached"], Value::Bool(false));
+    let Value::U64(job_id) = ack["job_id"] else {
+        panic!("no job id in {ack:?}");
+    };
+
+    let done = await_job(&addr, job_id);
+    let history = &done["result"];
+    assert!(
+        matches!(history, Value::Seq(items) if !items.is_empty()),
+        "ipdrp result should be a non-empty generation array"
+    );
+
+    // Second, identical submission: an inline cache hit...
+    let (status, hit) = post(&addr, "/v1/experiments", body);
+    assert_eq!(status, 200, "{hit:?}");
+    assert_eq!(hit["cached"], Value::Bool(true));
+    assert_eq!(hit["status"], Value::String("done".into()));
+    // ...with a byte-identical result (determinism end to end).
+    assert_eq!(hit["result"], *history);
+
+    // The equivalent explicit spec shares the cache entry: resolve the
+    // preset client-side and submit the expanded body.
+    let explicit = serde_json::to_string(
+        &ahn_serve::protocol::presets()
+            .into_iter()
+            .find(|p| p.name == "ipdrp")
+            .unwrap()
+            .body,
+    )
+    .unwrap();
+    let (status, hit2) = post(&addr, "/v1/experiments", &explicit);
+    assert_eq!(status, 200, "{hit2:?}");
+    assert_eq!(hit2["cached"], Value::Bool(true));
+
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(metrics["cache_hits"], Value::U64(2));
+    assert_eq!(metrics["cache_misses"], Value::U64(1));
+    assert_eq!(metrics["jobs_completed"], Value::U64(1));
+    match metrics["cache_hit_rate"] {
+        Value::F64(rate) => assert!((rate - 2.0 / 3.0).abs() < 1e-9, "{rate}"),
+        ref other => panic!("hit rate should be a float: {other:?}"),
+    }
+    match metrics["games_simulated"] {
+        Value::U64(games) => assert_eq!(games, 8 * 30 * 20),
+        ref other => panic!("{other:?}"),
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn experiment_job_returns_experiment_results() {
+    let (handle, addr) = boot(2, 8, 8);
+    let spec = ahn_serve::loadtest::smoke_spec(7);
+    let body = serde_json::to_string(&spec).unwrap();
+
+    let (status, ack) = post(&addr, "/v1/experiments", &body);
+    assert_eq!(status, 202, "{ack:?}");
+    let Value::U64(job_id) = ack["job_id"] else {
+        panic!("no job id in {ack:?}");
+    };
+    let done = await_job(&addr, job_id);
+
+    // The result deserializes into the real aggregate type.
+    let results: Vec<ahn_core::ExperimentResult> =
+        serde_json::from_value(done["result"].clone()).expect("typed result");
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].case_name, "loadtest");
+    assert_eq!(results[0].replications, 1);
+
+    // And matches a local run of the same pure function bit for bit.
+    let ahn_serve::protocol::JobSpec::Experiment { config, cases } = spec else {
+        panic!("smoke spec is an experiment");
+    };
+    let local = ahn_core::run_experiment(&config, &cases[0]);
+    assert_eq!(
+        serde_json::to_value(&results[0]).unwrap(),
+        serde_json::to_value(&local).unwrap(),
+        "served result must equal the local pure-function result"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn loadtest_mixed_run_hits_cache() {
+    let (handle, addr) = boot(2, 32, 32);
+    let report = run_loadtest(&LoadtestConfig {
+        addr: addr.clone(),
+        connections: 3,
+        requests: 30,
+        distinct: 3,
+    })
+    .expect("loadtest");
+
+    assert_eq!(report.requests, 30);
+    assert_eq!(report.errors, 0, "{report:?}");
+    // 3 distinct specs cost >=1 real job each (coalescing may merge
+    // concurrent first submissions); everything else hits the cache.
+    assert!(report.cache_hits >= 20, "{report:?}");
+    assert!(report.jobs_completed >= 1, "{report:?}");
+    assert!(report.p99_ms >= report.p50_ms);
+    assert!(report.requests_per_second > 0.0);
+
+    let metrics = report.server_metrics.expect("metrics snapshot");
+    assert!(metrics.cache_hit_rate > 0.0);
+    // Every distinct spec misses exactly once; concurrent duplicates of
+    // an in-flight spec coalesce, everything else hits.
+    assert_eq!(metrics.cache_misses, 3);
+    assert_eq!(
+        metrics.cache_hits + metrics.coalesced + metrics.cache_misses,
+        30
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_and_endless_lines_get_bounced_not_buffered() {
+    use std::io::{BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let (handle, addr) = boot(1, 4, 4);
+
+    // A request line far beyond MAX_LINE_BYTES: the server must answer
+    // 400 (or drop the connection) instead of buffering it.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let huge = vec![b'A'; 4 * ahn_serve::http::MAX_LINE_BYTES];
+    stream.write_all(&huge).unwrap();
+    stream.write_all(b"\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    let _ = reader.read_to_string(&mut response);
+    assert!(
+        response.is_empty() || response.starts_with("HTTP/1.1 400"),
+        "got: {response:?}"
+    );
+
+    // An endless header stream hits the MAX_HEADERS guard.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    for i in 0..(2 * ahn_serve::http::MAX_HEADERS) {
+        stream
+            .write_all(format!("X-{i}: y\r\n").as_bytes())
+            .unwrap();
+    }
+    stream.write_all(b"\r\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    let _ = reader.read_to_string(&mut response);
+    assert!(response.starts_with("HTTP/1.1 400"), "got: {response:?}");
+
+    // The server is still healthy afterwards.
+    let (status, _) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn panicking_job_fails_cleanly_and_workers_survive() {
+    // A hand-rolled body that dodges client-side validation cannot
+    // exist (submit validates server-side), so go one level down: a
+    // spec that passes validation but panics is not constructible via
+    // the HTTP surface anymore. Instead, prove the 400 path for the
+    // shapes that used to panic workers.
+    let (handle, addr) = boot(1, 4, 4);
+    let body = "{\"Experiment\":{\"config\":null,\"cases\":[]}}";
+    let (status, _) = post(&addr, "/v1/experiments", body);
+    assert_eq!(status, 400);
+    let no_envs = format!(
+        "{{\"Experiment\":{{\"config\":{},\"cases\":[{{\"name\":\"x\",\"envs\":[],\"mode\":\"Shorter\"}}]}}}}",
+        serde_json::to_string(&ahn_core::ExperimentConfig::smoke()).unwrap()
+    );
+    let (status, err) = post(&addr, "/v1/experiments", &no_envs);
+    assert_eq!(status, 400, "{err:?}");
+    // And the worker still processes real jobs afterwards.
+    let (status, _) = post(
+        &addr,
+        "/v1/experiments",
+        "{\"Preset\":{\"name\":\"ipdrp\"}}",
+    );
+    assert_eq!(status, 202);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (handle, addr) = boot(1, 4, 4);
+    let (status, body) = post(&addr, "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(body["status"], Value::String("shutting-down".into()));
+    // join() returns only after the accept loop and workers exit.
+    handle.join();
+    // The port no longer accepts new work.
+    assert!(one_shot(&addr, "GET", "/healthz", "").is_err());
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    use ahn_serve::http::{read_response, write_request};
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    let (handle, addr) = boot(1, 4, 4);
+    let stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    for _ in 0..50 {
+        write_request(&mut stream, "GET", "/healthz", "").unwrap();
+        let (status, body) = read_response(&mut reader).unwrap();
+        assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    }
+    drop(stream);
+
+    let (_, metrics) = get(&addr, "/metrics");
+    match metrics["http_requests"] {
+        Value::U64(n) => assert!(n >= 51, "{n}"),
+        ref other => panic!("{other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_answers_503() {
+    // One worker, a queue of one, and three *distinct* slow-ish jobs
+    // submitted back to back: the third submission must find the worker
+    // busy and the queue occupied.
+    let (handle, addr) = boot(1, 8, 1);
+    let slow_body = |seed: u64| {
+        let mut spec = ahn_serve::loadtest::smoke_spec(seed);
+        if let ahn_serve::protocol::JobSpec::Experiment { config, .. } = &mut spec {
+            // ~hundreds of ms per job: enough to keep the worker busy
+            // while the test submits, far from the test timeout.
+            config.generations = 40;
+            config.replications = 8;
+        }
+        serde_json::to_string(&spec).unwrap()
+    };
+
+    let (s1, _) = post(&addr, "/v1/experiments", &slow_body(1));
+    assert_eq!(s1, 202);
+    let mut saw_503 = false;
+    for seed in 2..20 {
+        let (status, _) = post(&addr, "/v1/experiments", &slow_body(seed));
+        match status {
+            202 => continue,
+            503 => {
+                saw_503 = true;
+                break;
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(saw_503, "a 1-deep queue should overflow under a burst");
+
+    let (_, metrics) = get(&addr, "/metrics");
+    match metrics["rejected_queue_full"] {
+        Value::U64(n) => assert!(n >= 1),
+        ref other => panic!("{other:?}"),
+    }
+    handle.shutdown();
+}

@@ -1,0 +1,84 @@
+//! Simulation-as-a-service round trip: boot the HTTP job server
+//! in-process, submit an experiment, poll it to completion, then watch
+//! an identical submission come straight back from the result cache.
+//!
+//! ```text
+//! cargo run --release --example serve_roundtrip
+//! ```
+//!
+//! The same flow works against a standalone server — start one with
+//! `cargo run --release -p ahn_cli -- serve` and point any HTTP client
+//! at it (see README "Serving experiments over HTTP").
+
+use ahn::serve::loadtest::one_shot;
+use ahn::serve::{server, JobSpec};
+use serde_json::Value;
+use std::time::Duration;
+
+fn main() {
+    // 1. Boot a server on an ephemeral loopback port.
+    let handle = server::spawn(server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_cap: 32,
+        queue_cap: 32,
+    })
+    .expect("bind a loopback port");
+    let addr = handle.addr().to_string();
+    println!("server listening on {addr}");
+
+    // 2. Submit the fig4 preset (a CSN-free and a CSN-heavy evolution
+    //    at bench scale). `GET /v1/presets` lists the expanded bodies.
+    let body = serde_json::to_string(&JobSpec::Preset {
+        name: "fig4".into(),
+    })
+    .expect("serialize spec");
+    let (status, response) = one_shot(&addr, "POST", "/v1/experiments", &body).expect("submit");
+    let ack: Value = serde_json::from_str(&response).expect("parse ack");
+    println!("submitted fig4 preset: HTTP {status}, ack {response}");
+    let Value::U64(job_id) = ack["job_id"] else {
+        panic!("expected a queued job, got {response}");
+    };
+
+    // 3. Poll the job until a worker finishes it.
+    let result = loop {
+        let (status, response) =
+            one_shot(&addr, "GET", &format!("/v1/jobs/{job_id}"), "").expect("poll");
+        assert_eq!(status, 200, "{response}");
+        let job: Value = serde_json::from_str(&response).expect("parse job");
+        match &job["status"] {
+            Value::String(s) if s == "done" => break job["result"].clone(),
+            Value::String(s) if s == "failed" => panic!("job failed: {response}"),
+            other => {
+                println!("  job {job_id}: {other:?}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    if let Value::Seq(cases) = &result {
+        for case in cases {
+            println!(
+                "  result {:?}: final mean cooperation {:?}",
+                case["case_name"], case["final_coop"]["mean"]
+            );
+        }
+    }
+
+    // 4. Resubmit the identical spec: the canonical config hash finds
+    //    the cached result and no job runs.
+    let (status, response) = one_shot(&addr, "POST", "/v1/experiments", &body).expect("resubmit");
+    let hit: Value = serde_json::from_str(&response).expect("parse hit");
+    assert_eq!(hit["cached"], Value::Bool(true), "{response}");
+    println!("resubmission answered inline from the cache (HTTP {status})");
+
+    // 5. The /metrics endpoint confirms the hit.
+    let (_, metrics) = one_shot(&addr, "GET", "/metrics", "").expect("metrics");
+    let m: Value = serde_json::from_str(&metrics).expect("parse metrics");
+    println!(
+        "metrics: submissions {:?}, cache hits {:?}, jobs completed {:?}",
+        m["submissions"], m["cache_hits"], m["jobs_completed"]
+    );
+
+    handle.shutdown();
+    println!("server shut down cleanly");
+}

@@ -22,6 +22,7 @@
 //! | [`ga`] | the genetic-algorithm engine |
 //! | [`ipdrp`] | the IPDRP baseline (Namikawa & Ishibuchi) |
 //! | [`core`] | the experiment harness reproducing every table/figure |
+//! | [`serve`] | the HTTP job server (worker pool, result cache, load test) |
 //!
 //! ## Example
 //!
@@ -48,5 +49,6 @@ pub use ahn_ga as ga;
 pub use ahn_game as game;
 pub use ahn_ipdrp as ipdrp;
 pub use ahn_net as net;
+pub use ahn_serve as serve;
 pub use ahn_stats as stats;
 pub use ahn_strategy as strategy;

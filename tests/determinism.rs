@@ -68,6 +68,33 @@ fn aggregation_is_order_insensitive_for_series_means() {
 }
 
 #[test]
+fn parallel_aggregation_is_bit_identical_to_a_serial_fold() {
+    // The serve-path cache-correctness assumption: run_experiment's
+    // rayon fan-out must be *bit-identical* to folding run_replication
+    // serially over the same seeds — otherwise a cached result could
+    // differ from a recomputed one by scheduling accident. Exercised
+    // with enough replications to guarantee multiple worker chunks.
+    let mut config = cfg();
+    config.replications = 6;
+    let case = CaseSpec::mini("fold", &[2], 10, PathMode::Longer);
+
+    let parallel = run_experiment(&config, &case);
+    let serial: Vec<_> = (0..config.replications as u64)
+        .map(|k| run_replication(&config, &case, config.base_seed.wrapping_add(k)))
+        .collect();
+    let folded = aggregate(&config, &case, &serial);
+
+    // Structural equality covers every float exactly (PartialEq on f64),
+    // and the serialized forms match byte for byte — what the result
+    // cache actually stores.
+    assert_eq!(parallel, folded);
+    assert_eq!(
+        serde_json::to_string(&parallel).unwrap(),
+        serde_json::to_string(&folded).unwrap()
+    );
+}
+
+#[test]
 fn experiment_result_serde_roundtrip() {
     let mut config = cfg();
     config.replications = 2;

@@ -114,6 +114,30 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// Upper bound on worker threads: `available_parallelism`, capped by
+/// the `AHN_THREADS` environment variable when it is set to a positive
+/// integer. The cap exists so processes that already fan out at a
+/// higher level (the `ahn_serve` worker pool runs one experiment per
+/// worker, each of which parallelizes its replications through this
+/// shim) can divide the machine instead of oversubscribing it
+/// `workers ×` (see vendor/README.md).
+fn max_threads() -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    apply_cap(available, std::env::var("AHN_THREADS").ok().as_deref())
+}
+
+/// The pure cap rule behind [`max_threads`], factored out so tests can
+/// exercise it without `set_var` (which is a genuine data race against
+/// concurrent `getenv` callers on other test threads).
+fn apply_cap(available: usize, var: Option<&str>) -> usize {
+    match var.map(|v| v.trim().parse::<usize>()) {
+        Some(Ok(cap)) if cap > 0 => available.min(cap),
+        _ => available,
+    }
+}
+
 /// Runs `op` over `items` on a scoped thread pool, returning results in
 /// input order.
 fn parallel_map<T, R, F>(items: Vec<T>, op: &F) -> Vec<R>
@@ -123,10 +147,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let threads = max_threads().min(n.max(1));
     if threads <= 1 || n <= 1 {
         return items.into_iter().map(op).collect();
     }
@@ -170,6 +191,22 @@ mod tests {
         for (i, &sq) in squares.iter().enumerate() {
             assert_eq!(sq, (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn ahn_threads_cap_rule() {
+        // The pure rule, tested without touching the process
+        // environment (set_var would race concurrent getenv callers).
+        assert_eq!(crate::apply_cap(8, None), 8, "unset means no cap");
+        assert_eq!(crate::apply_cap(8, Some("2")), 2);
+        assert_eq!(crate::apply_cap(8, Some(" 3 ")), 3, "whitespace tolerated");
+        assert_eq!(crate::apply_cap(2, Some("16")), 2, "never above available");
+        assert_eq!(crate::apply_cap(8, Some("0")), 8, "zero means no cap");
+        assert_eq!(crate::apply_cap(8, Some("many")), 8, "garbage means no cap");
+        // And max_threads (which reads the real env) stays within the
+        // machine regardless of what AHN_THREADS holds.
+        let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert!((1..=available).contains(&crate::max_threads()));
     }
 
     #[test]

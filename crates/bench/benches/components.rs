@@ -5,7 +5,7 @@
 //! updates) runs in well under a microsecond, which is what makes
 //! paper-scale experiments (hundreds of millions of games) tractable.
 
-use ahn_bench::{bench_arena, bench_rng};
+use ahn_bench::{bench_arena, bench_bignet_arena, bench_rng};
 use ahn_bitstr::{ops, BitStr};
 use ahn_ga::{next_generation, next_generation_into, GaParams};
 use ahn_game::{game::Scratch, play_game, Tournament};
@@ -91,6 +91,83 @@ fn bench_reputation(c: &mut Criterion) {
     });
 }
 
+/// Sparse-row lookup and update against the dense equivalents, at the
+/// paper scale (N = 50) and big-network scale (N = 1000) — so a
+/// regression in either backing is attributable to its layer.
+fn bench_sparse_reputation(c: &mut Criterion) {
+    use rand::Rng as _;
+    for n in [50u32, 1000] {
+        let mut sparse = ReputationMatrix::new_sparse(n as usize);
+        let mut rng = bench_rng(u64::from(n));
+        for _ in 0..(n * 40) {
+            let o = NodeId(rng.gen_range(0..n));
+            let s = NodeId(rng.gen_range(0..n));
+            if o != s {
+                sparse.record_forward(o, s);
+            }
+        }
+        // A known and an unknown pair, fixed across iterations.
+        let (known_o, known_s) = (NodeId(3), NodeId(n - 1));
+        sparse.record_forward(known_o, known_s);
+        c.bench_function(&format!("reputation/sparse_lookup_hit_{n}"), |b| {
+            b.iter(|| black_box(sparse.rate_or_unknown(known_o, known_s)))
+        });
+        c.bench_function(&format!("reputation/sparse_lookup_all_{n}"), |b| {
+            let mut s = 1u32;
+            b.iter(|| {
+                s = if s + 1 >= n { 1 } else { s + 1 };
+                black_box(sparse.rate_or_unknown(NodeId(0), NodeId(s)))
+            })
+        });
+        c.bench_function(&format!("reputation/sparse_update_{n}"), |b| {
+            let mut fresh = ReputationMatrix::new_sparse(n as usize);
+            let mut i = 0u32;
+            b.iter(|| {
+                fresh.record_forward(known_o, known_s);
+                fresh.record_drop(known_s, known_o);
+                i += 1;
+                if i >= 1_000_000 {
+                    fresh.clear();
+                    i = 0;
+                }
+                black_box(fresh.rate_or_unknown(known_o, known_s))
+            })
+        });
+    }
+}
+
+/// An arena fixture builder (`bench_arena` / `bench_bignet_arena`).
+type ArenaBuilder = fn(u64) -> (ahn_game::Arena, Vec<NodeId>);
+
+/// One full SoA-arena tournament round (every participant sources one
+/// game) at the paper scale and the 1 000-node sparse scale.
+fn bench_arena_round(c: &mut Criterion) {
+    let cases: [(&str, ArenaBuilder); 2] = [
+        ("game/arena_round_50_nodes", bench_arena),
+        ("game/arena_round_1000_nodes", bench_bignet_arena),
+    ];
+    for (name, build) in cases {
+        let (mut arena, participants) = build(9);
+        let mut rng = bench_rng(10);
+        let mut scratch = Scratch::default();
+        // Warm the reputation rows and scratch buffers so the bench
+        // times the steady state, not first-touch growth.
+        for _ in 0..2 {
+            for &source in &participants {
+                play_game(&mut arena, &mut rng, source, &participants, 0, &mut scratch);
+            }
+        }
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                for &source in &participants {
+                    play_game(&mut arena, &mut rng, source, &participants, 0, &mut scratch);
+                }
+                black_box(arena.metrics.env(0).nn_games)
+            })
+        });
+    }
+}
+
 fn bench_path_generation(c: &mut Criterion) {
     let generator = PathGenerator::for_mode(PathMode::Longer);
     let pool: Vec<NodeId> = (2..50u32).map(NodeId).collect();
@@ -170,6 +247,8 @@ criterion_group!(
     bench_single_game,
     bench_tournament_round,
     bench_reputation,
+    bench_sparse_reputation,
+    bench_arena_round,
     bench_path_generation,
     bench_strategy_ops,
     bench_ga,

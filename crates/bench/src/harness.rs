@@ -13,7 +13,9 @@
 //! deterministic workloads (everything above the minimum is scheduler
 //! noise, not the code under test).
 
-use crate::{bench_arena, bench_case, bench_config, bench_rng};
+use crate::{
+    bench_arena, bench_bignet_arena, bench_case, bench_config, bench_rng, bench_sweep_grid,
+};
 use ahn_core::experiment::run_replication;
 use ahn_game::Tournament;
 use serde::{Deserialize, Serialize};
@@ -24,6 +26,11 @@ pub const MEASURE_RUNS: usize = 5;
 
 /// Rounds of the throughput tournament (the paper's R).
 const THROUGHPUT_ROUNDS: usize = 300;
+
+/// Rounds of the big-network throughput tournament (1 000 nodes; 100
+/// rounds keeps one run under a second while reaching the sparse rows'
+/// steady state).
+const BIGNET_ROUNDS: usize = 100;
 
 /// Distinct seeds per replication pipeline, so the timing averages over
 /// path-length and evolution variance instead of pinning one trajectory.
@@ -63,6 +70,15 @@ pub struct BenchReport {
     /// submissions of already-cached specs over 4 keep-alive
     /// connections (requests/s). `None` in pre-serve reports.
     pub serve_hit_rps: Option<f64>,
+    /// Steady-state games per second in a 1 000-node, 100-round
+    /// tournament — the sparse-reputation inner loop at 20x the paper's
+    /// network size. `None` in reports measured before the sparse
+    /// substrate existed.
+    pub bignet_games_per_second: Option<f64>,
+    /// Scenario-sweep engine throughput: cells per second over the
+    /// 16-cell grid of `bench_sweep_grid` (each cell a full seeded
+    /// experiment). `None` in pre-sweep reports.
+    pub sweep_cells_per_second: Option<f64>,
 }
 
 /// A committed before/after baseline pair (the `BENCH_N.json` format).
@@ -97,6 +113,30 @@ impl BenchBaseline {
                 self.after.games_per_second / self.before.games_per_second,
             ),
         ]
+    }
+}
+
+/// `Some(reason)` when this binary was probably **not** built with
+/// `-C target-cpu=native` — the build configuration every committed
+/// `BENCH_N.json` baseline assumes (`.cargo/config.toml`). Numbers from
+/// a portable build are systematically slower and must never be
+/// compared against a native baseline, so `ahn-exp bench` prints this
+/// loudly.
+///
+/// Detection is a compile-time proxy: the portable `x86-64` baseline
+/// predates SSE4.2 (2008), while `target-cpu=native` enables it on any
+/// host this workspace realistically runs on. Non-x86 targets have no
+/// comparably reliable probe and return `None`.
+pub fn portable_build_warning() -> Option<String> {
+    if cfg!(all(target_arch = "x86_64", not(target_feature = "sse4.2"))) {
+        Some(
+            "this binary was built without -C target-cpu=native (no SSE4.2): \
+             numbers are NOT comparable to committed BENCH_N baselines — build \
+             from the repository root so .cargo/config.toml applies"
+                .into(),
+        )
+    } else {
+        None
     }
 }
 
@@ -158,6 +198,24 @@ pub fn run_bench() -> BenchReport {
         tournament.run(&mut arena, &mut rng, &participants, 0);
     });
 
+    // Big-network throughput: a 1 000-node tournament on the sparse
+    // reputation substrate. The first run grows each observer's row to
+    // its high-water mark; taking the minimum reports the steady state.
+    let (mut bignet_arena, bignet_participants) = bench_bignet_arena(3);
+    let mut bignet_rng = bench_rng(4);
+    let bignet_tournament = Tournament::new(BIGNET_ROUNDS);
+    let bignet_games = (bignet_participants.len() * BIGNET_ROUNDS) as f64;
+    let bignet_seconds = time_min(|| {
+        bignet_arena.begin_generation();
+        bignet_tournament.run(&mut bignet_arena, &mut bignet_rng, &bignet_participants, 0);
+    });
+
+    // Scenario-sweep engine: a full 16-cell grid per run.
+    let grid = bench_sweep_grid();
+    let sweep_seconds = time_min(|| {
+        std::hint::black_box(ahn_core::sweeps::run_sweep(&grid).expect("bench grid is valid"));
+    });
+
     // Serving throughput: an in-process ahn_serve server driven by the
     // loadtest client, cache-miss and cache-hit phases (best of
     // MEASURE_RUNS fresh servers — a fresh server per run so every miss
@@ -168,12 +226,15 @@ pub fn run_bench() -> BenchReport {
         schema: "ahn-bench/1".into(),
         scale: format!(
             "pipelines: 10-node tournaments, {} rounds, {} generations, {} seeds; \
-             throughput: 50-node tournament, {} rounds; serve: {} distinct + {} hit \
+             throughput: 50-node tournament, {} rounds; bignet: 1000-node tournament, \
+             {} rounds; sweep: {}-cell grid; serve: {} distinct + {} hit \
              requests; min of {} runs",
             cfg.rounds,
             cfg.generations,
             SEEDS_PER_PIPELINE,
             THROUGHPUT_ROUNDS,
+            BIGNET_ROUNDS,
+            grid.cell_count(),
             SERVE_DISTINCT,
             SERVE_HIT_REQUESTS,
             MEASURE_RUNS
@@ -184,6 +245,8 @@ pub fn run_bench() -> BenchReport {
         games_per_second: games / tournament_seconds,
         serve_miss_rps,
         serve_hit_rps,
+        bignet_games_per_second: Some(bignet_games / bignet_seconds),
+        sweep_cells_per_second: Some(grid.cell_count() as f64 / sweep_seconds),
     }
 }
 
@@ -249,6 +312,12 @@ pub fn render(report: &BenchReport) -> String {
         report.ipdrp_seconds,
         report.games_per_second,
     );
+    if let Some(gps) = report.bignet_games_per_second {
+        out.push_str(&format!("bignet (1000n)   {gps:>10.0} games/s\n"));
+    }
+    if let Some(cps) = report.sweep_cells_per_second {
+        out.push_str(&format!("sweep            {cps:>10.2} cells/s\n"));
+    }
     if let Some(rps) = report.serve_miss_rps {
         out.push_str(&format!("serve (miss)     {rps:>10.0} req/s\n"));
     }
@@ -292,8 +361,9 @@ pub fn check_regression(
             current.games_per_second, baseline.after.games_per_second
         ));
     }
-    // Serving throughput gates only once a baseline has recorded it
-    // (pre-serve baselines carry `None`).
+    // Optional rows gate only once a baseline has recorded them
+    // (older baselines carry `None`): the serve rates since BENCH_3,
+    // the bignet/sweep throughputs since BENCH_4.
     let rates = [
         (
             "serve miss",
@@ -304,6 +374,16 @@ pub fn check_regression(
             "serve hit",
             current.serve_hit_rps,
             baseline.after.serve_hit_rps,
+        ),
+        (
+            "bignet throughput",
+            current.bignet_games_per_second,
+            baseline.after.bignet_games_per_second,
+        ),
+        (
+            "sweep throughput",
+            current.sweep_cells_per_second,
+            baseline.after.sweep_cells_per_second,
         ),
     ];
     for (name, now, base) in rates {
@@ -340,6 +420,8 @@ mod tests {
             games_per_second: 1e6 / factor,
             serve_miss_rps: Some(1e3 / factor),
             serve_hit_rps: Some(1e4 / factor),
+            bignet_games_per_second: Some(1e5 / factor),
+            sweep_cells_per_second: Some(1e2 / factor),
         }
     }
 
@@ -413,6 +495,36 @@ mod tests {
         let report: BenchReport = serde_json::from_str(json).unwrap();
         assert_eq!(report.serve_miss_rps, None);
         assert_eq!(report.serve_hit_rps, None);
+        assert_eq!(report.bignet_games_per_second, None);
+        assert_eq!(report.sweep_cells_per_second, None);
+    }
+
+    #[test]
+    fn bignet_and_sweep_rows_gate_like_serve_rows() {
+        // Pre-BENCH-4 baselines (rows absent) never gate them...
+        let mut old = baseline();
+        old.after.bignet_games_per_second = None;
+        old.after.sweep_cells_per_second = None;
+        check_regression(&report(1.0), &old, 2.0).unwrap();
+        // ...but once recorded, a slow or missing row fails loudly.
+        let mut slow = report(1.0);
+        slow.bignet_games_per_second = Some(1e5 / 3.0);
+        let err = check_regression(&slow, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("bignet throughput"), "{err}");
+        let mut absent = report(1.0);
+        absent.sweep_cells_per_second = None;
+        let err = check_regression(&absent, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("sweep throughput"), "{err}");
+        assert!(err.contains("no measurement"), "{err}");
+    }
+
+    #[test]
+    fn portable_build_warning_matches_compile_features() {
+        // This workspace builds with target-cpu=native
+        // (.cargo/config.toml), so on x86_64 the warning must be silent;
+        // the cfg! mirror keeps the test meaningful on any target.
+        let expect_warning = cfg!(all(target_arch = "x86_64", not(target_feature = "sse4.2")));
+        assert_eq!(portable_build_warning().is_some(), expect_warning);
     }
 
     #[test]

@@ -41,6 +41,32 @@ pub fn bench_arena(seed: u64) -> (Arena, Vec<NodeId>) {
     (arena, participants)
 }
 
+/// A 1 000-node arena (big-network scale: sparse reputation backing)
+/// with the paper's 20% CSN share, all nodes participating.
+pub fn bench_bignet_arena(seed: u64) -> (Arena, Vec<NodeId>) {
+    let mut rng = bench_rng(seed);
+    let strategies: Vec<Strategy> = (0..800).map(|_| Strategy::random(&mut rng)).collect();
+    let arena = Arena::new(strategies, 200, GameConfig::paper(PathMode::Shorter), 1);
+    debug_assert!(arena.reputation.is_sparse());
+    let participants: Vec<NodeId> = (0..1000u32).map(NodeId).collect();
+    (arena, participants)
+}
+
+/// The 16-cell scenario grid behind the `sweep_cells_per_second` bench
+/// row: 2 cases x 2 payoff variants x 2 sizes x 2 seed blocks at a
+/// dynamics-preserving smoke scale.
+pub fn bench_sweep_grid() -> ahn_core::sweeps::SweepGrid {
+    let mut base = bench_config();
+    base.generations = 3;
+    ahn_core::sweeps::SweepGrid {
+        base,
+        cases: vec![1, 2],
+        payoffs: vec!["paper".into(), "literal-ocr".into()],
+        sizes: vec![10, 12],
+        seed_blocks: vec![0, 1],
+    }
+}
+
 /// The reduced experiment configuration used by the per-artifact benches:
 /// real dynamics (30-round reputation horizon in 10-node tournaments; see
 /// EXPERIMENTS.md "scale sensitivity") at a cost Criterion can sample.

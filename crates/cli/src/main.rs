@@ -30,6 +30,7 @@
 //!   sweep-rounds        cooperation vs reputation horizon R
 //!   sweep-csn           cooperation vs selfish-node density
 //!   sweep-mutation      cooperation vs GA mutation rate
+//!   sweep               scenario-sweep grid: case x payoff x size x seed-block
 //!   trace               dump a JSON decision trace of one tournament
 //!   check               verify the paper-input presets (Tables 1-4)
 //!   bench               time the artifact pipelines (PERFORMANCE.md)
@@ -61,6 +62,10 @@ fn main() {
     }
     if command == "loadtest" {
         loadtest(&args[1..]);
+        return;
+    }
+    if command == "sweep" {
+        sweep(&args[1..]);
         return;
     }
     let opts = match Options::parse(&args[1..]) {
@@ -122,6 +127,8 @@ fn print_usage() {
         "ahn-exp — regenerate the tables and figures of Seredynski et al. (IPDPS'07)\n\n\
          usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
                 [--gens N] [--rounds N] [--seed S] [--out DIR]\n\
+                ahn-exp sweep [--cases 1,2,..] [--payoffs paper,..] [--sizes 10,50,..]\n\
+                              [--seed-blocks N] [--json] [+ the experiment flags above]\n\
                 ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\
                 ahn-exp serve [--addr A] [--workers N] [--cache-cap N] [--queue-cap N]\n\
                 ahn-exp loadtest [--addr A] [--connections N] [--requests N]\n\
@@ -130,8 +137,8 @@ fn print_usage() {
                    baseline-pathrater ablate-payoff ablate-activity\n\
                    ablate-selection ablate-trust-table ablate-unknown\n\
                    ablate-gossip transfer newcomer sleepers\n\
-                   sweep-rounds sweep-csn sweep-mutation trace check bench\n\
-                   serve loadtest"
+                   sweep-rounds sweep-csn sweep-mutation sweep trace check\n\
+                   bench serve loadtest"
     );
 }
 
@@ -183,6 +190,9 @@ fn bench(args: &[String]) {
         }
     };
 
+    if let Some(reason) = ahn_bench::harness::portable_build_warning() {
+        eprintln!("warning: {reason}");
+    }
     eprintln!("measuring (min of {} runs per pipeline)...", {
         ahn_bench::harness::MEASURE_RUNS
     });
@@ -399,6 +409,119 @@ fn loadtest(args: &[String]) {
         }
         eprintln!("cache hit rate {rate:.3} >= {min:.3}");
     }
+}
+
+/// `ahn-exp sweep` flags: the grid axes plus the shared experiment
+/// options for the base configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepFlags {
+    cases: Vec<usize>,
+    payoffs: Vec<String>,
+    sizes: Vec<usize>,
+    seed_blocks: u64,
+    json: bool,
+    /// Remaining (non-sweep) flags, handed to [`Options::parse`].
+    rest: Vec<String>,
+}
+
+fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
+    let mut flags = SweepFlags {
+        cases: vec![1],
+        payoffs: vec!["paper".into()],
+        sizes: vec![50],
+        seed_blocks: 1,
+        json: false,
+        rest: Vec::new(),
+    };
+    fn list<T: std::str::FromStr>(name: &str, text: &str) -> Result<Vec<T>, String> {
+        let items: Result<Vec<T>, _> = text.split(',').map(str::parse).collect();
+        match items {
+            Ok(v) if !v.is_empty() => Ok(v),
+            _ => Err(format!("{name} needs a comma-separated list")),
+        }
+    }
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cases" => flags.cases = list("--cases", value("--cases")?)?,
+            "--payoffs" => flags.payoffs = list("--payoffs", value("--payoffs")?)?,
+            "--sizes" => flags.sizes = list("--sizes", value("--sizes")?)?,
+            "--seed-blocks" => match value("--seed-blocks")?.parse() {
+                Ok(n) if n > 0 => flags.seed_blocks = n,
+                _ => return Err("--seed-blocks needs a positive integer".into()),
+            },
+            "--json" => flags.json = true,
+            other => {
+                // Everything else is a shared experiment flag (--preset,
+                // --reps, ...); Options::parse validates it.
+                flags.rest.push(other.into());
+                if let Some(v) = it.next() {
+                    flags.rest.push(v.clone());
+                }
+            }
+        }
+    }
+    Ok(flags)
+}
+
+/// `ahn-exp sweep`: run a (case x payoff x size x seed-block) grid with
+/// one pure experiment per cell, cells in parallel
+/// (`ahn_core::sweeps::run_sweep`).
+fn sweep(args: &[String]) {
+    let flags = match parse_sweep_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = match Options::parse(&flags.rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let grid = ahn_core::SweepGrid {
+        base: opts.config.clone(),
+        cases: flags.cases,
+        payoffs: flags.payoffs,
+        sizes: flags.sizes,
+        seed_blocks: (0..flags.seed_blocks).collect(),
+    };
+    eprintln!(
+        "sweeping {} cells ({} cases x {} payoffs x {} sizes x {} seed blocks, {} replications each)...",
+        grid.cell_count(),
+        grid.cases.len(),
+        grid.payoffs.len(),
+        grid.sizes.len(),
+        grid.seed_blocks.len(),
+        grid.base.replications
+    );
+    let report = match ahn_core::run_sweep(&grid) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    };
+    if flags.json {
+        println!("{json}");
+    } else {
+        print!("{}", ahn_core::sweeps::render_sweep_report(&report));
+    }
+    opts.maybe_write("sweep.json", &json);
 }
 
 /// Parsed command-line options.
@@ -932,6 +1055,62 @@ mod tests {
         ] {
             assert!(parse_loadtest_flags(&args(bad)).is_err(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let f = parse_sweep_flags(&args(&[])).unwrap();
+        assert_eq!(
+            (f.cases, f.sizes, f.seed_blocks, f.json),
+            (vec![1], vec![50], 1, false)
+        );
+        assert_eq!(f.payoffs, vec!["paper".to_string()]);
+        assert!(f.rest.is_empty());
+
+        let f = parse_sweep_flags(&args(&[
+            "--cases",
+            "1,3",
+            "--payoffs",
+            "paper,literal-ocr",
+            "--sizes",
+            "10,50,100",
+            "--seed-blocks",
+            "4",
+            "--json",
+            "--preset",
+            "smoke",
+            "--reps",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(f.cases, vec![1, 3]);
+        assert_eq!(
+            f.payoffs,
+            vec!["paper".to_string(), "literal-ocr".to_string()]
+        );
+        assert_eq!(f.sizes, vec![10, 50, 100]);
+        assert_eq!(f.seed_blocks, 4);
+        assert!(f.json);
+        assert_eq!(f.rest, args(&["--preset", "smoke", "--reps", "2"]));
+        // The shared flags parse through Options.
+        let o = Options::parse(&f.rest).unwrap();
+        assert_eq!(o.config.replications, 2);
+    }
+
+    #[test]
+    fn sweep_flag_errors() {
+        for bad in [
+            &["--cases"][..],
+            &["--cases", ""],
+            &["--sizes", "ten"],
+            &["--seed-blocks", "0"],
+            &["--seed-blocks", "-1"],
+        ] {
+            assert!(parse_sweep_flags(&args(bad)).is_err(), "{bad:?}");
+        }
+        // Unknown flags pass through to Options::parse, which rejects.
+        let f = parse_sweep_flags(&args(&["--frob", "x"])).unwrap();
+        assert!(Options::parse(&f.rest).is_err());
     }
 
     #[test]

@@ -92,17 +92,22 @@ pub fn run_replication(config: &ExperimentConfig, case: &CaseSpec, seed: u64) ->
 
     let mut coop_by_gen = Vec::with_capacity(config.generations);
     let mut fitness_by_gen = Vec::with_capacity(config.generations);
-    // Double-buffered breeding: offspring are written in place and the
-    // buffers swapped, so the generational loop reuses one allocation.
+    // Steady-state buffer reuse: offspring are double-buffered and
+    // swapped, strategies decode in place into the arena's SoA buffer,
+    // fitnesses fill a reused vector, and the schedule's participant
+    // selection shares one scratch — so the generational loop performs
+    // no per-generation allocations even at 1 000-node scale.
     let mut offspring: Vec<BitStr> = Vec::with_capacity(config.population);
+    let mut fitnesses: Vec<f64> = Vec::with_capacity(config.population);
+    let mut schedule_scratch = ahn_game::ScheduleScratch::default();
 
     for generation in 0..config.generations {
-        arena.set_strategies(decode(&genomes));
-        schedule.run(&mut arena, &mut rng);
+        arena.set_strategies_with(|i| config.codec.decode(&genomes[i]));
+        schedule.run_with_scratch(&mut arena, &mut rng, &mut schedule_scratch);
 
         let total = arena.metrics.total();
         coop_by_gen.push(total.cooperation_level());
-        let fitnesses = arena.fitnesses();
+        arena.fitnesses_into(&mut fitnesses);
         fitness_by_gen.push(GenStats::from_fitnesses(&fitnesses));
 
         if generation + 1 < config.generations {

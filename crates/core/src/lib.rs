@@ -53,6 +53,7 @@ pub mod sweeps;
 pub use cases::CaseSpec;
 pub use config::{canonical_hash, ExperimentConfig, StrategyCodec};
 pub use experiment::{run_experiment, run_replication, ExperimentResult, ReplicationResult};
+pub use sweeps::{run_sweep, SweepCell, SweepCellSpec, SweepGrid, SweepReport};
 
 // Re-exports used by downstream tooling (the `ahn-exp trace` command and
 // similar inspection code) so the CLI depends on one crate only.

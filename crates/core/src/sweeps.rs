@@ -1,4 +1,4 @@
-//! Parameter sweeps.
+//! Parameter sweeps: single-axis curves and the multi-axis grid engine.
 //!
 //! Three curves the paper never plots but that govern its results:
 //!
@@ -10,12 +10,37 @@
 //!   continuous version of environments TE1–TE4.
 //! * [`sweep_mutation`] — cooperation vs. the GA's mutation rate; too
 //!   much mutation destroys the evolved conventions.
+//!
+//! # The scenario-sweep engine
+//!
+//! [`run_sweep`] evaluates a full grid — **case × payoff-variant ×
+//! network-size × seed-block** — one [`crate::experiment::run_experiment`]
+//! per cell, cells in parallel. Every cell is a *pure function* of its
+//! resolved `(ExperimentConfig, CaseSpec)`:
+//!
+//! * the network-size axis rescales each paper environment to `size`
+//!   participants, preserving its CSN fraction ([`scale_case`]);
+//! * the payoff axis swaps in a named payoff table
+//!   ([`payoff_variant`]);
+//! * the seed-block axis shifts `base_seed` by a golden-ratio multiple
+//!   of the block index ([`block_seed`] — block 0 keeps the base seed,
+//!   so cell `(c, p, s, 0)` is byte-identical to running the same
+//!   config directly, and shares its `ahn_serve` cache entry);
+//! * replications inside a cell fold serially over `base_seed + k`,
+//!   which `tests/determinism.rs` pins as bit-identical to
+//!   `run_experiment`'s parallel fan-out — so parallelizing across
+//!   cells instead of inside them changes wall-clock, never results.
+//!
+//! The CLI front end is `ahn-exp sweep`; the serving front end is
+//! `POST /v1/sweeps` (each cell cached under its canonical hash).
 
 use crate::cases::CaseSpec;
 use crate::config::ExperimentConfig;
-use crate::experiment::run_experiment;
+use crate::experiment::{aggregate, run_experiment, run_replication};
+use ahn_game::{EnvironmentSpec, PayoffConfig};
 use ahn_net::PathMode;
 use ahn_stats::Summary;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One point of a sweep curve.
@@ -108,6 +133,279 @@ fn trim_float(x: f64) -> String {
     }
 }
 
+/// The payoff-variant names [`payoff_variant`] accepts.
+pub const PAYOFF_VARIANTS: [&str; 3] = ["paper", "literal-ocr", "no-reputation"];
+
+/// Resolves a named payoff table (the payoff-variant sweep axis; the
+/// same three tables as ablation A1).
+pub fn payoff_variant(name: &str) -> Result<PayoffConfig, String> {
+    match name {
+        "paper" => Ok(PayoffConfig::paper()),
+        "literal-ocr" => Ok(PayoffConfig::literal_ocr()),
+        "no-reputation" => Ok(PayoffConfig::no_reputation()),
+        other => Err(format!(
+            "unknown payoff variant {other:?} (expected one of {PAYOFF_VARIANTS:?})"
+        )),
+    }
+}
+
+/// Rescales one of the paper's cases (1–4) to tournaments of `size`
+/// participants, preserving each environment's CSN *fraction* (rounded)
+/// and the case's path mode. `size == 50` reproduces the paper case
+/// exactly.
+///
+/// # Panics
+/// Panics unless `1 <= case_no <= 4` (like [`CaseSpec::paper`]).
+///
+/// # Errors
+/// Errors when `size` is too small to route (< 3 participants) or the
+/// rounded CSN count would leave no normal player.
+pub fn scale_case(case_no: usize, size: usize) -> Result<CaseSpec, String> {
+    let paper = CaseSpec::paper(case_no);
+    if size < 3 {
+        return Err(format!(
+            "network size {size} cannot route (3 participants minimum)"
+        ));
+    }
+    let mut envs = Vec::with_capacity(paper.envs.len());
+    for env in &paper.envs {
+        let fraction = env.csn as f64 / env.size as f64;
+        let csn = ((size as f64) * fraction).round() as usize;
+        if csn >= size {
+            return Err(format!(
+                "scaling {} to {size} participants leaves no normal player",
+                paper.name
+            ));
+        }
+        envs.push(EnvironmentSpec::new(size, csn));
+    }
+    Ok(CaseSpec {
+        name: format!("{} @{size}", paper.name),
+        envs,
+        mode: paper.mode,
+    })
+}
+
+/// The derived base seed of seed-block `block`: a golden-ratio stride
+/// keeps blocks far apart in seed space (replications within a cell use
+/// `seed + k`, so adjacent blocks must not overlap), and block 0 is the
+/// identity so the first block of any sweep reproduces — and shares the
+/// cache key of — a direct run.
+pub fn block_seed(base_seed: u64, block: u64) -> u64 {
+    base_seed.wrapping_add(block.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A scenario-sweep grid: the cross product of four axes around a base
+/// configuration. See the module docs for what each axis means.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Base configuration every cell derives from.
+    pub base: ExperimentConfig,
+    /// Case axis: paper case numbers (1–4).
+    pub cases: Vec<usize>,
+    /// Payoff-variant axis: names accepted by [`payoff_variant`].
+    pub payoffs: Vec<String>,
+    /// Network-size axis: participants per tournament (the paper: 50).
+    pub sizes: Vec<usize>,
+    /// Seed-block axis: block indices fed to [`block_seed`].
+    pub seed_blocks: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// A grid over `cases` and `sizes` with the paper payoff table and
+    /// seed blocks `0..blocks` — the common CLI shape.
+    pub fn new(base: ExperimentConfig, cases: &[usize], sizes: &[usize], blocks: u64) -> Self {
+        SweepGrid {
+            base,
+            cases: cases.to_vec(),
+            payoffs: vec!["paper".into()],
+            sizes: sizes.to_vec(),
+            seed_blocks: (0..blocks.max(1)).collect(),
+        }
+    }
+
+    /// Total cells in the grid (saturating, so hostile axis lengths
+    /// cannot overflow the product before a caller's size cap sees it).
+    pub fn cell_count(&self) -> usize {
+        self.cases
+            .len()
+            .saturating_mul(self.payoffs.len())
+            .saturating_mul(self.sizes.len())
+            .saturating_mul(self.seed_blocks.len())
+    }
+
+    /// Validates the axes and every cell they imply (so a bad grid fails
+    /// before any compute is spent).
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.cell_count() == 0 {
+            return Err("every sweep axis needs at least one value".into());
+        }
+        for &c in &self.cases {
+            if !(1..=4).contains(&c) {
+                return Err(format!("the paper defines cases 1..=4, not {c}"));
+            }
+        }
+        for name in &self.payoffs {
+            payoff_variant(name)?;
+        }
+        for spec in self.cell_specs() {
+            self.resolve(&spec)?;
+        }
+        Ok(())
+    }
+
+    /// Every cell of the grid in deterministic axis order (cases
+    /// outermost, seed blocks innermost).
+    pub fn cell_specs(&self) -> Vec<SweepCellSpec> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for &case_no in &self.cases {
+            for payoff in &self.payoffs {
+                for &size in &self.sizes {
+                    for &seed_block in &self.seed_blocks {
+                        out.push(SweepCellSpec {
+                            case_no,
+                            payoff: payoff.clone(),
+                            size,
+                            seed_block,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Resolves one cell to the pure `(config, case)` inputs of
+    /// [`run_experiment`]. The population grows to fill the scaled
+    /// case's normal-player demand when the base population is too
+    /// small for a large network size.
+    pub fn resolve(&self, spec: &SweepCellSpec) -> Result<(ExperimentConfig, CaseSpec), String> {
+        let case = scale_case(spec.case_no, spec.size)?;
+        let mut config = self.base.clone();
+        config.payoff = payoff_variant(&spec.payoff)?;
+        config.base_seed = block_seed(self.base.base_seed, spec.seed_block);
+        config.population = config.population.max(case.required_normal());
+        Ok((config, case))
+    }
+}
+
+/// The coordinates of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepCellSpec {
+    /// Paper case number (1–4).
+    pub case_no: usize,
+    /// Payoff-variant name.
+    pub payoff: String,
+    /// Participants per tournament.
+    pub size: usize,
+    /// Seed-block index.
+    pub seed_block: u64,
+}
+
+/// One evaluated cell of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// The cell's grid coordinates.
+    pub spec: SweepCellSpec,
+    /// Canonical hash of the cell's resolved `(config, case)` pair — a
+    /// stable identity for correlating cells across sweeps that share
+    /// resolved inputs. (Not the `ahn_serve` cache key: the server
+    /// hashes the externally tagged job spec wrapping the same pair,
+    /// which is a different byte stream.)
+    pub config_hash: u64,
+    /// Final-generation cooperation level across the cell's
+    /// replications.
+    pub final_coop: Summary,
+    /// Final-generation cooperation per environment.
+    pub per_env_coop: Vec<Summary>,
+    /// Final-generation CSN-free-path share per environment.
+    pub per_env_csn_free: Vec<Summary>,
+}
+
+/// A completed sweep: one entry per cell, in [`SweepGrid::cell_specs`]
+/// order. Pure data — two runs of the same grid serialize to identical
+/// bytes (the CI sweep smoke pins this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Report schema tag (`"ahn-sweep/1"`).
+    pub schema: String,
+    /// Replications per cell (from the base config).
+    pub replications: usize,
+    /// Evaluated cells.
+    pub cells: Vec<SweepCell>,
+}
+
+/// Evaluates one resolved cell: a serial fold of `run_replication` over
+/// the cell's seeds, which `tests/determinism.rs` pins as bit-identical
+/// to [`run_experiment`]'s parallel fan-out. Serial-inside /
+/// parallel-across-cells is the right shape once the grid has at least
+/// as many cells as cores.
+fn run_cell(spec: SweepCellSpec, config: &ExperimentConfig, case: &CaseSpec) -> SweepCell {
+    let results: Vec<_> = (0..config.replications as u64)
+        .map(|k| run_replication(config, case, config.base_seed.wrapping_add(k)))
+        .collect();
+    let aggregated = aggregate(config, case, &results);
+    SweepCell {
+        spec,
+        config_hash: crate::config::canonical_hash(&(config, case)).unwrap_or(0),
+        final_coop: aggregated.final_coop,
+        per_env_coop: aggregated.per_env_coop,
+        per_env_csn_free: aggregated.per_env_csn_free,
+    }
+}
+
+/// Runs every cell of the grid, cells in parallel (bounded by
+/// `AHN_THREADS` like all rayon fan-out in this workspace).
+///
+/// # Errors
+/// Errors when the grid fails [`SweepGrid::validate`]; never errors
+/// mid-run.
+pub fn run_sweep(grid: &SweepGrid) -> Result<SweepReport, String> {
+    grid.validate()?;
+    let resolved: Vec<(SweepCellSpec, ExperimentConfig, CaseSpec)> = grid
+        .cell_specs()
+        .into_iter()
+        .map(|spec| {
+            let (config, case) = grid.resolve(&spec).expect("validated above");
+            (spec, config, case)
+        })
+        .collect();
+    let cells: Vec<SweepCell> = resolved
+        .into_par_iter()
+        .map(|(spec, config, case)| run_cell(spec, &config, &case))
+        .collect();
+    Ok(SweepReport {
+        schema: "ahn-sweep/1".into(),
+        replications: grid.base.replications,
+        cells,
+    })
+}
+
+/// Renders a sweep report as an aligned text table.
+pub fn render_sweep_report(report: &SweepReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "scenario sweep: {} cells x {} replications\n\
+         case  payoff         size  block  cooperation (±95% CI)\n",
+        report.cells.len(),
+        report.replications
+    );
+    for cell in &report.cells {
+        let _ = writeln!(
+            out,
+            "  {:>3}  {:<13} {:>5}  {:>5}  {:>7} ± {:>5}",
+            cell.spec.case_no,
+            cell.spec.payoff,
+            cell.spec.size,
+            cell.spec.seed_block,
+            ahn_stats::pct(cell.final_coop.mean().unwrap_or(0.0), 1),
+            ahn_stats::pct(cell.final_coop.ci95_half_width().unwrap_or(0.0), 1),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +477,128 @@ mod tests {
     #[should_panic(expected = "outside [0, 1)")]
     fn csn_density_one_is_rejected() {
         let _ = sweep_csn(&cfg(), 8, PathMode::Shorter, &[1.0]);
+    }
+
+    fn grid_cfg() -> ExperimentConfig {
+        let mut c = ExperimentConfig::smoke();
+        c.generations = 3;
+        c.replications = 2;
+        c
+    }
+
+    #[test]
+    fn scale_case_preserves_csn_fraction_and_mode() {
+        // Case 2 is TE4 (30 of 50 = 60% CSN), shorter paths.
+        let scaled = scale_case(2, 10).unwrap();
+        assert_eq!(scaled.envs, vec![EnvironmentSpec::new(10, 6)]);
+        assert_eq!(scaled.mode, PathMode::Shorter);
+        assert_eq!(scaled.name, "case 2 @10");
+        // Size 50 reproduces the paper environments exactly.
+        assert_eq!(scale_case(4, 50).unwrap().envs, CaseSpec::paper(4).envs);
+        // Too small to route.
+        assert!(scale_case(1, 2).is_err());
+    }
+
+    #[test]
+    fn payoff_variants_resolve_and_reject() {
+        for name in PAYOFF_VARIANTS {
+            payoff_variant(name).unwrap();
+        }
+        let err = payoff_variant("galactic").unwrap_err();
+        assert!(err.contains("unknown payoff variant"), "{err}");
+    }
+
+    #[test]
+    fn block_zero_is_the_identity() {
+        assert_eq!(block_seed(42, 0), 42);
+        assert_ne!(block_seed(42, 1), block_seed(42, 2));
+        // Blocks are spaced far beyond any replication offset.
+        assert!(block_seed(0, 1).abs_diff(block_seed(0, 0)) > 1 << 32);
+    }
+
+    #[test]
+    fn grid_expands_in_deterministic_axis_order() {
+        let grid = SweepGrid {
+            base: grid_cfg(),
+            cases: vec![1, 2],
+            payoffs: vec!["paper".into(), "literal-ocr".into()],
+            sizes: vec![10, 12],
+            seed_blocks: vec![0, 1],
+        };
+        assert_eq!(grid.cell_count(), 16);
+        let specs = grid.cell_specs();
+        assert_eq!(specs.len(), 16);
+        assert_eq!(specs[0].case_no, 1);
+        assert_eq!(specs[0].seed_block, 0);
+        assert_eq!(specs[1].seed_block, 1, "seed blocks are innermost");
+        assert_eq!(specs[15].case_no, 2);
+        assert_eq!(specs[15].size, 12);
+        grid.validate().unwrap();
+    }
+
+    #[test]
+    fn grid_validation_rejects_bad_axes() {
+        let ok = SweepGrid::new(grid_cfg(), &[1], &[10], 1);
+        ok.validate().unwrap();
+        let mut bad = ok.clone();
+        bad.cases = vec![5];
+        assert!(bad.validate().unwrap_err().contains("cases 1..=4"));
+        let mut bad = ok.clone();
+        bad.payoffs = vec!["x".into()];
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.sizes = vec![];
+        assert!(bad.validate().unwrap_err().contains("at least one value"));
+        let mut bad = ok;
+        bad.sizes = vec![2];
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn cells_match_run_experiment_bit_for_bit() {
+        // A cell is the same pure function ahn_serve runs for the
+        // equivalent single-case job — so its summaries (and cache key)
+        // must match run_experiment exactly.
+        let grid = SweepGrid::new(grid_cfg(), &[1], &[10], 1);
+        let report = run_sweep(&grid).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let (config, case) = grid.resolve(&grid.cell_specs()[0]).unwrap();
+        let direct = run_experiment(&config, &case);
+        assert_eq!(report.cells[0].final_coop, direct.final_coop);
+        assert_eq!(report.cells[0].per_env_coop, direct.per_env_coop);
+        assert_eq!(
+            report.cells[0].config_hash,
+            crate::config::canonical_hash(&(&config, &case)).unwrap()
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_serializable() {
+        let grid = SweepGrid::new(grid_cfg(), &[1, 2], &[10, 12], 1);
+        let a = run_sweep(&grid).unwrap();
+        let b = run_sweep(&grid).unwrap();
+        assert_eq!(a, b);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, serde_json::to_string(&b).unwrap());
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+        assert_eq!(a.cells.len(), 4);
+        // Different seed blocks produce different trajectories.
+        let shifted = SweepGrid {
+            seed_blocks: vec![3],
+            ..grid
+        };
+        let c = run_sweep(&shifted).unwrap();
+        assert_ne!(a.cells[0].final_coop, c.cells[0].final_coop);
+    }
+
+    #[test]
+    fn sweep_render_lists_every_cell() {
+        let grid = SweepGrid::new(grid_cfg(), &[1], &[10, 12], 1);
+        let report = run_sweep(&grid).unwrap();
+        let text = render_sweep_report(&report);
+        assert_eq!(text.lines().count(), 2 + report.cells.len());
+        assert!(text.contains("paper"), "{text}");
+        assert!(text.contains("12"), "{text}");
     }
 }

@@ -5,6 +5,21 @@
 //! payoff accounts and energy ledgers, and the per-environment metrics.
 //! Node ids are dense: normal players take `0..n_normal`, the
 //! constantly-selfish pool follows.
+//!
+//! # Layout: struct of arrays, sized once
+//!
+//! Per-node state is stored as parallel arrays indexed by node id
+//! (`kinds[i]`, `strategies[i]`, `payoffs[i]`, `energy[i]`,
+//! `duty_cycle[i]`) rather than an array of node structs: the hot game
+//! loop touches one dimension at a time (a decision reads kind +
+//! strategy, the payoff pass writes payoffs + energy), so SoA keeps each
+//! pass on contiguous memory and leaves untouched dimensions out of the
+//! cache. Every buffer is sized at construction and **reused across
+//! generations**: [`Arena::begin_generation`] clears in place,
+//! [`Arena::set_strategies_with`] decodes a new generation into the
+//! existing strategy buffer, and [`Arena::fitnesses_into`] fills a
+//! caller-owned vector — so the generational loop performs no
+//! steady-state allocations even at 1 000 nodes (tests/zero_alloc.rs).
 
 use crate::metrics::Metrics;
 use crate::payoff::{PayoffAccount, PayoffConfig};
@@ -182,6 +197,18 @@ impl Arena {
         self.strategies = strategies;
     }
 
+    /// Replaces the normal players' strategies **in place**: `decode(i)`
+    /// produces player `i`'s new strategy directly into the existing SoA
+    /// buffer. The allocation-free sibling of
+    /// [`Arena::set_strategies`] for the generational loop (decoding a
+    /// genome is a pure bit operation, so no intermediate `Vec` is
+    /// needed).
+    pub fn set_strategies_with(&mut self, mut decode: impl FnMut(usize) -> Strategy) {
+        for (i, slot) in self.strategies.iter_mut().enumerate() {
+            *slot = decode(i);
+        }
+    }
+
     /// Clears everything a generation accumulates: reputation (§4.4
     /// Step 1), payoff accounts, energy ledgers and metrics.
     pub fn begin_generation(&mut self) {
@@ -223,9 +250,17 @@ impl Arena {
     /// Fitness (eq. 1) of every normal player, in id order — the GA's
     /// evaluation vector.
     pub fn fitnesses(&self) -> Vec<f64> {
-        (0..self.n_normal())
-            .map(|i| self.payoffs[i].fitness())
-            .collect()
+        let mut out = Vec::new();
+        self.fitnesses_into(&mut out);
+        out
+    }
+
+    /// Writes every normal player's fitness into `out` (cleared first),
+    /// reusing its capacity — the allocation-free sibling of
+    /// [`Arena::fitnesses`] for the generational loop.
+    pub fn fitnesses_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.n_normal()).map(|i| self.payoffs[i].fitness()));
     }
 }
 

@@ -19,7 +19,7 @@
 //! short tournaments with the least-played players.
 
 use crate::arena::Arena;
-use crate::tournament::Tournament;
+use crate::tournament::{RoundScratch, Tournament};
 use ahn_net::NodeId;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -74,6 +74,29 @@ impl EnvironmentSpec {
     }
 }
 
+/// Reusable participant-selection buffers for
+/// [`EvaluationSchedule::run_with_scratch`], sized once (at the first
+/// generation's high-water mark) and reused for the rest of the run —
+/// at 1 000-node scale the per-generation churn of five fresh vectors
+/// is measurable, and the experiment loop aims for zero steady-state
+/// allocations.
+#[derive(Debug, Default, Clone)]
+pub struct ScheduleScratch {
+    /// Selfish-pool node ids (constant per arena, cached here).
+    csn_pool: Vec<NodeId>,
+    /// Tournaments played so far per normal player, this environment.
+    plays: Vec<u32>,
+    /// Players still below the `plays_per_env` target.
+    eligible: Vec<NodeId>,
+    /// The tournament being assembled.
+    participants: Vec<NodeId>,
+    /// Fill-up pool for the last, short tournament of an environment.
+    rest: Vec<NodeId>,
+    /// Per-tournament game/awake buffers, shared by every tournament of
+    /// the run.
+    round: RoundScratch,
+}
+
 /// The evaluation schedule: which environments are played, for how many
 /// rounds, and how many times each player must appear per environment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -121,12 +144,26 @@ impl EvaluationSchedule {
     /// Panics if the arena's population or CSN pool is too small for the
     /// schedule.
     pub fn run<R: Rng + ?Sized>(&self, arena: &mut Arena, rng: &mut R) {
+        self.run_with_scratch(arena, rng, &mut ScheduleScratch::default());
+    }
+
+    /// [`EvaluationSchedule::run`] with caller-owned selection buffers:
+    /// pass the same [`ScheduleScratch`] every generation and the
+    /// schedule performs no steady-state allocations. Draw-identical to
+    /// `run` — buffer reuse never changes contents or RNG consumption.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        arena: &mut Arena,
+        rng: &mut R,
+        scratch: &mut ScheduleScratch,
+    ) {
         let n = arena.n_normal();
-        let csn_pool: Vec<NodeId> = arena.selfish_ids().collect();
+        scratch.csn_pool.clear();
+        scratch.csn_pool.extend(arena.selfish_ids());
         assert!(
-            csn_pool.len() >= self.required_csn(),
+            scratch.csn_pool.len() >= self.required_csn(),
             "arena has {} selfish nodes, schedule needs {}",
-            csn_pool.len(),
+            scratch.csn_pool.len(),
             self.required_csn()
         );
         assert_eq!(
@@ -137,9 +174,11 @@ impl EvaluationSchedule {
         arena.begin_generation();
 
         let tournament = Tournament::new(self.rounds);
-        let mut plays: Vec<u32> = vec![0; n];
-        let mut eligible: Vec<NodeId> = Vec::with_capacity(n);
-        let mut participants: Vec<NodeId> = Vec::new();
+        scratch.plays.clear();
+        scratch.plays.resize(n, 0);
+        let plays = &mut scratch.plays;
+        let eligible = &mut scratch.eligible;
+        let participants = &mut scratch.participants;
 
         for (env_idx, env) in self.envs.iter().enumerate() {
             assert!(
@@ -167,20 +206,22 @@ impl EvaluationSchedule {
                 } else {
                     // Last tournament of this environment: take everyone
                     // still eligible and fill with the least-played rest.
-                    participants.extend_from_slice(&eligible);
-                    let mut rest: Vec<NodeId> = (0..n)
-                        .map(NodeId::from)
-                        .filter(|id| plays[id.index()] >= target)
-                        .collect();
-                    rest.shuffle(rng);
-                    rest.sort_by_key(|id| plays[id.index()]);
-                    participants.extend(rest.into_iter().take(env.normal() - eligible.len()));
+                    participants.extend_from_slice(eligible);
+                    scratch.rest.clear();
+                    scratch.rest.extend(
+                        (0..n)
+                            .map(NodeId::from)
+                            .filter(|id| plays[id.index()] >= target),
+                    );
+                    scratch.rest.shuffle(rng);
+                    scratch.rest.sort_by_key(|id| plays[id.index()]);
+                    participants.extend(scratch.rest.iter().take(env.normal() - eligible.len()));
                 }
-                for id in &participants {
+                for id in participants.iter() {
                     plays[id.index()] += 1;
                 }
-                participants.extend_from_slice(&csn_pool[..env.csn]);
-                tournament.run(arena, rng, &participants, env_idx);
+                participants.extend_from_slice(&scratch.csn_pool[..env.csn]);
+                tournament.run_with_scratch(arena, rng, participants, env_idx, &mut scratch.round);
             }
         }
     }

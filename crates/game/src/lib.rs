@@ -32,9 +32,9 @@ pub mod players;
 pub mod tournament;
 
 pub use arena::{Arena, GameConfig};
-pub use environment::{EnvironmentSpec, EvaluationSchedule};
+pub use environment::{EnvironmentSpec, EvaluationSchedule, ScheduleScratch};
 pub use game::play_game;
 pub use metrics::{EnvMetrics, Metrics, ReqCounts};
 pub use payoff::{PayoffAccount, PayoffConfig};
 pub use players::NodeKind;
-pub use tournament::Tournament;
+pub use tournament::{RoundScratch, Tournament};

@@ -22,6 +22,19 @@ pub struct Tournament {
     pub rounds: usize,
 }
 
+/// Reusable tournament buffers (the per-game [`Scratch`] plus the
+/// per-round awake set), so back-to-back tournaments — the evaluation
+/// schedule runs several per generation — share one set of allocations
+/// sized at the first tournament's high-water mark.
+#[derive(Debug, Default, Clone)]
+pub struct RoundScratch {
+    /// Per-game path/decision buffers.
+    pub game: Scratch,
+    /// This round's awake participants (extension X6; unused while every
+    /// duty cycle is 1.0).
+    awake: Vec<NodeId>,
+}
+
 impl Tournament {
     /// Creates a tournament of `rounds` rounds.
     pub fn new(rounds: usize) -> Self {
@@ -42,12 +55,26 @@ impl Tournament {
         participants: &[NodeId],
         env: usize,
     ) {
+        self.run_with_scratch(arena, rng, participants, env, &mut RoundScratch::default());
+    }
+
+    /// [`Tournament::run`] with caller-owned buffers — draw-identical,
+    /// allocation-free once the scratch is warm.
+    pub fn run_with_scratch<R: Rng + ?Sized>(
+        &self,
+        arena: &mut Arena,
+        rng: &mut R,
+        participants: &[NodeId],
+        env: usize,
+        round_scratch: &mut RoundScratch,
+    ) {
         assert!(
             participants.len() >= 3,
             "a tournament needs at least three participants"
         );
-        let mut scratch = Scratch::default();
-        let mut awake: Vec<NodeId> = Vec::with_capacity(participants.len() + 1);
+        let scratch = &mut round_scratch.game;
+        let awake = &mut round_scratch.awake;
+        awake.clear();
         let sample_sleep = arena.has_sleepers();
         for _round in 0..self.rounds {
             // Sample this round's awake set (extension X6). With every
@@ -71,7 +98,7 @@ impl Tournament {
             }
             for &source in participants {
                 if !sample_sleep {
-                    play_game(arena, rng, source, participants, env, &mut scratch);
+                    play_game(arena, rng, source, participants, env, scratch);
                     continue;
                 }
                 // A sleeping node still wakes to send its own packet
@@ -82,7 +109,7 @@ impl Tournament {
                     awake.push(source);
                 }
                 if awake.len() >= 3 {
-                    play_game(arena, rng, source, &awake, env, &mut scratch);
+                    play_game(arena, rng, source, awake, env, scratch);
                 }
                 if !was_awake {
                     awake.pop();
@@ -92,7 +119,7 @@ impl Tournament {
                 // Each participant hears from one random other participant
                 // per round (extension; see ahn_net::gossip). Sleeping
                 // nodes neither tell nor listen.
-                let pool: &[NodeId] = if sample_sleep { &awake } else { participants };
+                let pool: &[NodeId] = if sample_sleep { awake } else { participants };
                 if pool.len() < 2 {
                     continue;
                 }

@@ -30,6 +30,46 @@ fn rep_ops(n_nodes: u8, max_len: usize) -> impl Strategy<Value = Vec<RepOp>> {
     )
 }
 
+/// The full update surface of the matrix: watchdog observations,
+/// gossip-style merges, and generation clears.
+#[derive(Debug, Clone)]
+enum FullOp {
+    Forward(u8, u8),
+    Drop(u8, u8),
+    Absorb(u8, u8, u8, u8),
+    Clear,
+}
+
+fn full_ops(n_nodes: u8, max_len: usize) -> impl Strategy<Value = Vec<FullOp>> {
+    proptest::collection::vec(
+        (0..n_nodes, 0..n_nodes, any::<u8>(), any::<u8>(), 0u8..10).prop_map(
+            |(o, s, a, b, kind)| match kind {
+                0..=3 => FullOp::Forward(o, s),
+                4..=6 => FullOp::Drop(o, s),
+                7..=8 => FullOp::Absorb(o, s, a.max(b), a.min(b)),
+                _ => FullOp::Clear,
+            },
+        ),
+        0..max_len,
+    )
+}
+
+/// Applies one op to a matrix, skipping self-pairs (a debug panic).
+fn apply_full(m: &mut ReputationMatrix, op: &FullOp) {
+    match *op {
+        FullOp::Forward(o, s) if o != s => m.record_forward(NodeId(o.into()), NodeId(s.into())),
+        FullOp::Drop(o, s) if o != s => m.record_drop(NodeId(o.into()), NodeId(s.into())),
+        FullOp::Absorb(o, s, requests, forwarded) if o != s => m.absorb(
+            NodeId(o.into()),
+            NodeId(s.into()),
+            requests.into(),
+            forwarded.into(),
+        ),
+        FullOp::Clear => m.clear(),
+        _ => {}
+    }
+}
+
 proptest! {
     /// After any operation sequence: pf <= ps, rates in [0,1], diagonal
     /// untouched, and the structural invariant checker agrees.
@@ -184,5 +224,73 @@ proptest! {
         let t = TrustTable::paper();
         prop_assert_eq!(t.level(UNKNOWN_RATE), t.unknown);
         prop_assert_eq!(t.unknown, TrustLevel::T1);
+    }
+
+    /// The sparse and dense backings are observationally equivalent
+    /// under arbitrary update sequences: every read-side method agrees
+    /// bit for bit, the aggregates match, both survive a serde round
+    /// trip, and serialization (the deterministic iteration order) is
+    /// stable across repeated renderings.
+    #[test]
+    fn sparse_and_dense_backings_are_observationally_equivalent(
+        ops in full_ops(12, 250),
+    ) {
+        let n = 12usize;
+        let mut dense = ReputationMatrix::new_dense(n);
+        let mut sparse = ReputationMatrix::new_sparse(n);
+        for op in &ops {
+            apply_full(&mut dense, op);
+            apply_full(&mut sparse, op);
+        }
+        dense.check_invariants().unwrap();
+        sparse.check_invariants().unwrap();
+
+        // Every lookup agrees, bit for bit.
+        for o in 0..n as u32 {
+            let o_id = NodeId(o);
+            prop_assert_eq!(dense.known_count(o_id), sparse.known_count(o_id));
+            prop_assert_eq!(
+                dense.mean_forwarded_of_known(o_id).map(f64::to_bits),
+                sparse.mean_forwarded_of_known(o_id).map(f64::to_bits)
+            );
+            for s in 0..n as u32 {
+                let s_id = NodeId(s);
+                prop_assert_eq!(dense.record(o_id, s_id), sparse.record(o_id, s_id));
+                prop_assert_eq!(dense.knows(o_id, s_id), sparse.knows(o_id, s_id));
+                prop_assert_eq!(
+                    dense.rate(o_id, s_id).map(f64::to_bits),
+                    sparse.rate(o_id, s_id).map(f64::to_bits)
+                );
+                prop_assert_eq!(
+                    dense.rate_or_unknown(o_id, s_id).to_bits(),
+                    sparse.rate_or_unknown(o_id, s_id).to_bits()
+                );
+                let (dr, df) = dense.rate_and_forwarded(o_id, s_id);
+                let (sr, sf) = sparse.rate_and_forwarded(o_id, s_id);
+                prop_assert_eq!((dr.map(f64::to_bits), df), (sr.map(f64::to_bits), sf));
+                prop_assert_eq!(
+                    dense.forwarded_count(o_id, s_id),
+                    sparse.forwarded_count(o_id, s_id)
+                );
+            }
+        }
+        prop_assert_eq!(dense.observed_pairs(), sparse.observed_pairs());
+
+        // Cross-backing equality in both directions.
+        prop_assert_eq!(&dense, &sparse);
+        prop_assert_eq!(&sparse, &dense);
+
+        // Serde round trips preserve the observations on both wire
+        // forms, and the sparse form's iteration order is deterministic.
+        let dense_json = serde_json::to_string(&dense).unwrap();
+        let sparse_json = serde_json::to_string(&sparse).unwrap();
+        prop_assert_eq!(&sparse_json, &serde_json::to_string(&sparse).unwrap());
+        let dense_back: ReputationMatrix = serde_json::from_str(&dense_json).unwrap();
+        let sparse_back: ReputationMatrix = serde_json::from_str(&sparse_json).unwrap();
+        prop_assert_eq!(&dense_back, &dense);
+        prop_assert_eq!(&sparse_back, &sparse);
+        prop_assert_eq!(&dense_back, &sparse_back);
+        dense_back.check_invariants().unwrap();
+        sparse_back.check_invariants().unwrap();
     }
 }

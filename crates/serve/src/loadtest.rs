@@ -195,10 +195,15 @@ pub fn render(report: &LoadtestReport) -> String {
     );
     if let Some(m) = &report.server_metrics {
         out.push_str(&format!(
-            "server: hit rate {:.1}%, queue depth {}, {:.0} games/s busy-side\n",
+            "server: hit rate {:.1}%, queue depth {} (peak {}), {:.0} games/s busy-side\n\
+             server: {:.3}s compute across {} jobs ({:.1} ms/job mean)\n",
             m.cache_hit_rate * 100.0,
             m.queue_depth,
-            m.games_per_second
+            m.queue_depth_peak,
+            m.games_per_second,
+            m.job_seconds_total,
+            m.jobs_completed + m.jobs_failed,
+            m.job_seconds_mean * 1000.0,
         ));
     }
     out

@@ -30,6 +30,10 @@ pub struct Metrics {
     pub games_simulated: AtomicU64,
     /// Worker wall-nanoseconds spent inside jobs (across all workers).
     pub busy_nanos: AtomicU64,
+    /// Highest queue depth observed at any submission — the backlog
+    /// high-water mark a capacity planner actually wants (the
+    /// instantaneous `queue_depth` is usually 0 by scrape time).
+    pub queue_depth_peak: AtomicU64,
 }
 
 impl Metrics {
@@ -43,6 +47,11 @@ impl Metrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises a high-water-mark gauge to `value` if it is higher.
+    pub fn raise(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+
     /// Builds the `/metrics` response body.
     pub fn snapshot(&self, queue_depth: usize, cached_results: usize, workers: usize) -> Snapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -50,6 +59,9 @@ impl Metrics {
         let misses = load(&self.cache_misses);
         let games = load(&self.games_simulated);
         let busy = load(&self.busy_nanos);
+        let completed = load(&self.jobs_completed);
+        let failed = load(&self.jobs_failed);
+        let job_seconds_total = busy as f64 / 1e9;
         Snapshot {
             schema: "ahn-serve-metrics/1".into(),
             http_requests: load(&self.http_requests),
@@ -63,16 +75,23 @@ impl Metrics {
                 hits as f64 / (hits + misses) as f64
             },
             rejected_queue_full: load(&self.rejected_queue_full),
-            jobs_completed: load(&self.jobs_completed),
-            jobs_failed: load(&self.jobs_failed),
+            jobs_completed: completed,
+            jobs_failed: failed,
             queue_depth: queue_depth as u64,
+            queue_depth_peak: load(&self.queue_depth_peak),
             cached_results: cached_results as u64,
             workers: workers as u64,
             games_simulated: games,
             games_per_second: if busy == 0 {
                 0.0
             } else {
-                games as f64 / (busy as f64 / 1e9)
+                games as f64 / job_seconds_total
+            },
+            job_seconds_total,
+            job_seconds_mean: if completed + failed == 0 {
+                0.0
+            } else {
+                job_seconds_total / (completed + failed) as f64
             },
         }
     }
@@ -103,6 +122,8 @@ pub struct Snapshot {
     pub jobs_failed: u64,
     /// Jobs currently waiting for a worker.
     pub queue_depth: u64,
+    /// Highest queue depth observed at any submission since boot.
+    pub queue_depth_peak: u64,
     /// Results currently held by the LRU cache.
     pub cached_results: u64,
     /// Worker threads in the pool.
@@ -112,6 +133,11 @@ pub struct Snapshot {
     /// `games_simulated` per worker-busy second — the serving-side
     /// counterpart of the bench harness's throughput number.
     pub games_per_second: f64,
+    /// Worker seconds spent inside jobs since boot (compute, not
+    /// queueing).
+    pub job_seconds_total: f64,
+    /// Mean compute seconds per finished job (completed + failed).
+    pub job_seconds_mean: f64,
 }
 
 #[cfg(test)]
@@ -124,16 +150,30 @@ mod tests {
         let s = m.snapshot(0, 0, 2);
         assert_eq!(s.cache_hit_rate, 0.0);
         assert_eq!(s.games_per_second, 0.0);
+        assert_eq!(s.job_seconds_mean, 0.0);
 
         Metrics::add(&m.cache_hits, 3);
         Metrics::add(&m.cache_misses, 1);
         Metrics::add(&m.games_simulated, 2_000_000);
         Metrics::add(&m.busy_nanos, 500_000_000); // 0.5 s
+        Metrics::add(&m.jobs_completed, 2);
         let s = m.snapshot(4, 2, 2);
         assert!((s.cache_hit_rate - 0.75).abs() < 1e-12);
         assert!((s.games_per_second - 4_000_000.0).abs() < 1e-6);
         assert_eq!(s.queue_depth, 4);
         assert_eq!(s.cached_results, 2);
+        assert!((s.job_seconds_total - 0.5).abs() < 1e-12);
+        assert!((s.job_seconds_mean - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_queue_depth_only_rises() {
+        let m = Metrics::default();
+        Metrics::raise(&m.queue_depth_peak, 3);
+        Metrics::raise(&m.queue_depth_peak, 1);
+        assert_eq!(m.snapshot(0, 0, 1).queue_depth_peak, 3);
+        Metrics::raise(&m.queue_depth_peak, 7);
+        assert_eq!(m.snapshot(0, 0, 1).queue_depth_peak, 7);
     }
 
     #[test]

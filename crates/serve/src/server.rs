@@ -4,11 +4,15 @@
 //! ```text
 //! POST /v1/experiments   submit a JobSpec; cache hit -> result inline,
 //!                        miss -> 202 + job id (503 when the queue is full)
+//! POST /v1/sweeps        submit a SweepGrid; expands to one job per
+//!                        cell, each cached/coalesced/queued exactly
+//!                        like an equivalent /v1/experiments submission
 //! GET  /v1/jobs/{id}     poll a job; done -> result inline
 //! GET  /v1/presets       ready-to-POST bodies for fig4/table5/ipdrp
 //! GET  /healthz          liveness probe
 //! GET  /metrics          counters: requests, cache hit rate, queue
-//!                        depth, games/s
+//!                        depth (current + peak), job compute seconds,
+//!                        games/s
 //! POST /v1/shutdown      graceful stop (drains nothing: pending jobs
 //!                        finish, new submissions are rejected)
 //! ```
@@ -29,6 +33,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Most cells one `POST /v1/sweeps` submission may expand to. Keeps a
+/// small hostile body from wedging the connection thread with millions
+/// of cache lookups and an unbounded response.
+pub const MAX_SWEEP_CELLS: usize = 1024;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -238,11 +247,14 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
             Err(e) => (500, error_body(&e.to_string()), false),
         },
         ("POST", "/v1/experiments") => submit(shared, &req.body),
+        ("POST", "/v1/sweeps") => submit_sweep(shared, &req.body),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("POST", "/v1/shutdown") => (200, "{\"status\":\"shutting-down\"}".into(), true),
-        (_, "/healthz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/shutdown") => {
-            (405, error_body("method not allowed"), false)
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/sweeps"
+            | "/v1/shutdown",
+        ) => (405, error_body("method not allowed"), false),
         (_, path) if path.starts_with("/v1/jobs/") => {
             (405, error_body("method not allowed"), false)
         }
@@ -250,8 +262,72 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
     }
 }
 
+/// How one cache/coalesce/enqueue attempt ended — shared by the
+/// single-experiment and sweep submission routes.
+enum SubmitOutcome {
+    /// The result was already cached; the JSON is ready to embed.
+    Cached(Arc<str>),
+    /// A job covers this spec (freshly queued, or an identical
+    /// in-flight job the caller was attached to).
+    Job { id: u64, status: JobStatus },
+    /// The queue is full; nothing was recorded.
+    QueueFull,
+}
+
+/// Runs one resolved, validated spec through the cache lookup →
+/// coalesce → enqueue flow, bumping the submission metrics.
+fn submit_spec(shared: &Arc<Shared>, spec: JobSpec, key: u64) -> SubmitOutcome {
+    let mut state = shared.state.lock().expect("state lock");
+    Metrics::bump(&shared.metrics.submissions);
+
+    if let Some(result) = state.cache.get(key) {
+        Metrics::bump(&shared.metrics.cache_hits);
+        return SubmitOutcome::Cached(result);
+    }
+
+    if let Some(&job_id) = state.inflight.get(&key) {
+        // An identical job is already queued or running: attach the
+        // caller to it instead of recomputing.
+        Metrics::bump(&shared.metrics.coalesced);
+        let status = state
+            .jobs
+            .get(&job_id)
+            .map(|r| r.status)
+            .unwrap_or(JobStatus::Queued);
+        return SubmitOutcome::Job { id: job_id, status };
+    }
+
+    Metrics::bump(&shared.metrics.cache_misses);
+    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    state.jobs.insert(
+        id,
+        JobRecord {
+            status: JobStatus::Queued,
+            result: None,
+            error: None,
+        },
+    );
+    state.inflight.insert(key, id);
+    // Enqueue while holding the state lock so a worker cannot finish the
+    // job before its record and inflight entry exist.
+    if shared.queue.try_push(QueuedJob { id, key, spec }).is_err() {
+        state.jobs.remove(&id);
+        state.inflight.remove(&key);
+        Metrics::bump(&shared.metrics.rejected_queue_full);
+        return SubmitOutcome::QueueFull;
+    }
+    Metrics::raise(
+        &shared.metrics.queue_depth_peak,
+        shared.queue.depth() as u64,
+    );
+    SubmitOutcome::Job {
+        id,
+        status: JobStatus::Queued,
+    }
+}
+
 /// The `POST /v1/experiments` flow: parse, resolve, validate, hash,
-/// cache lookup, coalesce, enqueue.
+/// then the shared [`submit_spec`] flow.
 fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
@@ -279,69 +355,113 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
         Err(e) => return (500, error_body(&e), false),
     };
 
-    let mut state = shared.state.lock().expect("state lock");
-    Metrics::bump(&shared.metrics.submissions);
-
-    if let Some(result) = state.cache.get(key) {
-        Metrics::bump(&shared.metrics.cache_hits);
+    match submit_spec(shared, spec, key) {
         // Format outside the critical section: the response embeds the
         // whole result JSON, and an O(result-size) copy under the state
         // lock would serialize the cache-hit hot path.
-        drop(state);
-        let body =
-            format!("{{\"job_id\":null,\"status\":\"done\",\"cached\":true,\"result\":{result}}}");
-        return (200, body, false);
+        SubmitOutcome::Cached(result) => (
+            200,
+            format!("{{\"job_id\":null,\"status\":\"done\",\"cached\":true,\"result\":{result}}}"),
+            false,
+        ),
+        SubmitOutcome::Job { id, status } => {
+            let ack = SubmitAck {
+                job_id: id,
+                status: status.as_str().into(),
+                cached: false,
+            };
+            (
+                202,
+                serde_json::to_string(&ack).unwrap_or_else(|_| "{}".into()),
+                false,
+            )
+        }
+        SubmitOutcome::QueueFull => (503, error_body("job queue is full, retry later"), false),
     }
+}
 
-    if let Some(&job_id) = state.inflight.get(&key) {
-        // An identical job is already queued or running: attach the
-        // caller to it instead of recomputing.
-        Metrics::bump(&shared.metrics.coalesced);
-        let status = state
-            .jobs
-            .get(&job_id)
-            .map(|r| r.status)
-            .unwrap_or(JobStatus::Queued);
-        let ack = SubmitAck {
-            job_id,
-            status: status.as_str().into(),
-            cached: false,
-        };
-        let body = serde_json::to_string(&ack).unwrap_or_else(|_| "{}".into());
-        return (202, body, false);
-    }
-
-    Metrics::bump(&shared.metrics.cache_misses);
-    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-    state.jobs.insert(
-        id,
-        JobRecord {
-            status: JobStatus::Queued,
-            result: None,
-            error: None,
-        },
-    );
-    state.inflight.insert(key, id);
-    // Enqueue while holding the state lock so a worker cannot finish the
-    // job before its record and inflight entry exist.
-    if shared.queue.try_push(QueuedJob { id, key, spec }).is_err() {
-        state.jobs.remove(&id);
-        state.inflight.remove(&key);
-        Metrics::bump(&shared.metrics.rejected_queue_full);
-        return (503, error_body("job queue is full, retry later"), false);
-    }
-    drop(state);
-
-    let ack = SubmitAck {
-        job_id: id,
-        status: JobStatus::Queued.as_str().into(),
-        cached: false,
+/// The `POST /v1/sweeps` flow: parse a [`ahn_core::sweeps::SweepGrid`],
+/// expand it to one single-case experiment job per cell, and run every
+/// cell through the same cache/coalesce/enqueue flow as
+/// `POST /v1/experiments`. Because a cell's job spec is byte-identical
+/// to the equivalent direct submission, cells share the result cache
+/// with single experiments (and with every other sweep that contains
+/// them).
+///
+/// The response is one entry per cell, in grid order: cached cells
+/// carry their result inline, fresh/coalesced cells a `job_id` to poll
+/// at `GET /v1/jobs/{id}`, and cells bounced by a full queue the status
+/// `"rejected"` (the caller retries just those).
+fn submit_sweep(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8"), false),
     };
-    (
-        202,
-        serde_json::to_string(&ack).unwrap_or_else(|_| "{}".into()),
-        false,
-    )
+    let grid: ahn_core::sweeps::SweepGrid = match serde_json::from_str(text) {
+        Ok(g) => g,
+        Err(e) => {
+            return (
+                400,
+                error_body(&format!("cannot parse SweepGrid: {e}")),
+                false,
+            )
+        }
+    };
+    // Cap the expansion before anything O(cells) runs (validation
+    // included): a kilobyte of repeated axis values would otherwise
+    // expand to millions of cells of server-side work and an unbounded
+    // response body.
+    if grid.cell_count() > MAX_SWEEP_CELLS {
+        return (
+            400,
+            error_body(&format!(
+                "sweep expands to {} cells, above the server cap of {MAX_SWEEP_CELLS}; \
+                 split the grid into smaller submissions",
+                grid.cell_count()
+            )),
+            false,
+        );
+    }
+    if let Err(e) = grid.validate() {
+        return (400, error_body(&e), false);
+    }
+
+    let mut cells = Vec::with_capacity(grid.cell_count());
+    for cell_spec in grid.cell_specs() {
+        let (config, case) = match grid.resolve(&cell_spec) {
+            Ok(resolved) => resolved,
+            Err(e) => return (400, error_body(&e), false),
+        };
+        let spec = JobSpec::Experiment {
+            config,
+            cases: vec![case],
+        };
+        if let Err(e) = spec.validate() {
+            return (400, error_body(&e), false);
+        }
+        let key = match spec.cache_key() {
+            Ok(k) => k,
+            Err(e) => return (500, error_body(&e), false),
+        };
+        let spec_json = serde_json::to_string(&cell_spec).unwrap_or_else(|_| "{}".into());
+        let entry = match submit_spec(shared, spec, key) {
+            SubmitOutcome::Cached(result) => format!(
+                "{{\"spec\":{spec_json},\"job_id\":null,\"status\":\"done\",\
+                 \"cached\":true,\"result\":{result}}}"
+            ),
+            SubmitOutcome::Job { id, status } => format!(
+                "{{\"spec\":{spec_json},\"job_id\":{id},\"status\":\"{}\",\"cached\":false}}",
+                status.as_str()
+            ),
+            SubmitOutcome::QueueFull => format!(
+                "{{\"spec\":{spec_json},\"job_id\":null,\"status\":\"rejected\",\
+                 \"cached\":false}}"
+            ),
+        };
+        cells.push(entry);
+    }
+    let body = format!("{{\"cells\":[{}]}}", cells.join(","));
+    (200, body, false)
 }
 
 /// The `GET /v1/jobs/{id}` flow.

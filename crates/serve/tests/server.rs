@@ -142,6 +142,21 @@ fn submit_poll_cache_roundtrip() {
         Value::U64(games) => assert_eq!(games, 8 * 30 * 20),
         ref other => panic!("{other:?}"),
     }
+    // The compute-time gauges reflect the one real job that ran.
+    match metrics["job_seconds_total"] {
+        Value::F64(s) => assert!(s > 0.0, "job ran for {s}s"),
+        ref other => panic!("job_seconds_total should be a float: {other:?}"),
+    }
+    match metrics["job_seconds_mean"] {
+        Value::F64(s) => assert!(s > 0.0),
+        ref other => panic!("job_seconds_mean should be a float: {other:?}"),
+    }
+    // One job was queued while both workers were free, so the observed
+    // peak is at most 1 — but the field must exist and be consistent.
+    match metrics["queue_depth_peak"] {
+        Value::U64(peak) => assert!(peak <= 1, "{peak}"),
+        ref other => panic!("queue_depth_peak should be an integer: {other:?}"),
+    }
 
     handle.shutdown();
 }
@@ -315,6 +330,92 @@ fn keep_alive_connection_serves_many_requests() {
         Value::U64(n) => assert!(n >= 51, "{n}"),
         ref other => panic!("{other:?}"),
     }
+    handle.shutdown();
+}
+
+#[test]
+fn sweep_submission_returns_per_cell_jobs_that_hit_the_cache_on_repeat() {
+    let (handle, addr) = boot(2, 32, 32);
+
+    // A 2x2 grid (two cases x two sizes) at smoke scale.
+    let mut base = ahn_core::ExperimentConfig::smoke();
+    base.generations = 3;
+    base.replications = 1;
+    let grid = ahn_core::SweepGrid::new(base, &[1, 2], &[10, 12], 1);
+    let body = serde_json::to_string(&grid).unwrap();
+
+    let (status, first) = post(&addr, "/v1/sweeps", &body);
+    assert_eq!(status, 200, "{first:?}");
+    let Value::Seq(cells) = first["cells"].clone() else {
+        panic!("cells should be an array: {first:?}");
+    };
+    assert_eq!(cells.len(), 4, "2x2 grid expands to 4 cells");
+
+    // Every cell queued a fresh job with its grid coordinates attached.
+    let mut job_ids = Vec::new();
+    for cell in &cells {
+        assert_eq!(cell["cached"], Value::Bool(false), "{cell:?}");
+        let Value::U64(id) = cell["job_id"] else {
+            panic!("fresh cell should carry a job id: {cell:?}");
+        };
+        assert!(matches!(cell["spec"]["case_no"], Value::U64(_)));
+        job_ids.push(id);
+    }
+    for id in job_ids {
+        await_job(&addr, id);
+    }
+
+    // Resubmitting the identical grid hits the cache on every cell,
+    // results inline.
+    let (status, second) = post(&addr, "/v1/sweeps", &body);
+    assert_eq!(status, 200);
+    let Value::Seq(cells) = second["cells"].clone() else {
+        panic!("cells should be an array: {second:?}");
+    };
+    for cell in &cells {
+        assert_eq!(cell["cached"], Value::Bool(true), "{cell:?}");
+        assert_eq!(cell["status"], Value::String("done".into()));
+        assert!(
+            matches!(cell["result"], Value::Seq(ref items) if !items.is_empty()),
+            "cached cell must return its result inline: {cell:?}"
+        );
+    }
+
+    // And a *direct* single-experiment submission of one cell's spec
+    // shares the sweep's cache entry (same canonical job).
+    let spec = grid.cell_specs().into_iter().next().unwrap();
+    let (config, case) = grid.resolve(&spec).unwrap();
+    let direct = serde_json::to_string(&ahn_serve::protocol::JobSpec::Experiment {
+        config,
+        cases: vec![case],
+    })
+    .unwrap();
+    let (status, hit) = post(&addr, "/v1/experiments", &direct);
+    assert_eq!(status, 200, "{hit:?}");
+    assert_eq!(hit["cached"], Value::Bool(true));
+
+    // Grid-level validation errors come back as 400s.
+    let (status, err) = post(&addr, "/v1/sweeps", "{\"not\":\"a grid\"}");
+    assert_eq!(status, 400);
+    assert!(matches!(err["error"], Value::String(_)));
+    let mut bad = grid.clone();
+    bad.cases = vec![9];
+    let (status, _) = post(&addr, "/v1/sweeps", &serde_json::to_string(&bad).unwrap());
+    assert_eq!(status, 400);
+
+    // A grid whose tiny body expands past the cell cap is rejected up
+    // front (repeated axis values are legal JSON but hostile work).
+    let mut huge = grid;
+    huge.cases = vec![1; 100];
+    huge.sizes = vec![10; 100];
+    huge.seed_blocks = (0..100).collect();
+    let (status, err) = post(&addr, "/v1/sweeps", &serde_json::to_string(&huge).unwrap());
+    assert_eq!(status, 400, "{err:?}");
+    let Value::String(msg) = &err["error"] else {
+        panic!("{err:?}");
+    };
+    assert!(msg.contains("cap"), "{msg}");
+
     handle.shutdown();
 }
 

@@ -181,3 +181,45 @@ fn ga_engine_is_genome_length_agnostic() {
         assert_eq!(history.last().unwrap().best.len(), bits);
     }
 }
+
+/// The acceptance claim of the sparse substrate: a 1 000-node arena
+/// running paper-style traffic (50-participant tournaments drawn from
+/// the big network) holds its reputation in O(observed-pairs) memory —
+/// at least 5x below the dense N x N equivalent — while producing
+/// observationally identical state.
+#[test]
+fn bignet_reputation_memory_is_o_observed_pairs() {
+    use ahn::game::Tournament;
+    use ahn::net::ReputationMatrix;
+
+    let mut r = rng(29);
+    let mut arena = Arena::new(
+        (0..900).map(|_| Strategy::random(&mut r)).collect(),
+        100,
+        GameConfig::paper(PathMode::Shorter),
+        1,
+    );
+    assert!(
+        arena.reputation.is_sparse(),
+        "a 1000-node arena must construct on the sparse backing"
+    );
+
+    // Paper-style traffic: a handful of 50-participant tournaments, each
+    // over a different slice of the network.
+    let tournament = Tournament::new(50);
+    for t in 0..6u32 {
+        let participants: Vec<NodeId> = (0..50u32).map(|i| NodeId(t * 150 + i)).collect();
+        tournament.run(&mut arena, &mut r, &participants, 0);
+    }
+    arena.reputation.check_invariants().unwrap();
+
+    let pairs = arena.reputation.observed_pairs();
+    assert!(pairs > 1000, "traffic should observe many pairs: {pairs}");
+    let sparse_bytes = arena.reputation.resident_bytes();
+    let dense_bytes = ReputationMatrix::new_dense(1000).resident_bytes();
+    assert!(
+        sparse_bytes * 5 <= dense_bytes,
+        "sparse {sparse_bytes}B must be >=5x below dense {dense_bytes}B \
+         ({pairs} observed pairs)"
+    );
+}

@@ -79,6 +79,12 @@ pub struct BenchReport {
     /// 16-cell grid of `bench_sweep_grid` (each cell a full seeded
     /// experiment). `None` in pre-sweep reports.
     pub sweep_cells_per_second: Option<f64>,
+    /// Reconstruction-search throughput: cells per second over the
+    /// 8-cell grid of `bench_calibration_grid` (candidate enumeration +
+    /// per-candidate sweeps + scoring, the full `ahn-exp calibrate`
+    /// path). `None` in reports measured before the calibration engine
+    /// existed.
+    pub calibrate_cells_per_second: Option<f64>,
 }
 
 /// A committed before/after baseline pair (the `BENCH_N.json` format).
@@ -216,6 +222,15 @@ pub fn run_bench() -> BenchReport {
         std::hint::black_box(ahn_core::sweeps::run_sweep(&grid).expect("bench grid is valid"));
     });
 
+    // Reconstruction search: an 8-cell calibration per run (candidate
+    // enumeration included — it is part of every real search).
+    let calibration = crate::bench_calibration_grid();
+    let calibrate_seconds = time_min(|| {
+        std::hint::black_box(
+            ahn_core::run_calibration(&calibration).expect("bench calibration grid is valid"),
+        );
+    });
+
     // Serving throughput: an in-process ahn_serve server driven by the
     // loadtest client, cache-miss and cache-hit phases (best of
     // MEASURE_RUNS fresh servers — a fresh server per run so every miss
@@ -227,14 +242,15 @@ pub fn run_bench() -> BenchReport {
         scale: format!(
             "pipelines: 10-node tournaments, {} rounds, {} generations, {} seeds; \
              throughput: 50-node tournament, {} rounds; bignet: 1000-node tournament, \
-             {} rounds; sweep: {}-cell grid; serve: {} distinct + {} hit \
-             requests; min of {} runs",
+             {} rounds; sweep: {}-cell grid; calibrate: {}-cell search; serve: \
+             {} distinct + {} hit requests; min of {} runs",
             cfg.rounds,
             cfg.generations,
             SEEDS_PER_PIPELINE,
             THROUGHPUT_ROUNDS,
             BIGNET_ROUNDS,
             grid.cell_count(),
+            calibration.cell_count(),
             SERVE_DISTINCT,
             SERVE_HIT_REQUESTS,
             MEASURE_RUNS
@@ -247,6 +263,7 @@ pub fn run_bench() -> BenchReport {
         serve_hit_rps,
         bignet_games_per_second: Some(bignet_games / bignet_seconds),
         sweep_cells_per_second: Some(grid.cell_count() as f64 / sweep_seconds),
+        calibrate_cells_per_second: Some(calibration.cell_count() as f64 / calibrate_seconds),
     }
 }
 
@@ -318,6 +335,9 @@ pub fn render(report: &BenchReport) -> String {
     if let Some(cps) = report.sweep_cells_per_second {
         out.push_str(&format!("sweep            {cps:>10.2} cells/s\n"));
     }
+    if let Some(cps) = report.calibrate_cells_per_second {
+        out.push_str(&format!("calibrate        {cps:>10.2} cells/s\n"));
+    }
     if let Some(rps) = report.serve_miss_rps {
         out.push_str(&format!("serve (miss)     {rps:>10.0} req/s\n"));
     }
@@ -385,6 +405,11 @@ pub fn check_regression(
             current.sweep_cells_per_second,
             baseline.after.sweep_cells_per_second,
         ),
+        (
+            "calibrate throughput",
+            current.calibrate_cells_per_second,
+            baseline.after.calibrate_cells_per_second,
+        ),
     ];
     for (name, now, base) in rates {
         let Some(base) = base else { continue };
@@ -422,6 +447,7 @@ mod tests {
             serve_hit_rps: Some(1e4 / factor),
             bignet_games_per_second: Some(1e5 / factor),
             sweep_cells_per_second: Some(1e2 / factor),
+            calibrate_cells_per_second: Some(1e2 / factor),
         }
     }
 
@@ -497,6 +523,7 @@ mod tests {
         assert_eq!(report.serve_hit_rps, None);
         assert_eq!(report.bignet_games_per_second, None);
         assert_eq!(report.sweep_cells_per_second, None);
+        assert_eq!(report.calibrate_cells_per_second, None);
     }
 
     #[test]
@@ -505,6 +532,7 @@ mod tests {
         let mut old = baseline();
         old.after.bignet_games_per_second = None;
         old.after.sweep_cells_per_second = None;
+        old.after.calibrate_cells_per_second = None;
         check_regression(&report(1.0), &old, 2.0).unwrap();
         // ...but once recorded, a slow or missing row fails loudly.
         let mut slow = report(1.0);
@@ -516,6 +544,11 @@ mod tests {
         let err = check_regression(&absent, &baseline(), 2.0).unwrap_err();
         assert!(err.contains("sweep throughput"), "{err}");
         assert!(err.contains("no measurement"), "{err}");
+        // The calibrate row follows the same protocol.
+        let mut slow = report(1.0);
+        slow.calibrate_cells_per_second = Some(1e2 / 3.0);
+        let err = check_regression(&slow, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("calibrate throughput"), "{err}");
     }
 
     #[test]

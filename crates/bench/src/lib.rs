@@ -67,6 +67,24 @@ pub fn bench_sweep_grid() -> ahn_core::sweeps::SweepGrid {
     }
 }
 
+/// The 8-cell reconstruction-search grid behind the
+/// `calibrate_cells_per_second` bench row: 2 candidates x 2 cases x 2
+/// seed blocks at a dynamics-preserving smoke scale (each cell a full
+/// seeded experiment, scored against the paper targets).
+pub fn bench_calibration_grid() -> ahn_core::CalibrationGrid {
+    let mut base = bench_config();
+    base.generations = 3;
+    ahn_core::CalibrationGrid {
+        base,
+        cases: vec![1, 2],
+        scales: vec![1.0],
+        selections: vec!["paper".into()],
+        size: 10,
+        seed_blocks: vec![0, 1],
+        max_candidates: 2,
+    }
+}
+
 /// The reduced experiment configuration used by the per-artifact benches:
 /// real dynamics (30-round reputation horizon in 10-node tournaments; see
 /// EXPERIMENTS.md "scale sensitivity") at a cost Criterion can sample.

@@ -31,6 +31,10 @@
 //!   sweep-csn           cooperation vs selfish-node density
 //!   sweep-mutation      cooperation vs GA mutation rate
 //!   sweep               scenario-sweep grid: case x payoff x size x seed-block
+//!   calibrate           reconstruction search: payoff-table family x scale x
+//!                       selection variant, scored against the paper targets
+//!   fidelity            assert per-case cooperation within tolerance of the
+//!                       paper targets (the CI reproduction-fidelity smoke)
 //!   trace               dump a JSON decision trace of one tournament
 //!   check               verify the paper-input presets (Tables 1-4)
 //!   bench               time the artifact pipelines (PERFORMANCE.md)
@@ -66,6 +70,14 @@ fn main() {
     }
     if command == "sweep" {
         sweep(&args[1..]);
+        return;
+    }
+    if command == "calibrate" {
+        calibrate(&args[1..]);
+        return;
+    }
+    if command == "fidelity" {
+        fidelity(&args[1..]);
         return;
     }
     let opts = match Options::parse(&args[1..]) {
@@ -129,6 +141,11 @@ fn print_usage() {
                 [--gens N] [--rounds N] [--seed S] [--out DIR]\n\
                 ahn-exp sweep [--cases 1,2,..] [--payoffs paper,..] [--sizes 10,50,..]\n\
                               [--seed-blocks N] [--json] [+ the experiment flags above]\n\
+                ahn-exp calibrate [--cases 1,2,..] [--scales 0.5,1,..]\n\
+                                  [--selections paper,rank,..] [--size N]\n\
+                                  [--seed-blocks N] [--max-candidates N] [--json]\n\
+                                  [+ the experiment flags above]\n\
+                ahn-exp fidelity [--cases 1,3] [--tol F] [+ the experiment flags]\n\
                 ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\
                 ahn-exp serve [--addr A] [--workers N] [--cache-cap N] [--queue-cap N]\n\
                 ahn-exp loadtest [--addr A] [--connections N] [--requests N]\n\
@@ -137,8 +154,8 @@ fn print_usage() {
                    baseline-pathrater ablate-payoff ablate-activity\n\
                    ablate-selection ablate-trust-table ablate-unknown\n\
                    ablate-gossip transfer newcomer sleepers\n\
-                   sweep-rounds sweep-csn sweep-mutation sweep trace check\n\
-                   bench serve loadtest"
+                   sweep-rounds sweep-csn sweep-mutation sweep calibrate\n\
+                   fidelity trace check bench serve loadtest"
     );
 }
 
@@ -424,6 +441,26 @@ struct SweepFlags {
     rest: Vec<String>,
 }
 
+/// Parses a non-empty comma-separated flag value (shared by the
+/// sweep/calibrate/fidelity flag parsers).
+fn list<T: std::str::FromStr>(name: &str, text: &str) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, _> = text.split(',').map(str::parse).collect();
+    match items {
+        Ok(v) if !v.is_empty() => Ok(v),
+        _ => Err(format!("{name} needs a comma-separated list")),
+    }
+}
+
+/// Forwards an unrecognized flag (and its value, if any) to the shared
+/// experiment options, which `Options::parse` validates later. Every
+/// `Options` flag takes a value, so the greedy pairing is safe.
+fn pass_through(rest: &mut Vec<String>, flag: &str, it: &mut std::slice::Iter<'_, String>) {
+    rest.push(flag.into());
+    if let Some(v) = it.next() {
+        rest.push(v.clone());
+    }
+}
+
 fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
     let mut flags = SweepFlags {
         cases: vec![1],
@@ -433,13 +470,6 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
         json: false,
         rest: Vec::new(),
     };
-    fn list<T: std::str::FromStr>(name: &str, text: &str) -> Result<Vec<T>, String> {
-        let items: Result<Vec<T>, _> = text.split(',').map(str::parse).collect();
-        match items {
-            Ok(v) if !v.is_empty() => Ok(v),
-            _ => Err(format!("{name} needs a comma-separated list")),
-        }
-    }
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -454,14 +484,7 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
                 _ => return Err("--seed-blocks needs a positive integer".into()),
             },
             "--json" => flags.json = true,
-            other => {
-                // Everything else is a shared experiment flag (--preset,
-                // --reps, ...); Options::parse validates it.
-                flags.rest.push(other.into());
-                if let Some(v) = it.next() {
-                    flags.rest.push(v.clone());
-                }
-            }
+            other => pass_through(&mut flags.rest, other, &mut it),
         }
     }
     Ok(flags)
@@ -522,6 +545,251 @@ fn sweep(args: &[String]) {
         print!("{}", ahn_core::sweeps::render_sweep_report(&report));
     }
     opts.maybe_write("sweep.json", &json);
+}
+
+/// `ahn-exp calibrate` flags: the search axes plus the shared
+/// experiment options for the base configuration.
+#[derive(Debug, Clone, PartialEq)]
+struct CalibrateFlags {
+    cases: Vec<usize>,
+    scales: Vec<f64>,
+    selections: Vec<String>,
+    size: usize,
+    seed_blocks: u64,
+    max_candidates: usize,
+    json: bool,
+    /// Remaining (non-calibrate) flags, handed to [`Options::parse`].
+    rest: Vec<String>,
+}
+
+fn parse_calibrate_flags(args: &[String]) -> Result<CalibrateFlags, String> {
+    let mut flags = CalibrateFlags {
+        cases: vec![1, 2, 3, 4],
+        scales: vec![1.0],
+        selections: vec!["paper".into()],
+        size: 10,
+        seed_blocks: 1,
+        max_candidates: 0,
+        json: false,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cases" => flags.cases = list("--cases", value("--cases")?)?,
+            "--scales" => flags.scales = list("--scales", value("--scales")?)?,
+            "--selections" => {
+                flags.selections = value("--selections")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if flags.selections.is_empty() {
+                    return Err("--selections needs a comma-separated list".into());
+                }
+            }
+            "--size" => match value("--size")?.parse() {
+                Ok(n) if n >= 3 => flags.size = n,
+                _ => return Err("--size needs an integer >= 3".into()),
+            },
+            "--seed-blocks" => match value("--seed-blocks")?.parse() {
+                Ok(n) if n > 0 => flags.seed_blocks = n,
+                _ => return Err("--seed-blocks needs a positive integer".into()),
+            },
+            "--max-candidates" => {
+                flags.max_candidates = value("--max-candidates")?
+                    .parse()
+                    .map_err(|e| format!("--max-candidates: {e}"))?
+            }
+            "--json" => flags.json = true,
+            other => pass_through(&mut flags.rest, other, &mut it),
+        }
+    }
+    Ok(flags)
+}
+
+/// `ahn-exp calibrate`: search the reconstruction space of the garbled
+/// Fig. 2 payoff table (x scale x selection variant), scoring every
+/// candidate against the paper's per-case cooperation targets
+/// (`ahn_core::calibrate`). The base configuration defaults to the
+/// `smoke` preset (not `scaled`) so a bare `ahn-exp calibrate` finishes
+/// in seconds; override with the usual experiment flags.
+fn calibrate(args: &[String]) {
+    let flags = match parse_calibrate_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Prepend the default preset so explicit flags in `rest` override it.
+    let mut base_args = vec!["--preset".to_string(), "smoke".to_string()];
+    base_args.extend(flags.rest.iter().cloned());
+    let opts = match Options::parse(&base_args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let grid = ahn_core::CalibrationGrid {
+        base: opts.config.clone(),
+        cases: flags.cases,
+        scales: flags.scales,
+        selections: flags.selections,
+        size: flags.size,
+        seed_blocks: (0..flags.seed_blocks).collect(),
+        max_candidates: flags.max_candidates,
+    };
+    eprintln!(
+        "searching {} candidates ({} cases x {} seed blocks = {} cells, {} replications each)...",
+        grid.candidate_count(),
+        grid.cases.len(),
+        grid.seed_blocks.len(),
+        grid.cell_count(),
+        grid.base.replications
+    );
+    let report = match ahn_core::run_calibration(&grid) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot serialize report: {e}");
+            std::process::exit(1);
+        }
+    };
+    if flags.json {
+        println!("{json}");
+    } else {
+        print!(
+            "{}",
+            ahn_core::calibrate::render_calibration_report(&report)
+        );
+    }
+    opts.maybe_write("calibrate.json", &json);
+}
+
+/// `ahn-exp fidelity` flags.
+#[derive(Debug, Clone, PartialEq)]
+struct FidelityFlags {
+    cases: Vec<usize>,
+    tolerance: f64,
+    rest: Vec<String>,
+}
+
+fn parse_fidelity_flags(args: &[String]) -> Result<FidelityFlags, String> {
+    let mut flags = FidelityFlags {
+        cases: vec![1, 3],
+        tolerance: 0.15,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cases" => flags.cases = list("--cases", value("--cases")?)?,
+            "--tol" => match value("--tol")?.parse::<f64>() {
+                Ok(f) if (0.0..=1.0).contains(&f) => flags.tolerance = f,
+                _ => return Err("--tol needs a fraction in [0, 1]".into()),
+            },
+            other => pass_through(&mut flags.rest, other, &mut it),
+        }
+    }
+    for &c in &flags.cases {
+        if !(1..=4).contains(&c) {
+            return Err(format!("the paper defines cases 1..=4, not {c}"));
+        }
+    }
+    Ok(flags)
+}
+
+/// `ahn-exp fidelity`: run the given paper cases and exit non-zero when
+/// any final cooperation level lands outside `--tol` of the paper's
+/// target — the CI guard that hot-path work cannot silently break the
+/// model where it is known to reproduce.
+fn fidelity(args: &[String]) {
+    let flags = match parse_fidelity_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let opts = match Options::parse(&flags.rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "reproduction fidelity: {} replications x {} generations, R={}, tolerance {:.0}%",
+        opts.config.replications,
+        opts.config.generations,
+        opts.config.rounds,
+        flags.tolerance * 100.0
+    );
+    let mut failed = false;
+    for &case_no in &flags.cases {
+        let result = run_case(&opts, case_no);
+        // Single-environment cases check the aggregate §6.2 number;
+        // multi-environment cases check each environment against its
+        // Table 5 column (the aggregate would blur four very different
+        // equilibria — see ahn_core::calibrate::per_env_targets).
+        match ahn_core::calibrate::per_env_targets(case_no) {
+            Some(env_targets) if result.per_env_coop.len() == env_targets.len() => {
+                for (e, (summary, &target)) in
+                    result.per_env_coop.iter().zip(env_targets).enumerate()
+                {
+                    let coop = summary.mean().unwrap_or(0.0);
+                    let error = (coop - target).abs();
+                    let ok = error <= flags.tolerance;
+                    println!(
+                        "  case {case_no} TE{}: cooperation {:>6} vs paper {:>6}  (|error| {:>5})  {}",
+                        e + 1,
+                        ahn_stats::pct(coop, 1),
+                        ahn_stats::pct(target, 1),
+                        ahn_stats::pct(error, 1),
+                        if ok { "ok" } else { "OUTSIDE TOLERANCE" }
+                    );
+                    failed |= !ok;
+                }
+            }
+            _ => {
+                let coop = result.final_coop.mean().unwrap_or(0.0);
+                let target = ahn_core::calibrate::paper_target(case_no);
+                let error = (coop - target).abs();
+                let ok = error <= flags.tolerance;
+                println!(
+                    "  case {case_no}: cooperation {:>6} vs paper {:>6}  (|error| {:>5})  {}",
+                    ahn_stats::pct(coop, 1),
+                    ahn_stats::pct(target, 1),
+                    ahn_stats::pct(error, 1),
+                    if ok { "ok" } else { "OUTSIDE TOLERANCE" }
+                );
+                failed |= !ok;
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "error: reproduction fidelity violated (tolerance {:.0}%)",
+            flags.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Parsed command-line options.
@@ -1111,6 +1379,102 @@ mod tests {
         // Unknown flags pass through to Options::parse, which rejects.
         let f = parse_sweep_flags(&args(&["--frob", "x"])).unwrap();
         assert!(Options::parse(&f.rest).is_err());
+    }
+
+    #[test]
+    fn calibrate_flags_parse() {
+        let f = parse_calibrate_flags(&args(&[])).unwrap();
+        assert_eq!(f.cases, vec![1, 2, 3, 4]);
+        assert_eq!(f.scales, vec![1.0]);
+        assert_eq!(f.selections, vec!["paper".to_string()]);
+        assert_eq!(
+            (f.size, f.seed_blocks, f.max_candidates, f.json),
+            (10, 1, 0, false)
+        );
+        assert!(f.rest.is_empty());
+
+        let f = parse_calibrate_flags(&args(&[
+            "--cases",
+            "2,4",
+            "--scales",
+            "0.5,1,2",
+            "--selections",
+            "paper,rank,elitist-2",
+            "--size",
+            "50",
+            "--seed-blocks",
+            "3",
+            "--max-candidates",
+            "24",
+            "--json",
+            "--preset",
+            "scaled",
+            "--reps",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(f.cases, vec![2, 4]);
+        assert_eq!(f.scales, vec![0.5, 1.0, 2.0]);
+        assert_eq!(
+            f.selections,
+            vec![
+                "paper".to_string(),
+                "rank".to_string(),
+                "elitist-2".to_string()
+            ]
+        );
+        assert_eq!((f.size, f.seed_blocks, f.max_candidates), (50, 3, 24));
+        assert!(f.json);
+        assert_eq!(f.rest, args(&["--preset", "scaled", "--reps", "4"]));
+        let o = Options::parse(&f.rest).unwrap();
+        assert_eq!(o.config.replications, 4);
+    }
+
+    #[test]
+    fn calibrate_flag_errors() {
+        for bad in [
+            &["--cases"][..],
+            &["--cases", ""],
+            &["--scales", "big"],
+            &["--selections", ""],
+            &["--size", "2"],
+            &["--size", "many"],
+            &["--seed-blocks", "0"],
+            &["--max-candidates", "-1"],
+        ] {
+            assert!(parse_calibrate_flags(&args(bad)).is_err(), "{bad:?}");
+        }
+        // Unknown flags pass through to Options::parse, which rejects.
+        let f = parse_calibrate_flags(&args(&["--frob", "x"])).unwrap();
+        assert!(Options::parse(&f.rest).is_err());
+    }
+
+    #[test]
+    fn fidelity_flags_parse() {
+        let f = parse_fidelity_flags(&args(&[])).unwrap();
+        assert_eq!(f.cases, vec![1, 3]);
+        assert_eq!(f.tolerance, 0.15);
+        let f = parse_fidelity_flags(&args(&[
+            "--cases", "1,2,3,4", "--tol", "0.2", "--preset", "smoke",
+        ]))
+        .unwrap();
+        assert_eq!(f.cases, vec![1, 2, 3, 4]);
+        assert_eq!(f.tolerance, 0.2);
+        assert_eq!(f.rest, args(&["--preset", "smoke"]));
+    }
+
+    #[test]
+    fn fidelity_flag_errors() {
+        for bad in [
+            &["--cases", "0"][..],
+            &["--cases", "5"],
+            &["--cases", ""],
+            &["--tol", "1.5"],
+            &["--tol", "x"],
+            &["--tol"],
+        ] {
+            assert!(parse_fidelity_flags(&args(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn ablate_payoff(base: &ExperimentConfig, case: &CaseSpec) -> Vec<Variant> {
     let mut variants = Vec::new();
     for (label, payoff) in [
         ("paper (reconstructed)", PayoffConfig::paper()),
+        ("best fit (PR-5 search)", PayoffConfig::best_fit()),
         ("literal OCR", PayoffConfig::literal_ocr()),
         ("no reputation response", PayoffConfig::no_reputation()),
     ] {
@@ -174,10 +175,11 @@ mod tests {
     }
 
     #[test]
-    fn payoff_ablation_produces_three_variants() {
+    fn payoff_ablation_produces_four_variants() {
         let v = ablate_payoff(&base(), &case());
-        assert_eq!(v.len(), 3);
+        assert_eq!(v.len(), 4);
         assert!(v[0].label.contains("paper"));
+        assert!(v[1].label.contains("best fit"));
         let rendered = render_variants("A1", &v);
         assert!(rendered.contains("literal OCR"));
     }

@@ -42,6 +42,7 @@
 
 pub mod ablations;
 pub mod baselines;
+pub mod calibrate;
 pub mod cases;
 pub mod checks;
 pub mod config;
@@ -50,6 +51,7 @@ pub mod extensions;
 pub mod report;
 pub mod sweeps;
 
+pub use calibrate::{run_calibration, CalibrationGrid, CalibrationReport};
 pub use cases::CaseSpec;
 pub use config::{canonical_hash, ExperimentConfig, StrategyCodec};
 pub use experiment::{run_experiment, run_replication, ExperimentResult, ReplicationResult};

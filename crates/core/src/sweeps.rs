@@ -134,18 +134,38 @@ fn trim_float(x: f64) -> String {
 }
 
 /// The payoff-variant names [`payoff_variant`] accepts.
-pub const PAYOFF_VARIANTS: [&str; 3] = ["paper", "literal-ocr", "no-reputation"];
+pub const PAYOFF_VARIANTS: [&str; 4] = ["paper", "best-fit", "literal-ocr", "no-reputation"];
+
+/// The pass-through payoff-variant name: keep whatever table the sweep's
+/// base configuration already carries. This is how the reconstruction
+/// search (`crate::calibrate`) pushes arbitrary candidate tables through
+/// the sweep engine — the resolved per-cell config embeds the concrete
+/// table, so cache keys stay exact.
+pub const BASE_PAYOFF_VARIANT: &str = "base";
 
 /// Resolves a named payoff table (the payoff-variant sweep axis; the
 /// same three tables as ablation A1).
 pub fn payoff_variant(name: &str) -> Result<PayoffConfig, String> {
     match name {
         "paper" => Ok(PayoffConfig::paper()),
+        "best-fit" => Ok(PayoffConfig::best_fit()),
         "literal-ocr" => Ok(PayoffConfig::literal_ocr()),
         "no-reputation" => Ok(PayoffConfig::no_reputation()),
         other => Err(format!(
-            "unknown payoff variant {other:?} (expected one of {PAYOFF_VARIANTS:?})"
+            "unknown payoff variant {other:?} (expected one of {PAYOFF_VARIANTS:?} \
+             or {BASE_PAYOFF_VARIANT:?})"
         )),
+    }
+}
+
+/// Resolves a payoff-variant name against a base table:
+/// [`BASE_PAYOFF_VARIANT`] keeps `base`, anything else goes through
+/// [`payoff_variant`].
+pub fn resolve_payoff(name: &str, base: &PayoffConfig) -> Result<PayoffConfig, String> {
+    if name == BASE_PAYOFF_VARIANT {
+        Ok(*base)
+    } else {
+        payoff_variant(name)
     }
 }
 
@@ -247,7 +267,7 @@ impl SweepGrid {
             }
         }
         for name in &self.payoffs {
-            payoff_variant(name)?;
+            resolve_payoff(name, &self.base.payoff)?;
         }
         for spec in self.cell_specs() {
             self.resolve(&spec)?;
@@ -283,7 +303,7 @@ impl SweepGrid {
     pub fn resolve(&self, spec: &SweepCellSpec) -> Result<(ExperimentConfig, CaseSpec), String> {
         let case = scale_case(spec.case_no, spec.size)?;
         let mut config = self.base.clone();
-        config.payoff = payoff_variant(&spec.payoff)?;
+        config.payoff = resolve_payoff(&spec.payoff, &self.base.payoff)?;
         config.base_seed = block_seed(self.base.base_seed, spec.seed_block);
         config.population = config.population.max(case.required_normal());
         Ok((config, case))
@@ -506,6 +526,37 @@ mod tests {
         }
         let err = payoff_variant("galactic").unwrap_err();
         assert!(err.contains("unknown payoff variant"), "{err}");
+    }
+
+    #[test]
+    fn base_variant_passes_the_base_table_through() {
+        let custom = PayoffConfig {
+            forward: [0.3, 0.5, 1.0, 2.0],
+            ..PayoffConfig::paper()
+        };
+        assert_eq!(resolve_payoff("base", &custom).unwrap(), custom);
+        assert_eq!(
+            resolve_payoff("paper", &custom).unwrap(),
+            PayoffConfig::paper()
+        );
+        // A grid whose payoff axis is ["base"] evaluates the base
+        // config's table in every cell.
+        let mut base = grid_cfg();
+        base.payoff = custom;
+        let grid = SweepGrid {
+            base,
+            cases: vec![1],
+            payoffs: vec!["base".into()],
+            sizes: vec![10],
+            seed_blocks: vec![0],
+        };
+        grid.validate().unwrap();
+        let (config, _) = grid.resolve(&grid.cell_specs()[0]).unwrap();
+        assert_eq!(config.payoff, custom);
+        // Unknown names still fail validation.
+        let mut bad = grid;
+        bad.payoffs = vec!["bass".into()];
+        assert!(bad.validate().is_err());
     }
 
     #[test]

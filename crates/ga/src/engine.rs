@@ -53,7 +53,7 @@ impl GaParams {
                 self.mutation_prob
             ));
         }
-        Ok(())
+        self.selection.validate()
     }
 }
 

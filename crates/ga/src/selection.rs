@@ -9,7 +9,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A parent-selection operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Selection {
     /// Pick `size` individuals uniformly, keep the fittest (ties go to
     /// the earlier pick). The paper does not state the tournament size;
@@ -21,12 +21,43 @@ pub enum Selection {
     /// Fitness-proportionate selection over min-shifted fitnesses (the
     /// operator of the IPDRP reference \[12\]).
     Roulette,
+    /// Linear ranking selection (Baker): individuals are ranked by
+    /// fitness and selected with probability linear in rank, so the
+    /// *spacing* of fitness values stops mattering — only their order.
+    /// One of the selection-pressure variants of the reconstruction
+    /// search (`ahn_core::calibrate`); the paper itself uses tournament
+    /// selection.
+    Rank {
+        /// Expected number of offspring of the best-ranked individual,
+        /// in `[1, 2]`: 1 degrades to uniform selection, 2 is the
+        /// strongest linear-ranking pressure.
+        pressure: f64,
+    },
 }
 
 impl Selection {
     /// The paper's operator: size-2 tournament.
     pub fn paper() -> Self {
         Selection::Tournament { size: 2 }
+    }
+
+    /// Validates the operator's parameters (the probability-range
+    /// analogue of `GaParams::validate`, which calls this).
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Selection::Tournament { size } => {
+                if size == 0 {
+                    return Err("tournament size must be positive".into());
+                }
+            }
+            Selection::Roulette => {}
+            Selection::Rank { pressure } => {
+                if !(1.0..=2.0).contains(&pressure) {
+                    return Err(format!("rank pressure {pressure} outside [1, 2]"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Selects one parent index given the population's fitnesses.
@@ -72,6 +103,42 @@ impl Selection {
                 // the last positive weight rather than the last index.
                 let x = rng.gen::<f64>() * total;
                 let weights = || fitnesses.iter().map(|f| f - min);
+                ahn_stats::walk_categorical(x, weights())
+                    .unwrap_or_else(|| ahn_stats::last_positive_category(weights()))
+            }
+            Selection::Rank { pressure } => {
+                assert!(
+                    (1.0..=2.0).contains(&pressure),
+                    "rank pressure must be in [1, 2]"
+                );
+                let n = fitnesses.len();
+                if n == 1 {
+                    return 0;
+                }
+                // Rank 0 = worst .. n-1 = best, ties broken by index so
+                // the weights are a pure function of the fitness vector.
+                // The ranking is recomputed per call (selection is a
+                // stateless operator); at the GA's population sizes
+                // (≤ 100) the O(n log n) sort is noise next to the
+                // tournament evaluation that produced the fitnesses —
+                // revisit only if rank selection ever reaches a hot
+                // loop.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| fitnesses[a].total_cmp(&fitnesses[b]).then(a.cmp(&b)));
+                let mut rank_of = vec![0usize; n];
+                for (rank, &idx) in order.iter().enumerate() {
+                    rank_of[idx] = rank;
+                }
+                // Baker's linear ranking: weight(rank) =
+                // (2 - s) + 2 (s - 1) rank / (n - 1); the weights sum
+                // to exactly n, but the walk recomputes the total so
+                // floating-point slack cannot skew the last category.
+                let weight = |i: usize| {
+                    (2.0 - pressure) + 2.0 * (pressure - 1.0) * rank_of[i] as f64 / (n - 1) as f64
+                };
+                let weights = || (0..n).map(weight);
+                let total: f64 = weights().sum();
+                let x = rng.gen::<f64>() * total;
                 ahn_stats::walk_categorical(x, weights())
                     .unwrap_or_else(|| ahn_stats::last_positive_category(weights()))
             }
@@ -160,5 +227,69 @@ mod tests {
     fn single_individual_is_always_selected() {
         assert_eq!(Selection::paper().select(&mut rng(0), &[3.0]), 0);
         assert_eq!(Selection::Roulette.select(&mut rng(0), &[3.0]), 0);
+        let rank = Selection::Rank { pressure: 2.0 };
+        assert_eq!(rank.select(&mut rng(0), &[3.0]), 0);
+    }
+
+    #[test]
+    fn rank_selection_is_linear_in_rank_not_fitness() {
+        // Fitness spacing is wildly uneven, but ranking only sees the
+        // order: with s = 2 the probabilities are 2 rank / (n (n-1)) =
+        // 0, 1/6, 2/6, 3/6 for n = 4.
+        let counts = selection_counts(
+            Selection::Rank { pressure: 2.0 },
+            &[1.0, 1.5, 100.0, 101.0],
+            60_000,
+            6,
+        );
+        assert_eq!(counts[0], 0, "the worst gets zero mass at s = 2");
+        let expect = [0.0, 10_000.0, 20_000.0, 30_000.0];
+        for (i, (&c, &e)) in counts.iter().zip(&expect).enumerate().skip(1) {
+            let c = c as f64;
+            assert!((c - e).abs() < e * 0.1 + 300.0, "idx {i}: {c} vs {e}");
+        }
+    }
+
+    #[test]
+    fn rank_pressure_one_is_uniform() {
+        let counts = selection_counts(
+            Selection::Rank { pressure: 1.0 },
+            &[5.0, 1.0, 3.0],
+            30_000,
+            7,
+        );
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 800.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn rank_ties_are_broken_by_index_deterministically() {
+        // A flat population still has a total rank order (by index), so
+        // two identical draws select identically.
+        let sel = Selection::Rank { pressure: 1.8 };
+        let picks_a: Vec<usize> = (0..50)
+            .map(|_| sel.select(&mut rng(8), &[2.0; 5]))
+            .collect();
+        let picks_b: Vec<usize> = (0..50)
+            .map(|_| sel.select(&mut rng(8), &[2.0; 5]))
+            .collect();
+        assert_eq!(picks_a, picks_b);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(Selection::Tournament { size: 0 }.validate().is_err());
+        assert!(Selection::Rank { pressure: 0.5 }.validate().is_err());
+        assert!(Selection::Rank { pressure: 2.5 }.validate().is_err());
+        Selection::Rank { pressure: 1.5 }.validate().unwrap();
+        Selection::Roulette.validate().unwrap();
+        Selection::paper().validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "rank pressure")]
+    fn out_of_range_pressure_panics() {
+        Selection::Rank { pressure: 3.0 }.select(&mut rng(0), &[1.0, 2.0]);
     }
 }

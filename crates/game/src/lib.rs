@@ -35,6 +35,6 @@ pub use arena::{Arena, GameConfig};
 pub use environment::{EnvironmentSpec, EvaluationSchedule, ScheduleScratch};
 pub use game::play_game;
 pub use metrics::{EnvMetrics, Metrics, ReqCounts};
-pub use payoff::{PayoffAccount, PayoffConfig};
+pub use payoff::{enumerate_reconstructions, PayoffAccount, PayoffConfig, GARBLED_READINGS};
 pub use players::NodeKind;
 pub use tournament::{RoundScratch, Tournament};

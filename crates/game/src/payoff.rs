@@ -66,6 +66,32 @@ impl PayoffConfig {
         }
     }
 
+    /// The loss-minimizing reconstruction found by the PR-5 search
+    /// (`ahn_core::calibrate`, DESIGN.md §6): reading the garbled
+    /// forward-row digit as `0.3` and permuting the remaining Fig. 2
+    /// digits across the cells. Where the default [`PayoffConfig::paper`]
+    /// reconstruction collapses cases 2 and 4 to all-defect, this table
+    /// reproduces *all four* evaluation cases at paper scale — case 2 at
+    /// 19.6 % vs the paper's 19 %, and both Table 5 columns per
+    /// environment (case 3 within 1.2 pp, case 4 within 5.8 pp of every
+    /// cell; 150 generations x 4 replications). It satisfies every §4.2
+    /// prose constraint; the structural difference from the default is a
+    /// much smaller discard premium (enforcement stays, but defection's
+    /// payoff ceiling drops) and forwarding at full trust out-paying
+    /// every discard.
+    ///
+    /// The default table is deliberately **unchanged** (golden tests pin
+    /// its streams); select this one via the `"best-fit"` payoff variant
+    /// or `PayoffConfig::best_fit()`.
+    pub fn best_fit() -> Self {
+        PayoffConfig {
+            success: 5.0,
+            failure: 0.0,
+            forward: [0.3, 1.0, 2.0, 3.0],
+            discard: [0.5, 1.0, 0.5, 2.0],
+        }
+    }
+
     /// A table for a network *without* a reputation response mechanism:
     /// discarding pays more than forwarding at every trust level (§4.2:
     /// "If such system was not used, the payoff for selfish behavior ...
@@ -102,6 +128,30 @@ impl PayoffConfig {
         self.discard[trust.value() as usize]
     }
 
+    /// Returns this table with both intermediate rows multiplied by
+    /// `factor` (source payoffs untouched) — the *scale* axis of the
+    /// reconstruction search. Every §4.2 prose constraint compares
+    /// intermediate cells only to each other, so scaling preserves
+    /// [`PayoffConfig::check_paper_constraints`]; what it changes is the
+    /// weight of per-decision payoffs relative to the fixed source
+    /// payoff S = 5, i.e. the selection pressure on intermediates.
+    pub fn scaled_intermediate(&self, factor: f64) -> Self {
+        let scale = |row: &[f64; 4]| {
+            [
+                row[0] * factor,
+                row[1] * factor,
+                row[2] * factor,
+                row[3] * factor,
+            ]
+        };
+        PayoffConfig {
+            success: self.success,
+            failure: self.failure,
+            forward: scale(&self.forward),
+            discard: scale(&self.discard),
+        }
+    }
+
     /// Checks the prose constraints of §4.2 (used by tests; ablation
     /// presets intentionally violate some of them):
     /// forwarding payoff non-decreasing in trust, discard(TL1) >
@@ -126,6 +176,119 @@ impl PayoffConfig {
         }
         Ok(())
     }
+}
+
+/// The plausible readings of the garbled forward-row digit of Fig. 2.
+///
+/// The OCR text reads the forward row as `2 1 0.5 3` (TL3..TL0), but
+/// the trailing `3` cannot be right as printed: forwarding for an
+/// *untrusted* source would then pay the most, undermining the very
+/// enforcement §4.2 describes. Three readings survive scrutiny: the
+/// glyph was a `0` (the reconstruction argued in DESIGN.md), a `0.3`
+/// that lost its decimal point, or a genuine `3` that belongs in a
+/// *different cell* of the table (covered by the permutation family —
+/// see [`enumerate_reconstructions`]).
+pub const GARBLED_READINGS: [f64; 3] = [0.0, 0.3, 3.0];
+
+/// Enumerates every candidate reconstruction of Fig. 2's intermediate
+/// payoff table: for each reading of the garbled digit
+/// ([`GARBLED_READINGS`]), every distinct assignment of the resulting
+/// eight-digit multiset — `{r, 0.5, 1, 2}` for the forward row's OCR
+/// digits and `{0.5, 1, 3, 2}` for the discard row's — across the
+/// eight cells, keeping exactly the assignments that satisfy the §4.2
+/// prose constraints ([`PayoffConfig::check_paper_constraints`]).
+///
+/// This is the "the OCR got the digits, but maybe not their positions"
+/// family: the literal reading is in it whenever it satisfies the
+/// constraints, and so is the default [`PayoffConfig::paper`] table.
+/// The result is deduplicated and sorted into a deterministic order
+/// (forward row, then discard row, lexicographically), so downstream
+/// candidate ids are stable across runs, threads and processes.
+///
+/// The family is a constant, so the backtracking enumeration runs once
+/// per process and subsequent calls clone the memoized list (a
+/// calibration run otherwise re-enumerates it several times: banner,
+/// validation, candidate expansion).
+pub fn enumerate_reconstructions() -> Vec<PayoffConfig> {
+    static FAMILY: std::sync::OnceLock<Vec<PayoffConfig>> = std::sync::OnceLock::new();
+    FAMILY
+        .get_or_init(|| {
+            let mut tables: Vec<PayoffConfig> = Vec::new();
+            for reading in GARBLED_READINGS {
+                // The eight OCR digits as a value -> multiplicity pool.
+                let mut pool: Vec<(f64, usize)> = Vec::new();
+                for v in [reading, 0.5, 1.0, 2.0, 0.5, 1.0, 3.0, 2.0] {
+                    match pool.iter_mut().find(|(p, _)| *p == v) {
+                        Some((_, count)) => *count += 1,
+                        None => pool.push((v, 1)),
+                    }
+                }
+                pool.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let mut cells = [0.0f64; 8];
+                assign(&mut pool, &mut cells, 0, &mut tables);
+            }
+            tables.sort_by(key_cmp);
+            tables.dedup_by(|a, b| key_cmp(a, b) == std::cmp::Ordering::Equal);
+            tables
+        })
+        .clone()
+}
+
+/// Recursively assigns the remaining pool values to cells `i..8`
+/// (cells 0–3 = forward TL0..TL3, 4–7 = discard TL0..TL3), pruning on
+/// the forward-monotonicity constraint and keeping every complete
+/// assignment that passes the full constraint check.
+fn assign(
+    pool: &mut Vec<(f64, usize)>,
+    cells: &mut [f64; 8],
+    i: usize,
+    out: &mut Vec<PayoffConfig>,
+) {
+    if i == 8 {
+        let candidate = PayoffConfig {
+            success: 5.0,
+            failure: 0.0,
+            forward: [cells[0], cells[1], cells[2], cells[3]],
+            discard: [cells[4], cells[5], cells[6], cells[7]],
+        };
+        if candidate.check_paper_constraints().is_ok() {
+            out.push(candidate);
+        }
+        return;
+    }
+    for k in 0..pool.len() {
+        let (value, count) = pool[k];
+        if count == 0 {
+            continue;
+        }
+        // Prune: the forward row must be non-decreasing in trust.
+        if (1..4).contains(&i) && value < cells[i - 1] {
+            continue;
+        }
+        pool[k].1 -= 1;
+        cells[i] = value;
+        assign(pool, cells, i + 1, out);
+        pool[k].1 = count;
+    }
+}
+
+/// Total order on tables by their eight intermediate cells (the
+/// deterministic order of [`enumerate_reconstructions`]).
+fn key_cmp(a: &PayoffConfig, b: &PayoffConfig) -> std::cmp::Ordering {
+    let key = |c: &PayoffConfig| {
+        let mut k = [0.0f64; 8];
+        k[..4].copy_from_slice(&c.forward);
+        k[4..].copy_from_slice(&c.discard);
+        k
+    };
+    let (ka, kb) = (key(a), key(b));
+    for (x, y) in ka.iter().zip(&kb) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
 }
 
 /// Per-player payoff account implementing the fitness function (eq. 1):
@@ -271,5 +434,62 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: PayoffConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn scaling_preserves_constraints_and_source_payoffs() {
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            let scaled = PayoffConfig::paper().scaled_intermediate(factor);
+            scaled.check_paper_constraints().unwrap();
+            assert_eq!(scaled.source(true), 5.0);
+            assert_eq!(scaled.forward(TrustLevel::T3), 2.0 * factor);
+            assert_eq!(scaled.discard(TrustLevel::T1), 3.0 * factor);
+        }
+        assert_eq!(
+            PayoffConfig::paper().scaled_intermediate(1.0),
+            PayoffConfig::paper()
+        );
+    }
+
+    #[test]
+    fn enumeration_contains_the_paper_table_but_not_the_literal_ocr() {
+        let family = enumerate_reconstructions();
+        assert!(
+            family.contains(&PayoffConfig::paper()),
+            "paper() is a member"
+        );
+        // The search winner is the family member with the 0.3 reading.
+        assert!(family.contains(&PayoffConfig::best_fit()));
+        // The literal OCR forward row is not monotone, so no candidate
+        // equals it even though its digits are in the pools.
+        assert!(!family.contains(&PayoffConfig::literal_ocr()));
+    }
+
+    #[test]
+    fn best_fit_satisfies_all_prose_constraints() {
+        PayoffConfig::best_fit().check_paper_constraints().unwrap();
+    }
+
+    #[test]
+    fn enumeration_is_constraint_satisfying_deduplicated_and_ordered() {
+        let family = enumerate_reconstructions();
+        assert!(
+            family.len() >= 20,
+            "the search needs a non-trivial family, got {}",
+            family.len()
+        );
+        for c in &family {
+            c.check_paper_constraints().unwrap();
+            assert_eq!((c.success, c.failure), (5.0, 0.0));
+        }
+        for pair in family.windows(2) {
+            assert_eq!(
+                key_cmp(&pair[0], &pair[1]),
+                std::cmp::Ordering::Less,
+                "family must be strictly ordered (sorted + deduplicated)"
+            );
+        }
+        // Deterministic: a second enumeration is identical.
+        assert_eq!(family, enumerate_reconstructions());
     }
 }

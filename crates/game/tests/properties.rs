@@ -20,6 +20,26 @@ fn strategies(n: usize) -> impl proptest::strategy::Strategy<Value = Vec<ahn_str
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
+    /// Every member of the reconstruction family — at any scale —
+    /// satisfies the §4.2 prose constraints and survives a serde
+    /// round-trip exactly (the calibration engine and the serve
+    /// protocol both rely on the round-trip being lossless).
+    #[test]
+    fn reconstruction_candidates_hold_constraints_and_roundtrip(
+        pick in any::<u64>(),
+        scale_idx in 0usize..4,
+    ) {
+        let family = ahn_game::enumerate_reconstructions();
+        prop_assert!(family.len() >= 20, "family too small: {}", family.len());
+        let table = family[(pick % family.len() as u64) as usize];
+        let scale = [0.5, 1.0, 2.0, 4.0][scale_idx];
+        let scaled = table.scaled_intermediate(scale);
+        scaled.check_paper_constraints().unwrap();
+        let json = serde_json::to_string(&scaled).unwrap();
+        let back: ahn_game::PayoffConfig = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(scaled, back);
+    }
+
     /// After any batch of games: per-event payoff accounting balances,
     /// reputation invariants hold, and the metrics are consistent.
     #[test]

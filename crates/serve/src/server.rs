@@ -7,6 +7,10 @@
 //! POST /v1/sweeps        submit a SweepGrid; expands to one job per
 //!                        cell, each cached/coalesced/queued exactly
 //!                        like an equivalent /v1/experiments submission
+//! POST /v1/calibrations  submit a CalibrationGrid (reconstruction
+//!                        search); expands to one job per candidate x
+//!                        case x seed-block cell through the same
+//!                        cache/coalesce/enqueue flow
 //! GET  /v1/jobs/{id}     poll a job; done -> result inline
 //! GET  /v1/presets       ready-to-POST bodies for fig4/table5/ipdrp
 //! GET  /healthz          liveness probe
@@ -34,9 +38,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Most cells one `POST /v1/sweeps` submission may expand to. Keeps a
-/// small hostile body from wedging the connection thread with millions
-/// of cache lookups and an unbounded response.
+/// Most cells one `POST /v1/sweeps` or `POST /v1/calibrations`
+/// submission may expand to. Keeps a small hostile body from wedging
+/// the connection thread with millions of cache lookups and an
+/// unbounded response.
 pub const MAX_SWEEP_CELLS: usize = 1024;
 
 /// Server tuning knobs.
@@ -248,12 +253,13 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
         },
         ("POST", "/v1/experiments") => submit(shared, &req.body),
         ("POST", "/v1/sweeps") => submit_sweep(shared, &req.body),
+        ("POST", "/v1/calibrations") => submit_calibration(shared, &req.body),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("POST", "/v1/shutdown") => (200, "{\"status\":\"shutting-down\"}".into(), true),
         (
             _,
             "/healthz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/sweeps"
-            | "/v1/shutdown",
+            | "/v1/calibrations" | "/v1/shutdown",
         ) => (405, error_body("method not allowed"), false),
         (_, path) if path.starts_with("/v1/jobs/") => {
             (405, error_body("method not allowed"), false)
@@ -380,6 +386,34 @@ fn submit(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
     }
 }
 
+/// Validates, hashes and submits one expanded grid cell, formatting its
+/// response entry (shared by the sweep and calibration routes); errors
+/// carry the ready-to-send `(status, body)`.
+fn submit_cell_entry(
+    shared: &Arc<Shared>,
+    spec: JobSpec,
+    coords: &str,
+) -> Result<String, (u16, String)> {
+    if let Err(e) = spec.validate() {
+        return Err((400, error_body(&e)));
+    }
+    let key = spec.cache_key().map_err(|e| (500, error_body(&e)))?;
+    Ok(match submit_spec(shared, spec, key) {
+        SubmitOutcome::Cached(result) => format!(
+            "{{\"spec\":{coords},\"job_id\":null,\"status\":\"done\",\
+             \"cached\":true,\"result\":{result}}}"
+        ),
+        SubmitOutcome::Job { id, status } => format!(
+            "{{\"spec\":{coords},\"job_id\":{id},\"status\":\"{}\",\"cached\":false}}",
+            status.as_str()
+        ),
+        SubmitOutcome::QueueFull => format!(
+            "{{\"spec\":{coords},\"job_id\":null,\"status\":\"rejected\",\
+             \"cached\":false}}"
+        ),
+    })
+}
+
 /// The `POST /v1/sweeps` flow: parse a [`ahn_core::sweeps::SweepGrid`],
 /// expand it to one single-case experiment job per cell, and run every
 /// cell through the same cache/coalesce/enqueue flow as
@@ -436,29 +470,84 @@ fn submit_sweep(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
             config,
             cases: vec![case],
         };
-        if let Err(e) = spec.validate() {
-            return (400, error_body(&e), false);
-        }
-        let key = match spec.cache_key() {
-            Ok(k) => k,
-            Err(e) => return (500, error_body(&e), false),
-        };
         let spec_json = serde_json::to_string(&cell_spec).unwrap_or_else(|_| "{}".into());
-        let entry = match submit_spec(shared, spec, key) {
-            SubmitOutcome::Cached(result) => format!(
-                "{{\"spec\":{spec_json},\"job_id\":null,\"status\":\"done\",\
-                 \"cached\":true,\"result\":{result}}}"
-            ),
-            SubmitOutcome::Job { id, status } => format!(
-                "{{\"spec\":{spec_json},\"job_id\":{id},\"status\":\"{}\",\"cached\":false}}",
-                status.as_str()
-            ),
-            SubmitOutcome::QueueFull => format!(
-                "{{\"spec\":{spec_json},\"job_id\":null,\"status\":\"rejected\",\
-                 \"cached\":false}}"
-            ),
+        match submit_cell_entry(shared, spec, &spec_json) {
+            Ok(entry) => cells.push(entry),
+            Err((status, body)) => return (status, body, false),
+        }
+    }
+    let body = format!("{{\"cells\":[{}]}}", cells.join(","));
+    (200, body, false)
+}
+
+/// The `POST /v1/calibrations` flow: parse an
+/// [`ahn_core::calibrate::CalibrationGrid`], expand it to one
+/// single-case experiment job per candidate × case × seed-block cell,
+/// and run every cell through the same cache/coalesce/enqueue flow as
+/// `POST /v1/experiments`. A calibration cell resolves to exactly the
+/// `(config, case)` pair the equivalent direct submission or sweep
+/// would use, so repeated searches — and searches overlapping a sweep —
+/// hit the result cache per cell.
+///
+/// The response lists one entry per cell in deterministic order
+/// (candidates outermost, then the candidate's sweep-cell order):
+/// cached cells carry their result inline, fresh/coalesced cells a
+/// `job_id`, queue-bounced cells the status `"rejected"`.
+fn submit_calibration(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8"), false),
+    };
+    let grid: ahn_core::calibrate::CalibrationGrid = match serde_json::from_str(text) {
+        Ok(g) => g,
+        Err(e) => {
+            return (
+                400,
+                error_body(&format!("cannot parse CalibrationGrid: {e}")),
+                false,
+            )
+        }
+    };
+    // Cap the expansion before anything O(cells) runs, like /v1/sweeps.
+    if grid.cell_count() > MAX_SWEEP_CELLS {
+        return (
+            400,
+            error_body(&format!(
+                "calibration expands to {} cells, above the server cap of {MAX_SWEEP_CELLS}; \
+                 lower max_candidates or split the search",
+                grid.cell_count()
+            )),
+            false,
+        );
+    }
+    if let Err(e) = grid.validate() {
+        return (400, error_body(&e), false);
+    }
+
+    let mut cells = Vec::with_capacity(grid.cell_count());
+    for candidate in grid.candidates() {
+        let sweep = match grid.sweep_for(&candidate) {
+            Ok(s) => s,
+            Err(e) => return (400, error_body(&e), false),
         };
-        cells.push(entry);
+        for cell_spec in sweep.cell_specs() {
+            let (config, case) = match sweep.resolve(&cell_spec) {
+                Ok(resolved) => resolved,
+                Err(e) => return (400, error_body(&e), false),
+            };
+            let spec = JobSpec::Experiment {
+                config,
+                cases: vec![case],
+            };
+            let coords = format!(
+                "{{\"candidate\":{},\"case_no\":{},\"seed_block\":{}}}",
+                candidate.id, cell_spec.case_no, cell_spec.seed_block
+            );
+            match submit_cell_entry(shared, spec, &coords) {
+                Ok(entry) => cells.push(entry),
+                Err((status, body)) => return (status, body, false),
+            }
+        }
     }
     let body = format!("{{\"cells\":[{}]}}", cells.join(","));
     (200, body, false)

@@ -1,0 +1,67 @@
+//! Property-based tests of the reconstruction-search scoring: whatever
+//! candidate the family produces and whatever cooperation levels an
+//! evaluation measures, the calibration loss must be finite,
+//! non-negative and zero exactly on a perfect match.
+
+use ahn::core::calibrate::{
+    case_error, paper_target, per_env_targets, selection_variant, CalibrationGrid,
+    SELECTION_VARIANTS,
+};
+use ahn::game::enumerate_reconstructions;
+use proptest::prelude::*;
+
+/// An arbitrary cooperation level in [0, 1].
+fn coop() -> impl proptest::strategy::Strategy<Value = f64> {
+    (0u32..=1000).prop_map(|n| n as f64 / 1000.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The per-case error is finite and non-negative for every case and
+    /// any measured cooperation, and bounded by 1 (both sides live in
+    /// [0, 1]).
+    #[test]
+    fn case_error_is_finite_nonnegative_and_bounded(
+        case_no in 1usize..=4,
+        aggregate in coop(),
+        envs in proptest::collection::vec(coop(), 4),
+    ) {
+        let e = case_error(case_no, aggregate, &envs);
+        prop_assert!(e.is_finite());
+        prop_assert!((0.0..=1.0).contains(&e), "error {e} out of range");
+        // A perfect reproduction scores exactly zero.
+        let exact_envs: Vec<f64> = per_env_targets(case_no)
+            .map(|t| t.to_vec())
+            .unwrap_or_default();
+        prop_assert_eq!(case_error(case_no, paper_target(case_no), &exact_envs), 0.0);
+    }
+
+    /// Every candidate a grid can generate resolves to a valid
+    /// configuration whose loss terms are well-defined: the payoff
+    /// table passes the constraint checker, the selection variant
+    /// validates, and the candidate round-trips through serde.
+    #[test]
+    fn generated_candidates_resolve_and_roundtrip(
+        pick in any::<u64>(),
+        scale_idx in 0usize..3,
+        selection_idx in 0usize..SELECTION_VARIANTS.len(),
+    ) {
+        let mut grid = CalibrationGrid::smoke();
+        grid.scales = vec![[0.5, 1.0, 2.0][scale_idx]];
+        grid.selections = vec![SELECTION_VARIANTS[selection_idx].into()];
+        grid.max_candidates = 0;
+        let candidates = grid.candidates();
+        prop_assert_eq!(candidates.len(), enumerate_reconstructions().len());
+        let candidate = &candidates[(pick % candidates.len() as u64) as usize];
+        candidate.payoff.check_paper_constraints().unwrap();
+        let (selection, _) = selection_variant(&candidate.selection).unwrap();
+        selection.validate().unwrap();
+        let config = grid.resolve(candidate).unwrap();
+        config.validate().unwrap();
+        prop_assert_eq!(config.payoff, candidate.payoff);
+        let json = serde_json::to_string(candidate).unwrap();
+        let back: ahn::core::calibrate::CandidateSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(candidate.clone(), back);
+    }
+}

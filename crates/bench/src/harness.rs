@@ -85,6 +85,14 @@ pub struct BenchReport {
     /// path). `None` in reports measured before the calibration engine
     /// existed.
     pub calibrate_cells_per_second: Option<f64>,
+    /// Distributed-sweep throughput: cells per second over the same
+    /// 16-cell grid, but run through a pull-only `ahn_serve` node by
+    /// external pull workers and merged by the coordinator
+    /// (`run_sweep_via`) — the full claim/complete/journal-free path.
+    /// Measured at 1, 2 and 4 workers; the best count is recorded (on a
+    /// single-core host all three are expected to tie). `None` in
+    /// reports measured before the distributed layer existed.
+    pub distributed_cells_per_second: Option<f64>,
 }
 
 /// A committed before/after baseline pair (the `BENCH_N.json` format).
@@ -237,13 +245,18 @@ pub fn run_bench() -> BenchReport {
     // phase really misses).
     let (serve_miss_rps, serve_hit_rps) = measure_serve();
 
+    // Distributed sweep: the same grid pulled cell by cell by external
+    // workers and merged back by the coordinator.
+    let distributed_cells_per_second = measure_distributed(&grid);
+
     BenchReport {
         schema: "ahn-bench/1".into(),
         scale: format!(
             "pipelines: 10-node tournaments, {} rounds, {} generations, {} seeds; \
              throughput: 50-node tournament, {} rounds; bignet: 1000-node tournament, \
              {} rounds; sweep: {}-cell grid; calibrate: {}-cell search; serve: \
-             {} distinct + {} hit requests; min of {} runs",
+             {} distinct + {} hit requests; distributed: sweep grid via pull \
+             workers, best of 1/2/4; min of {} runs",
             cfg.rounds,
             cfg.generations,
             SEEDS_PER_PIPELINE,
@@ -264,7 +277,65 @@ pub fn run_bench() -> BenchReport {
         bignet_games_per_second: Some(bignet_games / bignet_seconds),
         sweep_cells_per_second: Some(grid.cell_count() as f64 / sweep_seconds),
         calibrate_cells_per_second: Some(calibration.cell_count() as f64 / calibrate_seconds),
+        distributed_cells_per_second,
     }
+}
+
+/// Measures distributed-sweep throughput over `grid`: a fresh pull-only
+/// server per timed run (so every cell is a real job, never a cache
+/// hit), 1 / 2 / 4 pull-worker threads, best count wins. `None` when
+/// the loopback server cannot run.
+fn measure_distributed(grid: &ahn_core::sweeps::SweepGrid) -> Option<f64> {
+    let cells = grid.cell_count() as f64;
+    let mut best: Option<f64> = None;
+    for worker_count in [1usize, 2, 4] {
+        let mut best_seconds = f64::INFINITY;
+        for _ in 0..MEASURE_RUNS {
+            let Ok(handle) = ahn_serve::spawn(ahn_serve::ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 0,
+                cache_cap: 2 * grid.cell_count(),
+                queue_cap: 2 * grid.cell_count(),
+                journal: None,
+            }) else {
+                return best;
+            };
+            let addr = handle.addr().to_string();
+            let workers: Vec<_> = (0..worker_count)
+                .map(|_| {
+                    let addr = addr.clone();
+                    std::thread::spawn(move || {
+                        let mut transport = ahn_serve::HttpTransport::new(&addr);
+                        let config = ahn_serve::WorkerConfig {
+                            lease_ms: 60_000,
+                            poll_ms: 1,
+                            max_cells: 0,
+                            idle_exit_polls: 50,
+                            max_consecutive_errors: 3,
+                        };
+                        let _ = ahn_serve::run_worker(&mut transport, &config);
+                    })
+                })
+                .collect();
+
+            let start = Instant::now();
+            let mut transport = ahn_serve::HttpTransport::new(&addr);
+            let outcome = ahn_serve::run_sweep_via(&mut transport, grid, None, 1);
+            let seconds = start.elapsed().as_secs_f64();
+            for worker in workers {
+                let _ = worker.join();
+            }
+            handle.shutdown();
+            if outcome.is_ok() {
+                best_seconds = best_seconds.min(seconds);
+            }
+        }
+        if best_seconds.is_finite() {
+            let rate = cells / best_seconds;
+            best = Some(best.map_or(rate, |b| b.max(rate)));
+        }
+    }
+    best
 }
 
 /// Measures serving throughput (see the `serve_*_rps` field docs);
@@ -278,6 +349,7 @@ fn measure_serve() -> (Option<f64>, Option<f64>) {
             workers: 2,
             cache_cap: 2 * SERVE_DISTINCT,
             queue_cap: 2 * SERVE_DISTINCT,
+            journal: None,
         }) else {
             return (None, None);
         };
@@ -337,6 +409,9 @@ pub fn render(report: &BenchReport) -> String {
     }
     if let Some(cps) = report.calibrate_cells_per_second {
         out.push_str(&format!("calibrate        {cps:>10.2} cells/s\n"));
+    }
+    if let Some(cps) = report.distributed_cells_per_second {
+        out.push_str(&format!("distributed      {cps:>10.2} cells/s\n"));
     }
     if let Some(rps) = report.serve_miss_rps {
         out.push_str(&format!("serve (miss)     {rps:>10.0} req/s\n"));
@@ -410,6 +485,11 @@ pub fn check_regression(
             current.calibrate_cells_per_second,
             baseline.after.calibrate_cells_per_second,
         ),
+        (
+            "distributed throughput",
+            current.distributed_cells_per_second,
+            baseline.after.distributed_cells_per_second,
+        ),
     ];
     for (name, now, base) in rates {
         let Some(base) = base else { continue };
@@ -448,6 +528,7 @@ mod tests {
             bignet_games_per_second: Some(1e5 / factor),
             sweep_cells_per_second: Some(1e2 / factor),
             calibrate_cells_per_second: Some(1e2 / factor),
+            distributed_cells_per_second: Some(1e2 / factor),
         }
     }
 
@@ -524,6 +605,7 @@ mod tests {
         assert_eq!(report.bignet_games_per_second, None);
         assert_eq!(report.sweep_cells_per_second, None);
         assert_eq!(report.calibrate_cells_per_second, None);
+        assert_eq!(report.distributed_cells_per_second, None);
     }
 
     #[test]
@@ -549,6 +631,11 @@ mod tests {
         slow.calibrate_cells_per_second = Some(1e2 / 3.0);
         let err = check_regression(&slow, &baseline(), 2.0).unwrap_err();
         assert!(err.contains("calibrate throughput"), "{err}");
+        // So does the distributed row.
+        let mut slow = report(1.0);
+        slow.distributed_cells_per_second = Some(1e2 / 3.0);
+        let err = check_regression(&slow, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("distributed throughput"), "{err}");
     }
 
     #[test]

@@ -39,8 +39,13 @@
 //!   check               verify the paper-input presets (Tables 1-4)
 //!   bench               time the artifact pipelines (PERFORMANCE.md)
 //!   serve               run the HTTP job server (crates/serve)
+//!   worker              pull cells from a serve node and compute them
 //!   loadtest            drive a running server, report p50/p99 + req/s
 //! ```
+//!
+//! `sweep` and `calibrate` also accept `--via ADDR` (run the grid
+//! through a serve node, distributed across its workers) and
+//! `--journal FILE` (checkpoint completed cells; resume skips them).
 
 use ahn_core::{
     ablations, baselines, cases::CaseSpec, config::ExperimentConfig, experiment, extensions, report,
@@ -66,6 +71,10 @@ fn main() {
     }
     if command == "loadtest" {
         loadtest(&args[1..]);
+        return;
+    }
+    if command == "worker" {
+        worker(&args[1..]);
         return;
     }
     if command == "sweep" {
@@ -140,14 +149,19 @@ fn print_usage() {
          usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
                 [--gens N] [--rounds N] [--seed S] [--out DIR]\n\
                 ahn-exp sweep [--cases 1,2,..] [--payoffs paper,..] [--sizes 10,50,..]\n\
-                              [--seed-blocks N] [--json] [+ the experiment flags above]\n\
+                              [--seed-blocks N] [--json] [--via ADDR] [--journal FILE]\n\
+                              [+ the experiment flags above]\n\
                 ahn-exp calibrate [--cases 1,2,..] [--scales 0.5,1,..]\n\
                                   [--selections paper,rank,..] [--size N]\n\
                                   [--seed-blocks N] [--max-candidates N] [--json]\n\
+                                  [--via ADDR] [--journal FILE]\n\
                                   [+ the experiment flags above]\n\
                 ahn-exp fidelity [--cases 1,3] [--tol F] [+ the experiment flags]\n\
                 ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\
                 ahn-exp serve [--addr A] [--workers N] [--cache-cap N] [--queue-cap N]\n\
+                              [--journal FILE]   (--workers 0 = pull-only)\n\
+                ahn-exp worker [--addr A] [--lease-ms N] [--poll-ms N] [--max-cells N]\n\
+                               [--exit-when-idle]\n\
                 ahn-exp loadtest [--addr A] [--connections N] [--requests N]\n\
                                  [--distinct N] [--json] [--min-hit-rate F] [--shutdown]\n\n\
          commands: fig4 table5 table6 table7 table8 table9 all ipdrp\n\
@@ -155,7 +169,7 @@ fn print_usage() {
                    ablate-selection ablate-trust-table ablate-unknown\n\
                    ablate-gossip transfer newcomer sleepers\n\
                    sweep-rounds sweep-csn sweep-mutation sweep calibrate\n\
-                   fidelity trace check bench serve loadtest"
+                   fidelity trace check bench serve worker loadtest"
     );
 }
 
@@ -263,15 +277,19 @@ fn parse_serve_flags(args: &[String]) -> Result<ahn_serve::ServerConfig, String>
         };
         match flag.as_str() {
             "--addr" => config.addr = value("--addr")?.clone(),
-            "--workers" => match value("--workers")?.parse() {
-                Ok(n) if n > 0 => config.workers = n,
-                _ => return Err("--workers needs a positive integer".into()),
-            },
+            // 0 is legal: a pull-only node that computes nothing
+            // itself and serves cells to `ahn-exp worker` processes.
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
             "--cache-cap" => {
                 config.cache_cap = value("--cache-cap")?
                     .parse()
                     .map_err(|e| format!("--cache-cap: {e}"))?
             }
+            "--journal" => config.journal = Some(value("--journal")?.clone()),
             "--queue-cap" => match value("--queue-cap")?.parse() {
                 Ok(n) if n > 0 => config.queue_cap = n,
                 _ => return Err("--queue-cap needs a positive integer".into()),
@@ -312,6 +330,9 @@ fn serve(args: &[String]) {
         "  {} workers, cache capacity {}, queue capacity {} (POST /v1/shutdown to stop)",
         config.workers, config.cache_cap, config.queue_cap
     );
+    if let Some(path) = &config.journal {
+        eprintln!("  completion journal: {path}");
+    }
     handle.join();
     eprintln!("ahn-serve: shut down cleanly");
 }
@@ -428,6 +449,76 @@ fn loadtest(args: &[String]) {
     }
 }
 
+/// `ahn-exp worker` flags: where to pull work from and when to stop.
+#[derive(Debug, Clone, PartialEq)]
+struct WorkerFlags {
+    addr: String,
+    config: ahn_serve::WorkerConfig,
+}
+
+fn parse_worker_flags(args: &[String]) -> Result<WorkerFlags, String> {
+    let mut flags = WorkerFlags {
+        addr: "127.0.0.1:7878".into(),
+        config: ahn_serve::WorkerConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => flags.addr = value("--addr")?.clone(),
+            "--lease-ms" => match value("--lease-ms")?.parse() {
+                Ok(n) if n > 0 => flags.config.lease_ms = n,
+                _ => return Err("--lease-ms needs a positive integer".into()),
+            },
+            "--poll-ms" => match value("--poll-ms")?.parse() {
+                Ok(n) if n > 0 => flags.config.poll_ms = n,
+                _ => return Err("--poll-ms needs a positive integer".into()),
+            },
+            "--max-cells" => {
+                flags.config.max_cells = value("--max-cells")?
+                    .parse()
+                    .map_err(|e| format!("--max-cells: {e}"))?
+            }
+            "--exit-when-idle" => flags.config.idle_exit_polls = 3,
+            other => return Err(format!("unknown worker flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+/// `ahn-exp worker`: pull cells from a serve node over
+/// `POST /v1/work/claim` / `complete` until told to stop (or, with
+/// `--exit-when-idle`, until the queue stays empty).
+fn worker(args: &[String]) {
+    let flags = match parse_worker_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("worker: pulling cells from {}...", flags.addr);
+    let mut transport = ahn_serve::HttpTransport::new(&flags.addr);
+    match ahn_serve::run_worker(&mut transport, &flags.config) {
+        Ok(report) => {
+            eprintln!(
+                "worker: {} completed, {} failed, {} duplicates, {} dropped, {} empty polls",
+                report.completed,
+                report.failed,
+                report.duplicates,
+                report.dropped,
+                report.empty_polls
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// `ahn-exp sweep` flags: the grid axes plus the shared experiment
 /// options for the base configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -437,6 +528,11 @@ struct SweepFlags {
     sizes: Vec<usize>,
     seed_blocks: u64,
     json: bool,
+    /// Run the grid through a serve node at this address instead of
+    /// computing locally (`ahn_serve::run_sweep_via`).
+    via: Option<String>,
+    /// Checkpoint completed cells to this journal; resume skips them.
+    journal: Option<String>,
     /// Remaining (non-sweep) flags, handed to [`Options::parse`].
     rest: Vec<String>,
 }
@@ -468,6 +564,8 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
         sizes: vec![50],
         seed_blocks: 1,
         json: false,
+        via: None,
+        journal: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -484,15 +582,22 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
                 _ => return Err("--seed-blocks needs a positive integer".into()),
             },
             "--json" => flags.json = true,
+            "--via" => flags.via = Some(value("--via")?.clone()),
+            "--journal" => flags.journal = Some(value("--journal")?.clone()),
             other => pass_through(&mut flags.rest, other, &mut it),
         }
+    }
+    if flags.journal.is_some() && flags.via.is_none() {
+        return Err("--journal requires --via (it checkpoints a distributed run)".into());
     }
     Ok(flags)
 }
 
 /// `ahn-exp sweep`: run a (case x payoff x size x seed-block) grid with
 /// one pure experiment per cell, cells in parallel
-/// (`ahn_core::sweeps::run_sweep`).
+/// (`ahn_core::sweeps::run_sweep`), or — with `--via ADDR` — through a
+/// serve node, merging the distributed cells to the bit-identical
+/// report.
 fn sweep(args: &[String]) {
     let flags = match parse_sweep_flags(args) {
         Ok(f) => f,
@@ -525,11 +630,24 @@ fn sweep(args: &[String]) {
         grid.seed_blocks.len(),
         grid.base.replications
     );
-    let report = match ahn_core::run_sweep(&grid) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+    let report = if let Some(addr) = &flags.via {
+        eprintln!("  distributing via {addr}...");
+        let mut transport = ahn_serve::HttpTransport::new(addr);
+        let journal = flags.journal.as_deref().map(std::path::Path::new);
+        match ahn_serve::run_sweep_via(&mut transport, &grid, journal, 10) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match ahn_core::run_sweep(&grid) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     };
     let json = match serde_json::to_string_pretty(&report) {
@@ -558,6 +676,11 @@ struct CalibrateFlags {
     seed_blocks: u64,
     max_candidates: usize,
     json: bool,
+    /// Run the search through a serve node at this address instead of
+    /// computing locally (`ahn_serve::run_calibration_via`).
+    via: Option<String>,
+    /// Checkpoint completed cells to this journal; resume skips them.
+    journal: Option<String>,
     /// Remaining (non-calibrate) flags, handed to [`Options::parse`].
     rest: Vec<String>,
 }
@@ -571,6 +694,8 @@ fn parse_calibrate_flags(args: &[String]) -> Result<CalibrateFlags, String> {
         seed_blocks: 1,
         max_candidates: 0,
         json: false,
+        via: None,
+        journal: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -605,8 +730,13 @@ fn parse_calibrate_flags(args: &[String]) -> Result<CalibrateFlags, String> {
                     .map_err(|e| format!("--max-candidates: {e}"))?
             }
             "--json" => flags.json = true,
+            "--via" => flags.via = Some(value("--via")?.clone()),
+            "--journal" => flags.journal = Some(value("--journal")?.clone()),
             other => pass_through(&mut flags.rest, other, &mut it),
         }
+    }
+    if flags.journal.is_some() && flags.via.is_none() {
+        return Err("--journal requires --via (it checkpoints a distributed run)".into());
     }
     Ok(flags)
 }
@@ -653,11 +783,24 @@ fn calibrate(args: &[String]) {
         grid.cell_count(),
         grid.base.replications
     );
-    let report = match ahn_core::run_calibration(&grid) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
+    let report = if let Some(addr) = &flags.via {
+        eprintln!("  distributing via {addr}...");
+        let mut transport = ahn_serve::HttpTransport::new(addr);
+        let journal = flags.journal.as_deref().map(std::path::Path::new);
+        match ahn_serve::run_calibration_via(&mut transport, &grid, journal, 10) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match ahn_core::run_calibration(&grid) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     };
     let json = match serde_json::to_string_pretty(&report) {
@@ -1263,6 +1406,15 @@ mod tests {
                 .cache_cap,
             0
         );
+        // workers 0 is legal: a pull-only node for external workers.
+        assert_eq!(
+            parse_serve_flags(&args(&["--workers", "0"]))
+                .unwrap()
+                .workers,
+            0
+        );
+        let c = parse_serve_flags(&args(&["--journal", "/tmp/j.log"])).unwrap();
+        assert_eq!(c.journal.as_deref(), Some("/tmp/j.log"));
     }
 
     #[test]
@@ -1271,15 +1423,51 @@ mod tests {
         assert!(err.contains("unknown serve flag"), "{err}");
         let err = parse_serve_flags(&args(&["--addr"])).unwrap_err();
         assert!(err.contains("--addr needs a value"), "{err}");
-        for bad in [
-            &["--workers", "0"][..],
-            &["--workers", "-1"],
-            &["--workers", "many"],
-        ] {
+        for bad in [&["--workers", "-1"][..], &["--workers", "many"]] {
             assert!(parse_serve_flags(&args(bad)).is_err(), "{bad:?}");
         }
         assert!(parse_serve_flags(&args(&["--queue-cap", "0"])).is_err());
         assert!(parse_serve_flags(&args(&["--cache-cap", "x"])).is_err());
+        assert!(parse_serve_flags(&args(&["--journal"])).is_err());
+    }
+
+    #[test]
+    fn worker_flags_parse() {
+        let f = parse_worker_flags(&args(&[])).unwrap();
+        assert_eq!(f.addr, "127.0.0.1:7878");
+        assert_eq!(f.config.idle_exit_polls, 0);
+        let f = parse_worker_flags(&args(&[
+            "--addr",
+            "127.0.0.1:9",
+            "--lease-ms",
+            "2000",
+            "--poll-ms",
+            "5",
+            "--max-cells",
+            "10",
+            "--exit-when-idle",
+        ]))
+        .unwrap();
+        assert_eq!(f.addr, "127.0.0.1:9");
+        assert_eq!(
+            (f.config.lease_ms, f.config.poll_ms, f.config.max_cells),
+            (2000, 5, 10)
+        );
+        assert!(f.config.idle_exit_polls > 0);
+    }
+
+    #[test]
+    fn worker_flag_errors() {
+        let err = parse_worker_flags(&args(&["--what"])).unwrap_err();
+        assert!(err.contains("unknown worker flag"), "{err}");
+        for bad in [
+            &["--lease-ms", "0"][..],
+            &["--poll-ms", "0"],
+            &["--max-cells", "x"],
+            &["--addr"],
+        ] {
+            assert!(parse_worker_flags(&args(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]
@@ -1363,6 +1551,11 @@ mod tests {
         // The shared flags parse through Options.
         let o = Options::parse(&f.rest).unwrap();
         assert_eq!(o.config.replications, 2);
+
+        let f =
+            parse_sweep_flags(&args(&["--via", "127.0.0.1:7172", "--journal", "s.log"])).unwrap();
+        assert_eq!(f.via.as_deref(), Some("127.0.0.1:7172"));
+        assert_eq!(f.journal.as_deref(), Some("s.log"));
     }
 
     #[test]
@@ -1373,6 +1566,8 @@ mod tests {
             &["--sizes", "ten"],
             &["--seed-blocks", "0"],
             &["--seed-blocks", "-1"],
+            // A journal only makes sense for a distributed run.
+            &["--journal", "s.log"],
         ] {
             assert!(parse_sweep_flags(&args(bad)).is_err(), "{bad:?}");
         }
@@ -1428,6 +1623,11 @@ mod tests {
         assert_eq!(f.rest, args(&["--preset", "scaled", "--reps", "4"]));
         let o = Options::parse(&f.rest).unwrap();
         assert_eq!(o.config.replications, 4);
+
+        let f = parse_calibrate_flags(&args(&["--via", "127.0.0.1:7172", "--journal", "c.log"]))
+            .unwrap();
+        assert_eq!(f.via.as_deref(), Some("127.0.0.1:7172"));
+        assert_eq!(f.journal.as_deref(), Some("c.log"));
     }
 
     #[test]
@@ -1441,6 +1641,8 @@ mod tests {
             &["--size", "many"],
             &["--seed-blocks", "0"],
             &["--max-candidates", "-1"],
+            // A journal only makes sense for a distributed run.
+            &["--journal", "c.log"],
         ] {
             assert!(parse_calibrate_flags(&args(bad)).is_err(), "{bad:?}");
         }

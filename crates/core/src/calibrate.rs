@@ -43,7 +43,7 @@
 //! hit the `ahn_serve` cache.
 
 use crate::config::ExperimentConfig;
-use crate::sweeps::{run_sweep, SweepGrid, BASE_PAYOFF_VARIANT};
+use crate::sweeps::{run_sweep, SweepGrid, SweepReport, BASE_PAYOFF_VARIANT};
 use ahn_ga::Selection;
 use ahn_game::{enumerate_reconstructions, PayoffConfig};
 use serde::{Deserialize, Serialize};
@@ -394,16 +394,53 @@ pub const SUSTAINED_FLOOR: f64 = 0.05;
 /// errors mid-search.
 pub fn run_calibration(grid: &CalibrationGrid) -> Result<CalibrationReport, String> {
     grid.validate()?;
+    let mut sweeps = Vec::with_capacity(grid.candidate_count());
+    for candidate in grid.candidates() {
+        sweeps.push(run_sweep(&grid.sweep_for(&candidate)?)?);
+    }
+    score_calibration(grid, &sweeps)
+}
+
+/// Scores per-candidate sweep reports into the final ranked report —
+/// the deterministic back half of [`run_calibration`], split out so a
+/// distributed coordinator that assembled each candidate's sweep from
+/// remotely computed cells ([`crate::sweeps::merge_sweep`]) reproduces
+/// the exact single-process report, Pareto front included.
+///
+/// `sweeps[i]` must be the evaluated sweep of `grid.candidates()[i]`
+/// ([`CalibrationGrid::sweep_for`]).
+///
+/// # Errors
+/// Errors when the grid is invalid or `sweeps` doesn't line up with the
+/// candidate list (wrong count, wrong cell count per candidate).
+pub fn score_calibration(
+    grid: &CalibrationGrid,
+    sweeps: &[SweepReport],
+) -> Result<CalibrationReport, String> {
+    grid.validate()?;
     let candidates = grid.candidates();
     let n_cases = grid.cases.len();
     let n_blocks = grid.seed_blocks.len();
     let targets: Vec<f64> = grid.cases.iter().map(|&c| paper_target(c)).collect();
+    if sweeps.len() != candidates.len() {
+        return Err(format!(
+            "{} sweep reports for {} candidates",
+            sweeps.len(),
+            candidates.len()
+        ));
+    }
 
     let mut results: Vec<CandidateResult> = Vec::with_capacity(candidates.len());
-    for candidate in candidates {
+    for (candidate, report) in candidates.into_iter().zip(sweeps) {
         let sweep = grid.sweep_for(&candidate)?;
-        let report = run_sweep(&sweep)?;
-        debug_assert_eq!(report.cells.len(), n_cases * n_blocks);
+        if report.cells.len() != n_cases * n_blocks {
+            return Err(format!(
+                "candidate {} sweep has {} cells, expected {}",
+                candidate.id,
+                report.cells.len(),
+                n_cases * n_blocks
+            ));
+        }
         // Cells arrive cases-outermost, seed-blocks-innermost.
         let per_case_coop: Vec<f64> = (0..n_cases)
             .map(|ci| {
@@ -720,6 +757,31 @@ mod tests {
         assert_eq!(a.harsh.len(), 1);
         assert_eq!(a.harsh[0].case_no, 2);
         assert!(a.summary.contains("case 2"), "{}", a.summary);
+    }
+
+    #[test]
+    fn score_calibration_reproduces_run_calibration_and_checks_shape() {
+        let grid = CalibrationGrid::smoke();
+        // Scoring locally-run sweeps is exactly run_calibration.
+        let sweeps: Vec<_> = grid
+            .candidates()
+            .iter()
+            .map(|c| run_sweep(&grid.sweep_for(c).unwrap()).unwrap())
+            .collect();
+        let scored = score_calibration(&grid, &sweeps).unwrap();
+        let direct = run_calibration(&grid).unwrap();
+        assert_eq!(scored, direct);
+        assert_eq!(
+            serde_json::to_string(&scored).unwrap(),
+            serde_json::to_string(&direct).unwrap()
+        );
+        // Misaligned inputs fail loudly instead of mis-scoring.
+        let err = score_calibration(&grid, &sweeps[..1]).unwrap_err();
+        assert!(err.contains("sweep reports"), "{err}");
+        let mut short = sweeps.clone();
+        short[1].cells.pop();
+        let err = score_calibration(&grid, &short).unwrap_err();
+        assert!(err.contains("expected"), "{err}");
     }
 
     #[test]

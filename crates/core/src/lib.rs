@@ -51,11 +51,13 @@ pub mod extensions;
 pub mod report;
 pub mod sweeps;
 
-pub use calibrate::{run_calibration, CalibrationGrid, CalibrationReport};
+pub use calibrate::{run_calibration, score_calibration, CalibrationGrid, CalibrationReport};
 pub use cases::CaseSpec;
 pub use config::{canonical_hash, ExperimentConfig, StrategyCodec};
 pub use experiment::{run_experiment, run_replication, ExperimentResult, ReplicationResult};
-pub use sweeps::{run_sweep, SweepCell, SweepCellSpec, SweepGrid, SweepReport};
+pub use sweeps::{
+    cell_from_result, merge_sweep, run_sweep, SweepCell, SweepCellSpec, SweepGrid, SweepReport,
+};
 
 // Re-exports used by downstream tooling (the `ahn-exp trace` command and
 // similar inspection code) so the CLI depends on one crate only.

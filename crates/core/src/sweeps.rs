@@ -36,7 +36,7 @@
 
 use crate::cases::CaseSpec;
 use crate::config::ExperimentConfig;
-use crate::experiment::{aggregate, run_experiment, run_replication};
+use crate::experiment::{aggregate, run_experiment, run_replication, ExperimentResult};
 use ahn_game::{EnvironmentSpec, PayoffConfig};
 use ahn_net::PathMode;
 use ahn_stats::Summary;
@@ -375,6 +375,87 @@ fn run_cell(spec: SweepCellSpec, config: &ExperimentConfig, case: &CaseSpec) -> 
     }
 }
 
+/// Reduces the [`ExperimentResult`] of a cell's resolved
+/// `(config, case)` to the [`SweepCell`] a local [`run_sweep`] would
+/// have produced — bit for bit, because `run_experiment`'s parallel
+/// fan-out is pinned identical to the serial fold [`run_sweep`]
+/// performs (`tests/determinism.rs`). This is the bridge distributed
+/// workers use: a worker computes the ordinary single-experiment job
+/// (the exact thing `ahn_serve` caches) and the coordinator folds it
+/// back into the sweep.
+pub fn cell_from_result(
+    spec: SweepCellSpec,
+    config: &ExperimentConfig,
+    case: &CaseSpec,
+    result: &ExperimentResult,
+) -> SweepCell {
+    SweepCell {
+        spec,
+        config_hash: crate::config::canonical_hash(&(config, case)).unwrap_or(0),
+        final_coop: result.final_coop.clone(),
+        per_env_coop: result.per_env_coop.clone(),
+        per_env_csn_free: result.per_env_csn_free.clone(),
+    }
+}
+
+/// Assembles a [`SweepReport`] from cells evaluated elsewhere — in any
+/// arrival order, duplicates tolerated — re-keyed to the grid's
+/// canonical [`SweepGrid::cell_specs`] order, so the merged report is
+/// byte-identical to a single-process [`run_sweep`] regardless of how
+/// many workers produced the cells or how their completions
+/// interleaved.
+///
+/// # Errors
+/// Errors when the grid is invalid, a cell is missing, a cell's
+/// coordinates don't belong to the grid, or two completions of the same
+/// cell disagree (which would mean a worker broke the purity contract).
+pub fn merge_sweep(grid: &SweepGrid, cells: &[SweepCell]) -> Result<SweepReport, String> {
+    grid.validate()?;
+    let specs = grid.cell_specs();
+    let index: std::collections::HashMap<(usize, &str, usize, u64), usize> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ((s.case_no, s.payoff.as_str(), s.size, s.seed_block), i))
+        .collect();
+    let mut slots: Vec<Option<&SweepCell>> = vec![None; specs.len()];
+    for cell in cells {
+        let key = (
+            cell.spec.case_no,
+            cell.spec.payoff.as_str(),
+            cell.spec.size,
+            cell.spec.seed_block,
+        );
+        let Some(&i) = index.get(&key) else {
+            return Err(format!("cell {:?} does not belong to this grid", cell.spec));
+        };
+        match slots[i] {
+            None => slots[i] = Some(cell),
+            // First completion wins; an unequal duplicate means some
+            // worker violated the pure-function contract — fail loudly
+            // rather than merge nondeterminism.
+            Some(first) if first == cell => {}
+            Some(_) => {
+                return Err(format!(
+                    "conflicting duplicate completions for cell {:?}",
+                    cell.spec
+                ));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(specs.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(cell) => out.push(cell.clone()),
+            None => return Err(format!("cell {:?} was never completed", specs[i])),
+        }
+    }
+    Ok(SweepReport {
+        schema: "ahn-sweep/1".into(),
+        replications: grid.base.replications,
+        cells: out,
+    })
+}
+
 /// Runs every cell of the grid, cells in parallel (bounded by
 /// `AHN_THREADS` like all rayon fan-out in this workspace).
 ///
@@ -641,6 +722,50 @@ mod tests {
         };
         let c = run_sweep(&shifted).unwrap();
         assert_ne!(a.cells[0].final_coop, c.cells[0].final_coop);
+    }
+
+    #[test]
+    fn cell_from_result_matches_run_sweep_bit_for_bit() {
+        let grid = SweepGrid::new(grid_cfg(), &[1, 2], &[10], 2);
+        let local = run_sweep(&grid).unwrap();
+        for (spec, expected) in grid.cell_specs().into_iter().zip(&local.cells) {
+            let (config, case) = grid.resolve(&spec).unwrap();
+            let result = run_experiment(&config, &case);
+            let rebuilt = cell_from_result(spec, &config, &case, &result);
+            assert_eq!(&rebuilt, expected);
+        }
+    }
+
+    #[test]
+    fn merge_sweep_is_order_and_duplicate_insensitive() {
+        let grid = SweepGrid::new(grid_cfg(), &[1, 2], &[10, 12], 1);
+        let local = run_sweep(&grid).unwrap();
+        // Reversed arrival order plus a duplicated cell merges to the
+        // exact local report (and identical bytes).
+        let mut shuffled: Vec<SweepCell> = local.cells.iter().rev().cloned().collect();
+        shuffled.push(local.cells[1].clone());
+        let merged = merge_sweep(&grid, &shuffled).unwrap();
+        assert_eq!(merged, local);
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&local).unwrap()
+        );
+        // A missing cell fails.
+        let partial = &local.cells[..3];
+        let err = merge_sweep(&grid, partial).unwrap_err();
+        assert!(err.contains("never completed"), "{err}");
+        // A stray cell from another grid fails.
+        let mut stray = local.cells.clone();
+        stray[0].spec.seed_block = 7;
+        let err = merge_sweep(&grid, &stray).unwrap_err();
+        assert!(err.contains("does not belong"), "{err}");
+        // A conflicting duplicate fails.
+        let mut conflict = local.cells.clone();
+        let mut twin = conflict[0].clone();
+        twin.config_hash ^= 1;
+        conflict.push(twin);
+        let err = merge_sweep(&grid, &conflict).unwrap_err();
+        assert!(err.contains("conflicting duplicate"), "{err}");
     }
 
     #[test]

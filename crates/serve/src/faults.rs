@@ -1,0 +1,201 @@
+//! Deterministic fault injection for the distributed layer — the
+//! `FlakyTransport` test double behind `crates/serve/tests`.
+//!
+//! A [`FlakyTransport`] wraps any [`Transport`] and injects failures on
+//! a schedule that is a pure function of `(seed, call index)`, so every
+//! test failure replays exactly. Two injectable faults map to the two
+//! real-world ambiguities of a crashing worker:
+//!
+//! * **drop-request** — the request never reaches the server (worker
+//!   died before sending; the server state is untouched);
+//! * **drop-response** — the server processed the request but the
+//!   caller never saw the answer (worker died after sending; retrying a
+//!   completion now produces a *duplicate*).
+//!
+//! A hard cutoff ([`FaultPlan::die_after_calls`]) turns the transport
+//! permanently dead mid-run — the "kill -9 a worker / coordinator"
+//! scenario for crash-resume tests.
+
+use crate::worker::Transport;
+
+/// Which fault (if any) a call suffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The call goes through untouched.
+    None,
+    /// The request is lost before reaching the server.
+    DropRequest,
+    /// The server processes the request; the response is lost.
+    DropResponse,
+}
+
+/// A seeded, deterministic failure schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Schedule seed; same seed, same faults, every run.
+    pub seed: u64,
+    /// Percent of calls whose request is dropped (0–100).
+    pub drop_request_percent: u8,
+    /// Percent of calls whose response is dropped (0–100).
+    pub drop_response_percent: u8,
+    /// All calls from this index on fail permanently (a dead process).
+    pub die_after_calls: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A schedule that never injects anything.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_request_percent: 0,
+            drop_response_percent: 0,
+            die_after_calls: None,
+        }
+    }
+
+    /// The fault assigned to call number `call` (0-based) — pure, so
+    /// tests can predict and assert the schedule.
+    pub fn fault_for(&self, call: u64) -> Fault {
+        let roll = (splitmix64(self.seed ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 100) as u8;
+        if roll < self.drop_request_percent {
+            Fault::DropRequest
+        } else if roll
+            < self
+                .drop_request_percent
+                .saturating_add(self.drop_response_percent)
+        {
+            Fault::DropResponse
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// SplitMix64: one multiply-xor-shift chain per draw; statistically
+/// plenty for a failure schedule and dependency-free.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`Transport`] wrapper injecting the faults of a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FlakyTransport<T: Transport> {
+    inner: T,
+    plan: FaultPlan,
+    calls: u64,
+    injected: u64,
+}
+
+impl<T: Transport> FlakyTransport<T> {
+    /// Wraps `inner` with the failure schedule `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> FlakyTransport<T> {
+        FlakyTransport {
+            inner,
+            plan,
+            calls: 0,
+            injected: 0,
+        }
+    }
+
+    /// Calls attempted so far (including injected failures).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl<T: Transport> Transport for FlakyTransport<T> {
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let call = self.calls;
+        self.calls += 1;
+        if let Some(cutoff) = self.plan.die_after_calls {
+            if call >= cutoff {
+                self.injected += 1;
+                return Err(format!("injected: transport dead since call {cutoff}"));
+            }
+        }
+        match self.plan.fault_for(call) {
+            Fault::None => self.inner.request(method, path, body),
+            Fault::DropRequest => {
+                self.injected += 1;
+                Err(format!("injected: request {call} lost before send"))
+            }
+            Fault::DropResponse => {
+                self.injected += 1;
+                // The server really processes this one; only the answer
+                // is lost — the retry-then-duplicate path.
+                let _ = self.inner.request(method, path, body);
+                Err(format!("injected: response to request {call} lost"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Transport for Echo {
+        fn request(&mut self, _m: &str, path: &str, _b: &str) -> Result<(u16, String), String> {
+            Ok((200, path.to_owned()))
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_request_percent: 20,
+            drop_response_percent: 10,
+            die_after_calls: None,
+        };
+        let first: Vec<Fault> = (0..64).map(|c| plan.fault_for(c)).collect();
+        let second: Vec<Fault> = (0..64).map(|c| plan.fault_for(c)).collect();
+        assert_eq!(first, second);
+        let injected = first.iter().filter(|f| **f != Fault::None).count();
+        assert!(injected > 0, "a 30% plan should hit within 64 calls");
+        assert!(injected < 40, "a 30% plan should not hit most calls");
+        // A different seed reshuffles the schedule.
+        let other = FaultPlan { seed: 8, ..plan };
+        assert_ne!(
+            first,
+            (0..64).map(|c| other.fault_for(c)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn faults_surface_as_errors_and_death_is_permanent() {
+        let plan = FaultPlan {
+            seed: 1,
+            drop_request_percent: 0,
+            drop_response_percent: 0,
+            die_after_calls: Some(2),
+        };
+        let mut flaky = FlakyTransport::new(Echo, plan);
+        assert!(flaky.request("GET", "/a", "").is_ok());
+        assert!(flaky.request("GET", "/b", "").is_ok());
+        assert!(flaky.request("GET", "/c", "").is_err());
+        assert!(flaky.request("GET", "/d", "").is_err());
+        assert_eq!((flaky.calls(), flaky.injected()), (4, 2));
+    }
+
+    #[test]
+    fn none_plan_is_transparent() {
+        let mut flaky = FlakyTransport::new(Echo, FaultPlan::none());
+        for i in 0..32 {
+            assert_eq!(
+                flaky.request("GET", &format!("/{i}"), "").unwrap().1,
+                format!("/{i}")
+            );
+        }
+        assert_eq!(flaky.injected(), 0);
+    }
+}

@@ -1,15 +1,34 @@
-//! The bounded job queue and the worker pool that drains it.
+//! Job storage and execution: the [`JobStore`] trait, its in-memory and
+//! on-disk (journal-backed) backends, and the single place server-side
+//! compute happens.
 //!
 //! Submissions that miss the result cache become [`QueuedJob`]s in a
-//! bounded FIFO; `workers` OS threads block on the queue's condvar and
-//! run one experiment at a time each. Backpressure is explicit: when
-//! the queue is full, [`JobQueue::try_push`] fails and the server
-//! answers 503 instead of buffering unbounded work.
+//! bounded FIFO; consumers drain it two ways:
+//!
+//! * the internal worker pool blocks on [`JobStore::pop_blocking`];
+//! * external workers lease cells via [`JobStore::claim`] /
+//!   [`JobStore::complete_lease`] (the `/v1/work/*` endpoints). A claim
+//!   carries a deadline; when it passes without a completion the job is
+//!   requeued at the *front* of the queue by the next
+//!   [`JobStore::sweep_expired`] call, so a crashed worker can never
+//!   strand a cell.
+//!
+//! Lease expiry is swept lazily from request handlers — never from a
+//! background thread — so an idle serve node does exactly zero work.
+//! Each sweep is bounded by the number of outstanding leases, which is
+//! itself bounded by the number of claims granted.
+//!
+//! Backpressure is explicit: when the queue is full, [`JobStore::try_push`]
+//! fails and the server answers 503 instead of buffering unbounded work.
+//! Requeues of expired leases are exempt (the job was already admitted).
 
+use crate::journal::{Journal, Record};
 use crate::protocol::JobSpec;
 use rand::SeedableRng;
-use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Where a job is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,34 +70,115 @@ pub struct QueuedJob {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueFull;
 
-struct QueueInner {
+/// A job handed to an external worker under a lease.
+#[derive(Debug, Clone)]
+pub struct LeasedJob {
+    /// Store-assigned lease id; quote it back in the completion.
+    pub lease_id: u64,
+    /// The leased job.
+    pub job: QueuedJob,
+}
+
+/// Pluggable job storage: a bounded FIFO plus a lease table, with an
+/// optional durable completion journal (the on-disk backend).
+///
+/// Implementations must be safe to share across the accept loop, the
+/// worker pool and every connection thread.
+pub trait JobStore: Send + Sync {
+    /// Enqueues a job, failing when the queue is full or closed.
+    fn try_push(&self, job: QueuedJob) -> Result<(), QueueFull>;
+
+    /// Blocks until a job is available; returns `None` once the store
+    /// is closed and drained (worker shutdown signal).
+    fn pop_blocking(&self) -> Option<QueuedJob>;
+
+    /// Non-blocking pop under a lease: the job must be completed via
+    /// [`JobStore::complete_lease`] before `lease` elapses or it is
+    /// requeued by the next sweep. Returns `None` when the queue is
+    /// empty or closed.
+    fn claim(&self, lease: Duration) -> Option<LeasedJob>;
+
+    /// Settles a lease (the worker delivered a result for it). Returns
+    /// `false` when the lease is unknown — typically already expired
+    /// and requeued; the *result* may still be usable, only the lease
+    /// bookkeeping is gone.
+    fn complete_lease(&self, lease_id: u64) -> bool;
+
+    /// Requeues every expired lease (at the front of the queue) and
+    /// returns how many were requeued. Called lazily from request
+    /// handlers; cost is bounded by the number of outstanding leases.
+    fn sweep_expired(&self) -> usize;
+
+    /// Records a completed result durably (no-op for the in-memory
+    /// backend; the journal backend appends one checksummed line).
+    fn record_completion(&self, key: u64, result: &str);
+
+    /// Closes the store: pending jobs still drain, new pushes fail, and
+    /// blocked workers wake up to exit.
+    fn close(&self);
+
+    /// Jobs currently waiting (excludes leased jobs).
+    fn depth(&self) -> usize;
+
+    /// Leases currently outstanding.
+    fn leased(&self) -> usize;
+}
+
+struct Lease {
+    deadline: Instant,
+    job: QueuedJob,
+}
+
+struct StoreInner {
     jobs: VecDeque<QueuedJob>,
+    leases: HashMap<u64, Lease>,
+    next_lease_id: u64,
     open: bool,
 }
 
-/// A bounded multi-producer multi-consumer FIFO with blocking pop.
-pub struct JobQueue {
-    inner: Mutex<QueueInner>,
+/// The in-memory [`JobStore`]: a bounded multi-producer multi-consumer
+/// FIFO with blocking pop and a lease table for external workers.
+pub struct MemStore {
+    inner: Mutex<StoreInner>,
     ready: Condvar,
     capacity: usize,
 }
 
-impl JobQueue {
-    /// Creates a queue holding at most `capacity` waiting jobs.
-    pub fn new(capacity: usize) -> Arc<Self> {
-        Arc::new(JobQueue {
-            inner: Mutex::new(QueueInner {
+impl MemStore {
+    /// Creates a store queueing at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> MemStore {
+        MemStore {
+            inner: Mutex::new(StoreInner {
                 jobs: VecDeque::with_capacity(capacity.min(1024)),
+                leases: HashMap::new(),
+                next_lease_id: 1,
                 open: true,
             }),
             ready: Condvar::new(),
             capacity,
-        })
+        }
     }
 
-    /// Enqueues a job, failing when the queue is full or closed.
-    pub fn try_push(&self, job: QueuedJob) -> Result<(), QueueFull> {
-        let mut inner = self.inner.lock().expect("queue lock");
+    /// Moves every expired lease back to the front of the queue.
+    /// Returns the requeue count; wakes a blocked worker per requeue.
+    fn sweep_locked(inner: &mut StoreInner, now: Instant) -> usize {
+        let expired: Vec<u64> = inner
+            .leases
+            .iter()
+            .filter(|(_, lease)| lease.deadline <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &expired {
+            let lease = inner.leases.remove(id).expect("expired lease present");
+            inner.jobs.push_front(lease.job);
+        }
+        expired.len()
+    }
+}
+
+impl JobStore for MemStore {
+    fn try_push(&self, job: QueuedJob) -> Result<(), QueueFull> {
+        let mut inner = self.inner.lock().expect("store lock");
         if !inner.open || inner.jobs.len() >= self.capacity {
             return Err(QueueFull);
         }
@@ -88,10 +188,8 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Blocks until a job is available; returns `None` once the queue is
-    /// closed and drained (worker shutdown signal).
-    pub fn pop_blocking(&self) -> Option<QueuedJob> {
-        let mut inner = self.inner.lock().expect("queue lock");
+    fn pop_blocking(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("store lock");
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -99,20 +197,128 @@ impl JobQueue {
             if !inner.open {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = self.ready.wait(inner).expect("store lock");
         }
     }
 
-    /// Closes the queue: pending jobs still drain, new pushes fail, and
-    /// blocked workers wake up to exit.
-    pub fn close(&self) {
-        self.inner.lock().expect("queue lock").open = false;
+    fn claim(&self, lease: Duration) -> Option<LeasedJob> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let job = inner.jobs.pop_front()?;
+        let lease_id = inner.next_lease_id;
+        inner.next_lease_id += 1;
+        inner.leases.insert(
+            lease_id,
+            Lease {
+                deadline: Instant::now() + lease,
+                job: job.clone(),
+            },
+        );
+        Some(LeasedJob { lease_id, job })
+    }
+
+    fn complete_lease(&self, lease_id: u64) -> bool {
+        let mut inner = self.inner.lock().expect("store lock");
+        inner.leases.remove(&lease_id).is_some()
+    }
+
+    fn sweep_expired(&self) -> usize {
+        let mut inner = self.inner.lock().expect("store lock");
+        let requeued = Self::sweep_locked(&mut inner, Instant::now());
+        drop(inner);
+        for _ in 0..requeued {
+            self.ready.notify_one();
+        }
+        requeued
+    }
+
+    fn record_completion(&self, _key: u64, _result: &str) {}
+
+    fn close(&self) {
+        self.inner.lock().expect("store lock").open = false;
         self.ready.notify_all();
     }
 
-    /// Jobs currently waiting.
-    pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").jobs.len()
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("store lock").jobs.len()
+    }
+
+    fn leased(&self) -> usize {
+        self.inner.lock().expect("store lock").leases.len()
+    }
+}
+
+/// The on-disk [`JobStore`]: [`MemStore`] semantics plus an append-only
+/// completion journal. Every completion is recorded as one checksummed
+/// line; on open the journal is replayed (torn trailing writes
+/// discarded) and the recovered records are exposed via
+/// [`JournalStore::recovered`] so the server can warm its result cache
+/// — a restarted node resumes without recomputing finished cells.
+pub struct JournalStore {
+    mem: MemStore,
+    journal: Mutex<Journal>,
+    recovered: Vec<Record>,
+}
+
+impl JournalStore {
+    /// Opens the store, replaying any existing journal at `path`.
+    pub fn open(capacity: usize, path: &Path) -> std::io::Result<JournalStore> {
+        let recovered = crate::journal::replay(path)?.records;
+        Ok(JournalStore {
+            mem: MemStore::new(capacity),
+            journal: Mutex::new(Journal::open(path)?),
+            recovered,
+        })
+    }
+
+    /// Completions recovered from the journal when the store opened.
+    pub fn recovered(&self) -> &[Record] {
+        &self.recovered
+    }
+}
+
+impl JobStore for JournalStore {
+    fn try_push(&self, job: QueuedJob) -> Result<(), QueueFull> {
+        self.mem.try_push(job)
+    }
+
+    fn pop_blocking(&self) -> Option<QueuedJob> {
+        self.mem.pop_blocking()
+    }
+
+    fn claim(&self, lease: Duration) -> Option<LeasedJob> {
+        self.mem.claim(lease)
+    }
+
+    fn complete_lease(&self, lease_id: u64) -> bool {
+        self.mem.complete_lease(lease_id)
+    }
+
+    fn sweep_expired(&self) -> usize {
+        self.mem.sweep_expired()
+    }
+
+    fn record_completion(&self, key: u64, result: &str) {
+        // A full disk must not take the serving path down: the journal
+        // is an optimization (resume without recompute), not a
+        // correctness requirement, so append errors degrade to
+        // in-memory behavior.
+        let _ = self
+            .journal
+            .lock()
+            .expect("journal lock")
+            .append(key, result);
+    }
+
+    fn close(&self) {
+        self.mem.close();
+    }
+
+    fn depth(&self) -> usize {
+        self.mem.depth()
+    }
+
+    fn leased(&self) -> usize {
+        self.mem.leased()
     }
 }
 
@@ -160,6 +366,7 @@ fn run_job_inner(spec: &JobSpec) -> Result<String, String> {
 mod tests {
     use super::*;
     use crate::protocol::presets;
+    use std::sync::Arc;
 
     fn job(id: u64) -> QueuedJob {
         QueuedJob {
@@ -171,7 +378,7 @@ mod tests {
 
     #[test]
     fn push_pop_fifo() {
-        let q = JobQueue::new(4);
+        let q = MemStore::new(4);
         q.try_push(job(1)).unwrap();
         q.try_push(job(2)).unwrap();
         assert_eq!(q.depth(), 2);
@@ -182,7 +389,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects() {
-        let q = JobQueue::new(1);
+        let q = MemStore::new(1);
         q.try_push(job(1)).unwrap();
         assert_eq!(q.try_push(job(2)), Err(QueueFull));
         let _ = q.pop_blocking();
@@ -191,7 +398,7 @@ mod tests {
 
     #[test]
     fn close_drains_then_stops() {
-        let q = JobQueue::new(4);
+        let q = MemStore::new(4);
         q.try_push(job(1)).unwrap();
         q.close();
         assert_eq!(q.try_push(job(2)), Err(QueueFull));
@@ -201,12 +408,95 @@ mod tests {
 
     #[test]
     fn close_wakes_blocked_workers() {
-        let q = JobQueue::new(1);
+        let q = Arc::new(MemStore::new(1));
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || q2.pop_blocking());
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(waiter.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn claim_then_complete_settles_the_lease() {
+        let q = MemStore::new(4);
+        q.try_push(job(1)).unwrap();
+        let leased = q.claim(Duration::from_secs(60)).unwrap();
+        assert_eq!(leased.job.id, 1);
+        assert_eq!((q.depth(), q.leased()), (0, 1));
+        assert!(q.complete_lease(leased.lease_id));
+        assert!(
+            !q.complete_lease(leased.lease_id),
+            "second settle is a no-op"
+        );
+        assert_eq!((q.depth(), q.leased()), (0, 0));
+        // Nothing left to claim, and sweeping an empty table is free.
+        assert!(q.claim(Duration::from_secs(60)).is_none());
+        assert_eq!(q.sweep_expired(), 0);
+    }
+
+    #[test]
+    fn expired_lease_requeues_at_the_front() {
+        let q = MemStore::new(4);
+        q.try_push(job(1)).unwrap();
+        q.try_push(job(2)).unwrap();
+        let leased = q.claim(Duration::from_millis(0)).unwrap();
+        assert_eq!(leased.job.id, 1);
+        // Deadline already passed; the sweep puts #1 ahead of #2.
+        assert_eq!(q.sweep_expired(), 1);
+        assert_eq!(q.leased(), 0);
+        assert_eq!(q.claim(Duration::from_secs(60)).unwrap().job.id, 1);
+        // A completion for the dead lease reports unknown but is harmless.
+        assert!(!q.complete_lease(leased.lease_id));
+    }
+
+    #[test]
+    fn unexpired_leases_survive_the_sweep() {
+        let q = MemStore::new(4);
+        q.try_push(job(1)).unwrap();
+        let leased = q.claim(Duration::from_secs(60)).unwrap();
+        assert_eq!(q.sweep_expired(), 0);
+        assert_eq!((q.depth(), q.leased()), (0, 1));
+        assert!(q.complete_lease(leased.lease_id));
+    }
+
+    #[test]
+    fn expired_requeue_wakes_a_blocked_worker() {
+        let q = Arc::new(MemStore::new(4));
+        q.try_push(job(7)).unwrap();
+        let _leased = q.claim(Duration::from_millis(0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop_blocking());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.sweep_expired(), 1);
+        assert_eq!(waiter.join().unwrap().unwrap().id, 7);
+    }
+
+    #[test]
+    fn journal_store_records_survive_reopen() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ahn-jobstore-test-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let store = JournalStore::open(4, &path).unwrap();
+        assert!(store.recovered().is_empty());
+        store.record_completion(11, "\"one\"");
+        store.record_completion(22, "\"two\"");
+        store.record_completion(11, "\"one-retry\"");
+        drop(store);
+
+        let store = JournalStore::open(4, &path).unwrap();
+        let recovered: Vec<(u64, &str)> = store
+            .recovered()
+            .iter()
+            .map(|r| (r.key, r.result.as_str()))
+            .collect();
+        // First completion wins; append order preserved.
+        assert_eq!(recovered, vec![(11, "\"one\""), (22, "\"two\"")]);
+        // Queue/lease semantics are untouched MemStore behavior.
+        store.try_push(job(1)).unwrap();
+        let leased = store.claim(Duration::from_secs(60)).unwrap();
+        assert!(store.complete_lease(leased.lease_id));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

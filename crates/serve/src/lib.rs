@@ -16,10 +16,19 @@
 //!   [`ahn_core::config::canonical_hash`] of the resolved job spec;
 //! * [`protocol`] — the JSON wire types ([`protocol::JobSpec`],
 //!   acks, presets);
-//! * [`jobs`] — the bounded queue, job lifecycle and the single place
-//!   compute happens;
+//! * [`jobs`] — the [`jobs::JobStore`] trait (in-memory and journal
+//!   backends), job lifecycle, work leases and the single place compute
+//!   happens;
+//! * [`journal`] — the checksummed append-only completion journal
+//!   behind checkpoint/resume;
+//! * [`worker`] — the pull worker driving `POST /v1/work/claim` /
+//!   `complete` (the `ahn-exp worker` subcommand);
+//! * [`coordinator`] — distributed sweeps/calibrations: submit cells,
+//!   checkpoint completions, merge bit-identically to the local fold;
+//! * [`faults`] — the seeded [`faults::FlakyTransport`] double the
+//!   distributed tests inject failures with;
 //! * [`metrics`] — `/metrics` counters: requests served, cache hit
-//!   rate, queue depth, games/s;
+//!   rate, queue depth, work claims/leases, games/s;
 //! * [`http`] — the minimal HTTP/1.1 reader/writer both sides share;
 //! * [`loadtest`] — a std-only load generator reporting p50/p99 latency
 //!   and requests/s (the `ahn-exp loadtest` subcommand).
@@ -34,6 +43,7 @@
 //!     workers: 1,
 //!     cache_cap: 16,
 //!     queue_cap: 16,
+//!     journal: None,
 //! })
 //! .unwrap();
 //! let addr = handle.addr().to_string();
@@ -46,13 +56,20 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod coordinator;
+pub mod faults;
 pub mod http;
 pub mod jobs;
+pub mod journal;
 pub mod loadtest;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
+pub mod worker;
 
+pub use coordinator::{run_calibration_via, run_sweep_via};
+pub use faults::{FaultPlan, FlakyTransport};
 pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
 pub use protocol::JobSpec;
 pub use server::{spawn, ServerConfig, ServerHandle};
+pub use worker::{run_worker, HttpTransport, Transport, WorkerConfig, WorkerReport};

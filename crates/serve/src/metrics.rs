@@ -34,6 +34,19 @@ pub struct Metrics {
     /// high-water mark a capacity planner actually wants (the
     /// instantaneous `queue_depth` is usually 0 by scrape time).
     pub queue_depth_peak: AtomicU64,
+    /// `POST /v1/work/claim` requests that granted a lease.
+    pub work_claims: AtomicU64,
+    /// `POST /v1/work/claim` requests that found the queue empty.
+    pub work_claim_empty: AtomicU64,
+    /// `POST /v1/work/complete` results accepted (first completion of a
+    /// job).
+    pub work_completed: AtomicU64,
+    /// `POST /v1/work/complete` results discarded as duplicates of an
+    /// already-finished job.
+    pub work_duplicate: AtomicU64,
+    /// Expired leases requeued by the lazy sweep (each one is a cell a
+    /// crashed or stalled worker abandoned).
+    pub lease_requeues: AtomicU64,
 }
 
 impl Metrics {
@@ -93,6 +106,11 @@ impl Metrics {
             } else {
                 job_seconds_total / (completed + failed) as f64
             },
+            work_claims: load(&self.work_claims),
+            work_claim_empty: load(&self.work_claim_empty),
+            work_completed: load(&self.work_completed),
+            work_duplicate: load(&self.work_duplicate),
+            lease_requeues: load(&self.lease_requeues),
         }
     }
 }
@@ -138,6 +156,16 @@ pub struct Snapshot {
     pub job_seconds_total: f64,
     /// Mean compute seconds per finished job (completed + failed).
     pub job_seconds_mean: f64,
+    /// Work leases granted to external workers.
+    pub work_claims: u64,
+    /// Work claims that found nothing to do.
+    pub work_claim_empty: u64,
+    /// External completions accepted.
+    pub work_completed: u64,
+    /// External completions discarded as duplicates.
+    pub work_duplicate: u64,
+    /// Expired leases requeued by the lazy sweep.
+    pub lease_requeues: u64,
 }
 
 #[cfg(test)]

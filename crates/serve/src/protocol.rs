@@ -160,6 +160,58 @@ pub struct SubmitAck {
     pub cached: bool,
 }
 
+/// Default lease on a `POST /v1/work/claim` that does not name one.
+pub const DEFAULT_LEASE_MS: u64 = 60_000;
+
+/// Upper bound on any requested lease: a worker that claims a cell and
+/// dies must not strand it for longer than this.
+pub const MAX_LEASE_MS: u64 = 600_000;
+
+/// Body of `POST /v1/work/claim`. An empty body is a valid claim with
+/// the default lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClaimRequest {
+    /// Requested lease in milliseconds, clamped to
+    /// [1, [`MAX_LEASE_MS`]]; [`DEFAULT_LEASE_MS`] when omitted.
+    pub lease_ms: Option<u64>,
+}
+
+/// A granted work lease, the non-empty answer of `POST /v1/work/claim`
+/// (an idle queue answers `{"status":"empty"}` instead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkGrant {
+    /// Lease id to quote in the completion.
+    pub lease_id: u64,
+    /// The job this lease executes.
+    pub job_id: u64,
+    /// Result-cache key of the resolved spec — must equal
+    /// `spec.cache_key()`; workers verify this before computing
+    /// (per-cell idempotency via `canonical_hash`).
+    pub key: u64,
+    /// Granted lease in milliseconds (after clamping).
+    pub lease_ms: u64,
+    /// The resolved spec to run.
+    pub spec: JobSpec,
+}
+
+/// Body of `POST /v1/work/complete`: exactly one of `result` / `error`
+/// is set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkCompletion {
+    /// The lease this completion settles (expired leases are accepted:
+    /// the result is still valid, first completion wins).
+    pub lease_id: u64,
+    /// The job the lease was granted for.
+    pub job_id: u64,
+    /// Result-cache key the worker computed from the spec; rejected on
+    /// mismatch with the server's record.
+    pub key: u64,
+    /// Serialized result JSON on success.
+    pub result: Option<String>,
+    /// Failure message when the job could not be run.
+    pub error: Option<String>,
+}
+
 /// One entry of `GET /v1/presets`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PresetEntry {
@@ -325,6 +377,39 @@ mod tests {
         } else {
             panic!("fig4 preset is an experiment");
         }
+    }
+
+    #[test]
+    fn work_wire_types_roundtrip() {
+        // An empty claim body means "default lease".
+        let claim: ClaimRequest = serde_json::from_str("{}").unwrap();
+        assert_eq!(claim.lease_ms, None);
+        let claim: ClaimRequest = serde_json::from_str("{\"lease_ms\":250}").unwrap();
+        assert_eq!(claim.lease_ms, Some(250));
+
+        let spec = presets()[0].body.clone();
+        let grant = WorkGrant {
+            lease_id: 3,
+            job_id: 9,
+            key: spec.cache_key().unwrap(),
+            lease_ms: DEFAULT_LEASE_MS,
+            spec,
+        };
+        let json = serde_json::to_string(&grant).unwrap();
+        let back: WorkGrant = serde_json::from_str(&json).unwrap();
+        assert_eq!(grant, back);
+        assert_eq!(back.spec.cache_key().unwrap(), back.key);
+
+        let done = WorkCompletion {
+            lease_id: 3,
+            job_id: 9,
+            key: grant.key,
+            result: Some("[{\"x\":1}]".into()),
+            error: None,
+        };
+        let json = serde_json::to_string(&done).unwrap();
+        let back: WorkCompletion = serde_json::from_str(&json).unwrap();
+        assert_eq!(done, back);
     }
 
     #[test]

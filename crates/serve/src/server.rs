@@ -17,6 +17,10 @@
 //! GET  /metrics          counters: requests, cache hit rate, queue
 //!                        depth (current + peak), job compute seconds,
 //!                        games/s
+//! POST /v1/work/claim    lease one queued cell to an external worker
+//!                        (empty queue -> {"status":"empty"})
+//! POST /v1/work/complete deliver a leased cell's result; duplicates of
+//!                        an already-finished job are discarded
 //! POST /v1/shutdown      graceful stop (drains nothing: pending jobs
 //!                        finish, new submissions are rejected)
 //! ```
@@ -27,16 +31,19 @@
 
 use crate::cache::LruCache;
 use crate::http::{read_request, write_response, ReadOutcome, Request};
-use crate::jobs::{run_job, JobQueue, JobStatus, QueuedJob};
+use crate::jobs::{run_job, JobStatus, JobStore, JournalStore, MemStore, QueuedJob};
 use crate::metrics::Metrics;
-use crate::protocol::{presets, JobSpec, SubmitAck};
+use crate::protocol::{
+    presets, ClaimRequest, JobSpec, SubmitAck, WorkCompletion, WorkGrant, DEFAULT_LEASE_MS,
+    MAX_LEASE_MS,
+};
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Most cells one `POST /v1/sweeps` or `POST /v1/calibrations`
 /// submission may expand to. Keeps a small hostile body from wedging
@@ -49,12 +56,20 @@ pub const MAX_SWEEP_CELLS: usize = 1024;
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:7172` (port 0 for ephemeral).
     pub addr: String,
-    /// Worker threads executing experiment jobs.
+    /// Worker threads executing experiment jobs. `0` is legal and means
+    /// pull-only: every job waits for an external worker to claim it
+    /// via `POST /v1/work/claim`.
     pub workers: usize,
     /// Result-cache capacity (finished results, LRU-evicted).
     pub cache_cap: usize,
     /// Waiting-job capacity; a full queue answers 503.
     pub queue_cap: usize,
+    /// Path of the on-disk completion journal. `None` keeps everything
+    /// in memory; `Some(path)` switches to the [`JournalStore`] backend:
+    /// every completion is appended durably and replayed into the
+    /// result cache on the next boot, so a restarted node resumes
+    /// without recomputing finished cells.
+    pub journal: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +79,7 @@ impl Default for ServerConfig {
             workers: 2,
             cache_cap: 128,
             queue_cap: 64,
+            journal: None,
         }
     }
 }
@@ -96,7 +112,7 @@ struct Shared {
     local_addr: SocketAddr,
     metrics: Metrics,
     state: Mutex<State>,
-    queue: Arc<JobQueue>,
+    store: Arc<dyn JobStore>,
     next_job_id: AtomicU64,
     running: AtomicBool,
 }
@@ -133,11 +149,25 @@ impl ServerHandle {
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
-    let workers = config.workers.max(1);
+    let workers = config.workers;
+    let mut cache = LruCache::new(config.cache_cap);
+    let store: Arc<dyn JobStore> = match &config.journal {
+        None => Arc::new(MemStore::new(config.queue_cap)),
+        Some(path) => {
+            let journal = JournalStore::open(config.queue_cap, std::path::Path::new(path))?;
+            // Checkpoint/resume: completions recorded by the previous
+            // incarnation become cache hits, so resubmitted cells are
+            // answered without recomputation.
+            for record in journal.recovered() {
+                cache.put(record.key, Arc::from(record.result.as_str()));
+            }
+            Arc::new(journal)
+        }
+    };
     let shared = Arc::new(Shared {
-        queue: JobQueue::new(config.queue_cap),
+        store,
         state: Mutex::new(State {
-            cache: LruCache::new(config.cache_cap),
+            cache,
             jobs: HashMap::new(),
             inflight: HashMap::new(),
             finished: VecDeque::new(),
@@ -167,7 +197,7 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             accept_loop(&accept_shared, listener);
             // The accept loop owns the workers' lifetime: once it stops
             // accepting, close the queue (idempotent) and join them.
-            accept_shared.queue.close();
+            accept_shared.store.close();
             for handle in worker_handles {
                 let _ = handle.join();
             }
@@ -194,7 +224,7 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
 /// with a throwaway connection so it observes the flag.
 fn initiate_shutdown(shared: &Shared) {
     if shared.running.swap(false, Ordering::SeqCst) {
-        shared.queue.close();
+        shared.store.close();
         let _ = TcpStream::connect(shared.local_addr);
     }
 }
@@ -234,14 +264,19 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into(), false),
         ("GET", "/metrics") => {
+            // A metrics scrape doubles as a lazy lease sweep: cells
+            // abandoned by crashed workers are requeued here (and on
+            // every claim/complete), never by a background thread — an
+            // idle node does zero work between requests.
+            let requeued = shared.store.sweep_expired();
+            Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
             let (queue_depth, cached) = {
                 let state = shared.state.lock().expect("state lock");
-                (shared.queue.depth(), state.cache.len())
+                (shared.store.depth(), state.cache.len())
             };
-            let snapshot =
-                shared
-                    .metrics
-                    .snapshot(queue_depth, cached, shared.config.workers.max(1));
+            let snapshot = shared
+                .metrics
+                .snapshot(queue_depth, cached, shared.config.workers);
             match serde_json::to_string(&snapshot) {
                 Ok(body) => (200, body, false),
                 Err(e) => (500, error_body(&e.to_string()), false),
@@ -254,12 +289,14 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
         ("POST", "/v1/experiments") => submit(shared, &req.body),
         ("POST", "/v1/sweeps") => submit_sweep(shared, &req.body),
         ("POST", "/v1/calibrations") => submit_calibration(shared, &req.body),
+        ("POST", "/v1/work/claim") => work_claim(shared, &req.body),
+        ("POST", "/v1/work/complete") => work_complete(shared, &req.body),
         ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
         ("POST", "/v1/shutdown") => (200, "{\"status\":\"shutting-down\"}".into(), true),
         (
             _,
             "/healthz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/sweeps"
-            | "/v1/calibrations" | "/v1/shutdown",
+            | "/v1/calibrations" | "/v1/work/claim" | "/v1/work/complete" | "/v1/shutdown",
         ) => (405, error_body("method not allowed"), false),
         (_, path) if path.starts_with("/v1/jobs/") => {
             (405, error_body("method not allowed"), false)
@@ -316,7 +353,7 @@ fn submit_spec(shared: &Arc<Shared>, spec: JobSpec, key: u64) -> SubmitOutcome {
     state.inflight.insert(key, id);
     // Enqueue while holding the state lock so a worker cannot finish the
     // job before its record and inflight entry exist.
-    if shared.queue.try_push(QueuedJob { id, key, spec }).is_err() {
+    if shared.store.try_push(QueuedJob { id, key, spec }).is_err() {
         state.jobs.remove(&id);
         state.inflight.remove(&key);
         Metrics::bump(&shared.metrics.rejected_queue_full);
@@ -324,7 +361,7 @@ fn submit_spec(shared: &Arc<Shared>, spec: JobSpec, key: u64) -> SubmitOutcome {
     }
     Metrics::raise(
         &shared.metrics.queue_depth_peak,
-        shared.queue.depth() as u64,
+        shared.store.depth() as u64,
     );
     SubmitOutcome::Job {
         id,
@@ -589,23 +626,198 @@ fn job_status(shared: &Arc<Shared>, path: &str) -> (u16, String, bool) {
     (200, body, false)
 }
 
+/// The `POST /v1/work/claim` flow: sweep expired leases (the only
+/// sweep trigger besides `/v1/work/complete` and `/metrics` — request
+/// driven, so an idle node never spins), then lease the front of the
+/// queue to the caller. An empty queue answers `{"status":"empty"}`.
+fn work_claim(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8"), false),
+    };
+    let request: ClaimRequest = if text.trim().is_empty() {
+        ClaimRequest::default()
+    } else {
+        match serde_json::from_str(text) {
+            Ok(r) => r,
+            Err(e) => {
+                return (
+                    400,
+                    error_body(&format!("cannot parse claim request: {e}")),
+                    false,
+                )
+            }
+        }
+    };
+    let lease_ms = request
+        .lease_ms
+        .unwrap_or(DEFAULT_LEASE_MS)
+        .clamp(1, MAX_LEASE_MS);
+
+    let requeued = shared.store.sweep_expired();
+    Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
+
+    loop {
+        let Some(leased) = shared.store.claim(Duration::from_millis(lease_ms)) else {
+            Metrics::bump(&shared.metrics.work_claim_empty);
+            return (200, "{\"status\":\"empty\"}".into(), false);
+        };
+        // A requeued copy of a job can race its own late completion;
+        // skip anything already settled instead of handing out a cell
+        // whose result is in the cache.
+        let still_pending = {
+            let mut state = shared.state.lock().expect("state lock");
+            match state.jobs.get_mut(&leased.job.id) {
+                Some(record) if matches!(record.status, JobStatus::Queued | JobStatus::Running) => {
+                    record.status = JobStatus::Running;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !still_pending {
+            shared.store.complete_lease(leased.lease_id);
+            continue;
+        }
+        Metrics::bump(&shared.metrics.work_claims);
+        let grant = WorkGrant {
+            lease_id: leased.lease_id,
+            job_id: leased.job.id,
+            key: leased.job.key,
+            lease_ms,
+            spec: leased.job.spec,
+        };
+        return match serde_json::to_string(&grant) {
+            Ok(body) => (200, body, false),
+            Err(e) => (500, error_body(&e.to_string()), false),
+        };
+    }
+}
+
+/// The `POST /v1/work/complete` flow, mirroring the bookkeeping of
+/// [`worker_loop`]: first completion wins (`{"status":"recorded"}`),
+/// later deliveries for the same job — retried leases, expired leases
+/// whose worker finished late — are discarded as
+/// `{"status":"duplicate"}`. The completion is accepted even when the
+/// lease already expired: the result is still bit-identical, only the
+/// lease bookkeeping is gone.
+fn work_complete(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("body is not UTF-8"), false),
+    };
+    let completion: WorkCompletion = match serde_json::from_str(text) {
+        Ok(c) => c,
+        Err(e) => {
+            return (
+                400,
+                error_body(&format!("cannot parse completion: {e}")),
+                false,
+            )
+        }
+    };
+    if completion.result.is_some() == completion.error.is_some() {
+        return (
+            400,
+            error_body("exactly one of result and error must be set"),
+            false,
+        );
+    }
+    let requeued = shared.store.sweep_expired();
+    Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
+    shared.store.complete_lease(completion.lease_id);
+
+    let mut state = shared.state.lock().expect("state lock");
+    let status = match state.jobs.get(&completion.job_id) {
+        Some(record) => record.status,
+        None => {
+            return (
+                404,
+                error_body("no such job (pruned or never created)"),
+                false,
+            )
+        }
+    };
+    if matches!(status, JobStatus::Done | JobStatus::Failed) {
+        Metrics::bump(&shared.metrics.work_duplicate);
+        return (200, "{\"status\":\"duplicate\"}".into(), false);
+    }
+    // Idempotency cross-check: while a job is pending its cache key is
+    // in the inflight map, so a completion whose key disagrees with the
+    // server's record is a client bug, not a mergeable result.
+    if state.inflight.get(&completion.key) != Some(&completion.job_id) {
+        return (
+            400,
+            error_body("completion key does not match the job's spec hash"),
+            false,
+        );
+    }
+
+    let mut recorded: Option<Arc<str>> = None;
+    match &completion.result {
+        Some(json) => {
+            let result: Arc<str> = Arc::from(json.as_str());
+            state.cache.put(completion.key, Arc::clone(&result));
+            if let Some(record) = state.jobs.get_mut(&completion.job_id) {
+                record.status = JobStatus::Done;
+                record.result = Some(Arc::clone(&result));
+            }
+            recorded = Some(result);
+            Metrics::bump(&shared.metrics.jobs_completed);
+            Metrics::bump(&shared.metrics.work_completed);
+        }
+        None => {
+            if let Some(record) = state.jobs.get_mut(&completion.job_id) {
+                record.status = JobStatus::Failed;
+                record.error = completion.error.clone();
+            }
+            Metrics::bump(&shared.metrics.jobs_failed);
+        }
+    }
+    state.inflight.remove(&completion.key);
+    state.finished.push_back(completion.job_id);
+    while state.finished.len() > state.retain_finished {
+        if let Some(old) = state.finished.pop_front() {
+            state.jobs.remove(&old);
+        }
+    }
+    drop(state);
+    // Journal outside the state lock: durability is per-store (no-op in
+    // memory, one flushed line on disk) and must not serialize requests.
+    if let Some(result) = recorded {
+        shared.store.record_completion(completion.key, &result);
+    }
+    (200, "{\"status\":\"recorded\"}".into(), false)
+}
+
 /// Worker thread body: drain the queue until it closes.
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop_blocking() {
-        if let Some(record) = shared
-            .state
-            .lock()
-            .expect("state lock")
-            .jobs
-            .get_mut(&job.id)
-        {
-            record.status = JobStatus::Running;
+    while let Some(job) = shared.store.pop_blocking() {
+        // A requeued copy of a job an external worker finished late is
+        // already settled; skip it rather than recompute.
+        let still_pending = {
+            let mut state = shared.state.lock().expect("state lock");
+            match state.jobs.get_mut(&job.id) {
+                Some(record) if matches!(record.status, JobStatus::Queued | JobStatus::Running) => {
+                    record.status = JobStatus::Running;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !still_pending {
+            continue;
         }
 
         let started = Instant::now();
         let outcome = run_job(&job.spec);
         let elapsed_nanos = started.elapsed().as_nanos() as u64;
 
+        if let Ok(json) = &outcome {
+            // Durable before visible: journal the completion (no-op in
+            // memory) outside the state lock.
+            shared.store.record_completion(job.key, json);
+        }
         let mut state = shared.state.lock().expect("state lock");
         match outcome {
             Ok(json) => {

@@ -1,0 +1,215 @@
+//! The pull worker: leases cells from a serve node over
+//! `POST /v1/work/claim`, computes them with the exact same
+//! [`crate::jobs::run_job`] the server-side pool uses, and delivers
+//! results via `POST /v1/work/complete` (the `ahn-exp worker`
+//! subcommand).
+//!
+//! Determinism is free: a cell is a pure function of its resolved spec,
+//! so *which* process computes it cannot change the bytes. The worker
+//! still verifies the claimed spec's `canonical_hash` against the
+//! server-supplied key before computing — a transport that corrupts a
+//! spec turns into a loud failure, never a silently wrong cell.
+//!
+//! Delivery is at-least-once: a transport error after the server
+//! applied a completion is retried, and the server answers
+//! `{"status":"duplicate"}` for the replay (first completion wins).
+//! The [`Transport`] trait is the seam the fault-injection harness
+//! ([`crate::faults::FlakyTransport`]) plugs into.
+
+use crate::jobs::run_job;
+use crate::loadtest::one_shot;
+use crate::protocol::{WorkCompletion, WorkGrant};
+use std::time::Duration;
+
+/// One HTTP round trip, abstracted so tests can inject failures
+/// deterministically. `Err` means the response was never observed — the
+/// request may or may not have reached the server (exactly the
+/// ambiguity a crashing worker produces).
+pub trait Transport: Send {
+    /// Performs `method path` with `body`, returning `(status, body)`.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String>;
+}
+
+/// The real transport: one fresh TCP connection per request (a worker
+/// is idle-or-computing, so connection reuse buys nothing and fresh
+/// connections survive server restarts).
+#[derive(Debug, Clone)]
+pub struct HttpTransport {
+    addr: String,
+}
+
+impl HttpTransport {
+    /// A transport talking to `addr` (`host:port`).
+    pub fn new(addr: &str) -> HttpTransport {
+        HttpTransport { addr: addr.into() }
+    }
+}
+
+impl Transport for HttpTransport {
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        one_shot(&self.addr, method, path, body)
+    }
+}
+
+/// Worker tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// Lease requested per claim, in milliseconds. Until it elapses the
+    /// cell is this worker's; afterwards the server may requeue it.
+    pub lease_ms: u64,
+    /// Sleep between claims that found nothing, and between transport
+    /// retries.
+    pub poll_ms: u64,
+    /// Stop after processing this many cells (0 = unlimited).
+    pub max_cells: u64,
+    /// Exit after this many *consecutive* empty claims (0 = keep
+    /// polling forever; the operator kills the worker).
+    pub idle_exit_polls: u64,
+    /// Give up after this many consecutive transport errors.
+    pub max_consecutive_errors: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            lease_ms: crate::protocol::DEFAULT_LEASE_MS,
+            poll_ms: 50,
+            max_cells: 0,
+            idle_exit_polls: 0,
+            max_consecutive_errors: 25,
+        }
+    }
+}
+
+/// What a worker did before exiting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Results the server accepted.
+    pub completed: u64,
+    /// Cells that failed to compute (delivered as errors).
+    pub failed: u64,
+    /// Deliveries the server discarded as duplicates (another worker —
+    /// or an earlier retry of this one — got there first).
+    pub duplicates: u64,
+    /// Results dropped because the server no longer knew the job
+    /// (typically a server restart between claim and completion).
+    pub dropped: u64,
+    /// Claims that found the queue empty.
+    pub empty_polls: u64,
+    /// Transport errors survived (claim and completion combined).
+    pub transport_errors: u64,
+}
+
+/// Runs the claim → compute → complete loop until an exit condition of
+/// `config` fires, returning what happened. `Err` means the worker gave
+/// up (transport dead, or a protocol violation).
+pub fn run_worker(
+    transport: &mut dyn Transport,
+    config: &WorkerConfig,
+) -> Result<WorkerReport, String> {
+    let claim_body = format!("{{\"lease_ms\":{}}}", config.lease_ms);
+    let pause = Duration::from_millis(config.poll_ms.max(1));
+    let mut report = WorkerReport::default();
+    let mut consecutive_errors = 0u64;
+    let mut idle_polls = 0u64;
+    let mut processed = 0u64;
+
+    loop {
+        if config.max_cells > 0 && processed >= config.max_cells {
+            return Ok(report);
+        }
+        let body = match transport.request("POST", "/v1/work/claim", &claim_body) {
+            Ok((200, body)) => body,
+            Ok((status, body)) => return Err(format!("claim rejected: {status} {body}")),
+            Err(e) => {
+                report.transport_errors += 1;
+                consecutive_errors += 1;
+                if consecutive_errors >= config.max_consecutive_errors {
+                    return Err(format!(
+                        "giving up after {consecutive_errors} consecutive transport errors: {e}"
+                    ));
+                }
+                std::thread::sleep(pause);
+                continue;
+            }
+        };
+        consecutive_errors = 0;
+
+        let grant: WorkGrant = match serde_json::from_str(&body) {
+            Ok(grant) => grant,
+            Err(_) if body.contains("\"empty\"") => {
+                report.empty_polls += 1;
+                idle_polls += 1;
+                if config.idle_exit_polls > 0 && idle_polls >= config.idle_exit_polls {
+                    return Ok(report);
+                }
+                std::thread::sleep(pause);
+                continue;
+            }
+            Err(e) => return Err(format!("cannot parse claim response: {e} in {body}")),
+        };
+        idle_polls = 0;
+
+        // Per-cell idempotency check: the canonical hash of the spec we
+        // are about to run must be the key the server indexed it under.
+        let outcome = match grant.spec.cache_key() {
+            Ok(key) if key == grant.key => run_job(&grant.spec),
+            Ok(key) => Err(format!(
+                "claimed spec hashes to {key:#018x} but the server granted key {:#018x} \
+                 (corrupted claim?)",
+                grant.key
+            )),
+            Err(e) => Err(e),
+        };
+        let succeeded = outcome.is_ok();
+        let completion = WorkCompletion {
+            lease_id: grant.lease_id,
+            job_id: grant.job_id,
+            key: grant.key,
+            result: outcome.as_ref().ok().cloned(),
+            error: outcome.err(),
+        };
+        let completion_body = serde_json::to_string(&completion)
+            .map_err(|e| format!("cannot serialize completion: {e}"))?;
+
+        // Deliver at-least-once: retry transport errors until the
+        // server answers; it deduplicates replays.
+        loop {
+            match transport.request("POST", "/v1/work/complete", &completion_body) {
+                Ok((200, response)) => {
+                    if response.contains("\"duplicate\"") {
+                        report.duplicates += 1;
+                    } else if succeeded {
+                        report.completed += 1;
+                    } else {
+                        report.failed += 1;
+                    }
+                    break;
+                }
+                Ok((404, _)) => {
+                    // The server forgot the job (restart, pruning):
+                    // nothing to deliver to; the cell will be
+                    // resubmitted and recomputed identically.
+                    report.dropped += 1;
+                    break;
+                }
+                Ok((status, response)) => {
+                    return Err(format!("completion rejected: {status} {response}"))
+                }
+                Err(e) => {
+                    report.transport_errors += 1;
+                    consecutive_errors += 1;
+                    if consecutive_errors >= config.max_consecutive_errors {
+                        return Err(format!(
+                            "giving up after {consecutive_errors} consecutive transport \
+                             errors: {e}"
+                        ));
+                    }
+                    std::thread::sleep(pause);
+                }
+            }
+        }
+        consecutive_errors = 0;
+        processed += 1;
+    }
+}

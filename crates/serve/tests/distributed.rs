@@ -1,0 +1,459 @@
+//! Fault-injection tests for the distributed sweep layer: real servers
+//! on ephemeral ports, real pull workers on threads, seeded
+//! [`FlakyTransport`] failures — and one invariant throughout: the
+//! merged report is byte-identical to a single-process run no matter
+//! how many workers ran, which crashed, or what got delivered twice.
+
+use ahn_serve::jobs::run_job;
+use ahn_serve::loadtest::one_shot;
+use ahn_serve::protocol::{WorkCompletion, WorkGrant};
+use ahn_serve::server::{spawn, ServerConfig, ServerHandle};
+use ahn_serve::{
+    run_calibration_via, run_sweep_via, run_worker, FaultPlan, FlakyTransport, HttpTransport,
+    WorkerConfig, WorkerReport,
+};
+use serde_json::Value;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Boots a server; `workers: 0` makes it pull-only (all compute happens
+/// in `ahn-exp worker`-style pull loops).
+fn boot(workers: usize, journal: Option<&std::path::Path>) -> (ServerHandle, String) {
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        cache_cap: 64,
+        queue_cap: 64,
+        journal: journal.map(|p| p.display().to_string()),
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "ahn-distributed-test-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A 4-cell sweep (2 cases x 2 seed blocks) small enough to run many
+/// times per test but exercising distinct per-cell seeds.
+fn small_grid() -> ahn_core::SweepGrid {
+    let mut base = ahn_core::ExperimentConfig::smoke();
+    base.generations = 3;
+    base.replications = 1;
+    ahn_core::SweepGrid {
+        base,
+        cases: vec![1, 3],
+        payoffs: vec!["paper".into()],
+        sizes: vec![10],
+        seed_blocks: vec![0, 1],
+    }
+}
+
+/// Starts a pull worker on a thread with the given fault schedule.
+/// Returns the worker's report and how many faults were injected.
+fn start_worker(
+    addr: &str,
+    plan: FaultPlan,
+    lease_ms: u64,
+) -> JoinHandle<(Result<WorkerReport, String>, u64)> {
+    let addr = addr.to_string();
+    std::thread::spawn(move || {
+        let mut transport = FlakyTransport::new(HttpTransport::new(&addr), plan);
+        let config = WorkerConfig {
+            lease_ms,
+            poll_ms: 5,
+            max_cells: 0,
+            // Generous idle tolerance (~2s): the worker must outlive
+            // submission gaps and lease-expiry waits mid-test.
+            idle_exit_polls: 400,
+            max_consecutive_errors: 200,
+        };
+        let outcome = run_worker(&mut transport, &config);
+        (outcome, transport.injected())
+    })
+}
+
+fn get(addr: &str, path: &str) -> (u16, Value) {
+    let (status, body) = one_shot(addr, "GET", path, "").expect("request");
+    (status, serde_json::from_str(&body).unwrap_or(Value::Null))
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    one_shot(addr, "POST", path, body).expect("request")
+}
+
+fn metric_u64(addr: &str, field: &str) -> u64 {
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    match metrics[field] {
+        Value::U64(n) => n,
+        ref other => panic!("metric {field} should be an integer, got {other:?}"),
+    }
+}
+
+#[test]
+fn one_two_and_four_workers_merge_bit_identically() {
+    let grid = small_grid();
+    let local = ahn_core::run_sweep(&grid).expect("local sweep");
+    let local_json = serde_json::to_string_pretty(&local).unwrap();
+
+    for worker_count in [1usize, 2, 4] {
+        let (handle, addr) = boot(0, None);
+        let workers: Vec<_> = (0..worker_count)
+            .map(|_| start_worker(&addr, FaultPlan::none(), 60_000))
+            .collect();
+
+        let mut transport = HttpTransport::new(&addr);
+        let report = run_sweep_via(&mut transport, &grid, None, 2)
+            .unwrap_or_else(|e| panic!("{worker_count}-worker sweep failed: {e}"));
+        let distributed_json = serde_json::to_string_pretty(&report).unwrap();
+        assert_eq!(
+            distributed_json, local_json,
+            "{worker_count} workers changed the report bytes"
+        );
+
+        for worker in workers {
+            let (outcome, _) = worker.join().expect("worker thread");
+            outcome.expect("healthy worker exits cleanly");
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn flaky_workers_cannot_change_a_byte() {
+    let grid = small_grid();
+    let local_json =
+        serde_json::to_string_pretty(&ahn_core::run_sweep(&grid).expect("local sweep")).unwrap();
+
+    let (handle, addr) = boot(0, None);
+    // Two lossy workers: dropped requests stall claims, dropped
+    // responses make the server process completions the worker never
+    // sees — forcing the retry-then-duplicate path. Short leases heal
+    // claims whose grant got lost in flight.
+    let plans = [
+        FaultPlan {
+            seed: 11,
+            drop_request_percent: 20,
+            drop_response_percent: 20,
+            die_after_calls: None,
+        },
+        FaultPlan {
+            seed: 12,
+            drop_request_percent: 20,
+            drop_response_percent: 20,
+            die_after_calls: None,
+        },
+    ];
+    let workers: Vec<_> = plans
+        .iter()
+        .map(|plan| start_worker(&addr, *plan, 300))
+        .collect();
+
+    let mut transport = HttpTransport::new(&addr);
+    let report = run_sweep_via(&mut transport, &grid, None, 2).expect("flaky distributed sweep");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "injected faults changed the report bytes"
+    );
+
+    let mut total_injected = 0;
+    for worker in workers {
+        let (_, injected) = worker.join().expect("worker thread");
+        total_injected += injected;
+    }
+    // Each worker polls idle for hundreds of calls before exiting, so a
+    // 40% fault schedule cannot miss every call.
+    assert!(total_injected > 0, "the fault plans never fired");
+    handle.shutdown();
+}
+
+#[test]
+fn worker_crash_mid_cell_expires_the_lease_and_another_worker_finishes() {
+    let grid = small_grid();
+    let local_json =
+        serde_json::to_string_pretty(&ahn_core::run_sweep(&grid).expect("local sweep")).unwrap();
+
+    let (handle, addr) = boot(0, None);
+
+    // Queue all four cells up front so the crasher has work to claim.
+    for spec in grid.cell_specs() {
+        let (config, case) = grid.resolve(&spec).unwrap();
+        let body = serde_json::to_string(&ahn_serve::JobSpec::Experiment {
+            config,
+            cases: vec![case],
+        })
+        .unwrap();
+        let (status, response) = post(&addr, "/v1/experiments", &body);
+        assert_eq!(status, 202, "{response}");
+    }
+
+    // The crasher claims a cell (call 0 succeeds), computes it, then
+    // dies permanently before any completion lands — kill -9 between
+    // compute and report. Its short lease is now orphaned.
+    let crasher = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let plan = FaultPlan {
+                seed: 0,
+                drop_request_percent: 0,
+                drop_response_percent: 0,
+                die_after_calls: Some(1),
+            };
+            let mut transport = FlakyTransport::new(HttpTransport::new(&addr), plan);
+            let config = WorkerConfig {
+                lease_ms: 150,
+                poll_ms: 2,
+                max_cells: 0,
+                idle_exit_polls: 0,
+                max_consecutive_errors: 3,
+            };
+            run_worker(&mut transport, &config)
+        }
+    });
+    assert!(
+        crasher.join().expect("crasher thread").is_err(),
+        "the dead transport must kill the crasher"
+    );
+
+    // A healthy worker takes over: once the 150ms lease expires, its
+    // next claim sweeps the orphan back to the queue front.
+    let healthy = start_worker(&addr, FaultPlan::none(), 60_000);
+    let mut transport = HttpTransport::new(&addr);
+    let report = run_sweep_via(&mut transport, &grid, None, 2).expect("recovery sweep");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "crash recovery changed the report bytes"
+    );
+    assert!(
+        metric_u64(&addr, "lease_requeues") >= 1,
+        "the orphaned lease must have been requeued"
+    );
+    healthy
+        .join()
+        .expect("healthy thread")
+        .0
+        .expect("clean exit");
+    handle.shutdown();
+}
+
+#[test]
+fn duplicate_completion_keeps_the_first_result() {
+    let (handle, addr) = boot(0, None);
+    let spec = ahn_serve::loadtest::smoke_spec(3);
+    let body = serde_json::to_string(&spec).unwrap();
+    let (status, response) = post(&addr, "/v1/experiments", &body);
+    assert_eq!(status, 202, "{response}");
+
+    // Claim the cell and compute it exactly like a worker would.
+    let (status, granted) = post(&addr, "/v1/work/claim", "{\"lease_ms\":60000}");
+    assert_eq!(status, 200, "{granted}");
+    let grant: WorkGrant = serde_json::from_str(&granted).expect("work grant");
+    assert_eq!(grant.spec.cache_key().unwrap(), grant.key);
+    let result = run_job(&grant.spec).expect("compute cell");
+
+    let completion = serde_json::to_string(&WorkCompletion {
+        lease_id: grant.lease_id,
+        job_id: grant.job_id,
+        key: grant.key,
+        result: Some(result.clone()),
+        error: None,
+    })
+    .unwrap();
+
+    // First delivery wins; the byte-identical replay is a duplicate.
+    let (status, first) = post(&addr, "/v1/work/complete", &completion);
+    assert_eq!((status, first.as_str()), (200, "{\"status\":\"recorded\"}"));
+    let (status, second) = post(&addr, "/v1/work/complete", &completion);
+    assert_eq!(
+        (status, second.as_str()),
+        (200, "{\"status\":\"duplicate\"}")
+    );
+    assert_eq!(metric_u64(&addr, "work_duplicate"), 1);
+    assert_eq!(metric_u64(&addr, "work_completed"), 1);
+
+    // The job's recorded result is the first delivery, bit for bit.
+    let (status, job) = get(&addr, &format!("/v1/jobs/{}", grant.job_id));
+    assert_eq!(status, 200);
+    assert_eq!(job["status"], Value::String("done".into()));
+    assert_eq!(
+        serde_json::to_string(&job["result"]).unwrap(),
+        result,
+        "stored result must be the delivered bytes"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn coordinator_resumes_from_journal_and_recomputes_only_missing_cells() {
+    let grid = small_grid();
+    let local_json =
+        serde_json::to_string_pretty(&ahn_core::run_sweep(&grid).expect("local sweep")).unwrap();
+    let journal = tmp("coordinator-resume");
+
+    // Phase 1: checkpoint half the grid (one seed block = 2 of 4 cells)
+    // through a server with its own compute workers.
+    let mut half = grid.clone();
+    half.seed_blocks = vec![0];
+    {
+        let (handle, addr) = boot(1, None);
+        let mut transport = HttpTransport::new(&addr);
+        run_sweep_via(&mut transport, &half, Some(&journal), 2).expect("half sweep");
+        handle.shutdown();
+    }
+
+    // Phase 2: a fresh server (empty cache) finishes the full grid.
+    // Only the two cells missing from the journal may run as jobs.
+    let (handle, addr) = boot(1, None);
+    let mut transport = HttpTransport::new(&addr);
+    let report = run_sweep_via(&mut transport, &grid, Some(&journal), 2).expect("resumed sweep");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "journal resume changed the report bytes"
+    );
+    assert_eq!(
+        metric_u64(&addr, "jobs_completed"),
+        2,
+        "checkpointed cells must not be recomputed"
+    );
+    handle.shutdown();
+
+    // Phase 3: crash the coordinator mid-run against a fresh journal,
+    // then resume. Any partial checkpoint state must converge to the
+    // same bytes.
+    let crash_journal = tmp("coordinator-crash");
+    let (handle, addr) = boot(1, None);
+    let plan = FaultPlan {
+        seed: 0,
+        drop_request_percent: 0,
+        drop_response_percent: 0,
+        die_after_calls: Some(6),
+    };
+    let mut flaky = FlakyTransport::new(HttpTransport::new(&addr), plan);
+    let crashed = run_sweep_via(&mut flaky, &grid, Some(&crash_journal), 2);
+    assert!(crashed.is_err(), "the dead transport must fail the run");
+
+    let mut transport = HttpTransport::new(&addr);
+    let report =
+        run_sweep_via(&mut transport, &grid, Some(&crash_journal), 2).expect("crash resume");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "crash/resume changed the report bytes"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&crash_journal);
+}
+
+#[test]
+fn distributed_calibration_matches_local_including_pareto_front() {
+    let grid = ahn_core::CalibrationGrid::smoke();
+    let local_json =
+        serde_json::to_string_pretty(&ahn_core::run_calibration(&grid).expect("local calibration"))
+            .unwrap();
+    let journal = tmp("calibration");
+
+    let (handle, addr) = boot(0, None);
+    let workers: Vec<_> = (0..2)
+        .map(|_| start_worker(&addr, FaultPlan::none(), 60_000))
+        .collect();
+    let mut transport = HttpTransport::new(&addr);
+    let report = run_calibration_via(&mut transport, &grid, Some(&journal), 2)
+        .expect("distributed calibration");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "distributed calibration changed the report bytes"
+    );
+    for worker in workers {
+        worker.join().expect("worker thread").0.expect("clean exit");
+    }
+    handle.shutdown();
+
+    // Resume from the journal alone: a pull-only server with *no*
+    // workers anywhere can still produce the full report.
+    let (handle, addr) = boot(0, None);
+    let mut transport = HttpTransport::new(&addr);
+    let resumed = run_calibration_via(&mut transport, &grid, Some(&journal), 2)
+        .expect("journal-only calibration");
+    assert_eq!(
+        serde_json::to_string_pretty(&resumed).unwrap(),
+        local_json,
+        "journal-only resume changed the report bytes"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn server_journal_replays_onto_a_fresh_store_identically() {
+    let journal = tmp("server-journal");
+    let spec = ahn_serve::loadtest::smoke_spec(9);
+    let body = serde_json::to_string(&spec).unwrap();
+    let key = spec.cache_key().unwrap();
+
+    // Server A computes the job and records it in its on-disk store.
+    let first_result = {
+        let (handle, addr) = boot(1, Some(&journal));
+        let (status, response) = post(&addr, "/v1/experiments", &body);
+        assert_eq!(status, 202, "{response}");
+        let ack: Value = serde_json::from_str(&response).unwrap();
+        let Value::U64(job_id) = ack["job_id"] else {
+            panic!("no job id in {response}");
+        };
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let result = loop {
+            let (status, job) = get(&addr, &format!("/v1/jobs/{job_id}"));
+            assert_eq!(status, 200);
+            match &job["status"] {
+                Value::String(s) if s == "done" => {
+                    break serde_json::to_string(&job["result"]).unwrap()
+                }
+                Value::String(s) if s == "failed" => panic!("job failed: {job:?}"),
+                _ => {
+                    assert!(Instant::now() < deadline, "job timed out");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        handle.shutdown();
+        result
+    };
+
+    // The journal on disk holds exactly that completion, checksummed.
+    let replayed = ahn_serve::journal::replay(&journal).expect("replay journal");
+    assert_eq!(replayed.discarded, 0);
+    assert_eq!(replayed.records.len(), 1);
+    assert_eq!(replayed.records[0].key, key);
+    assert_eq!(replayed.records[0].result, first_result);
+
+    // Server B (same journal, zero compute anywhere) answers the same
+    // submission inline from the replayed cache — byte-identical.
+    let (handle, addr) = boot(0, Some(&journal));
+    let (status, response) = post(&addr, "/v1/experiments", &body);
+    assert_eq!(
+        status, 200,
+        "replayed journal must warm the cache: {response}"
+    );
+    let hit: Value = serde_json::from_str(&response).unwrap();
+    assert_eq!(hit["cached"], Value::Bool(true));
+    assert_eq!(
+        serde_json::to_string(&hit["result"]).unwrap(),
+        first_result,
+        "replayed result must be bit-identical"
+    );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}

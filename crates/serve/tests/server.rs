@@ -12,6 +12,7 @@ fn boot(workers: usize, cache_cap: usize, queue_cap: usize) -> (ServerHandle, St
         workers,
         cache_cap,
         queue_cap,
+        journal: None,
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -505,6 +506,104 @@ fn calibration_submission_expands_caches_and_shares_cells_with_direct_runs() {
     };
     assert!(msg.contains("cap"), "{msg}");
 
+    handle.shutdown();
+}
+
+#[test]
+fn work_endpoints_validate_count_and_never_spin_when_idle() {
+    // A pull-only node: zero in-process workers, all compute external.
+    let (handle, addr) = boot(0, 8, 8);
+
+    // Claiming from an empty queue is a clean miss, not an error.
+    let (status, empty) = post(&addr, "/v1/work/claim", "");
+    assert_eq!(status, 200);
+    assert_eq!(empty["status"], Value::String("empty".into()));
+    let (status, _) = post(&addr, "/v1/work/claim", "not json");
+    assert_eq!(status, 400);
+
+    // The lease sweep is request-driven and bounded: with no leases
+    // outstanding, an idle node's metrics only move by our own probes.
+    let (_, before) = get(&addr, "/metrics");
+    std::thread::sleep(Duration::from_millis(60));
+    let (_, after) = get(&addr, "/metrics");
+    assert_eq!(before["lease_requeues"], Value::U64(0));
+    assert_eq!(after["lease_requeues"], Value::U64(0));
+    let (Value::U64(req_before), Value::U64(req_after)) = (
+        before["http_requests"].clone(),
+        after["http_requests"].clone(),
+    ) else {
+        panic!("http_requests should be integers");
+    };
+    assert_eq!(
+        req_after,
+        req_before + 1,
+        "an idle node must serve nothing but the probe itself"
+    );
+
+    // Queue one job, claim it on a 1ms lease, and abandon it: the
+    // next /metrics sweep requeues the expired lease exactly once.
+    let body = serde_json::to_string(&ahn_serve::loadtest::smoke_spec(11)).unwrap();
+    let (status, ack) = post(&addr, "/v1/experiments", &body);
+    assert_eq!(status, 202, "{ack:?}");
+    let (status, grant) = post(&addr, "/v1/work/claim", "{\"lease_ms\":1}");
+    assert_eq!(status, 200);
+    let Value::U64(job_id) = grant["job_id"] else {
+        panic!("claim should grant the queued job: {grant:?}");
+    };
+    let Value::U64(key) = grant["key"] else {
+        panic!("grant should carry the spec hash: {grant:?}");
+    };
+    std::thread::sleep(Duration::from_millis(20));
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(metrics["lease_requeues"], Value::U64(1));
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(
+        metrics["lease_requeues"],
+        Value::U64(1),
+        "a swept lease must not be requeued again"
+    );
+
+    // Reclaim the requeued cell and exercise the completion guards.
+    let (status, grant2) = post(&addr, "/v1/work/claim", "{\"lease_ms\":60000}");
+    assert_eq!(status, 200);
+    assert_eq!(grant2["job_id"], Value::U64(job_id), "same cell, new lease");
+    let Value::U64(lease_id) = grant2["lease_id"] else {
+        panic!("{grant2:?}");
+    };
+
+    // Both result and error set: rejected.
+    let both = format!(
+        "{{\"lease_id\":{lease_id},\"job_id\":{job_id},\"key\":{key},\"result\":\"[]\",\"error\":\"x\"}}"
+    );
+    let (status, _) = post(&addr, "/v1/work/complete", &both);
+    assert_eq!(status, 400);
+    // A key that disagrees with the job's spec hash: rejected.
+    let wrong_key = format!(
+        "{{\"lease_id\":{lease_id},\"job_id\":{job_id},\"key\":{},\"error\":\"x\"}}",
+        key ^ 1
+    );
+    let (status, err) = post(&addr, "/v1/work/complete", &wrong_key);
+    assert_eq!(status, 400, "{err:?}");
+    // A job the server never issued: 404.
+    let unknown = format!("{{\"lease_id\":0,\"job_id\":999999,\"key\":{key},\"error\":\"x\"}}");
+    let (status, _) = post(&addr, "/v1/work/complete", &unknown);
+    assert_eq!(status, 404);
+
+    // Delivering an error settles the job as failed.
+    let failure = format!(
+        "{{\"lease_id\":{lease_id},\"job_id\":{job_id},\"key\":{key},\"error\":\"worker exploded\"}}"
+    );
+    let (status, recorded) = post(&addr, "/v1/work/complete", &failure);
+    assert_eq!(status, 200);
+    assert_eq!(recorded["status"], Value::String("recorded".into()));
+    let (status, job) = get(&addr, &format!("/v1/jobs/{job_id}"));
+    assert_eq!(status, 200);
+    assert_eq!(job["status"], Value::String("failed".into()));
+
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(metrics["work_claims"], Value::U64(2));
+    assert_eq!(metrics["work_claim_empty"], Value::U64(1));
+    assert_eq!(metrics["jobs_failed"], Value::U64(1));
     handle.shutdown();
 }
 

@@ -22,6 +22,7 @@ fn main() {
         workers: 2,
         cache_cap: 32,
         queue_cap: 32,
+        journal: None,
     })
     .expect("bind a loopback port");
     let addr = handle.addr().to_string();

@@ -132,3 +132,116 @@ fn strategies_in_results_render_in_paper_notation() {
         assert_eq!(reparsed, s);
     }
 }
+
+// ---------------------------------------------------------------------
+// Distributed-merge determinism: however cell completions arrive —
+// permuted, duplicated, split across checkpoints — `merge_sweep` must
+// reproduce the serial `run_sweep` report bit for bit. This is the
+// property the distributed coordinator (`ahn::serve::run_sweep_via`)
+// leans on.
+
+use ahn::core::{merge_sweep, run_sweep, SweepCell, SweepGrid, SweepReport};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One serial reference run, shared by every proptest case.
+fn sweep_fixture() -> &'static (SweepGrid, SweepReport, String) {
+    static FIXTURE: OnceLock<(SweepGrid, SweepReport, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut base = cfg();
+        base.generations = 3;
+        base.replications = 1;
+        let grid = SweepGrid {
+            base,
+            cases: vec![1, 3],
+            payoffs: vec!["paper".into()],
+            sizes: vec![10],
+            seed_blocks: vec![0, 1],
+        };
+        let report = run_sweep(&grid).expect("reference sweep");
+        let json = serde_json::to_string(&report).expect("serialize reference");
+        (grid, report, json)
+    })
+}
+
+/// SplitMix64, used to derive a permutation from one proptest seed.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of completions — an arbitrary permutation, an
+    /// arbitrary subset delivered twice, an arbitrary checkpoint split —
+    /// merges to the serial report's exact bytes. A merge of only the
+    /// first checkpoint's cells either already covers the grid or fails
+    /// loudly about the missing cells; it never fabricates a report.
+    #[test]
+    fn any_completion_interleaving_merges_to_the_serial_report(
+        perm_seed in any::<u64>(),
+        dup_mask in any::<u32>(),
+        split_pick in any::<u16>(),
+    ) {
+        let (grid, report, reference_json) = sweep_fixture();
+        let mut arrivals: Vec<SweepCell> = report.cells.clone();
+        let n = arrivals.len();
+
+        // Duplicate the cells selected by the mask (a worker retrying a
+        // completion the server already applied).
+        for i in 0..n {
+            if dup_mask & (1 << i) != 0 {
+                arrivals.push(report.cells[i].clone());
+            }
+        }
+        // Fisher-Yates with a seeded splitmix stream: an arbitrary
+        // arrival order across workers.
+        for i in (1..arrivals.len()).rev() {
+            let j = (mix(perm_seed ^ i as u64) % (i as u64 + 1)) as usize;
+            arrivals.swap(i, j);
+        }
+
+        let merged = merge_sweep(grid, &arrivals).expect("merge interleaved completions");
+        prop_assert_eq!(
+            serde_json::to_string(&merged).expect("serialize merged"),
+            reference_json.as_str(),
+            "an interleaving changed the merged bytes"
+        );
+
+        // A partial checkpoint: merging only the first chunk must either
+        // cover every cell (then: identical bytes) or name a missing
+        // cell — and replaying the rest on top always completes.
+        let split = (split_pick as usize) % (arrivals.len() + 1);
+        let (first, rest) = arrivals.split_at(split);
+        match merge_sweep(grid, first) {
+            Ok(partial) => prop_assert_eq!(
+                serde_json::to_string(&partial).expect("serialize partial"),
+                reference_json.as_str()
+            ),
+            Err(e) => prop_assert!(e.contains("never completed"), "unexpected error: {e}"),
+        }
+        let replayed: Vec<SweepCell> = first.iter().chain(rest.iter()).cloned().collect();
+        let resumed = merge_sweep(grid, &replayed).expect("resume merge");
+        prop_assert_eq!(
+            serde_json::to_string(&resumed).expect("serialize resumed"),
+            reference_json.as_str()
+        );
+    }
+
+    /// A completion that violates the purity contract — same cell
+    /// coordinates, different numbers — must fail the merge loudly
+    /// instead of silently picking a winner.
+    #[test]
+    fn conflicting_duplicates_fail_the_merge(which in 0usize..4, delta in 1u32..1000) {
+        let (grid, report, _) = sweep_fixture();
+        let mut arrivals: Vec<SweepCell> = report.cells.clone();
+        let mut corrupt = arrivals[which].clone();
+        corrupt.final_coop.add(delta as f64 / 1000.0);
+        arrivals.push(corrupt);
+        let err = merge_sweep(grid, &arrivals).expect_err("conflicting cells must not merge");
+        prop_assert!(err.contains("conflicting"), "unexpected error: {err}");
+    }
+}

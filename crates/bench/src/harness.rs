@@ -297,6 +297,7 @@ fn measure_distributed(grid: &ahn_core::sweeps::SweepGrid) -> Option<f64> {
                 cache_cap: 2 * grid.cell_count(),
                 queue_cap: 2 * grid.cell_count(),
                 journal: None,
+                ..ahn_serve::ServerConfig::default()
             }) else {
                 return best;
             };
@@ -312,6 +313,7 @@ fn measure_distributed(grid: &ahn_core::sweeps::SweepGrid) -> Option<f64> {
                             max_cells: 0,
                             idle_exit_polls: 50,
                             max_consecutive_errors: 3,
+                            ..ahn_serve::WorkerConfig::default()
                         };
                         let _ = ahn_serve::run_worker(&mut transport, &config);
                     })
@@ -350,6 +352,7 @@ fn measure_serve() -> (Option<f64>, Option<f64>) {
             cache_cap: 2 * SERVE_DISTINCT,
             queue_cap: 2 * SERVE_DISTINCT,
             journal: None,
+            ..ahn_serve::ServerConfig::default()
         }) else {
             return (None, None);
         };

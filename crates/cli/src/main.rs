@@ -294,6 +294,27 @@ fn parse_serve_flags(args: &[String]) -> Result<ahn_serve::ServerConfig, String>
                 Ok(n) if n > 0 => config.queue_cap = n,
                 _ => return Err("--queue-cap needs a positive integer".into()),
             },
+            // Deadline knobs, all in milliseconds, 0 = disabled.
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout-ms: {e}"))?
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?
+            }
+            "--drain-ms" => {
+                config.drain_ms = value("--drain-ms")?
+                    .parse()
+                    .map_err(|e| format!("--drain-ms: {e}"))?
+            }
             other => return Err(format!("unknown serve flag {other:?}")),
         }
     }
@@ -449,17 +470,34 @@ fn loadtest(args: &[String]) {
     }
 }
 
-/// `ahn-exp worker` flags: where to pull work from and when to stop.
+/// `ahn-exp worker` flags: where to pull work from, when to stop, how
+/// to back off and break, and which chaos faults to self-inject.
 #[derive(Debug, Clone, PartialEq)]
 struct WorkerFlags {
     addr: String,
     config: ahn_serve::WorkerConfig,
+    /// Breaker trip threshold (consecutive failures); 0 disables.
+    breaker_threshold: u32,
+    /// Breaker cooldown before the half-open probe, milliseconds.
+    breaker_cooldown_ms: u64,
+    /// Seeded self-injected transport chaos (`--chaos-*`): the CLI face
+    /// of the `FlakyTransport` harness, for drills and the CI chaos job.
+    chaos: ahn_serve::FaultPlan,
 }
 
 fn parse_worker_flags(args: &[String]) -> Result<WorkerFlags, String> {
     let mut flags = WorkerFlags {
         addr: "127.0.0.1:7878".into(),
         config: ahn_serve::WorkerConfig::default(),
+        breaker_threshold: 8,
+        breaker_cooldown_ms: 1_000,
+        chaos: ahn_serve::FaultPlan::none(),
+    };
+    let percent = |name: &str, text: &str| -> Result<u8, String> {
+        match text.parse() {
+            Ok(n) if n <= 100 => Ok(n),
+            _ => Err(format!("{name} needs a percentage in [0, 100]")),
+        }
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -482,6 +520,69 @@ fn parse_worker_flags(args: &[String]) -> Result<WorkerFlags, String> {
                     .map_err(|e| format!("--max-cells: {e}"))?
             }
             "--exit-when-idle" => flags.config.idle_exit_polls = 3,
+            "--retry-base-ms" => match value("--retry-base-ms")?.parse() {
+                Ok(n) if n > 0 => flags.config.backoff.base_ms = n,
+                _ => return Err("--retry-base-ms needs a positive integer".into()),
+            },
+            "--retry-cap-ms" => match value("--retry-cap-ms")?.parse() {
+                Ok(n) if n > 0 => flags.config.backoff.cap_ms = n,
+                _ => return Err("--retry-cap-ms needs a positive integer".into()),
+            },
+            "--backoff-seed" => {
+                flags.config.backoff.seed = value("--backoff-seed")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-seed: {e}"))?
+            }
+            "--max-errors" => {
+                flags.config.max_consecutive_errors = value("--max-errors")?
+                    .parse()
+                    .map_err(|e| format!("--max-errors: {e}"))?
+            }
+            "--breaker-threshold" => {
+                flags.breaker_threshold = value("--breaker-threshold")?
+                    .parse()
+                    .map_err(|e| format!("--breaker-threshold: {e}"))?
+            }
+            "--breaker-cooldown-ms" => {
+                flags.breaker_cooldown_ms = value("--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|e| format!("--breaker-cooldown-ms: {e}"))?
+            }
+            "--chaos-seed" => {
+                flags.chaos.seed = value("--chaos-seed")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-seed: {e}"))?
+            }
+            "--chaos-drop-request" => {
+                flags.chaos.drop_request_percent =
+                    percent("--chaos-drop-request", value("--chaos-drop-request")?)?
+            }
+            "--chaos-drop-response" => {
+                flags.chaos.drop_response_percent =
+                    percent("--chaos-drop-response", value("--chaos-drop-response")?)?
+            }
+            "--chaos-latency-percent" => {
+                flags.chaos.latency_percent =
+                    percent("--chaos-latency-percent", value("--chaos-latency-percent")?)?
+            }
+            "--chaos-latency-ms" => {
+                flags.chaos.latency_ms = value("--chaos-latency-ms")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-latency-ms: {e}"))?
+            }
+            "--chaos-stall-percent" => {
+                flags.chaos.stall_percent =
+                    percent("--chaos-stall-percent", value("--chaos-stall-percent")?)?
+            }
+            "--chaos-stall-ms" => {
+                flags.chaos.stall_ms = value("--chaos-stall-ms")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-stall-ms: {e}"))?
+            }
+            "--chaos-partial-percent" => {
+                flags.chaos.partial_write_percent =
+                    percent("--chaos-partial-percent", value("--chaos-partial-percent")?)?
+            }
             other => return Err(format!("unknown worker flag {other:?}")),
         }
     }
@@ -500,16 +601,24 @@ fn worker(args: &[String]) {
         }
     };
     eprintln!("worker: pulling cells from {}...", flags.addr);
-    let mut transport = ahn_serve::HttpTransport::new(&flags.addr);
+    if flags.chaos.is_active() {
+        eprintln!("worker: chaos enabled: {:?}", flags.chaos);
+    }
+    let mut transport = ahn_serve::CircuitBreaker::new(
+        ahn_serve::FlakyTransport::new(ahn_serve::HttpTransport::new(&flags.addr), flags.chaos),
+        flags.breaker_threshold,
+        std::time::Duration::from_millis(flags.breaker_cooldown_ms),
+    );
     match ahn_serve::run_worker(&mut transport, &flags.config) {
         Ok(report) => {
             eprintln!(
-                "worker: {} completed, {} failed, {} duplicates, {} dropped, {} empty polls",
+                "worker: {} completed, {} failed, {} duplicates, {} dropped, {} empty polls, {} breaker trips",
                 report.completed,
                 report.failed,
                 report.duplicates,
                 report.dropped,
-                report.empty_polls
+                report.empty_polls,
+                report.breaker_opens
             );
         }
         Err(e) => {
@@ -1415,6 +1524,33 @@ mod tests {
         );
         let c = parse_serve_flags(&args(&["--journal", "/tmp/j.log"])).unwrap();
         assert_eq!(c.journal.as_deref(), Some("/tmp/j.log"));
+        let c = parse_serve_flags(&args(&[
+            "--read-timeout-ms",
+            "100",
+            "--idle-timeout-ms",
+            "200",
+            "--write-timeout-ms",
+            "300",
+            "--drain-ms",
+            "400",
+        ]))
+        .unwrap();
+        assert_eq!(
+            (
+                c.read_timeout_ms,
+                c.idle_timeout_ms,
+                c.write_timeout_ms,
+                c.drain_ms
+            ),
+            (100, 200, 300, 400)
+        );
+        // 0 is legal everywhere: it disables that deadline.
+        assert_eq!(
+            parse_serve_flags(&args(&["--read-timeout-ms", "0"]))
+                .unwrap()
+                .read_timeout_ms,
+            0
+        );
     }
 
     #[test]
@@ -1457,6 +1593,70 @@ mod tests {
     }
 
     #[test]
+    fn worker_resilience_flags_parse() {
+        let f = parse_worker_flags(&args(&[])).unwrap();
+        assert_eq!(f.config.backoff, ahn_serve::BackoffPolicy::default());
+        assert_eq!((f.breaker_threshold, f.breaker_cooldown_ms), (8, 1_000));
+        assert!(!f.chaos.is_active());
+        let f = parse_worker_flags(&args(&[
+            "--retry-base-ms",
+            "10",
+            "--retry-cap-ms",
+            "100",
+            "--backoff-seed",
+            "7",
+            "--max-errors",
+            "5",
+            "--breaker-threshold",
+            "3",
+            "--breaker-cooldown-ms",
+            "250",
+            "--chaos-seed",
+            "42",
+            "--chaos-drop-request",
+            "20",
+            "--chaos-drop-response",
+            "10",
+            "--chaos-latency-percent",
+            "15",
+            "--chaos-latency-ms",
+            "30",
+            "--chaos-stall-percent",
+            "5",
+            "--chaos-stall-ms",
+            "60",
+            "--chaos-partial-percent",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(
+            (
+                f.config.backoff.base_ms,
+                f.config.backoff.cap_ms,
+                f.config.backoff.seed
+            ),
+            (10, 100, 7)
+        );
+        assert_eq!(f.config.max_consecutive_errors, 5);
+        assert_eq!((f.breaker_threshold, f.breaker_cooldown_ms), (3, 250));
+        assert_eq!(
+            f.chaos,
+            ahn_serve::FaultPlan {
+                seed: 42,
+                drop_request_percent: 20,
+                drop_response_percent: 10,
+                latency_percent: 15,
+                latency_ms: 30,
+                stall_percent: 5,
+                stall_ms: 60,
+                partial_write_percent: 25,
+                die_after_calls: None,
+            }
+        );
+        assert!(f.chaos.is_active());
+    }
+
+    #[test]
     fn worker_flag_errors() {
         let err = parse_worker_flags(&args(&["--what"])).unwrap_err();
         assert!(err.contains("unknown worker flag"), "{err}");
@@ -1465,9 +1665,18 @@ mod tests {
             &["--poll-ms", "0"],
             &["--max-cells", "x"],
             &["--addr"],
+            &["--retry-base-ms", "0"],
+            &["--retry-cap-ms", "x"],
+            &["--breaker-threshold", "-1"],
+            &["--chaos-drop-request", "101"],
+            &["--chaos-latency-percent", "x"],
+            &["--chaos-stall-percent", "200"],
+            &["--chaos-partial-percent"],
         ] {
             assert!(parse_worker_flags(&args(bad)).is_err(), "{bad:?}");
         }
+        let err = parse_worker_flags(&args(&["--chaos-drop-request", "101"])).unwrap_err();
+        assert!(err.contains("[0, 100]"), "{err}");
     }
 
     #[test]

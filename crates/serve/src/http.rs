@@ -5,9 +5,14 @@
 //! keep-alive connections. No chunked encoding, no TLS, no HTTP/2 —
 //! deliberately, so the server has zero dependencies beyond `std` and
 //! the vendored JSON codec.
+//!
+//! Server-side reads run under [`Deadlines`]: an idle keep-alive limit
+//! on waiting for a request to start, and a total per-request budget
+//! once it has — the slowloris defense of the hardening layer.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Largest accepted request body (64 MiB) — a guard against a client
 /// (or a typo'd `Content-Length`) pinning server memory.
@@ -66,25 +71,83 @@ pub struct Request {
 pub enum ReadOutcome {
     /// A complete request was parsed.
     Request(Request),
-    /// The peer closed the connection cleanly between requests.
+    /// The peer closed the connection cleanly between requests — or sat
+    /// idle past the keep-alive deadline without sending a byte (an
+    /// idle eviction is indistinguishable from a clean close and is
+    /// treated the same: silently hang up).
     Closed,
     /// The bytes on the wire were not valid HTTP.
     Malformed(String),
+    /// The peer started a request but a read deadline expired before it
+    /// was complete (slowloris): the caller answers 408 and hangs up.
+    TimedOut,
 }
 
-/// Reads one HTTP/1.1 request from `reader`.
-///
-/// Returns [`ReadOutcome::Closed`] on clean EOF before the first byte,
-/// and [`ReadOutcome::Malformed`] (with a human reason) on garbage.
+/// Read deadlines for one request (see [`read_request_deadlined`]).
+/// `None` disables the corresponding deadline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadlines {
+    /// Longest a keep-alive connection may sit idle waiting for the
+    /// next request to *start*. Expiry with zero bytes read is a clean
+    /// close; expiry with a partial request line is a timeout.
+    pub idle: Option<Duration>,
+    /// Total budget for reading the rest of a request (headers + body)
+    /// once its request line has arrived. A drip-feeding client cannot
+    /// stretch it: the remaining budget shrinks across reads.
+    pub request: Option<Duration>,
+}
+
+/// True when an I/O error is a socket read/write deadline expiring
+/// (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one HTTP/1.1 request with no deadlines (the pre-hardening
+/// behavior; test and client-side helper).
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome> {
+    read_request_deadlined(reader, &Deadlines::default())
+}
+
+/// Reads one HTTP/1.1 request from `reader`, enforcing `deadlines`
+/// through `TcpStream::set_read_timeout` on the underlying socket.
+///
+/// Returns [`ReadOutcome::Closed`] on clean EOF (or idle expiry) before
+/// the first byte, [`ReadOutcome::Malformed`] (with a human reason) on
+/// garbage, and [`ReadOutcome::TimedOut`] when a deadline expired with
+/// a request partially on the wire.
+pub fn read_request_deadlined(
+    reader: &mut BufReader<TcpStream>,
+    deadlines: &Deadlines,
+) -> io::Result<ReadOutcome> {
+    reader.get_ref().set_read_timeout(deadlines.idle)?;
     let mut line = String::new();
     match read_line_bounded(reader, &mut line) {
         Ok(None) => return Ok(ReadOutcome::Closed),
         Ok(Some(())) => {}
+        Err(e) if is_timeout(&e) => {
+            // Zero bytes -> the connection was merely idle; partial
+            // bytes -> a stalling client holding a thread hostage.
+            return Ok(if line.is_empty() {
+                ReadOutcome::Closed
+            } else {
+                ReadOutcome::TimedOut
+            });
+        }
         Err(e) if e.kind() == io::ErrorKind::InvalidData => {
             return Ok(ReadOutcome::Malformed(e.to_string()))
         }
         Err(e) => return Err(e),
+    }
+    // The request line is in: the rest of the message runs against one
+    // total budget, re-armed with the *remaining* time before every
+    // read so slow dripping cannot extend it.
+    let deadline = deadlines.request.map(|budget| Instant::now() + budget);
+    if let Err(outcome) = arm_remaining(reader, deadline) {
+        return Ok(outcome);
     }
     let mut parts = line.split_whitespace();
     let (method, target) = match (parts.next(), parts.next(), parts.next()) {
@@ -108,10 +171,14 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome
                 "more than {MAX_HEADERS} headers"
             )));
         }
+        if let Err(outcome) = arm_remaining(reader, deadline) {
+            return Ok(outcome);
+        }
         let mut header = String::new();
         match read_line_bounded(reader, &mut header) {
             Ok(None) => return Ok(ReadOutcome::Malformed("EOF inside headers".into())),
             Ok(Some(())) => {}
+            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::TimedOut),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 return Ok(ReadOutcome::Malformed(e.to_string()))
             }
@@ -139,13 +206,49 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<ReadOutcome
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        if let Err(outcome) = arm_remaining(reader, deadline) {
+            return Ok(outcome);
+        }
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Ok(ReadOutcome::Malformed("EOF inside the body".into())),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => return Ok(ReadOutcome::TimedOut),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     Ok(ReadOutcome::Request(Request {
         method,
         path,
         body,
         close,
     }))
+}
+
+/// Re-arms the socket read timeout with the time left until `deadline`
+/// (no-op when there is no deadline). `Err(TimedOut)` when the budget
+/// is already spent.
+fn arm_remaining(
+    reader: &mut BufReader<TcpStream>,
+    deadline: Option<Instant>,
+) -> Result<(), ReadOutcome> {
+    let Some(deadline) = deadline else {
+        // No request budget: drop back to blocking reads so a deadline
+        // armed for the idle wait does not outlive its phase.
+        let _ = reader.get_ref().set_read_timeout(None);
+        return Ok(());
+    };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(ReadOutcome::TimedOut);
+    }
+    match reader.get_ref().set_read_timeout(Some(remaining)) {
+        Ok(()) => Ok(()),
+        // A socket so broken it cannot set options reads as timed out.
+        Err(_) => Err(ReadOutcome::TimedOut),
+    }
 }
 
 /// Writes one HTTP/1.1 response with a JSON body.
@@ -161,6 +264,7 @@ pub fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };

@@ -122,6 +122,14 @@ pub trait JobStore: Send + Sync {
 
     /// Leases currently outstanding.
     fn leased(&self) -> usize;
+
+    /// Queued plus leased cells — the store-side work a draining node
+    /// must see settled (or give up on at its drain deadline) before it
+    /// can stop. Racy across two loads, which is fine: the drain loop
+    /// re-polls.
+    fn outstanding(&self) -> usize {
+        self.depth() + self.leased()
+    }
 }
 
 struct Lease {

@@ -230,4 +230,43 @@ mod tests {
         assert_eq!(replayed.discarded, 1);
         let _ = std::fs::remove_file(&path);
     }
+
+    #[test]
+    fn every_torn_tail_truncation_recovers_the_clean_prefix() {
+        // A crash (or a partial-write fault) can cut the file at *any*
+        // byte. Whatever the cut, replay must keep every whole record
+        // before it, discard the fragment, and never error.
+        let path = tmp("torn-exhaustive");
+        let mut journal = Journal::open(&path).unwrap();
+        journal.append(1, "\"a\"").unwrap();
+        journal.append(2, "\"b\"").unwrap();
+        drop(journal);
+        let bytes = std::fs::read(&path).unwrap();
+        let first_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+
+        for cut in 0..=bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let replayed = replay(&path).unwrap();
+            // A record survives once all its content bytes are present —
+            // losing only the trailing '\n' still passes the checksum.
+            let (mut want_records, mut want_discarded) = (0, 0);
+            let mut start = 0;
+            for end in [first_len, bytes.len()] {
+                if cut >= end - 1 {
+                    want_records += 1;
+                    start = end;
+                } else {
+                    want_discarded = usize::from(cut > start);
+                    break;
+                }
+            }
+            assert_eq!(
+                (replayed.records.len(), replayed.discarded),
+                (want_records, want_discarded),
+                "cut at byte {cut} of {}",
+                bytes.len()
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -25,10 +25,15 @@
 //!   `complete` (the `ahn-exp worker` subcommand);
 //! * [`coordinator`] — distributed sweeps/calibrations: submit cells,
 //!   checkpoint completions, merge bit-identically to the local fold;
-//! * [`faults`] — the seeded [`faults::FlakyTransport`] double the
-//!   distributed tests inject failures with;
+//! * [`faults`] — the seeded [`faults::FlakyTransport`] chaos harness
+//!   (drop/latency/stall/partial-write) behind the distributed tests
+//!   and the `--chaos-*` worker flags;
+//! * [`resilience`] — seeded decorrelated-jitter backoff and the
+//!   [`resilience::CircuitBreaker`] transport wrapper (trip after N
+//!   consecutive failures, half-open probe);
 //! * [`metrics`] — `/metrics` counters: requests served, cache hit
-//!   rate, queue depth, work claims/leases, games/s;
+//!   rate, queue depth, work claims/leases, games/s, plus the
+//!   hardening counters (timeouts, breaker trips, drain time);
 //! * [`http`] — the minimal HTTP/1.1 reader/writer both sides share;
 //! * [`loadtest`] — a std-only load generator reporting p50/p99 latency
 //!   and requests/s (the `ahn-exp loadtest` subcommand).
@@ -43,7 +48,7 @@
 //!     workers: 1,
 //!     cache_cap: 16,
 //!     queue_cap: 16,
-//!     journal: None,
+//!     ..server::ServerConfig::default()
 //! })
 //! .unwrap();
 //! let addr = handle.addr().to_string();
@@ -64,6 +69,7 @@ pub mod journal;
 pub mod loadtest;
 pub mod metrics;
 pub mod protocol;
+pub mod resilience;
 pub mod server;
 pub mod worker;
 
@@ -71,5 +77,6 @@ pub use coordinator::{run_calibration_via, run_sweep_via};
 pub use faults::{FaultPlan, FlakyTransport};
 pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
 pub use protocol::JobSpec;
+pub use resilience::{Backoff, BackoffPolicy, CircuitBreaker};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use worker::{run_worker, HttpTransport, Transport, WorkerConfig, WorkerReport};

@@ -93,7 +93,36 @@ pub fn smoke_spec(index: u64) -> JobSpec {
 /// One synchronous request on a fresh connection (CLI helper for
 /// one-shot calls like `/metrics` or `/v1/shutdown`).
 pub fn one_shot(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    one_shot_deadlined(addr, method, path, body, None)
+}
+
+/// [`one_shot`] with a total per-call deadline applied to connect,
+/// send and receive (each phase individually bounded by `deadline`) —
+/// the client-side guard a worker uses so a wedged server cannot pin
+/// it forever. `None` blocks indefinitely.
+pub fn one_shot_deadlined(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    deadline: Option<Duration>,
+) -> Result<(u16, String), String> {
+    let stream = match deadline {
+        None => TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?,
+        Some(limit) => {
+            use std::net::ToSocketAddrs;
+            let sock = addr
+                .to_socket_addrs()
+                .map_err(|e| format!("resolve {addr}: {e}"))?
+                .next()
+                .ok_or_else(|| format!("resolve {addr}: no addresses"))?;
+            TcpStream::connect_timeout(&sock, limit).map_err(|e| format!("connect {addr}: {e}"))?
+        }
+    };
+    stream
+        .set_read_timeout(deadline)
+        .and_then(|()| stream.set_write_timeout(deadline))
+        .map_err(|e| format!("set deadline: {e}"))?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut stream = stream;
     write_request(&mut stream, method, path, body).map_err(|e| format!("send: {e}"))?;
@@ -196,7 +225,9 @@ pub fn render(report: &LoadtestReport) -> String {
     if let Some(m) = &report.server_metrics {
         out.push_str(&format!(
             "server: hit rate {:.1}%, queue depth {} (peak {}), {:.0} games/s busy-side\n\
-             server: {:.3}s compute across {} jobs ({:.1} ms/job mean)\n",
+             server: {:.3}s compute across {} jobs ({:.1} ms/job mean)\n\
+             server: hardening: {} timed-out requests, {} breaker trips, \
+             {} external cells, drained {:.3}s\n",
             m.cache_hit_rate * 100.0,
             m.queue_depth,
             m.queue_depth_peak,
@@ -204,6 +235,10 @@ pub fn render(report: &LoadtestReport) -> String {
             m.job_seconds_total,
             m.jobs_completed + m.jobs_failed,
             m.job_seconds_mean * 1000.0,
+            m.requests_timed_out,
+            m.breaker_open_total,
+            m.cells_completed_external,
+            m.drain_seconds,
         ));
     }
     out

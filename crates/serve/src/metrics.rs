@@ -47,6 +47,22 @@ pub struct Metrics {
     /// Expired leases requeued by the lazy sweep (each one is a cell a
     /// crashed or stalled worker abandoned).
     pub lease_requeues: AtomicU64,
+    /// Connections evicted by a read deadline mid-request (slowloris
+    /// defense). Idle keep-alive closes are clean and not counted here.
+    pub requests_timed_out: AtomicU64,
+    /// Circuit-breaker trips reported by claiming workers (best-effort:
+    /// a trip report dropped by the transport is retried with the next
+    /// claim, so the counter is at-least-once under faults).
+    pub breaker_open_total: AtomicU64,
+    /// Completions accepted from external workers. Kept separate so
+    /// `games_simulated` stays an honest *local-compute* gauge — a
+    /// pull-only node reports the cells it recorded, not games it never
+    /// simulated (the PR-6 accounting gotcha).
+    pub cells_completed_external: AtomicU64,
+    /// Nanoseconds spent draining at shutdown, updated live while the
+    /// drain loop runs (so a `/metrics` scrape during drain sees it
+    /// rising).
+    pub drain_nanos: AtomicU64,
 }
 
 impl Metrics {
@@ -63,6 +79,12 @@ impl Metrics {
     /// Raises a high-water-mark gauge to `value` if it is higher.
     pub fn raise(counter: &AtomicU64, value: u64) {
         counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Overwrites a gauge (used by the drain loop, whose elapsed time
+    /// is monotone by construction).
+    pub fn set(counter: &AtomicU64, value: u64) {
+        counter.store(value, Ordering::Relaxed);
     }
 
     /// Builds the `/metrics` response body.
@@ -111,6 +133,10 @@ impl Metrics {
             work_completed: load(&self.work_completed),
             work_duplicate: load(&self.work_duplicate),
             lease_requeues: load(&self.lease_requeues),
+            requests_timed_out: load(&self.requests_timed_out),
+            breaker_open_total: load(&self.breaker_open_total),
+            cells_completed_external: load(&self.cells_completed_external),
+            drain_seconds: load(&self.drain_nanos) as f64 / 1e9,
         }
     }
 }
@@ -166,6 +192,15 @@ pub struct Snapshot {
     pub work_duplicate: u64,
     /// Expired leases requeued by the lazy sweep.
     pub lease_requeues: u64,
+    /// Connections evicted by a read deadline mid-request.
+    pub requests_timed_out: u64,
+    /// Circuit-breaker trips reported by claiming workers.
+    pub breaker_open_total: u64,
+    /// Completions accepted from external workers (excluded from
+    /// `games_simulated`, which counts local compute only).
+    pub cells_completed_external: u64,
+    /// Seconds spent draining at shutdown (rises live during a drain).
+    pub drain_seconds: f64,
 }
 
 #[cfg(test)]
@@ -202,6 +237,22 @@ mod tests {
         assert_eq!(m.snapshot(0, 0, 1).queue_depth_peak, 3);
         Metrics::raise(&m.queue_depth_peak, 7);
         assert_eq!(m.snapshot(0, 0, 1).queue_depth_peak, 7);
+    }
+
+    #[test]
+    fn hardening_counters_flow_into_the_snapshot() {
+        let m = Metrics::default();
+        Metrics::bump(&m.requests_timed_out);
+        Metrics::add(&m.breaker_open_total, 3);
+        Metrics::add(&m.cells_completed_external, 7);
+        Metrics::set(&m.drain_nanos, 1_500_000_000);
+        let s = m.snapshot(0, 0, 1);
+        assert_eq!(s.requests_timed_out, 1);
+        assert_eq!(s.breaker_open_total, 3);
+        assert_eq!(s.cells_completed_external, 7);
+        assert!((s.drain_seconds - 1.5).abs() < 1e-12);
+        // External completions never leak into the local-compute gauge.
+        assert_eq!(s.games_simulated, 0);
     }
 
     #[test]

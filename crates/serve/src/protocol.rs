@@ -174,6 +174,11 @@ pub struct ClaimRequest {
     /// Requested lease in milliseconds, clamped to
     /// [1, [`MAX_LEASE_MS`]]; [`DEFAULT_LEASE_MS`] when omitted.
     pub lease_ms: Option<u64>,
+    /// Circuit-breaker trips this worker observed since its last
+    /// acknowledged claim; the server folds them into
+    /// `breaker_open_total`. Best-effort telemetry (at-least-once under
+    /// faults), omitted by pre-hardening workers.
+    pub breaker_trips: Option<u64>,
 }
 
 /// A granted work lease, the non-empty answer of `POST /v1/work/claim`
@@ -384,8 +389,13 @@ mod tests {
         // An empty claim body means "default lease".
         let claim: ClaimRequest = serde_json::from_str("{}").unwrap();
         assert_eq!(claim.lease_ms, None);
+        assert_eq!(claim.breaker_trips, None);
         let claim: ClaimRequest = serde_json::from_str("{\"lease_ms\":250}").unwrap();
         assert_eq!(claim.lease_ms, Some(250));
+        // The hardened worker's claim body carries trip telemetry.
+        let claim: ClaimRequest =
+            serde_json::from_str("{\"lease_ms\":250,\"breaker_trips\":2}").unwrap();
+        assert_eq!(claim.breaker_trips, Some(2));
 
         let spec = presets()[0].body.clone();
         let grant = WorkGrant {

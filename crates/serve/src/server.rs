@@ -13,24 +13,34 @@
 //!                        cache/coalesce/enqueue flow
 //! GET  /v1/jobs/{id}     poll a job; done -> result inline
 //! GET  /v1/presets       ready-to-POST bodies for fig4/table5/ipdrp
-//! GET  /healthz          liveness probe
+//! GET  /healthz          liveness probe (200 while the process serves)
+//! GET  /readyz           readiness probe: 200 while accepting work,
+//!                        503 once draining (load balancers stop
+//!                        routing; liveness stays green)
 //! GET  /metrics          counters: requests, cache hit rate, queue
 //!                        depth (current + peak), job compute seconds,
-//!                        games/s
+//!                        games/s, hardening (timeouts/breaker/drain)
 //! POST /v1/work/claim    lease one queued cell to an external worker
 //!                        (empty queue -> {"status":"empty"})
 //! POST /v1/work/complete deliver a leased cell's result; duplicates of
 //!                        an already-finished job are discarded
-//! POST /v1/shutdown      graceful stop (drains nothing: pending jobs
-//!                        finish, new submissions are rejected)
+//! POST /v1/shutdown      graceful drain: readiness flips to 503, new
+//!                        submissions answer 503, claims answer empty;
+//!                        queued and leased cells get up to `drain_ms`
+//!                        to finish (completions are still accepted and
+//!                        journaled), then the node exits
 //! ```
 //!
 //! Connections get one OS thread each (keep-alive, so a load generator
 //! with N connections costs N threads); experiment compute runs on the
 //! bounded worker pool of [`crate::jobs`], never on connection threads.
+//! Every connection read runs under the [`crate::http::Deadlines`] of
+//! the config — a slowloris client is evicted with 408, an idle
+//! keep-alive connection is closed silently, and neither can pin its
+//! thread past the deadline.
 
 use crate::cache::LruCache;
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::http::{read_request_deadlined, write_response, Deadlines, ReadOutcome, Request};
 use crate::jobs::{run_job, JobStatus, JobStore, JournalStore, MemStore, QueuedJob};
 use crate::metrics::Metrics;
 use crate::protocol::{
@@ -70,6 +80,23 @@ pub struct ServerConfig {
     /// result cache on the next boot, so a restarted node resumes
     /// without recomputing finished cells.
     pub journal: Option<String>,
+    /// Total budget for reading one request (headers + body) once its
+    /// request line arrived, milliseconds; a client that drips bytes
+    /// slower is evicted with 408. `0` disables the deadline.
+    pub read_timeout_ms: u64,
+    /// Longest a keep-alive connection may sit idle between requests,
+    /// milliseconds; expiry closes the connection silently. `0`
+    /// disables the deadline.
+    pub idle_timeout_ms: u64,
+    /// Socket write timeout per response write, milliseconds; a client
+    /// that stops reading its response is disconnected. `0` disables
+    /// the deadline.
+    pub write_timeout_ms: u64,
+    /// Drain budget of a graceful shutdown, milliseconds: how long the
+    /// node waits for queued, leased and in-flight cells to settle
+    /// before exiting anyway. `0` exits immediately (the
+    /// pre-hardening behavior).
+    pub drain_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +107,10 @@ impl Default for ServerConfig {
             cache_cap: 128,
             queue_cap: 64,
             journal: None,
+            read_timeout_ms: 10_000,
+            idle_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            drain_ms: 5_000,
         }
     }
 }
@@ -115,6 +146,14 @@ struct Shared {
     store: Arc<dyn JobStore>,
     next_job_id: AtomicU64,
     running: AtomicBool,
+    /// Set the moment a shutdown is requested: readiness flips to 503,
+    /// submissions bounce, claims answer empty. `running` only follows
+    /// once the drain budget is spent or the work is settled.
+    draining: AtomicBool,
+    /// In-process worker threads currently inside `run_job` — the
+    /// third kind of outstanding work (besides queued and leased) a
+    /// drain must wait on.
+    busy_jobs: AtomicU64,
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -130,8 +169,10 @@ impl ServerHandle {
         self.shared.local_addr
     }
 
-    /// Requests a graceful stop and waits for workers and the accept
-    /// loop to exit. Pending queued jobs still run to completion.
+    /// Requests a graceful drain-then-stop and waits for workers and
+    /// the accept loop to exit. Outstanding work (queued, leased,
+    /// in-flight) gets up to `drain_ms` to settle; readiness answers
+    /// 503 and new work is refused throughout.
     pub fn shutdown(self) {
         initiate_shutdown(&self.shared);
         self.join();
@@ -178,6 +219,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         metrics: Metrics::default(),
         next_job_id: AtomicU64::new(1),
         running: AtomicBool::new(true),
+        draining: AtomicBool::new(false),
+        busy_jobs: AtomicU64::new(0),
     });
 
     let worker_handles: Vec<JoinHandle<()>> = (0..workers)
@@ -220,13 +263,41 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
-/// Flags the server as stopping and pokes the (blocking) accept loop
-/// with a throwaway connection so it observes the flag.
+/// Graceful drain, then stop. The first caller flips `draining` (so
+/// readiness answers 503, submissions bounce and claims answer empty),
+/// waits up to `drain_ms` for outstanding work — queued cells, leased
+/// cells, jobs inside in-process workers — to settle (completions keep
+/// being accepted and journaled throughout), then stops the accept
+/// loop, poking it with a throwaway connection so it observes the flag.
+/// Leases still outstanding at the deadline are abandoned safely: their
+/// cells were journaled if finished, and requeue on resubmission
+/// otherwise.
 fn initiate_shutdown(shared: &Shared) {
-    if shared.running.swap(false, Ordering::SeqCst) {
-        shared.store.close();
-        let _ = TcpStream::connect(shared.local_addr);
+    if shared.draining.swap(true, Ordering::SeqCst) {
+        return; // another caller is already draining
     }
+    let started = Instant::now();
+    let budget = Duration::from_millis(shared.config.drain_ms);
+    loop {
+        // The lazy lease sweep keeps running during the drain so a cell
+        // abandoned by a crashed worker still requeues (and can be
+        // picked up by in-process workers) instead of pinning the wait.
+        let requeued = shared.store.sweep_expired();
+        Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
+        let outstanding =
+            shared.store.outstanding() + shared.busy_jobs.load(Ordering::SeqCst) as usize;
+        Metrics::set(
+            &shared.metrics.drain_nanos,
+            started.elapsed().as_nanos() as u64,
+        );
+        if outstanding == 0 || started.elapsed() >= budget {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.running.store(false, Ordering::SeqCst);
+    shared.store.close();
+    let _ = TcpStream::connect(shared.local_addr);
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
@@ -234,10 +305,21 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let millis = |ms: u64| (ms > 0).then(|| Duration::from_millis(ms));
+    let deadlines = Deadlines {
+        idle: millis(shared.config.idle_timeout_ms),
+        request: millis(shared.config.read_timeout_ms),
+    };
+    if stream
+        .set_write_timeout(millis(shared.config.write_timeout_ms))
+        .is_err()
+    {
+        return;
+    }
     let mut stream = stream;
     let mut reader = BufReader::new(read_half);
     loop {
-        match read_request(&mut reader) {
+        match read_request_deadlined(&mut reader, &deadlines) {
             Ok(ReadOutcome::Request(req)) => {
                 Metrics::bump(&shared.metrics.http_requests);
                 let (status, body, shutdown) = route(shared, &req);
@@ -254,6 +336,13 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
                 let _ = write_response(&mut stream, 400, &error_body(&reason), true);
                 break;
             }
+            Ok(ReadOutcome::TimedOut) => {
+                // A started-but-stalled request: evict loudly so the
+                // slowloris shows up in metrics, then hang up.
+                Metrics::bump(&shared.metrics.requests_timed_out);
+                let _ = write_response(&mut stream, 408, &error_body("request deadline"), true);
+                break;
+            }
             Ok(ReadOutcome::Closed) | Err(_) => break,
         }
     }
@@ -263,6 +352,16 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, "{\"status\":\"ok\"}".into(), false),
+        ("GET", "/readyz") => {
+            // Readiness, distinct from liveness: a draining node is
+            // alive (finishing work, accepting completions) but must
+            // not receive new traffic.
+            if shared.draining.load(Ordering::SeqCst) {
+                (503, "{\"status\":\"draining\"}".into(), false)
+            } else {
+                (200, "{\"status\":\"ready\"}".into(), false)
+            }
+        }
         ("GET", "/metrics") => {
             // A metrics scrape doubles as a lazy lease sweep: cells
             // abandoned by crashed workers are requeued here (and on
@@ -286,6 +385,27 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
             Ok(body) => (200, body, false),
             Err(e) => (500, error_body(&e.to_string()), false),
         },
+        // A draining node takes no new work: submissions answer 503 so
+        // callers retry elsewhere (or later), and claims answer empty
+        // so pull workers idle out instead of erroring. Completions for
+        // work already leased keep landing below.
+        ("POST", "/v1/experiments" | "/v1/sweeps" | "/v1/calibrations")
+            if shared.draining.load(Ordering::SeqCst) =>
+        {
+            (
+                503,
+                error_body("server is draining, no new submissions"),
+                false,
+            )
+        }
+        ("POST", "/v1/work/claim") if shared.draining.load(Ordering::SeqCst) => {
+            Metrics::bump(&shared.metrics.work_claim_empty);
+            (
+                200,
+                "{\"status\":\"empty\",\"reason\":\"draining\"}".into(),
+                false,
+            )
+        }
         ("POST", "/v1/experiments") => submit(shared, &req.body),
         ("POST", "/v1/sweeps") => submit_sweep(shared, &req.body),
         ("POST", "/v1/calibrations") => submit_calibration(shared, &req.body),
@@ -295,7 +415,7 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
         ("POST", "/v1/shutdown") => (200, "{\"status\":\"shutting-down\"}".into(), true),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/sweeps"
+            "/healthz" | "/readyz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/sweeps"
             | "/v1/calibrations" | "/v1/work/claim" | "/v1/work/complete" | "/v1/shutdown",
         ) => (405, error_body("method not allowed"), false),
         (_, path) if path.starts_with("/v1/jobs/") => {
@@ -653,6 +773,12 @@ fn work_claim(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
         .lease_ms
         .unwrap_or(DEFAULT_LEASE_MS)
         .clamp(1, MAX_LEASE_MS);
+    // Fold worker-reported breaker trips into the fleet-wide counter
+    // (best-effort telemetry; deltas lost with a dropped claim are
+    // re-sent with the worker's next claim).
+    if let Some(trips) = request.breaker_trips {
+        Metrics::add(&shared.metrics.breaker_open_total, trips);
+    }
 
     let requeued = shared.store.sweep_expired();
     Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
@@ -765,6 +891,10 @@ fn work_complete(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
             recorded = Some(result);
             Metrics::bump(&shared.metrics.jobs_completed);
             Metrics::bump(&shared.metrics.work_completed);
+            // Externally computed cells count here, *not* in
+            // `games_simulated`: that gauge stays honest local compute
+            // (this node never simulated these games).
+            Metrics::bump(&shared.metrics.cells_completed_external);
         }
         None => {
             if let Some(record) = state.jobs.get_mut(&completion.job_id) {
@@ -809,6 +939,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
 
+        // Visible to the drain loop: a job inside `run_job` is neither
+        // queued nor leased, but a drain must still wait for it.
+        shared.busy_jobs.fetch_add(1, Ordering::SeqCst);
         let started = Instant::now();
         let outcome = run_job(&job.spec);
         let elapsed_nanos = started.elapsed().as_nanos() as u64;
@@ -846,6 +979,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 state.jobs.remove(&old);
             }
         }
+        drop(state);
+        // Decrement only after the result is visible: the drain loop
+        // must not observe zero outstanding work while a completed
+        // job's bookkeeping is still in flight.
+        shared.busy_jobs.fetch_sub(1, Ordering::SeqCst);
     }
 }
 

@@ -14,11 +14,15 @@
 //! applied a completion is retried, and the server answers
 //! `{"status":"duplicate"}` for the replay (first completion wins).
 //! The [`Transport`] trait is the seam the fault-injection harness
-//! ([`crate::faults::FlakyTransport`]) plugs into.
+//! ([`crate::faults::FlakyTransport`]) and the resilience policies
+//! ([`crate::resilience::CircuitBreaker`]) plug into. Retries sleep on
+//! a seeded decorrelated-jitter backoff ([`crate::resilience::Backoff`])
+//! instead of spinning hot at a fixed interval.
 
 use crate::jobs::run_job;
-use crate::loadtest::one_shot;
+use crate::loadtest::one_shot_deadlined;
 use crate::protocol::{WorkCompletion, WorkGrant};
+use crate::resilience::{Backoff, BackoffPolicy};
 use std::time::Duration;
 
 /// One HTTP round trip, abstracted so tests can inject failures
@@ -28,26 +32,51 @@ use std::time::Duration;
 pub trait Transport: Send {
     /// Performs `method path` with `body`, returning `(status, body)`.
     fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String>;
+
+    /// Circuit-breaker trips observed by this transport stack so far
+    /// (0 when no breaker is in the stack); wrappers delegate inward so
+    /// the worker can report trips to the server regardless of
+    /// stacking order.
+    fn breaker_opens(&self) -> u64 {
+        0
+    }
 }
+
+/// Default per-call deadline of [`HttpTransport`], milliseconds: bounds
+/// connect, send and receive so a stalled server cannot wedge a worker
+/// (claims and completions are sub-second; compute happens locally).
+pub const DEFAULT_TRANSPORT_DEADLINE_MS: u64 = 30_000;
 
 /// The real transport: one fresh TCP connection per request (a worker
 /// is idle-or-computing, so connection reuse buys nothing and fresh
-/// connections survive server restarts).
+/// connections survive server restarts). Every call runs under a
+/// deadline — a worker never blocks forever on a wedged server.
 #[derive(Debug, Clone)]
 pub struct HttpTransport {
     addr: String,
+    deadline: Option<Duration>,
 }
 
 impl HttpTransport {
-    /// A transport talking to `addr` (`host:port`).
+    /// A transport talking to `addr` (`host:port`) with the default
+    /// per-call deadline.
     pub fn new(addr: &str) -> HttpTransport {
-        HttpTransport { addr: addr.into() }
+        HttpTransport::with_deadline(addr, DEFAULT_TRANSPORT_DEADLINE_MS)
+    }
+
+    /// A transport with an explicit per-call deadline in milliseconds
+    /// (0 disables the deadline — the pre-hardening behavior).
+    pub fn with_deadline(addr: &str, deadline_ms: u64) -> HttpTransport {
+        HttpTransport {
+            addr: addr.into(),
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        }
     }
 }
 
 impl Transport for HttpTransport {
     fn request(&mut self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
-        one_shot(&self.addr, method, path, body)
+        one_shot_deadlined(&self.addr, method, path, body, self.deadline)
     }
 }
 
@@ -57,8 +86,8 @@ pub struct WorkerConfig {
     /// Lease requested per claim, in milliseconds. Until it elapses the
     /// cell is this worker's; afterwards the server may requeue it.
     pub lease_ms: u64,
-    /// Sleep between claims that found nothing, and between transport
-    /// retries.
+    /// Sleep between claims that found nothing (idle polling, not
+    /// error retrying — retries use the backoff policy).
     pub poll_ms: u64,
     /// Stop after processing this many cells (0 = unlimited).
     pub max_cells: u64,
@@ -67,6 +96,9 @@ pub struct WorkerConfig {
     pub idle_exit_polls: u64,
     /// Give up after this many consecutive transport errors.
     pub max_consecutive_errors: u64,
+    /// Backoff between transport-error retries: exponential with
+    /// seeded decorrelated jitter, reset on the first success.
+    pub backoff: BackoffPolicy,
 }
 
 impl Default for WorkerConfig {
@@ -77,6 +109,7 @@ impl Default for WorkerConfig {
             max_cells: 0,
             idle_exit_polls: 0,
             max_consecutive_errors: 25,
+            backoff: BackoffPolicy::default(),
         }
     }
 }
@@ -98,28 +131,60 @@ pub struct WorkerReport {
     pub empty_polls: u64,
     /// Transport errors survived (claim and completion combined).
     pub transport_errors: u64,
+    /// Circuit-breaker trips observed by the transport stack.
+    pub breaker_opens: u64,
 }
 
 /// Runs the claim → compute → complete loop until an exit condition of
 /// `config` fires, returning what happened. `Err` means the worker gave
 /// up (transport dead, or a protocol violation).
+///
+/// Each claim reports the breaker trips observed since the last
+/// *acknowledged* claim (`breaker_trips` in the body), so the server's
+/// `breaker_open_total` aggregates fleet-wide trips. The report is
+/// at-least-once under faults: a delta whose claim response is lost is
+/// re-sent with the next claim.
 pub fn run_worker(
     transport: &mut dyn Transport,
     config: &WorkerConfig,
 ) -> Result<WorkerReport, String> {
-    let claim_body = format!("{{\"lease_ms\":{}}}", config.lease_ms);
+    let result = run_worker_loop(transport, config);
+    match result {
+        Ok(mut report) => {
+            report.breaker_opens = transport.breaker_opens();
+            Ok(report)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn run_worker_loop(
+    transport: &mut dyn Transport,
+    config: &WorkerConfig,
+) -> Result<WorkerReport, String> {
     let pause = Duration::from_millis(config.poll_ms.max(1));
+    let mut backoff = Backoff::new(config.backoff);
     let mut report = WorkerReport::default();
     let mut consecutive_errors = 0u64;
     let mut idle_polls = 0u64;
     let mut processed = 0u64;
+    let mut trips_reported = 0u64;
 
     loop {
         if config.max_cells > 0 && processed >= config.max_cells {
             return Ok(report);
         }
+        let trips_now = transport.breaker_opens();
+        let claim_body = format!(
+            "{{\"lease_ms\":{},\"breaker_trips\":{}}}",
+            config.lease_ms,
+            trips_now - trips_reported
+        );
         let body = match transport.request("POST", "/v1/work/claim", &claim_body) {
-            Ok((200, body)) => body,
+            Ok((200, body)) => {
+                trips_reported = trips_now;
+                body
+            }
             Ok((status, body)) => return Err(format!("claim rejected: {status} {body}")),
             Err(e) => {
                 report.transport_errors += 1;
@@ -129,11 +194,12 @@ pub fn run_worker(
                         "giving up after {consecutive_errors} consecutive transport errors: {e}"
                     ));
                 }
-                std::thread::sleep(pause);
+                std::thread::sleep(backoff.next_delay());
                 continue;
             }
         };
         consecutive_errors = 0;
+        backoff.reset();
 
         let grant: WorkGrant = match serde_json::from_str(&body) {
             Ok(grant) => grant,
@@ -205,11 +271,12 @@ pub fn run_worker(
                              errors: {e}"
                         ));
                     }
-                    std::thread::sleep(pause);
+                    std::thread::sleep(backoff.next_delay());
                 }
             }
         }
         consecutive_errors = 0;
+        backoff.reset();
         processed += 1;
     }
 }

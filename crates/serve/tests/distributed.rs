@@ -9,8 +9,8 @@ use ahn_serve::loadtest::one_shot;
 use ahn_serve::protocol::{WorkCompletion, WorkGrant};
 use ahn_serve::server::{spawn, ServerConfig, ServerHandle};
 use ahn_serve::{
-    run_calibration_via, run_sweep_via, run_worker, FaultPlan, FlakyTransport, HttpTransport,
-    WorkerConfig, WorkerReport,
+    run_calibration_via, run_sweep_via, run_worker, BackoffPolicy, CircuitBreaker, FaultPlan,
+    FlakyTransport, HttpTransport, WorkerConfig, WorkerReport,
 };
 use serde_json::Value;
 use std::path::PathBuf;
@@ -26,6 +26,10 @@ fn boot(workers: usize, journal: Option<&std::path::Path>) -> (ServerHandle, Str
         cache_cap: 64,
         queue_cap: 64,
         journal: journal.map(|p| p.display().to_string()),
+        // Short drain: several tests shut down with work still queued
+        // and must not wait out the default drain budget.
+        drain_ms: 250,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -75,9 +79,51 @@ fn start_worker(
             // submission gaps and lease-expiry waits mid-test.
             idle_exit_polls: 400,
             max_consecutive_errors: 200,
+            // Fast backoff so injected faults cost milliseconds, not
+            // the production-scale default delays.
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                cap_ms: 8,
+                seed: 3,
+            },
         };
         let outcome = run_worker(&mut transport, &config);
         (outcome, transport.injected())
+    })
+}
+
+/// Starts a pull worker behind the full resilience stack — circuit
+/// breaker over seeded chaos over HTTP, the `ahn-exp worker --chaos-*`
+/// configuration in-process. Fast backoff keeps retries test-friendly;
+/// zero cooldown makes every post-trip call a half-open probe, so the
+/// breaker exercises its state machine without fail-fast nondeterminism.
+/// Returns `(report, injected faults, breaker trips)`.
+fn start_hardened_worker(
+    addr: &str,
+    plan: FaultPlan,
+    lease_ms: u64,
+) -> JoinHandle<(Result<WorkerReport, String>, u64, u64)> {
+    let addr = addr.to_string();
+    std::thread::spawn(move || {
+        let mut transport = CircuitBreaker::new(
+            FlakyTransport::new(HttpTransport::new(&addr), plan),
+            2,
+            Duration::ZERO,
+        );
+        let config = WorkerConfig {
+            lease_ms,
+            poll_ms: 5,
+            max_cells: 0,
+            idle_exit_polls: 400,
+            max_consecutive_errors: 500,
+            backoff: BackoffPolicy {
+                base_ms: 1,
+                cap_ms: 8,
+                seed: 7,
+            },
+        };
+        let outcome = run_worker(&mut transport, &config);
+        (outcome, transport.inner().injected(), transport.opens())
     })
 }
 
@@ -144,13 +190,13 @@ fn flaky_workers_cannot_change_a_byte() {
             seed: 11,
             drop_request_percent: 20,
             drop_response_percent: 20,
-            die_after_calls: None,
+            ..FaultPlan::none()
         },
         FaultPlan {
             seed: 12,
             drop_request_percent: 20,
             drop_response_percent: 20,
-            die_after_calls: None,
+            ..FaultPlan::none()
         },
     ];
     let workers: Vec<_> = plans
@@ -204,10 +250,8 @@ fn worker_crash_mid_cell_expires_the_lease_and_another_worker_finishes() {
         let addr = addr.clone();
         move || {
             let plan = FaultPlan {
-                seed: 0,
-                drop_request_percent: 0,
-                drop_response_percent: 0,
                 die_after_calls: Some(1),
+                ..FaultPlan::none()
             };
             let mut transport = FlakyTransport::new(HttpTransport::new(&addr), plan);
             let config = WorkerConfig {
@@ -216,6 +260,7 @@ fn worker_crash_mid_cell_expires_the_lease_and_another_worker_finishes() {
                 max_cells: 0,
                 idle_exit_polls: 0,
                 max_consecutive_errors: 3,
+                ..WorkerConfig::default()
             };
             run_worker(&mut transport, &config)
         }
@@ -335,10 +380,8 @@ fn coordinator_resumes_from_journal_and_recomputes_only_missing_cells() {
     let crash_journal = tmp("coordinator-crash");
     let (handle, addr) = boot(1, None);
     let plan = FaultPlan {
-        seed: 0,
-        drop_request_percent: 0,
-        drop_response_percent: 0,
         die_after_calls: Some(6),
+        ..FaultPlan::none()
     };
     let mut flaky = FlakyTransport::new(HttpTransport::new(&addr), plan);
     let crashed = run_sweep_via(&mut flaky, &grid, Some(&crash_journal), 2);
@@ -393,6 +436,199 @@ fn distributed_calibration_matches_local_including_pareto_front() {
         local_json,
         "journal-only resume changed the report bytes"
     );
+    handle.shutdown();
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn churn_under_latency_stalls_partial_writes_and_breakers_cannot_change_a_byte() {
+    let grid = small_grid();
+    let local_json =
+        serde_json::to_string_pretty(&ahn_core::run_sweep(&grid).expect("local sweep")).unwrap();
+
+    let (handle, addr) = boot(0, None);
+    // Two workers behind breaker-over-chaos transports: dropped calls
+    // trip retries, stalls burn their transport deadline budget, partial
+    // writes feed the server malformed JSON, and two consecutive
+    // failures trip the breaker. Short leases heal every lost grant.
+    let plans = [
+        FaultPlan {
+            seed: 21,
+            drop_request_percent: 10,
+            drop_response_percent: 10,
+            latency_percent: 15,
+            latency_ms: 5,
+            stall_percent: 10,
+            stall_ms: 10,
+            partial_write_percent: 10,
+            die_after_calls: None,
+        },
+        FaultPlan {
+            seed: 22,
+            drop_request_percent: 10,
+            drop_response_percent: 10,
+            latency_percent: 15,
+            latency_ms: 5,
+            stall_percent: 10,
+            stall_ms: 10,
+            partial_write_percent: 10,
+            die_after_calls: None,
+        },
+    ];
+    let workers: Vec<_> = plans
+        .iter()
+        .map(|plan| start_hardened_worker(&addr, *plan, 300))
+        .collect();
+
+    let mut transport = HttpTransport::new(&addr);
+    let report = run_sweep_via(&mut transport, &grid, None, 2).expect("churned sweep");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "timeouts, breakers, and chaos changed the report bytes"
+    );
+
+    let (mut total_injected, mut total_opens) = (0, 0);
+    for worker in workers {
+        let (_, injected, opens) = worker.join().expect("worker thread");
+        total_injected += injected;
+        total_opens += opens;
+    }
+    assert!(total_injected > 0, "the fault plans never fired");
+    // ~45% of calls fail, so two consecutive failures (a trip) are
+    // certain across hundreds of deterministic per-worker schedules.
+    assert!(total_opens > 0, "the breakers never tripped");
+    // Workers report trip deltas on their (many) trailing idle claims,
+    // so the server-side fold must have seen at least one.
+    assert!(
+        metric_u64(&addr, "breaker_open_total") > 0,
+        "claim-reported trips must fold into breaker_open_total"
+    );
+    // All four cells were computed externally; the local-compute gauge
+    // stays honest at zero on a pull-only node.
+    assert_eq!(metric_u64(&addr, "cells_completed_external"), 4);
+    assert_eq!(metric_u64(&addr, "games_simulated"), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn claim_reported_breaker_trips_fold_into_the_metric() {
+    let (handle, addr) = boot(0, None);
+    let (status, body) = post(
+        &addr,
+        "/v1/work/claim",
+        "{\"lease_ms\":1000,\"breaker_trips\":3}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(metric_u64(&addr, "breaker_open_total"), 3);
+    // The field is optional: plain claims add nothing.
+    let (status, _) = post(&addr, "/v1/work/claim", "{\"lease_ms\":1000}");
+    assert_eq!(status, 200);
+    assert_eq!(metric_u64(&addr, "breaker_open_total"), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn drain_mid_sweep_then_restart_resumes_byte_identically_from_a_torn_journal() {
+    let mut grid = small_grid();
+    grid.seed_blocks = vec![0, 1, 2, 3]; // 8 cells: enough to drain mid-run
+    let cells = grid.cell_specs().len() as u64;
+    let local_json =
+        serde_json::to_string_pretty(&ahn_core::run_sweep(&grid).expect("local sweep")).unwrap();
+    let journal = tmp("drain-midrun");
+
+    // Phase 1: a pull-only server, one worker slowed by injected
+    // latency, and a checkpointing coordinator on a thread. Once the
+    // journal holds at least one completion, drain the server out from
+    // under both of them.
+    let (handle, addr) = boot(0, None);
+    let slow = FaultPlan {
+        seed: 5,
+        latency_percent: 100,
+        latency_ms: 30,
+        ..FaultPlan::none()
+    };
+    let worker = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut transport = FlakyTransport::new(HttpTransport::new(&addr), slow);
+            // Low error tolerance + fast backoff: once the server is
+            // gone this worker gives up in well under a second.
+            let config = WorkerConfig {
+                lease_ms: 60_000,
+                poll_ms: 2,
+                max_cells: 0,
+                idle_exit_polls: 400,
+                max_consecutive_errors: 10,
+                backoff: BackoffPolicy {
+                    base_ms: 1,
+                    cap_ms: 5,
+                    seed: 3,
+                },
+            };
+            run_worker(&mut transport, &config)
+        }
+    });
+    let coordinator = std::thread::spawn({
+        let addr = addr.clone();
+        let grid = grid.clone();
+        let journal = journal.clone();
+        move || {
+            let mut transport = HttpTransport::new(&addr);
+            run_sweep_via(&mut transport, &grid, Some(&journal), 2)
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let checkpointed = ahn_serve::journal::replay(&journal)
+            .map(|r| r.records.len())
+            .unwrap_or(0);
+        if checkpointed >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no cell was ever checkpointed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (status, _) = post(&addr, "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join();
+    assert!(
+        coordinator.join().expect("coordinator thread").is_err(),
+        "the drained server must fail the mid-run coordinator"
+    );
+    let _ = worker.join().expect("worker thread");
+
+    // Phase 1.5: tear the journal's trailing record, as a crash mid-append
+    // would. Replay discards exactly the torn tail and keeps the rest.
+    let bytes = std::fs::read(&journal).expect("journal exists");
+    assert!(!bytes.is_empty());
+    std::fs::write(&journal, &bytes[..bytes.len() - 3]).expect("tear the tail");
+    let replayed = ahn_serve::journal::replay(&journal).expect("replay torn journal");
+    assert_eq!(replayed.discarded, 1, "exactly the torn record is dropped");
+    let salvaged = replayed.records.len() as u64;
+    assert!(salvaged < cells);
+
+    // Phase 2: a fresh server and a healthy worker resume from the torn
+    // journal — byte-identical, recomputing only the missing cells.
+    let (handle, addr) = boot(0, None);
+    let healthy = start_worker(&addr, FaultPlan::none(), 60_000);
+    let mut transport = HttpTransport::new(&addr);
+    let report = run_sweep_via(&mut transport, &grid, Some(&journal), 2).expect("resumed sweep");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        local_json,
+        "drain/tear/resume changed the report bytes"
+    );
+    assert_eq!(
+        metric_u64(&addr, "cells_completed_external"),
+        cells - salvaged,
+        "checkpointed cells must not be recomputed (and none double-counted)"
+    );
+    healthy
+        .join()
+        .expect("healthy thread")
+        .0
+        .expect("clean exit");
     handle.shutdown();
     let _ = std::fs::remove_file(&journal);
 }

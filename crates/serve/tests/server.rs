@@ -13,6 +13,10 @@ fn boot(workers: usize, cache_cap: usize, queue_cap: usize) -> (ServerHandle, St
         cache_cap,
         queue_cap,
         journal: None,
+        // Short drain: some tests shut down with work still queued and
+        // must not wait out the default drain budget.
+        drain_ms: 250,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -605,6 +609,152 @@ fn work_endpoints_validate_count_and_never_spin_when_idle() {
     assert_eq!(metrics["work_claim_empty"], Value::U64(1));
     assert_eq!(metrics["jobs_failed"], Value::U64(1));
     handle.shutdown();
+}
+
+#[test]
+fn stalling_client_is_evicted_by_the_request_deadline() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        cache_cap: 4,
+        queue_cap: 4,
+        read_timeout_ms: 150,
+        idle_timeout_ms: 150,
+        drain_ms: 100,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // A slowloris: one byte of a request line, then silence.
+    let mut stall = TcpStream::connect(&addr).unwrap();
+    stall.write_all(b"G").unwrap();
+
+    // Healthy clients are served while the staller waits out its
+    // deadline — a stalled connection costs one thread, never the node.
+    let (status, _) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+
+    // The server evicts the staller with 408 at the deadline instead of
+    // buffering half a request forever.
+    let started = Instant::now();
+    let mut response = String::new();
+    stall
+        .read_to_string(&mut response)
+        .expect("read eviction response");
+    assert!(response.starts_with("HTTP/1.1 408"), "got {response:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "eviction must come from the deadline, not a test timeout"
+    );
+
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(metrics["requests_timed_out"], Value::U64(1));
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped_silently() {
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        cache_cap: 4,
+        queue_cap: 4,
+        read_timeout_ms: 5_000,
+        idle_timeout_ms: 100,
+        drain_ms: 100,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // A connection that never sends a byte: closed at the idle deadline
+    // with no response and no timeout metric — this is normal keep-alive
+    // hygiene, not an evicted request.
+    let mut idle = TcpStream::connect(&addr).unwrap();
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    idle.read_to_end(&mut buf).expect("server closes cleanly");
+    assert!(buf.is_empty(), "idle close must be silent: {buf:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "the idle deadline (100ms), not the request deadline (5s), must close"
+    );
+
+    let (_, metrics) = get(&addr, "/metrics");
+    assert_eq!(metrics["requests_timed_out"], Value::U64(0));
+    handle.shutdown();
+}
+
+#[test]
+fn drain_flips_readyz_refuses_new_work_and_exits_within_budget() {
+    let handle = spawn(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0,
+        cache_cap: 8,
+        queue_cap: 8,
+        drain_ms: 800,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let (status, ready) = get(&addr, "/readyz");
+    assert_eq!(status, 200);
+    assert_eq!(ready["status"], Value::String("ready".into()));
+
+    // Queue one cell on this pull-only node so the drain has
+    // outstanding work to wait on (nothing will ever claim it).
+    let body = serde_json::to_string(&ahn_serve::loadtest::smoke_spec(21)).unwrap();
+    let (status, _) = post(&addr, "/v1/experiments", &body);
+    assert_eq!(status, 202);
+
+    let started = Instant::now();
+    let (status, ack) = post(&addr, "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(ack["status"], Value::String("shutting-down".into()));
+
+    // During the drain window: not ready, no new submissions, no claims
+    // — but the node still answers (completions could still land). The
+    // drain flag flips just after the shutdown ack is written, so allow
+    // a few polls for it to land.
+    let ready = loop {
+        let (status, ready) = get(&addr, "/readyz");
+        if status == 503 {
+            break ready;
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "readiness never flipped"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(ready["status"], Value::String("draining".into()));
+    let (status, refused) = post(&addr, "/v1/experiments", &body);
+    assert_eq!(status, 503, "{refused:?}");
+    let (status, claim) = post(&addr, "/v1/work/claim", "{\"lease_ms\":1000}");
+    assert_eq!(status, 200);
+    assert_eq!(claim["status"], Value::String("empty".into()));
+    assert_eq!(claim["reason"], Value::String("draining".into()));
+    // The drain gauge is live mid-drain, not only at the end.
+    let (_, metrics) = get(&addr, "/metrics");
+    assert!(
+        matches!(metrics["drain_seconds"], Value::F64(s) if s >= 0.0),
+        "{:?}",
+        metrics["drain_seconds"]
+    );
+
+    // The stuck cell pins the drain to its full budget — and no longer.
+    handle.join();
+    assert!(started.elapsed() >= Duration::from_millis(800));
+    assert!(started.elapsed() < Duration::from_secs(10));
+    assert!(one_shot(&addr, "GET", "/healthz", "").is_err());
 }
 
 #[test]

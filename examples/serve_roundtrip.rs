@@ -23,6 +23,7 @@ fn main() {
         cache_cap: 32,
         queue_cap: 32,
         journal: None,
+        ..server::ServerConfig::default()
     })
     .expect("bind a loopback port");
     let addr = handle.addr().to_string();

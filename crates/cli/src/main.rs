@@ -35,7 +35,9 @@
 //!                       selection variant, scored against the paper targets
 //!   fidelity            assert per-case cooperation within tolerance of the
 //!                       paper targets (the CI reproduction-fidelity smoke)
-//!   trace               dump a JSON decision trace of one tournament
+//!   trace               dump a JSON decision trace of one tournament, or —
+//!                       given trace files — join them into per-cell span
+//!                       trees (`ahn-exp trace [--require-complete N] FILE..`)
 //!   check               verify the paper-input presets (Tables 1-4)
 //!   bench               time the artifact pipelines (PERFORMANCE.md)
 //!   serve               run the HTTP job server (crates/serve)
@@ -46,6 +48,13 @@
 //! `sweep` and `calibrate` also accept `--via ADDR` (run the grid
 //! through a serve node, distributed across its workers) and
 //! `--journal FILE` (checkpoint completed cells; resume skips them).
+//!
+//! `serve`, `worker`, `sweep`, `calibrate` and the experiment commands
+//! all accept `--trace FILE`: each node appends checksummed JSON span
+//! events ([`ahn_obs::TraceLog`]) keyed by a trace id derived from the
+//! cell's canonical hash, so `ahn-exp trace FILE..` reconstructs one
+//! cell's submit → enqueue → lease → compute → complete → merge
+//! lifecycle across server, worker and coordinator logs.
 
 use ahn_core::{
     ablations, baselines, cases::CaseSpec, config::ExperimentConfig, experiment, extensions, report,
@@ -87,6 +96,13 @@ fn main() {
     }
     if command == "fidelity" {
         fidelity(&args[1..]);
+        return;
+    }
+    // `trace` is two commands sharing a name: with trace-file arguments
+    // it joins span logs; with experiment flags only, it keeps its
+    // original meaning (dump a game decision trace).
+    if command == "trace" && trace_join_requested(&args[1..]) {
+        trace_join(&args[1..]);
         return;
     }
     let opts = match Options::parse(&args[1..]) {
@@ -147,23 +163,24 @@ fn print_usage() {
     println!(
         "ahn-exp — regenerate the tables and figures of Seredynski et al. (IPDPS'07)\n\n\
          usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
-                [--gens N] [--rounds N] [--seed S] [--out DIR]\n\
+                [--gens N] [--rounds N] [--seed S] [--out DIR] [--trace FILE]\n\
                 ahn-exp sweep [--cases 1,2,..] [--payoffs paper,..] [--sizes 10,50,..]\n\
                               [--seed-blocks N] [--json] [--via ADDR] [--journal FILE]\n\
-                              [+ the experiment flags above]\n\
+                              [--trace FILE] [+ the experiment flags above]\n\
                 ahn-exp calibrate [--cases 1,2,..] [--scales 0.5,1,..]\n\
                                   [--selections paper,rank,..] [--size N]\n\
                                   [--seed-blocks N] [--max-candidates N] [--json]\n\
-                                  [--via ADDR] [--journal FILE]\n\
+                                  [--via ADDR] [--journal FILE] [--trace FILE]\n\
                                   [+ the experiment flags above]\n\
                 ahn-exp fidelity [--cases 1,3] [--tol F] [+ the experiment flags]\n\
                 ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\
                 ahn-exp serve [--addr A] [--workers N] [--cache-cap N] [--queue-cap N]\n\
-                              [--journal FILE]   (--workers 0 = pull-only)\n\
+                              [--journal FILE] [--trace FILE]  (--workers 0 = pull-only)\n\
                 ahn-exp worker [--addr A] [--lease-ms N] [--poll-ms N] [--max-cells N]\n\
-                               [--exit-when-idle]\n\
+                               [--exit-when-idle] [--trace FILE]\n\
                 ahn-exp loadtest [--addr A] [--connections N] [--requests N]\n\
-                                 [--distinct N] [--json] [--min-hit-rate F] [--shutdown]\n\n\
+                                 [--distinct N] [--json] [--min-hit-rate F] [--shutdown]\n\
+                ahn-exp trace [--require-complete N] FILE..   (join span logs)\n\n\
          commands: fig4 table5 table6 table7 table8 table9 all ipdrp\n\
                    baseline-pathrater ablate-payoff ablate-activity\n\
                    ablate-selection ablate-trust-table ablate-unknown\n\
@@ -290,6 +307,7 @@ fn parse_serve_flags(args: &[String]) -> Result<ahn_serve::ServerConfig, String>
                     .map_err(|e| format!("--cache-cap: {e}"))?
             }
             "--journal" => config.journal = Some(value("--journal")?.clone()),
+            "--trace" => config.trace = Some(value("--trace")?.clone()),
             "--queue-cap" => match value("--queue-cap")?.parse() {
                 Ok(n) if n > 0 => config.queue_cap = n,
                 _ => return Err("--queue-cap needs a positive integer".into()),
@@ -353,6 +371,9 @@ fn serve(args: &[String]) {
     );
     if let Some(path) = &config.journal {
         eprintln!("  completion journal: {path}");
+    }
+    if let Some(path) = &config.trace {
+        eprintln!("  span trace log: {path}");
     }
     handle.join();
     eprintln!("ahn-serve: shut down cleanly");
@@ -483,6 +504,8 @@ struct WorkerFlags {
     /// Seeded self-injected transport chaos (`--chaos-*`): the CLI face
     /// of the `FlakyTransport` harness, for drills and the CI chaos job.
     chaos: ahn_serve::FaultPlan,
+    /// Span trace log path (`--trace`).
+    trace: Option<String>,
 }
 
 fn parse_worker_flags(args: &[String]) -> Result<WorkerFlags, String> {
@@ -492,6 +515,7 @@ fn parse_worker_flags(args: &[String]) -> Result<WorkerFlags, String> {
         breaker_threshold: 8,
         breaker_cooldown_ms: 1_000,
         chaos: ahn_serve::FaultPlan::none(),
+        trace: None,
     };
     let percent = |name: &str, text: &str| -> Result<u8, String> {
         match text.parse() {
@@ -583,6 +607,7 @@ fn parse_worker_flags(args: &[String]) -> Result<WorkerFlags, String> {
                 flags.chaos.partial_write_percent =
                     percent("--chaos-partial-percent", value("--chaos-partial-percent")?)?
             }
+            "--trace" => flags.trace = Some(value("--trace")?.clone()),
             other => return Err(format!("unknown worker flag {other:?}")),
         }
     }
@@ -604,13 +629,25 @@ fn worker(args: &[String]) {
     if flags.chaos.is_active() {
         eprintln!("worker: chaos enabled: {:?}", flags.chaos);
     }
+    let trace = flags.trace.as_deref().map(|path| {
+        match ahn_obs::TraceLog::open(
+            std::path::Path::new(path),
+            &format!("worker:{}", std::process::id()),
+        ) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("error: cannot open trace log {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
     let mut transport = ahn_serve::CircuitBreaker::new(
         ahn_serve::FlakyTransport::new(ahn_serve::HttpTransport::new(&flags.addr), flags.chaos),
         flags.breaker_threshold,
         std::time::Duration::from_millis(flags.breaker_cooldown_ms),
     );
-    match ahn_serve::run_worker(&mut transport, &flags.config) {
-        Ok(report) => {
+    match ahn_serve::run_worker_observed(&mut transport, &flags.config, trace.as_ref()) {
+        Ok((report, telemetry)) => {
             eprintln!(
                 "worker: {} completed, {} failed, {} duplicates, {} dropped, {} empty polls, {} breaker trips",
                 report.completed,
@@ -620,6 +657,13 @@ fn worker(args: &[String]) {
                 report.empty_polls,
                 report.breaker_opens
             );
+            // The machine-readable exit summary: one JSON line on
+            // stdout (the human-readable progress stays on stderr).
+            let summary = ahn_serve::WorkerSummary::new(&report, &telemetry);
+            match serde_json::to_string(&summary) {
+                Ok(line) => println!("{line}"),
+                Err(e) => eprintln!("warning: cannot serialize worker summary: {e}"),
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -642,6 +686,10 @@ struct SweepFlags {
     via: Option<String>,
     /// Checkpoint completed cells to this journal; resume skips them.
     journal: Option<String>,
+    /// Span trace log path (`--trace`): local runs record per-cell
+    /// lifecycles and per-generation hot-loop samples, `--via` runs
+    /// record the coordinator's side of every cell.
+    trace: Option<String>,
     /// Remaining (non-sweep) flags, handed to [`Options::parse`].
     rest: Vec<String>,
 }
@@ -675,6 +723,7 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
         json: false,
         via: None,
         journal: None,
+        trace: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -693,6 +742,7 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
             "--json" => flags.json = true,
             "--via" => flags.via = Some(value("--via")?.clone()),
             "--journal" => flags.journal = Some(value("--journal")?.clone()),
+            "--trace" => flags.trace = Some(value("--trace")?.clone()),
             other => pass_through(&mut flags.rest, other, &mut it),
         }
     }
@@ -700,6 +750,23 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
         return Err("--journal requires --via (it checkpoints a distributed run)".into());
     }
     Ok(flags)
+}
+
+/// Opens the coordinator-side trace log for a `--via` run, exiting on
+/// failure (shared by `sweep` and `calibrate`).
+fn open_coordinator_trace(path: Option<&str>) -> Option<ahn_obs::TraceLog> {
+    path.map(|p| {
+        match ahn_obs::TraceLog::open(
+            std::path::Path::new(p),
+            &format!("coordinator:{}", std::process::id()),
+        ) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("error: cannot open trace log {p}: {e}");
+                std::process::exit(2);
+            }
+        }
+    })
 }
 
 /// `ahn-exp sweep`: run a (case x payoff x size x seed-block) grid with
@@ -741,9 +808,68 @@ fn sweep(args: &[String]) {
     );
     let report = if let Some(addr) = &flags.via {
         eprintln!("  distributing via {addr}...");
+        let trace = open_coordinator_trace(flags.trace.as_deref());
         let mut transport = ahn_serve::HttpTransport::new(addr);
         let journal = flags.journal.as_deref().map(std::path::Path::new);
-        match ahn_serve::run_sweep_via(&mut transport, &grid, journal, 10) {
+        match ahn_serve::run_sweep_via_traced(&mut transport, &grid, journal, 10, trace.as_ref()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(path) = &flags.trace {
+        // The observed path: bit-identical report, but every cell
+        // lifecycle and per-generation hot-loop sample lands in the
+        // trace log (ahn_core::run_sweep_observed keeps the unobserved
+        // path's NoopRecorder at zero cost).
+        let log = match ahn_obs::TraceLog::open(
+            std::path::Path::new(path),
+            &format!("ahn-exp:{}", std::process::id()),
+        ) {
+            Ok(log) => log,
+            Err(e) => {
+                eprintln!("error: cannot open trace log {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let observe = |obs: ahn_core::SweepObservation<'_>| match obs {
+            ahn_core::SweepObservation::CellStart {
+                spec, config_hash, ..
+            } => {
+                log.emit(
+                    ahn_obs::TraceEvent::new(ahn_obs::trace_id_of_key(config_hash), "cell_start")
+                        .key(config_hash)
+                        .detail(format!(
+                            "case {} payoff {} size {} seed_block {}",
+                            spec.case_no, spec.payoff, spec.size, spec.seed_block
+                        )),
+                );
+            }
+            ahn_core::SweepObservation::Replication {
+                config_hash,
+                samples,
+                ..
+            } => {
+                let trace_id = ahn_obs::trace_id_of_key(config_hash);
+                for sample in samples {
+                    log.emit(ahn_obs::TraceEvent::new(trace_id, "generation").sample(sample));
+                }
+            }
+            ahn_core::SweepObservation::CellDone {
+                config_hash,
+                dur_us,
+                ..
+            } => {
+                log.emit(
+                    ahn_obs::TraceEvent::new(ahn_obs::trace_id_of_key(config_hash), "cell_done")
+                        .key(config_hash)
+                        .dur_us(dur_us)
+                        .outcome(true),
+                );
+            }
+        };
+        match ahn_core::run_sweep_observed(&grid, &observe) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -790,6 +916,9 @@ struct CalibrateFlags {
     via: Option<String>,
     /// Checkpoint completed cells to this journal; resume skips them.
     journal: Option<String>,
+    /// Span trace log path (`--trace`); the coordinator records its
+    /// side of every cell (requires `--via`).
+    trace: Option<String>,
     /// Remaining (non-calibrate) flags, handed to [`Options::parse`].
     rest: Vec<String>,
 }
@@ -805,6 +934,7 @@ fn parse_calibrate_flags(args: &[String]) -> Result<CalibrateFlags, String> {
         json: false,
         via: None,
         journal: None,
+        trace: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -841,11 +971,15 @@ fn parse_calibrate_flags(args: &[String]) -> Result<CalibrateFlags, String> {
             "--json" => flags.json = true,
             "--via" => flags.via = Some(value("--via")?.clone()),
             "--journal" => flags.journal = Some(value("--journal")?.clone()),
+            "--trace" => flags.trace = Some(value("--trace")?.clone()),
             other => pass_through(&mut flags.rest, other, &mut it),
         }
     }
     if flags.journal.is_some() && flags.via.is_none() {
         return Err("--journal requires --via (it checkpoints a distributed run)".into());
+    }
+    if flags.trace.is_some() && flags.via.is_none() {
+        return Err("calibrate --trace requires --via (it records the coordinator's spans)".into());
     }
     Ok(flags)
 }
@@ -894,9 +1028,16 @@ fn calibrate(args: &[String]) {
     );
     let report = if let Some(addr) = &flags.via {
         eprintln!("  distributing via {addr}...");
+        let trace = open_coordinator_trace(flags.trace.as_deref());
         let mut transport = ahn_serve::HttpTransport::new(addr);
         let journal = flags.journal.as_deref().map(std::path::Path::new);
-        match ahn_serve::run_calibration_via(&mut transport, &grid, journal, 10) {
+        match ahn_serve::run_calibration_via_traced(
+            &mut transport,
+            &grid,
+            journal,
+            10,
+            trace.as_ref(),
+        ) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -1049,12 +1190,16 @@ fn fidelity(args: &[String]) {
 struct Options {
     config: ExperimentConfig,
     out_dir: Option<std::path::PathBuf>,
+    /// Span trace log (`--trace FILE`): experiment commands record each
+    /// case's lifecycle and per-generation hot-loop samples into it.
+    trace: Option<ahn_obs::TraceLog>,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut config = ExperimentConfig::scaled();
         let mut out_dir = None;
+        let mut trace = None;
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<String, String> {
@@ -1099,11 +1244,25 @@ impl Options {
                         .map_err(|e| format!("cannot parse {path}: {e}"))?;
                 }
                 "--out" => out_dir = Some(std::path::PathBuf::from(value("--out")?)),
+                "--trace" => {
+                    let path = value("--trace")?;
+                    trace = Some(
+                        ahn_obs::TraceLog::open(
+                            std::path::Path::new(&path),
+                            &format!("ahn-exp:{}", std::process::id()),
+                        )
+                        .map_err(|e| format!("cannot open trace log {path}: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         config.validate()?;
-        Ok(Options { config, out_dir })
+        Ok(Options {
+            config,
+            out_dir,
+            trace,
+        })
     }
 
     fn maybe_write(&self, name: &str, contents: &str) {
@@ -1127,7 +1286,33 @@ fn run_case(opts: &Options, case_no: usize) -> experiment::ExperimentResult {
         "running {} ({} replications x {} generations, R={})...",
         case.name, opts.config.replications, opts.config.generations, opts.config.rounds
     );
-    experiment::run_experiment(&opts.config, &case)
+    let Some(log) = &opts.trace else {
+        return experiment::run_experiment(&opts.config, &case);
+    };
+    // The observed path (--trace): same result bit for bit, plus a
+    // cell_start / per-generation / cell_done span tree keyed by the
+    // case's canonical hash — the same identity a serve node would
+    // cache it under.
+    let key = ahn_core::canonical_hash(&(&opts.config, &case)).unwrap_or(0);
+    let trace_id = ahn_obs::trace_id_of_key(key);
+    log.emit(
+        ahn_obs::TraceEvent::new(trace_id, "cell_start")
+            .key(key)
+            .detail(case.name.clone()),
+    );
+    let started = std::time::Instant::now();
+    let result = experiment::run_experiment_observed(&opts.config, &case, &|_, _, samples| {
+        for sample in samples {
+            log.emit(ahn_obs::TraceEvent::new(trace_id, "generation").sample(sample));
+        }
+    });
+    log.emit(
+        ahn_obs::TraceEvent::new(trace_id, "cell_done")
+            .key(key)
+            .dur_us(started.elapsed().as_micros() as u64)
+            .outcome(true),
+    );
+    result
 }
 
 fn fig4(opts: &Options) {
@@ -1453,6 +1638,93 @@ fn trace(opts: &Options) {
         );
     }
     println!("\n]");
+}
+
+/// True when `ahn-exp trace` was given span-log files to join rather
+/// than experiment flags for the decision-trace dump: the first
+/// argument is a file path (no `--` prefix) or the join-only
+/// `--require-complete` flag.
+fn trace_join_requested(args: &[String]) -> bool {
+    matches!(args.first(), Some(a) if !a.starts_with("--") || a == "--require-complete")
+}
+
+/// `ahn-exp trace FILE..` flags.
+#[derive(Debug, Clone, PartialEq)]
+struct TraceJoinFlags {
+    /// Fail unless at least this many cells reconstruct end to end.
+    require_complete: usize,
+    /// The span-log files to join.
+    files: Vec<String>,
+}
+
+fn parse_trace_join_flags(args: &[String]) -> Result<TraceJoinFlags, String> {
+    let mut flags = TraceJoinFlags {
+        require_complete: 0,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require-complete" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => flags.require_complete = n,
+                _ => return Err("--require-complete needs a cell count".into()),
+            },
+            other if other.starts_with("--") => {
+                return Err(format!("unknown trace flag {other:?}"))
+            }
+            path => flags.files.push(path.to_owned()),
+        }
+    }
+    if flags.files.is_empty() {
+        return Err("trace needs at least one span-log file to join".into());
+    }
+    Ok(flags)
+}
+
+/// `ahn-exp trace FILE..`: join span logs from any number of nodes into
+/// per-cell lifecycle trees ([`ahn_obs::join_traces`]). Exits non-zero
+/// when any spans are orphaned (a log file is missing from the join, or
+/// trace-id propagation broke) or fewer than `--require-complete N`
+/// cells reconstructed end to end — the CI chaos job's assertion.
+fn trace_join(args: &[String]) {
+    let flags = match parse_trace_join_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut events = Vec::new();
+    let mut discarded = 0usize;
+    for path in &flags.files {
+        match ahn_obs::read_trace(std::path::Path::new(path)) {
+            Ok(read) => {
+                events.extend(read.events);
+                discarded += read.discarded;
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let tree = ahn_obs::join_traces(events, discarded);
+    print!("{}", ahn_obs::render_tree(&tree));
+    if tree.orphan_spans > 0 {
+        eprintln!(
+            "error: {} orphaned spans (a log file is missing from the join, or propagation broke)",
+            tree.orphan_spans
+        );
+        std::process::exit(1);
+    }
+    if tree.complete_cells() < flags.require_complete {
+        eprintln!(
+            "error: only {} of the required {} cells reconstructed end to end",
+            tree.complete_cells(),
+            flags.require_complete
+        );
+        std::process::exit(1);
+    }
 }
 
 #[cfg(test)]
@@ -1912,7 +2184,116 @@ mod tests {
         assert_eq!(o.config.replications, 3);
         assert_eq!(o.config.base_seed, 9);
         assert!(o.out_dir.is_none());
+        assert!(o.trace.is_none());
         let o = Options::parse(&args(&["--out", "/tmp/x"])).unwrap();
         assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    /// A temp path for flags that open their file at parse time.
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ahn-cli-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn trace_flags_parse_everywhere() {
+        // serve/worker/sweep/calibrate carry the path; Options opens it.
+        let c = parse_serve_flags(&args(&["--trace", "srv.trace"])).unwrap();
+        assert_eq!(c.trace.as_deref(), Some("srv.trace"));
+        assert!(parse_serve_flags(&args(&["--trace"])).is_err());
+
+        let f = parse_worker_flags(&args(&["--trace", "w.trace"])).unwrap();
+        assert_eq!(f.trace.as_deref(), Some("w.trace"));
+        assert!(parse_worker_flags(&args(&[])).unwrap().trace.is_none());
+
+        let f = parse_sweep_flags(&args(&["--trace", "s.trace"])).unwrap();
+        assert_eq!(f.trace.as_deref(), Some("s.trace"));
+
+        let f = parse_calibrate_flags(&args(&["--via", "127.0.0.1:7172", "--trace", "c.trace"]))
+            .unwrap();
+        assert_eq!(f.trace.as_deref(), Some("c.trace"));
+        // A coordinator trace without a coordinator is a user error.
+        let err = parse_calibrate_flags(&args(&["--trace", "c.trace"])).unwrap_err();
+        assert!(err.contains("requires --via"), "{err}");
+
+        let path = tmp("options.trace");
+        let o = Options::parse(&args(&["--trace", &path])).unwrap();
+        assert!(o.trace.is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_join_dispatch_and_flags() {
+        // File arguments (or --require-complete) pick the join mode;
+        // experiment flags keep the legacy decision-trace dump.
+        assert!(trace_join_requested(&args(&["a.trace", "b.trace"])));
+        assert!(trace_join_requested(&args(&[
+            "--require-complete",
+            "1",
+            "a.trace"
+        ])));
+        assert!(!trace_join_requested(&args(&[])));
+        assert!(!trace_join_requested(&args(&["--preset", "smoke"])));
+
+        let f = parse_trace_join_flags(&args(&["a.trace", "b.trace"])).unwrap();
+        assert_eq!(f.require_complete, 0);
+        assert_eq!(f.files, args(&["a.trace", "b.trace"]));
+        let f = parse_trace_join_flags(&args(&["--require-complete", "3", "a.trace"])).unwrap();
+        assert_eq!(f.require_complete, 3);
+
+        for bad in [
+            &[][..],
+            &["--require-complete"],
+            &["--require-complete", "x", "a.trace"],
+            &["--frob", "a.trace"],
+        ] {
+            assert!(parse_trace_join_flags(&args(bad)).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn trace_join_reconstructs_a_cell_across_logs() {
+        use ahn_obs::{trace_id_of_key, TraceEvent, TraceLog};
+        let server = tmp("join-server.trace");
+        let worker = tmp("join-worker.trace");
+        let key = 0xfeed_beefu64;
+        let tid = trace_id_of_key(key);
+        {
+            let log = TraceLog::open(std::path::Path::new(&server), "serve:test").unwrap();
+            log.emit(TraceEvent::new(tid, "submit").key(key).job(1));
+            log.emit(TraceEvent::new(tid, "enqueue").key(key).job(1));
+            log.emit(TraceEvent::new(tid, "lease").key(key).job(1).lease(7));
+            log.emit(
+                TraceEvent::new(tid, "complete")
+                    .key(key)
+                    .job(1)
+                    .outcome(true),
+            );
+        }
+        {
+            let log = TraceLog::open(std::path::Path::new(&worker), "worker:test").unwrap();
+            log.emit(TraceEvent::new(tid, "claim").lease(7));
+            log.emit(TraceEvent::new(tid, "compute").lease(7).outcome(true));
+            log.emit(TraceEvent::new(tid, "deliver").lease(7).outcome(true));
+        }
+        let mut events = Vec::new();
+        for path in [&server, &worker] {
+            events.extend(
+                ahn_obs::read_trace(std::path::Path::new(path))
+                    .unwrap()
+                    .events,
+            );
+        }
+        let tree = ahn_obs::join_traces(events, 0);
+        assert_eq!(tree.cells.len(), 1);
+        assert_eq!(tree.complete_cells(), 1);
+        assert_eq!(tree.orphan_spans, 0);
+        let rendered = ahn_obs::render_tree(&tree);
+        assert!(rendered.contains("complete"), "{rendered}");
+        assert!(rendered.contains("cells=1 complete=1"), "{rendered}");
+        let _ = std::fs::remove_file(&server);
+        let _ = std::fs::remove_file(&worker);
     }
 }

@@ -49,6 +49,27 @@ pub struct ReplicationResult {
 /// Panics if the configuration is invalid or the population is smaller
 /// than the largest environment's normal-player demand.
 pub fn run_replication(config: &ExperimentConfig, case: &CaseSpec, seed: u64) -> ReplicationResult {
+    run_replication_with(config, case, seed, &mut ahn_obs::NoopRecorder)
+}
+
+/// [`run_replication`] with a hot-path [`ahn_obs::Recorder`] marking
+/// the schedule/play/evolve phase boundaries of every generation.
+///
+/// The function is generic so the default [`ahn_obs::NoopRecorder`]
+/// monomorphizes every hook to an empty inlined body: instrumentation
+/// off costs literally nothing (`tests/zero_alloc.rs` and the BENCH
+/// gate pin this). Recorders never touch `rng` or any simulated state,
+/// so results are bit-identical with recording on or off.
+///
+/// # Panics
+/// Panics if the configuration is invalid or the population is smaller
+/// than the largest environment's normal-player demand.
+pub fn run_replication_with<R: ahn_obs::Recorder>(
+    config: &ExperimentConfig,
+    case: &CaseSpec,
+    seed: u64,
+    recorder: &mut R,
+) -> ReplicationResult {
     config.validate().expect("invalid experiment configuration");
     assert!(
         config.population >= case.required_normal(),
@@ -102,21 +123,30 @@ pub fn run_replication(config: &ExperimentConfig, case: &CaseSpec, seed: u64) ->
     let mut schedule_scratch = ahn_game::ScheduleScratch::default();
 
     for generation in 0..config.generations {
+        recorder.begin(ahn_obs::Phase::Schedule);
         arena.set_strategies_with(|i| config.codec.decode(&genomes[i]));
+        recorder.end(ahn_obs::Phase::Schedule);
+
+        recorder.begin(ahn_obs::Phase::Play);
         schedule.run_with_scratch(&mut arena, &mut rng, &mut schedule_scratch);
+        recorder.end(ahn_obs::Phase::Play);
 
         let total = arena.metrics.total();
-        coop_by_gen.push(total.cooperation_level());
+        let cooperation = total.cooperation_level();
+        coop_by_gen.push(cooperation);
         arena.fitnesses_into(&mut fitnesses);
         fitness_by_gen.push(GenStats::from_fitnesses(&fitnesses));
 
         if generation + 1 < config.generations {
+            recorder.begin(ahn_obs::Phase::Evolve);
             next_generation_into(&mut rng, &config.ga, &genomes, &fitnesses, &mut offspring);
             std::mem::swap(&mut genomes, &mut offspring);
             for g in &mut genomes {
                 config.mask_genome(g);
             }
+            recorder.end(ahn_obs::Phase::Evolve);
         }
+        recorder.generation(generation as u64, cooperation);
     }
 
     let profile = PowerProfile::wavelan();
@@ -200,6 +230,35 @@ pub fn run_experiment(config: &ExperimentConfig, case: &CaseSpec) -> ExperimentR
     let results: Vec<ReplicationResult> = (0..config.replications)
         .into_par_iter()
         .map(|k| run_replication(config, case, config.base_seed.wrapping_add(k as u64)))
+        .collect();
+    aggregate(config, case, &results)
+}
+
+/// [`run_experiment`] with per-replication hot-loop telemetry: each
+/// replication runs under an [`ahn_obs::SeriesRecorder`] and `observe`
+/// receives its (replication index, seed, per-generation samples) as
+/// soon as it finishes — the CLI's `--trace` paths forward these into
+/// the trace log. Kept separate from [`run_experiment`] (rather than
+/// delegating with a no-op observer) so the default path never pays
+/// for the enabled recorder's clock reads. The aggregated result is
+/// bit-identical to [`run_experiment`]'s.
+pub fn run_experiment_observed<F>(
+    config: &ExperimentConfig,
+    case: &CaseSpec,
+    observe: &F,
+) -> ExperimentResult
+where
+    F: Fn(usize, u64, &[ahn_obs::GenSample]) + Sync,
+{
+    let results: Vec<ReplicationResult> = (0..config.replications)
+        .into_par_iter()
+        .map(|k| {
+            let seed = config.base_seed.wrapping_add(k as u64);
+            let mut recorder = ahn_obs::SeriesRecorder::default();
+            let result = run_replication_with(config, case, seed, &mut recorder);
+            observe(k, seed, &recorder.samples);
+            result
+        })
         .collect();
     aggregate(config, case, &results)
 }

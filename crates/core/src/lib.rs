@@ -54,9 +54,13 @@ pub mod sweeps;
 pub use calibrate::{run_calibration, score_calibration, CalibrationGrid, CalibrationReport};
 pub use cases::CaseSpec;
 pub use config::{canonical_hash, ExperimentConfig, StrategyCodec};
-pub use experiment::{run_experiment, run_replication, ExperimentResult, ReplicationResult};
+pub use experiment::{
+    run_experiment, run_experiment_observed, run_replication, run_replication_with,
+    ExperimentResult, ReplicationResult,
+};
 pub use sweeps::{
-    cell_from_result, merge_sweep, run_sweep, SweepCell, SweepCellSpec, SweepGrid, SweepReport,
+    cell_from_result, merge_sweep, run_sweep, run_sweep_observed, SweepCell, SweepCellSpec,
+    SweepGrid, SweepObservation, SweepReport,
 };
 
 // Re-exports used by downstream tooling (the `ahn-exp trace` command and

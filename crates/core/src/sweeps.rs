@@ -36,7 +36,9 @@
 
 use crate::cases::CaseSpec;
 use crate::config::ExperimentConfig;
-use crate::experiment::{aggregate, run_experiment, run_replication, ExperimentResult};
+use crate::experiment::{
+    aggregate, run_experiment, run_replication, run_replication_with, ExperimentResult,
+};
 use ahn_game::{EnvironmentSpec, PayoffConfig};
 use ahn_net::PathMode;
 use ahn_stats::Summary;
@@ -475,6 +477,124 @@ pub fn run_sweep(grid: &SweepGrid) -> Result<SweepReport, String> {
     let cells: Vec<SweepCell> = resolved
         .into_par_iter()
         .map(|(spec, config, case)| run_cell(spec, &config, &case))
+        .collect();
+    Ok(SweepReport {
+        schema: "ahn-sweep/1".into(),
+        replications: grid.base.replications,
+        cells,
+    })
+}
+
+/// One progress event from [`run_sweep_observed`]. `config_hash` is
+/// the cell's canonical-hash identity (see [`SweepCell::config_hash`])
+/// — the CLI derives local trace ids from it.
+#[derive(Debug, Clone, Copy)]
+pub enum SweepObservation<'a> {
+    /// A cell started evaluating.
+    CellStart {
+        /// Position in [`SweepGrid::cell_specs`] order.
+        index: usize,
+        /// The cell's grid coordinates.
+        spec: &'a SweepCellSpec,
+        /// Canonical hash of the resolved `(config, case)`.
+        config_hash: u64,
+    },
+    /// One replication of a cell finished, with its per-generation
+    /// hot-loop samples.
+    Replication {
+        /// Position in [`SweepGrid::cell_specs`] order.
+        index: usize,
+        /// The cell's grid coordinates.
+        spec: &'a SweepCellSpec,
+        /// Canonical hash of the resolved `(config, case)`.
+        config_hash: u64,
+        /// Replication index within the cell.
+        replication: u64,
+        /// The replication's derived seed.
+        seed: u64,
+        /// Per-generation cooperation + phase-timing samples.
+        samples: &'a [ahn_obs::GenSample],
+    },
+    /// A cell finished all its replications.
+    CellDone {
+        /// Position in [`SweepGrid::cell_specs`] order.
+        index: usize,
+        /// The cell's grid coordinates.
+        spec: &'a SweepCellSpec,
+        /// Canonical hash of the resolved `(config, case)`.
+        config_hash: u64,
+        /// Wall-clock microseconds the cell took.
+        dur_us: u64,
+    },
+}
+
+/// [`run_sweep`] with live progress introspection: every replication
+/// runs under an [`ahn_obs::SeriesRecorder`] and `observe` receives
+/// cell-start / per-replication / cell-done events as they happen
+/// (cells run in parallel, so events from different cells interleave).
+/// Kept separate from [`run_sweep`] so the unobserved path keeps its
+/// zero-cost [`ahn_obs::NoopRecorder`]. The report is bit-identical to
+/// [`run_sweep`]'s: observation never touches seeds or results.
+///
+/// # Errors
+/// Errors when the grid fails [`SweepGrid::validate`]; never errors
+/// mid-run.
+pub fn run_sweep_observed<F>(grid: &SweepGrid, observe: &F) -> Result<SweepReport, String>
+where
+    F: Fn(SweepObservation<'_>) + Sync,
+{
+    grid.validate()?;
+    // The vendored rayon shim has no `enumerate`; carry the index.
+    let resolved: Vec<(usize, SweepCellSpec, ExperimentConfig, CaseSpec)> = grid
+        .cell_specs()
+        .into_iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            let (config, case) = grid.resolve(&spec).expect("validated above");
+            (index, spec, config, case)
+        })
+        .collect();
+    let cells: Vec<SweepCell> = resolved
+        .into_par_iter()
+        .map(|(index, spec, config, case)| {
+            let config_hash = crate::config::canonical_hash(&(&config, &case)).unwrap_or(0);
+            observe(SweepObservation::CellStart {
+                index,
+                spec: &spec,
+                config_hash,
+            });
+            let started = std::time::Instant::now();
+            let results: Vec<_> = (0..config.replications as u64)
+                .map(|k| {
+                    let seed = config.base_seed.wrapping_add(k);
+                    let mut recorder = ahn_obs::SeriesRecorder::default();
+                    let result = run_replication_with(&config, &case, seed, &mut recorder);
+                    observe(SweepObservation::Replication {
+                        index,
+                        spec: &spec,
+                        config_hash,
+                        replication: k,
+                        seed,
+                        samples: &recorder.samples,
+                    });
+                    result
+                })
+                .collect();
+            let aggregated = aggregate(&config, &case, &results);
+            observe(SweepObservation::CellDone {
+                index,
+                spec: &spec,
+                config_hash,
+                dur_us: started.elapsed().as_micros() as u64,
+            });
+            SweepCell {
+                spec,
+                config_hash,
+                final_coop: aggregated.final_coop,
+                per_env_coop: aggregated.per_env_coop,
+                per_env_csn_free: aggregated.per_env_csn_free,
+            }
+        })
         .collect();
     Ok(SweepReport {
         schema: "ahn-sweep/1".into(),

@@ -1,0 +1,302 @@
+//! Lock-free log2-bucketed latency histograms.
+//!
+//! [`AtomicHistogram`] is the one shared distribution primitive of the
+//! workspace: the serve layer records request latency, queue wait,
+//! compute time and claim round-trips into it, the pull worker keeps
+//! its own copies for the exit summary, and the loadtest client uses it
+//! in place of its former bespoke sorted-vec percentile.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero allocation, no locks on the record path.** A record is a
+//!    handful of `Relaxed` atomic RMWs on a fixed 64-slot array — safe
+//!    to call from any thread, any signal-adjacent context, any hot
+//!    loop (`tests/zero_alloc.rs` pins this).
+//! 2. **Deterministic merge.** Buckets add and maxima max; both
+//!    commute, so merging per-thread histograms in any order — or
+//!    recording the same multiset of values from any number of threads
+//!    — yields byte-identical [`HistogramSnapshot`]s (the proptests in
+//!    `tests/properties.rs` pin this).
+//! 3. **Bounded, known error.** Bucket `i ≥ 1` spans
+//!    `[2^(i-1), 2^i - 1]` (bucket 0 is exactly `{0}`), so a reported
+//!    percentile is the upper bound of its bucket: never below the true
+//!    value and less than 2x above it. `max` is exact, and percentiles
+//!    are clamped to it.
+//!
+//! Units are chosen by the call site (the serve layer records
+//! microseconds; field names carry a `_us`/`_ms` suffix).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: one per possible `u64` bit width,
+/// with the top bucket absorbing the (unreachable in practice) overflow.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in: its bit width (0 for 0), clamped so
+/// 64-bit-wide values share the top bucket.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `index` (`0` for bucket 0,
+/// `2^index - 1` in between, `u64::MAX` for the open-ended top bucket).
+pub fn bucket_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A lock-free log2-bucketed histogram: 64 relaxed `AtomicU64` bucket
+/// counters plus an exact running sum and maximum. See the module docs
+/// for the guarantees.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value: three relaxed atomic RMWs, no allocation, no
+    /// locks. Safe from any number of threads concurrently.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Folds `other` into `self` bucket-wise. Addition and max both
+    /// commute, so any merge order produces the same totals.
+    pub fn merge_from(&self, other: &AtomicHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total number of recorded values (sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A self-consistent readout: the count is derived from the bucket
+    /// counters themselves, so percentiles always agree with the bucket
+    /// totals even if records land concurrently with the snapshot (the
+    /// exact `sum`/`max` may then trail or lead by the in-flight
+    /// records; quiescent snapshots are exact).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut count = 0u64;
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+            count += *slot;
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max,
+            p50: quantile(&buckets, count, max, 0.50),
+            p90: quantile(&buckets, count, max, 0.90),
+            p99: quantile(&buckets, count, max, 0.99),
+            buckets: buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| BucketCount {
+                    le: bucket_bound(i),
+                    count: c,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The value at quantile `q`: the upper bound of the bucket holding the
+/// `ceil(q * count)`-th smallest record, clamped to the exact maximum.
+fn quantile(buckets: &[u64; BUCKETS], count: u64, max: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (index, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_bound(index).min(max);
+        }
+    }
+    max
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`]: `count` records
+/// were `<= le` (and above the previous bucket's bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Number of records that landed in the bucket.
+    pub count: u64,
+}
+
+/// A serializable point-in-time readout of an [`AtomicHistogram`]:
+/// exact count/sum/max, log2-resolution percentiles, and the non-empty
+/// buckets for full-distribution dumps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Median, as the containing bucket's upper bound (see module docs
+    /// for the <2x error bound).
+    pub p50: u64,
+    /// 90th percentile, same resolution as `p50`.
+    pub p90: u64,
+    /// 99th percentile, same resolution as `p50`.
+    pub p99: u64,
+    /// The non-empty buckets, smallest bound first.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (what an untouched histogram reads).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Exact arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zeroes() {
+        let h = AtomicHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_mapping_covers_every_boundary() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every value fits under its bucket's bound and above the
+        // previous bucket's.
+        for value in [0u64, 1, 2, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let b = bucket_of(value);
+            assert!(value <= bucket_bound(b), "{value} > bound of bucket {b}");
+            if b > 0 {
+                assert!(value > bucket_bound(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_upper_bounds_clamped_to_the_exact_max() {
+        let h = AtomicHistogram::new();
+        for v in [100u64, 200, 300, 400, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (5, 2000, 1000));
+        // Median record is 300 (bucket [256, 511]): reported as 511.
+        assert_eq!(s.p50, 511);
+        // p90 and p99 land on the max record: clamped to exactly 1000.
+        assert_eq!(s.p90, 1000);
+        assert_eq!(s.p99, 1000);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn merge_adds_buckets_and_maxes_the_max() {
+        let a = AtomicHistogram::new();
+        let b = AtomicHistogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [3u64, 4000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        let direct = AtomicHistogram::new();
+        for v in [1u64, 2, 3, 3, 4000] {
+            direct.record(v);
+        }
+        assert_eq!(a.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn single_value_snapshot_is_exact_everywhere() {
+        let h = AtomicHistogram::new();
+        h.record(777);
+        let s = h.snapshot();
+        // One record: every percentile clamps to the exact max.
+        assert_eq!((s.p50, s.p90, s.p99, s.max), (777, 777, 777, 777));
+        assert_eq!(s.buckets, vec![BucketCount { le: 1023, count: 1 }]);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let h = AtomicHistogram::new();
+        for v in [0u64, 5, 5, 90, 1 << 30] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -32,6 +32,7 @@ use ahn_core::{
     cell_from_result, merge_sweep, score_calibration, CalibrationGrid, CalibrationReport,
     ExperimentResult, SweepCell, SweepCellSpec, SweepGrid, SweepReport,
 };
+use ahn_obs::{trace_id_of_key, TraceEvent, TraceLog};
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::time::Duration;
@@ -86,7 +87,13 @@ fn execute_cells(
     tasks: &[CellTask],
     journal_path: Option<&Path>,
     poll_ms: u64,
+    trace: Option<&TraceLog>,
 ) -> Result<HashMap<u64, String>, String> {
+    let emit = |event: TraceEvent| {
+        if let Some(log) = trace {
+            log.emit(event);
+        }
+    };
     let pause = Duration::from_millis(poll_ms.max(1));
     let mut done: HashMap<u64, String> = HashMap::new();
     let mut journal = match journal_path {
@@ -114,6 +121,7 @@ fn execute_cells(
         }
         let body =
             serde_json::to_string(&task.spec).map_err(|e| format!("cannot serialize cell: {e}"))?;
+        let trace_id = trace_id_of_key(task.key);
         let mut backpressure = 0usize;
         loop {
             let (status, response) = transport
@@ -122,8 +130,19 @@ fn execute_cells(
             match status {
                 200 => {
                     // Cache hit: the result is inline.
+                    emit(
+                        TraceEvent::new(trace_id, "submit")
+                            .key(task.key)
+                            .outcome(true)
+                            .detail("cache_hit".into()),
+                    );
                     let result = extract_field(&response, "result")?;
                     checkpoint(&mut done, &mut journal, task.key, result)?;
+                    emit(
+                        TraceEvent::new(trace_id, "merge")
+                            .key(task.key)
+                            .outcome(true),
+                    );
                     break;
                 }
                 202 => {
@@ -132,6 +151,11 @@ fn execute_cells(
                     let serde_json::Value::U64(job_id) = value["job_id"] else {
                         return Err(format!("submit ack without job_id: {response}"));
                     };
+                    emit(
+                        TraceEvent::new(trace_id, "submit")
+                            .key(task.key)
+                            .job(job_id),
+                    );
                     polling.push((index, job_id));
                     break;
                 }
@@ -165,6 +189,12 @@ fn execute_cells(
                 serde_json::Value::String(s) if s == "done" => {
                     let result = extract_field(&response, "result")?;
                     checkpoint(&mut done, &mut journal, task.key, result)?;
+                    emit(
+                        TraceEvent::new(trace_id_of_key(task.key), "merge")
+                            .key(task.key)
+                            .job(job_id)
+                            .outcome(true),
+                    );
                     break;
                 }
                 serde_json::Value::String(s) if s == "failed" => {
@@ -253,9 +283,24 @@ pub fn run_sweep_via(
     journal_path: Option<&Path>,
     poll_ms: u64,
 ) -> Result<SweepReport, String> {
+    run_sweep_via_traced(transport, grid, journal_path, poll_ms, None)
+}
+
+/// [`run_sweep_via`] with span tracing: when `trace` is set the
+/// coordinator emits a `submit` event per cell submission and a `merge`
+/// event per checkpoint, so the coordinator's view joins with the
+/// server's and the workers' via the shared key-derived trace id. The
+/// report stays bit-identical — tracing never touches the fold.
+pub fn run_sweep_via_traced(
+    transport: &mut dyn Transport,
+    grid: &SweepGrid,
+    journal_path: Option<&Path>,
+    poll_ms: u64,
+    trace: Option<&TraceLog>,
+) -> Result<SweepReport, String> {
     grid.validate()?;
     let tasks = cell_tasks(grid, 0)?;
-    let results = execute_cells(transport, &tasks, journal_path, poll_ms)?;
+    let results = execute_cells(transport, &tasks, journal_path, poll_ms, trace)?;
     let refs: Vec<&CellTask> = tasks.iter().collect();
     let cells = build_cells(&refs, &results)?;
     merge_sweep(grid, &cells)
@@ -271,6 +316,18 @@ pub fn run_calibration_via(
     journal_path: Option<&Path>,
     poll_ms: u64,
 ) -> Result<CalibrationReport, String> {
+    run_calibration_via_traced(transport, grid, journal_path, poll_ms, None)
+}
+
+/// [`run_calibration_via`] with span tracing — same contract as
+/// [`run_sweep_via_traced`].
+pub fn run_calibration_via_traced(
+    transport: &mut dyn Transport,
+    grid: &CalibrationGrid,
+    journal_path: Option<&Path>,
+    poll_ms: u64,
+    trace: Option<&TraceLog>,
+) -> Result<CalibrationReport, String> {
     grid.validate()?;
     let mut sweep_grids = Vec::new();
     let mut tasks = Vec::new();
@@ -279,7 +336,7 @@ pub fn run_calibration_via(
         tasks.extend(cell_tasks(&sweep, index)?);
         sweep_grids.push(sweep);
     }
-    let results = execute_cells(transport, &tasks, journal_path, poll_ms)?;
+    let results = execute_cells(transport, &tasks, journal_path, poll_ms, trace)?;
     let mut sweeps = Vec::with_capacity(sweep_grids.len());
     for (index, sweep_grid) in sweep_grids.iter().enumerate() {
         let refs: Vec<&CellTask> = tasks.iter().filter(|t| t.sweep_index == index).collect();

@@ -64,6 +64,11 @@ pub struct QueuedJob {
     pub key: u64,
     /// The resolved (non-preset) spec to run.
     pub spec: JobSpec,
+    /// When the job entered the queue, so the consumer that dequeues it
+    /// (lease grant or local pop) can sample the `queue_wait_us`
+    /// histogram. Requeued leases keep the original enqueue time — the
+    /// cell really did wait that long.
+    pub enqueued_at: Instant,
 }
 
 /// Error returned when the queue is at capacity.
@@ -381,6 +386,7 @@ mod tests {
             id,
             key: id,
             spec: JobSpec::Preset { name: "x".into() },
+            enqueued_at: Instant::now(),
         }
     }
 

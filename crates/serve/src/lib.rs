@@ -32,11 +32,21 @@
 //!   [`resilience::CircuitBreaker`] transport wrapper (trip after N
 //!   consecutive failures, half-open probe);
 //! * [`metrics`] — `/metrics` counters: requests served, cache hit
-//!   rate, queue depth, work claims/leases, games/s, plus the
-//!   hardening counters (timeouts, breaker trips, drain time);
+//!   rate, queue depth, work claims/leases, games/s, the hardening
+//!   counters (timeouts, breaker trips, drain time), plus the v2
+//!   latency histograms (per-route requests, queue wait, compute,
+//!   claim round trip, backoff sleeps) and uptime;
 //! * [`http`] — the minimal HTTP/1.1 reader/writer both sides share;
-//! * [`loadtest`] — a std-only load generator reporting p50/p99 latency
-//!   and requests/s (the `ahn-exp loadtest` subcommand).
+//! * [`loadtest`] — a std-only load generator reporting
+//!   p50/p90/p99/max latency, the full latency histogram and
+//!   requests/s (the `ahn-exp loadtest` subcommand).
+//!
+//! Observability rides on [`ahn_obs`]: every node (serve, worker,
+//! coordinator) takes an optional `--trace FILE` and appends one
+//! checksummed JSON span event per lifecycle step, keyed by a trace id
+//! every node derives from the cell's `canonical_hash` — so one cell's
+//! submit → enqueue → lease → compute (with retries and breaker trips)
+//! → complete → merge reconstructs across nodes with `ahn-exp trace`.
 //!
 //! # In-process round trip
 //!
@@ -73,10 +83,16 @@ pub mod resilience;
 pub mod server;
 pub mod worker;
 
-pub use coordinator::{run_calibration_via, run_sweep_via};
+pub use coordinator::{
+    run_calibration_via, run_calibration_via_traced, run_sweep_via, run_sweep_via_traced,
+};
 pub use faults::{FaultPlan, FlakyTransport};
 pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+pub use metrics::{LatencySnapshot, Snapshot};
 pub use protocol::JobSpec;
 pub use resilience::{Backoff, BackoffPolicy, CircuitBreaker};
 pub use server::{spawn, ServerConfig, ServerHandle};
-pub use worker::{run_worker, HttpTransport, Transport, WorkerConfig, WorkerReport};
+pub use worker::{
+    run_worker, run_worker_observed, HttpTransport, Transport, WorkerConfig, WorkerReport,
+    WorkerSummary, WorkerTelemetry,
+};

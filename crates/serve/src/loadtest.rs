@@ -12,6 +12,7 @@ use crate::http::{read_response, write_request};
 use crate::metrics::Snapshot;
 use crate::protocol::JobSpec;
 use ahn_core::{cases::CaseSpec, config::ExperimentConfig};
+use ahn_obs::{AtomicHistogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -59,8 +60,16 @@ pub struct LoadtestReport {
     pub errors: u64,
     /// Median submit latency, milliseconds.
     pub p50_ms: f64,
+    /// 90th-percentile submit latency, milliseconds.
+    pub p90_ms: f64,
     /// 99th-percentile submit latency, milliseconds.
     pub p99_ms: f64,
+    /// Worst observed submit latency, milliseconds (exact, not a bucket
+    /// bound).
+    pub max_ms: f64,
+    /// The full submit-latency distribution (log2 buckets,
+    /// microseconds), merged across connections.
+    pub latency: HistogramSnapshot,
     /// Wall-clock seconds for the whole run.
     pub wall_seconds: f64,
     /// `requests / wall_seconds`.
@@ -132,7 +141,11 @@ pub fn one_shot_deadlined(
 struct WorkerTally {
     /// Submissions this connection actually sent (or tried to send).
     attempted: u64,
-    latencies_us: Vec<u64>,
+    /// Submit latencies, microseconds — a zero-allocation histogram per
+    /// connection, merged after the run (merge order cannot change the
+    /// totals, so the report is deterministic for a given set of
+    /// latencies).
+    latency: AtomicHistogram,
     cache_hits: u64,
     jobs_completed: u64,
     rejected: u64,
@@ -174,18 +187,18 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, String> {
     });
     let wall_seconds = started.elapsed().as_secs_f64();
 
-    let mut latencies: Vec<u64> = Vec::with_capacity(config.requests);
+    let latency = AtomicHistogram::new();
     let (mut attempted, mut hits, mut completed) = (0u64, 0u64, 0u64);
     let (mut rejected, mut errors) = (0u64, 0u64);
     for t in &tallies {
-        latencies.extend_from_slice(&t.latencies_us);
+        latency.merge_from(&t.latency);
         attempted += t.attempted;
         hits += t.cache_hits;
         completed += t.jobs_completed;
         rejected += t.rejected;
         errors += t.errors;
     }
-    latencies.sort_unstable();
+    let latency = latency.snapshot();
 
     let server_metrics = one_shot(&config.addr, "GET", "/metrics", "")
         .ok()
@@ -198,8 +211,11 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, String> {
         jobs_completed: completed,
         rejected,
         errors,
-        p50_ms: percentile_ms(&latencies, 0.50),
-        p99_ms: percentile_ms(&latencies, 0.99),
+        p50_ms: latency.p50 as f64 / 1000.0,
+        p90_ms: latency.p90 as f64 / 1000.0,
+        p99_ms: latency.p99 as f64 / 1000.0,
+        max_ms: latency.max as f64 / 1000.0,
+        latency,
         wall_seconds,
         requests_per_second: attempted as f64 / wall_seconds.max(1e-9),
         server_metrics,
@@ -210,18 +226,28 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, String> {
 pub fn render(report: &LoadtestReport) -> String {
     let mut out = format!(
         "loadtest: {} requests in {:.3}s -> {:.0} req/s\n\
-         latency p50 {:.3} ms, p99 {:.3} ms\n\
+         latency p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n\
          cache hits {}, jobs completed {}, rejected {}, errors {}\n",
         report.requests,
         report.wall_seconds,
         report.requests_per_second,
         report.p50_ms,
+        report.p90_ms,
         report.p99_ms,
+        report.max_ms,
         report.cache_hits,
         report.jobs_completed,
         report.rejected,
         report.errors,
     );
+    // The distribution itself: one line per occupied log2 bucket.
+    for bucket in &report.latency.buckets {
+        out.push_str(&format!(
+            "latency <= {:>9.3} ms : {}\n",
+            bucket.le as f64 / 1000.0,
+            bucket.count
+        ));
+    }
     if let Some(m) = &report.server_metrics {
         out.push_str(&format!(
             "server: hit rate {:.1}%, queue depth {} (peak {}), {:.0} games/s busy-side\n\
@@ -247,7 +273,7 @@ pub fn render(report: &LoadtestReport) -> String {
 fn drive_connection(addr: &str, bodies: &[String], worker: usize, count: usize) -> WorkerTally {
     let mut tally = WorkerTally {
         attempted: 0,
-        latencies_us: Vec::with_capacity(count),
+        latency: AtomicHistogram::new(),
         cache_hits: 0,
         jobs_completed: 0,
         rejected: 0,
@@ -281,8 +307,8 @@ fn drive_connection(addr: &str, bodies: &[String], worker: usize, count: usize) 
             }
         };
         tally
-            .latencies_us
-            .push(submit_started.elapsed().as_micros() as u64);
+            .latency
+            .record(submit_started.elapsed().as_micros() as u64);
 
         match status {
             200 if response.contains("\"cached\":true") => tally.cache_hits += 1,
@@ -345,15 +371,6 @@ fn job_id_of(response: &str) -> Option<u64> {
     }
 }
 
-/// `p`-th percentile of sorted microsecond latencies, in milliseconds.
-fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,12 +390,26 @@ mod tests {
     }
 
     #[test]
-    fn percentiles() {
-        let us: Vec<u64> = (1..=100).map(|i| i * 1000).collect();
-        assert!((percentile_ms(&us, 0.50) - 50.0).abs() < 1.5);
-        assert!((percentile_ms(&us, 0.99) - 99.0).abs() < 1.5);
-        assert_eq!(percentile_ms(&[], 0.5), 0.0);
-        assert_eq!(percentile_ms(&[7000], 0.99), 7.0);
+    fn percentiles_come_from_the_merged_histogram() {
+        // Two connections' tallies, merged the way run_loadtest does.
+        let (a, b) = (AtomicHistogram::new(), AtomicHistogram::new());
+        for us in (1..=50).map(|i| i * 1000) {
+            a.record(us);
+        }
+        for us in (51..=100).map(|i| i * 1000) {
+            b.record(us);
+        }
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.count, 100);
+        // Log2 buckets report the bucket's upper bound: within 2x of
+        // the exact percentile, and the max is exact.
+        assert!(snap.p50 >= 50_000 && snap.p50 <= 100_000, "{}", snap.p50);
+        assert!(snap.p99 >= 99_000 && snap.p99 <= 198_000, "{}", snap.p99);
+        assert_eq!(snap.max, 100_000);
+        // An empty run reports zeros, not NaNs.
+        let empty = AtomicHistogram::new().snapshot();
+        assert_eq!((empty.count, empty.p50, empty.max), (0, 0, 0));
     }
 
     #[test]

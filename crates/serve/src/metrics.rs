@@ -1,13 +1,15 @@
 //! Lock-free server counters and their JSON snapshot.
 
+use ahn_obs::{AtomicHistogram, HistogramSnapshot};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Monotonic counters every connection/worker thread bumps with relaxed
 /// atomics; `/metrics` renders a consistent-enough snapshot (individual
 /// counters are exact, cross-counter ratios are racy by a request or
 /// two, which is fine for an operational endpoint).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// HTTP requests served, any route, any status.
     pub http_requests: AtomicU64,
@@ -63,9 +65,84 @@ pub struct Metrics {
     /// drain loop runs (so a `/metrics` scrape during drain sees it
     /// rising).
     pub drain_nanos: AtomicU64,
+    /// Request latency, submission routes (`/v1/experiments`,
+    /// `/v1/sweeps`, `/v1/calibrations`), microseconds.
+    pub request_submit_us: AtomicHistogram,
+    /// Request latency, `/v1/jobs/*` polls, microseconds.
+    pub request_jobs_us: AtomicHistogram,
+    /// Request latency, `/v1/work/*` (claim/complete), microseconds.
+    pub request_work_us: AtomicHistogram,
+    /// Request latency, every other route, microseconds.
+    pub request_other_us: AtomicHistogram,
+    /// Queue wait per job: enqueue → first lease or local pop,
+    /// microseconds.
+    pub queue_wait_us: AtomicHistogram,
+    /// Job compute time (local workers measure it directly, external
+    /// workers self-report via `WorkCompletion`), microseconds.
+    pub job_compute_us: AtomicHistogram,
+    /// External-worker round trip: lease grant → completion accepted,
+    /// microseconds.
+    pub claim_rtt_us: AtomicHistogram,
+    /// Backoff sleep totals workers self-report with each claim,
+    /// milliseconds.
+    pub backoff_sleep_ms: AtomicHistogram,
+    /// Server boot time, so the snapshot can report uptime without a
+    /// wider `snapshot()` signature.
+    boot: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            http_requests: AtomicU64::new(0),
+            submissions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            rejected_queue_full: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            games_simulated: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            work_claims: AtomicU64::new(0),
+            work_claim_empty: AtomicU64::new(0),
+            work_completed: AtomicU64::new(0),
+            work_duplicate: AtomicU64::new(0),
+            lease_requeues: AtomicU64::new(0),
+            requests_timed_out: AtomicU64::new(0),
+            breaker_open_total: AtomicU64::new(0),
+            cells_completed_external: AtomicU64::new(0),
+            drain_nanos: AtomicU64::new(0),
+            request_submit_us: AtomicHistogram::new(),
+            request_jobs_us: AtomicHistogram::new(),
+            request_work_us: AtomicHistogram::new(),
+            request_other_us: AtomicHistogram::new(),
+            queue_wait_us: AtomicHistogram::new(),
+            job_compute_us: AtomicHistogram::new(),
+            claim_rtt_us: AtomicHistogram::new(),
+            backoff_sleep_ms: AtomicHistogram::new(),
+            boot: Instant::now(),
+        }
+    }
 }
 
 impl Metrics {
+    /// Picks the request-latency histogram for a route. Submissions,
+    /// job polls and the worker protocol get their own distributions;
+    /// everything else (health, metrics, shutdown) shares one.
+    pub fn request_histogram(&self, path: &str) -> &AtomicHistogram {
+        if path == "/v1/experiments" || path == "/v1/sweeps" || path == "/v1/calibrations" {
+            &self.request_submit_us
+        } else if path.starts_with("/v1/jobs/") {
+            &self.request_jobs_us
+        } else if path.starts_with("/v1/work/") {
+            &self.request_work_us
+        } else {
+            &self.request_other_us
+        }
+    }
+
     /// Adds one to a counter.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
@@ -98,7 +175,7 @@ impl Metrics {
         let failed = load(&self.jobs_failed);
         let job_seconds_total = busy as f64 / 1e9;
         Snapshot {
-            schema: "ahn-serve-metrics/1".into(),
+            schema: "ahn-serve-metrics/2".into(),
             http_requests: load(&self.http_requests),
             submissions: load(&self.submissions),
             cache_hits: hits,
@@ -137,14 +214,49 @@ impl Metrics {
             breaker_open_total: load(&self.breaker_open_total),
             cells_completed_external: load(&self.cells_completed_external),
             drain_seconds: load(&self.drain_nanos) as f64 / 1e9,
+            uptime_seconds: Some(self.boot.elapsed().as_secs()),
+            latency: Some(LatencySnapshot {
+                request_submit_us: self.request_submit_us.snapshot(),
+                request_jobs_us: self.request_jobs_us.snapshot(),
+                request_work_us: self.request_work_us.snapshot(),
+                request_other_us: self.request_other_us.snapshot(),
+                queue_wait_us: self.queue_wait_us.snapshot(),
+                job_compute_us: self.job_compute_us.snapshot(),
+                claim_rtt_us: self.claim_rtt_us.snapshot(),
+                backoff_sleep_ms: self.backoff_sleep_ms.snapshot(),
+            }),
         }
     }
+}
+
+/// The latency-distribution block of a v2 snapshot: one
+/// [`HistogramSnapshot`] per instrumented stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySnapshot {
+    /// Request latency, submission routes, microseconds.
+    pub request_submit_us: HistogramSnapshot,
+    /// Request latency, `/v1/jobs/*` polls, microseconds.
+    pub request_jobs_us: HistogramSnapshot,
+    /// Request latency, `/v1/work/*` routes, microseconds.
+    pub request_work_us: HistogramSnapshot,
+    /// Request latency, every other route, microseconds.
+    pub request_other_us: HistogramSnapshot,
+    /// Job queue wait (enqueue → lease/pop), microseconds.
+    pub queue_wait_us: HistogramSnapshot,
+    /// Job compute time, microseconds.
+    pub job_compute_us: HistogramSnapshot,
+    /// External-worker claim→complete round trip, microseconds.
+    pub claim_rtt_us: HistogramSnapshot,
+    /// Worker-reported backoff sleep totals, milliseconds.
+    pub backoff_sleep_ms: HistogramSnapshot,
 }
 
 /// One rendered `/metrics` report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
-    /// Report schema tag (`"ahn-serve-metrics/1"`).
+    /// Report schema tag (`"ahn-serve-metrics/2"`; v1 reports omit the
+    /// `uptime_seconds`/`latency` fields, which therefore stay
+    /// [`Option`] so old captures still deserialize).
     pub schema: String,
     /// HTTP requests served, any route.
     pub http_requests: u64,
@@ -201,6 +313,11 @@ pub struct Snapshot {
     pub cells_completed_external: u64,
     /// Seconds spent draining at shutdown (rises live during a drain).
     pub drain_seconds: f64,
+    /// Seconds since server boot. Absent in v1 reports.
+    pub uptime_seconds: Option<u64>,
+    /// Latency distributions per instrumented stage. Absent in v1
+    /// reports.
+    pub latency: Option<LatencySnapshot>,
 }
 
 #[cfg(test)]
@@ -258,9 +375,59 @@ mod tests {
     #[test]
     fn snapshot_serde_roundtrip() {
         let m = Metrics::default();
+        m.request_submit_us.record(250);
+        m.claim_rtt_us.record(9_000);
         let s = m.snapshot(1, 2, 3);
+        assert_eq!(s.schema, "ahn-serve-metrics/2");
+        assert!(s.uptime_seconds.is_some());
         let json = serde_json::to_string(&s).unwrap();
         let back: Snapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+        let latency = back.latency.expect("v2 snapshot carries latency");
+        assert_eq!(latency.request_submit_us.count, 1);
+        assert_eq!(latency.claim_rtt_us.max, 9_000);
+    }
+
+    /// A snapshot captured by a v1 server (no `uptime_seconds`, no
+    /// `latency`) must still deserialize — the new fields are `Option`
+    /// precisely so archived reports and old dashboards keep working.
+    #[test]
+    fn v1_snapshot_still_deserializes() {
+        let v1 = r#"{
+            "schema": "ahn-serve-metrics/1",
+            "http_requests": 10, "submissions": 4, "cache_hits": 1,
+            "cache_misses": 3, "coalesced": 0, "cache_hit_rate": 0.25,
+            "rejected_queue_full": 0, "jobs_completed": 3,
+            "jobs_failed": 0, "queue_depth": 0, "queue_depth_peak": 2,
+            "cached_results": 3, "workers": 2, "games_simulated": 900,
+            "games_per_second": 1200.0, "job_seconds_total": 0.75,
+            "job_seconds_mean": 0.25, "work_claims": 0,
+            "work_claim_empty": 0, "work_completed": 0,
+            "work_duplicate": 0, "lease_requeues": 0,
+            "requests_timed_out": 0, "breaker_open_total": 0,
+            "cells_completed_external": 0, "drain_seconds": 0.0
+        }"#;
+        let s: Snapshot = serde_json::from_str(v1).unwrap();
+        assert_eq!(s.schema, "ahn-serve-metrics/1");
+        assert_eq!(s.jobs_completed, 3);
+        assert_eq!(s.uptime_seconds, None);
+        assert_eq!(s.latency, None);
+    }
+
+    #[test]
+    fn request_histograms_are_grouped_by_route() {
+        let m = Metrics::default();
+        m.request_histogram("/v1/experiments").record(10);
+        m.request_histogram("/v1/sweeps").record(10);
+        m.request_histogram("/v1/calibrations").record(10);
+        m.request_histogram("/v1/jobs/42").record(20);
+        m.request_histogram("/v1/work/claim").record(30);
+        m.request_histogram("/v1/work/complete").record(30);
+        m.request_histogram("/metrics").record(40);
+        m.request_histogram("/healthz").record(40);
+        assert_eq!(m.request_submit_us.count(), 3);
+        assert_eq!(m.request_jobs_us.count(), 1);
+        assert_eq!(m.request_work_us.count(), 2);
+        assert_eq!(m.request_other_us.count(), 2);
     }
 }

@@ -47,6 +47,7 @@ use crate::protocol::{
     presets, ClaimRequest, JobSpec, SubmitAck, WorkCompletion, WorkGrant, DEFAULT_LEASE_MS,
     MAX_LEASE_MS,
 };
+use ahn_obs::{trace_id_of_key, TraceEvent, TraceLog};
 use std::collections::{HashMap, VecDeque};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -97,6 +98,11 @@ pub struct ServerConfig {
     /// before exiting anyway. `0` exits immediately (the
     /// pre-hardening behavior).
     pub drain_ms: u64,
+    /// Path of the structured trace log. `None` (the default) emits
+    /// nothing; `Some(path)` appends one checksummed JSON line per span
+    /// event (submit/enqueue/lease/complete/…) so a cell's lifecycle can
+    /// be joined across nodes with `ahn-exp trace`.
+    pub trace: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +117,7 @@ impl Default for ServerConfig {
             idle_timeout_ms: 30_000,
             write_timeout_ms: 10_000,
             drain_ms: 5_000,
+            trace: None,
         }
     }
 }
@@ -154,6 +161,23 @@ struct Shared {
     /// third kind of outstanding work (besides queued and leased) a
     /// drain must wait on.
     busy_jobs: AtomicU64,
+    /// Structured trace log, when `--trace` is configured.
+    trace: Option<TraceLog>,
+    /// lease id → grant time, for the `claim_rtt_us` histogram (grant →
+    /// completion accepted). Entries whose completion never arrives are
+    /// pruned once older than [`MAX_LEASE_MS`].
+    lease_starts: Mutex<HashMap<u64, Instant>>,
+}
+
+impl Shared {
+    /// Appends a span event to the trace log, if one is configured.
+    /// Never called under the state lock (trace emission does file
+    /// I/O).
+    fn emit(&self, event: TraceEvent) {
+        if let Some(trace) = &self.trace {
+            trace.emit(event);
+        }
+    }
 }
 
 /// A running server; dropping the handle does *not* stop it — call
@@ -205,6 +229,16 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
             Arc::new(journal)
         }
     };
+    // The trace node name carries the bound address so logs from several
+    // serve incarnations (e.g. before/after a chaos restart) stay
+    // distinguishable after joining.
+    let trace = match &config.trace {
+        None => None,
+        Some(path) => Some(TraceLog::open(
+            std::path::Path::new(path),
+            &format!("serve:{local_addr}"),
+        )?),
+    };
     let shared = Arc::new(Shared {
         store,
         state: Mutex::new(State {
@@ -221,6 +255,8 @@ pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
         running: AtomicBool::new(true),
         draining: AtomicBool::new(false),
         busy_jobs: AtomicU64::new(0),
+        trace,
+        lease_starts: Mutex::new(HashMap::new()),
     });
 
     let worker_handles: Vec<JoinHandle<()>> = (0..workers)
@@ -322,7 +358,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         match read_request_deadlined(&mut reader, &deadlines) {
             Ok(ReadOutcome::Request(req)) => {
                 Metrics::bump(&shared.metrics.http_requests);
+                let started = Instant::now();
                 let (status, body, shutdown) = route(shared, &req);
+                shared
+                    .metrics
+                    .request_histogram(&req.path)
+                    .record(started.elapsed().as_micros() as u64);
                 let write_ok = write_response(&mut stream, status, &body, req.close).is_ok();
                 if shutdown {
                     initiate_shutdown(shared);
@@ -438,55 +479,100 @@ enum SubmitOutcome {
 }
 
 /// Runs one resolved, validated spec through the cache lookup →
-/// coalesce → enqueue flow, bumping the submission metrics.
+/// coalesce → enqueue flow, bumping the submission metrics and emitting
+/// the cell's root trace spans (submit/enqueue/coalesce).
 fn submit_spec(shared: &Arc<Shared>, spec: JobSpec, key: u64) -> SubmitOutcome {
-    let mut state = shared.state.lock().expect("state lock");
-    Metrics::bump(&shared.metrics.submissions);
+    /// Which path the submission took, remembered across the lock scope
+    /// so trace emission (file I/O) happens after the lock is released.
+    enum Flow {
+        Hit,
+        Coalesced(u64),
+        Enqueued(u64),
+        Rejected,
+    }
+    let (outcome, flow) = {
+        let mut state = shared.state.lock().expect("state lock");
+        Metrics::bump(&shared.metrics.submissions);
 
-    if let Some(result) = state.cache.get(key) {
-        Metrics::bump(&shared.metrics.cache_hits);
-        return SubmitOutcome::Cached(result);
+        if let Some(result) = state.cache.get(key) {
+            Metrics::bump(&shared.metrics.cache_hits);
+            (SubmitOutcome::Cached(result), Flow::Hit)
+        } else if let Some(&job_id) = state.inflight.get(&key) {
+            // An identical job is already queued or running: attach the
+            // caller to it instead of recomputing.
+            Metrics::bump(&shared.metrics.coalesced);
+            let status = state
+                .jobs
+                .get(&job_id)
+                .map(|r| r.status)
+                .unwrap_or(JobStatus::Queued);
+            (
+                SubmitOutcome::Job { id: job_id, status },
+                Flow::Coalesced(job_id),
+            )
+        } else {
+            Metrics::bump(&shared.metrics.cache_misses);
+            let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+            state.jobs.insert(
+                id,
+                JobRecord {
+                    status: JobStatus::Queued,
+                    result: None,
+                    error: None,
+                },
+            );
+            state.inflight.insert(key, id);
+            // Enqueue while holding the state lock so a worker cannot
+            // finish the job before its record and inflight entry exist.
+            let queued = QueuedJob {
+                id,
+                key,
+                spec,
+                enqueued_at: Instant::now(),
+            };
+            if shared.store.try_push(queued).is_err() {
+                state.jobs.remove(&id);
+                state.inflight.remove(&key);
+                Metrics::bump(&shared.metrics.rejected_queue_full);
+                (SubmitOutcome::QueueFull, Flow::Rejected)
+            } else {
+                Metrics::raise(
+                    &shared.metrics.queue_depth_peak,
+                    shared.store.depth() as u64,
+                );
+                (
+                    SubmitOutcome::Job {
+                        id,
+                        status: JobStatus::Queued,
+                    },
+                    Flow::Enqueued(id),
+                )
+            }
+        }
+    };
+    if shared.trace.is_some() {
+        let tid = trace_id_of_key(key);
+        match flow {
+            Flow::Hit => shared.emit(
+                TraceEvent::new(tid, "submit")
+                    .key(key)
+                    .outcome(true)
+                    .detail("cache_hit".into()),
+            ),
+            Flow::Coalesced(id) => shared.emit(TraceEvent::new(tid, "coalesce").key(key).job(id)),
+            Flow::Enqueued(id) => {
+                shared.emit(TraceEvent::new(tid, "submit").key(key).job(id));
+                shared.emit(TraceEvent::new(tid, "enqueue").key(key).job(id));
+            }
+            Flow::Rejected => shared.emit(
+                TraceEvent::new(tid, "submit")
+                    .key(key)
+                    .outcome(false)
+                    .detail("queue_full".into()),
+            ),
+        }
     }
-
-    if let Some(&job_id) = state.inflight.get(&key) {
-        // An identical job is already queued or running: attach the
-        // caller to it instead of recomputing.
-        Metrics::bump(&shared.metrics.coalesced);
-        let status = state
-            .jobs
-            .get(&job_id)
-            .map(|r| r.status)
-            .unwrap_or(JobStatus::Queued);
-        return SubmitOutcome::Job { id: job_id, status };
-    }
-
-    Metrics::bump(&shared.metrics.cache_misses);
-    let id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-    state.jobs.insert(
-        id,
-        JobRecord {
-            status: JobStatus::Queued,
-            result: None,
-            error: None,
-        },
-    );
-    state.inflight.insert(key, id);
-    // Enqueue while holding the state lock so a worker cannot finish the
-    // job before its record and inflight entry exist.
-    if shared.store.try_push(QueuedJob { id, key, spec }).is_err() {
-        state.jobs.remove(&id);
-        state.inflight.remove(&key);
-        Metrics::bump(&shared.metrics.rejected_queue_full);
-        return SubmitOutcome::QueueFull;
-    }
-    Metrics::raise(
-        &shared.metrics.queue_depth_peak,
-        shared.store.depth() as u64,
-    );
-    SubmitOutcome::Job {
-        id,
-        status: JobStatus::Queued,
-    }
+    outcome
 }
 
 /// The `POST /v1/experiments` flow: parse, resolve, validate, hash,
@@ -779,6 +865,11 @@ fn work_claim(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
     if let Some(trips) = request.breaker_trips {
         Metrics::add(&shared.metrics.breaker_open_total, trips);
     }
+    // Same contract for backoff sleep: each claim samples the worker's
+    // sleep total since its last acknowledged claim.
+    if let Some(backoff_ms) = request.backoff_ms {
+        shared.metrics.backoff_sleep_ms.record(backoff_ms);
+    }
 
     let requeued = shared.store.sweep_expired();
     Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
@@ -806,11 +897,35 @@ fn work_claim(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
             continue;
         }
         Metrics::bump(&shared.metrics.work_claims);
+        // The cell just left the queue: that ends its queue wait and
+        // starts its claim round trip.
+        shared
+            .metrics
+            .queue_wait_us
+            .record(leased.job.enqueued_at.elapsed().as_micros() as u64);
+        {
+            let mut starts = shared.lease_starts.lock().expect("lease starts lock");
+            // Completions that never arrive would leak entries; drop
+            // anything older than the longest possible lease.
+            if starts.len() >= 1024 {
+                let horizon = Duration::from_millis(MAX_LEASE_MS);
+                starts.retain(|_, at| at.elapsed() < horizon);
+            }
+            starts.insert(leased.lease_id, Instant::now());
+        }
+        let trace_id = trace_id_of_key(leased.job.key);
+        shared.emit(
+            TraceEvent::new(trace_id, "lease")
+                .key(leased.job.key)
+                .job(leased.job.id)
+                .lease(leased.lease_id),
+        );
         let grant = WorkGrant {
             lease_id: leased.lease_id,
             job_id: leased.job.id,
             key: leased.job.key,
             lease_ms,
+            trace_id: Some(trace_id),
             spec: leased.job.spec,
         };
         return match serde_json::to_string(&grant) {
@@ -853,6 +968,26 @@ fn work_complete(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
     Metrics::add(&shared.metrics.lease_requeues, requeued as u64);
     shared.store.complete_lease(completion.lease_id);
 
+    // The completion ends the lease's round trip (grant → accepted);
+    // expired leases whose start was pruned simply go unsampled.
+    if let Some(granted_at) = shared
+        .lease_starts
+        .lock()
+        .expect("lease starts lock")
+        .remove(&completion.lease_id)
+    {
+        shared
+            .metrics
+            .claim_rtt_us
+            .record(granted_at.elapsed().as_micros() as u64);
+    }
+    // Compute time is worker-measured: the server cannot see the remote
+    // clock, so it trusts the self-report (telemetry, not accounting).
+    if let Some(compute_us) = completion.compute_us {
+        shared.metrics.job_compute_us.record(compute_us);
+    }
+    let trace_id = trace_id_of_key(completion.key);
+
     let mut state = shared.state.lock().expect("state lock");
     let status = match state.jobs.get(&completion.job_id) {
         Some(record) => record.status,
@@ -866,6 +1001,13 @@ fn work_complete(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
     };
     if matches!(status, JobStatus::Done | JobStatus::Failed) {
         Metrics::bump(&shared.metrics.work_duplicate);
+        drop(state);
+        shared.emit(
+            TraceEvent::new(trace_id, "duplicate")
+                .key(completion.key)
+                .job(completion.job_id)
+                .lease(completion.lease_id),
+        );
         return (200, "{\"status\":\"duplicate\"}".into(), false);
     }
     // Idempotency cross-check: while a job is pending its cache key is
@@ -917,6 +1059,15 @@ fn work_complete(shared: &Arc<Shared>, body: &[u8]) -> (u16, String, bool) {
     if let Some(result) = recorded {
         shared.store.record_completion(completion.key, &result);
     }
+    let mut complete = TraceEvent::new(trace_id, "complete")
+        .key(completion.key)
+        .job(completion.job_id)
+        .lease(completion.lease_id)
+        .outcome(completion.result.is_some());
+    if let Some(compute_us) = completion.compute_us {
+        complete = complete.dur_us(compute_us);
+    }
+    shared.emit(complete);
     (200, "{\"status\":\"recorded\"}".into(), false)
 }
 
@@ -942,9 +1093,22 @@ fn worker_loop(shared: &Arc<Shared>) {
         // Visible to the drain loop: a job inside `run_job` is neither
         // queued nor leased, but a drain must still wait for it.
         shared.busy_jobs.fetch_add(1, Ordering::SeqCst);
+        shared
+            .metrics
+            .queue_wait_us
+            .record(job.enqueued_at.elapsed().as_micros() as u64);
+        let trace_id = trace_id_of_key(job.key);
         let started = Instant::now();
         let outcome = run_job(&job.spec);
         let elapsed_nanos = started.elapsed().as_nanos() as u64;
+        shared.metrics.job_compute_us.record(elapsed_nanos / 1_000);
+        shared.emit(
+            TraceEvent::new(trace_id, "compute")
+                .key(job.key)
+                .job(job.id)
+                .dur_us(elapsed_nanos / 1_000)
+                .outcome(outcome.is_ok()),
+        );
 
         if let Ok(json) = &outcome {
             // Durable before visible: journal the completion (no-op in
@@ -972,6 +1136,11 @@ fn worker_loop(shared: &Arc<Shared>) {
                 Metrics::bump(&shared.metrics.jobs_failed);
             }
         }
+        let succeeded = state
+            .jobs
+            .get(&job.id)
+            .map(|r| r.status == JobStatus::Done)
+            .unwrap_or(false);
         state.inflight.remove(&job.key);
         state.finished.push_back(job.id);
         while state.finished.len() > state.retain_finished {
@@ -980,6 +1149,12 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         }
         drop(state);
+        shared.emit(
+            TraceEvent::new(trace_id, "complete")
+                .key(job.key)
+                .job(job.id)
+                .outcome(succeeded),
+        );
         // Decrement only after the result is visible: the drain loop
         // must not observe zero outstanding work while a completed
         // job's bookkeeping is still in flight.

@@ -23,7 +23,9 @@ use crate::jobs::run_job;
 use crate::loadtest::one_shot_deadlined;
 use crate::protocol::{WorkCompletion, WorkGrant};
 use crate::resilience::{Backoff, BackoffPolicy};
-use std::time::Duration;
+use ahn_obs::{trace_id_of_key, AtomicHistogram, HistogramSnapshot, TraceEvent, TraceLog};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// One HTTP round trip, abstracted so tests can inject failures
 /// deterministically. `Err` means the response was never observed — the
@@ -135,6 +137,67 @@ pub struct WorkerReport {
     pub breaker_opens: u64,
 }
 
+/// Latency distributions a worker collected while running — returned by
+/// [`run_worker_observed`] next to the counter report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTelemetry {
+    /// Grant received → completion acknowledged, microseconds (the
+    /// worker-side view of the server's `claim_rtt_us`).
+    pub claim_rtt_us: HistogramSnapshot,
+    /// `run_job` compute time per cell, microseconds.
+    pub compute_us: HistogramSnapshot,
+    /// Individual backoff sleeps, milliseconds.
+    pub backoff_ms: HistogramSnapshot,
+}
+
+/// The worker's exit summary, printed by `ahn-exp worker` as one final
+/// JSON line so fleet scripts can scrape per-worker stats without
+/// parsing human-oriented stderr.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSummary {
+    /// Report schema tag (`"ahn-worker-summary/1"`).
+    pub schema: String,
+    /// Results the server accepted.
+    pub completed: u64,
+    /// Cells delivered as errors.
+    pub failed: u64,
+    /// Deliveries discarded as duplicates.
+    pub duplicates: u64,
+    /// Results dropped because the server forgot the job.
+    pub dropped: u64,
+    /// Claims that found the queue empty.
+    pub empty_polls: u64,
+    /// Transport errors survived.
+    pub transport_errors: u64,
+    /// Circuit-breaker trips observed.
+    pub breaker_opens: u64,
+    /// Grant → completion-ack round trip, microseconds.
+    pub claim_rtt_us: HistogramSnapshot,
+    /// Per-cell compute time, microseconds.
+    pub compute_us: HistogramSnapshot,
+    /// Individual backoff sleeps, milliseconds.
+    pub backoff_ms: HistogramSnapshot,
+}
+
+impl WorkerSummary {
+    /// Folds a report and its telemetry into the printable summary.
+    pub fn new(report: &WorkerReport, telemetry: &WorkerTelemetry) -> WorkerSummary {
+        WorkerSummary {
+            schema: "ahn-worker-summary/1".into(),
+            completed: report.completed,
+            failed: report.failed,
+            duplicates: report.duplicates,
+            dropped: report.dropped,
+            empty_polls: report.empty_polls,
+            transport_errors: report.transport_errors,
+            breaker_opens: report.breaker_opens,
+            claim_rtt_us: telemetry.claim_rtt_us.clone(),
+            compute_us: telemetry.compute_us.clone(),
+            backoff_ms: telemetry.backoff_ms.clone(),
+        }
+    }
+}
+
 /// Runs the claim → compute → complete loop until an exit condition of
 /// `config` fires, returning what happened. `Err` means the worker gave
 /// up (transport dead, or a protocol violation).
@@ -148,20 +211,71 @@ pub fn run_worker(
     transport: &mut dyn Transport,
     config: &WorkerConfig,
 ) -> Result<WorkerReport, String> {
-    let result = run_worker_loop(transport, config);
+    run_worker_observed(transport, config, None).map(|(report, _)| report)
+}
+
+/// [`run_worker`] with observability: collects latency histograms
+/// (claim round trip, compute, backoff sleeps) and, when `trace` is
+/// set, appends one span event per lifecycle step
+/// (claim/compute/deliver/retry/breaker_open) so a cell's trail joins
+/// with the server's via the grant's `trace_id`.
+pub fn run_worker_observed(
+    transport: &mut dyn Transport,
+    config: &WorkerConfig,
+    trace: Option<&TraceLog>,
+) -> Result<(WorkerReport, WorkerTelemetry), String> {
+    let telemetry = WorkerHistograms::default();
+    let result = run_worker_loop(transport, config, trace, &telemetry);
+    let telemetry = WorkerTelemetry {
+        claim_rtt_us: telemetry.claim_rtt_us.snapshot(),
+        compute_us: telemetry.compute_us.snapshot(),
+        backoff_ms: telemetry.backoff_ms.snapshot(),
+    };
     match result {
         Ok(mut report) => {
             report.breaker_opens = transport.breaker_opens();
-            Ok(report)
+            Ok((report, telemetry))
         }
         Err(e) => Err(e),
     }
 }
 
+/// Live histograms behind [`WorkerTelemetry`] (the worker is
+/// single-threaded; [`AtomicHistogram`] is simply the zero-allocation
+/// recorder we already have).
+#[derive(Debug, Default)]
+struct WorkerHistograms {
+    claim_rtt_us: AtomicHistogram,
+    compute_us: AtomicHistogram,
+    backoff_ms: AtomicHistogram,
+}
+
 fn run_worker_loop(
     transport: &mut dyn Transport,
     config: &WorkerConfig,
+    trace: Option<&TraceLog>,
+    telemetry: &WorkerHistograms,
 ) -> Result<WorkerReport, String> {
+    let emit = |event: TraceEvent| {
+        if let Some(log) = trace {
+            log.emit(event);
+        }
+    };
+    // Records a backoff sleep everywhere it is taken: the histogram, the
+    // next claim body (server-side sample) and the trace.
+    let sleep_backoff = |backoff: &mut Backoff, pending_ms: &mut u64, trace_id: u64, why: &str| {
+        let delay = backoff.next_delay();
+        let delay_ms = delay.as_millis() as u64;
+        telemetry.backoff_ms.record(delay_ms);
+        *pending_ms += delay_ms;
+        emit(
+            TraceEvent::new(trace_id, "retry")
+                .dur_us(delay.as_micros() as u64)
+                .detail(why.to_owned()),
+        );
+        std::thread::sleep(delay);
+    };
+
     let pause = Duration::from_millis(config.poll_ms.max(1));
     let mut backoff = Backoff::new(config.backoff);
     let mut report = WorkerReport::default();
@@ -169,20 +283,37 @@ fn run_worker_loop(
     let mut idle_polls = 0u64;
     let mut processed = 0u64;
     let mut trips_reported = 0u64;
+    let mut trips_traced = 0u64;
+    // Backoff milliseconds slept since the last acknowledged claim,
+    // reported in the next claim body (same at-least-once contract as
+    // `breaker_trips`).
+    let mut backoff_ms_pending = 0u64;
 
     loop {
         if config.max_cells > 0 && processed >= config.max_cells {
             return Ok(report);
         }
         let trips_now = transport.breaker_opens();
+        if trips_now > trips_traced {
+            // trace_id 0: a node-local event — the breaker is not tied
+            // to any one cell.
+            emit(TraceEvent::new(0, "breaker_open").detail(format!(
+                "trips={} total={trips_now}",
+                trips_now - trips_traced
+            )));
+            trips_traced = trips_now;
+        }
         let claim_body = format!(
-            "{{\"lease_ms\":{},\"breaker_trips\":{}}}",
+            "{{\"lease_ms\":{},\"breaker_trips\":{},\"backoff_ms\":{}}}",
             config.lease_ms,
-            trips_now - trips_reported
+            trips_now - trips_reported,
+            backoff_ms_pending
         );
+        let claim_started = Instant::now();
         let body = match transport.request("POST", "/v1/work/claim", &claim_body) {
             Ok((200, body)) => {
                 trips_reported = trips_now;
+                backoff_ms_pending = 0;
                 body
             }
             Ok((status, body)) => return Err(format!("claim rejected: {status} {body}")),
@@ -194,7 +325,7 @@ fn run_worker_loop(
                         "giving up after {consecutive_errors} consecutive transport errors: {e}"
                     ));
                 }
-                std::thread::sleep(backoff.next_delay());
+                sleep_backoff(&mut backoff, &mut backoff_ms_pending, 0, "claim failed");
                 continue;
             }
         };
@@ -215,9 +346,21 @@ fn run_worker_loop(
             Err(e) => return Err(format!("cannot parse claim response: {e} in {body}")),
         };
         idle_polls = 0;
+        // Echo the server's trace id; derive it from the key when an
+        // old server omitted the field (same pure function both ends).
+        let trace_id = grant.trace_id.unwrap_or_else(|| trace_id_of_key(grant.key));
+        let granted_at = Instant::now();
+        emit(
+            TraceEvent::new(trace_id, "claim")
+                .key(grant.key)
+                .job(grant.job_id)
+                .lease(grant.lease_id)
+                .dur_us(claim_started.elapsed().as_micros() as u64),
+        );
 
         // Per-cell idempotency check: the canonical hash of the spec we
         // are about to run must be the key the server indexed it under.
+        let compute_started = Instant::now();
         let outcome = match grant.spec.cache_key() {
             Ok(key) if key == grant.key => run_job(&grant.spec),
             Ok(key) => Err(format!(
@@ -227,13 +370,25 @@ fn run_worker_loop(
             )),
             Err(e) => Err(e),
         };
+        let compute_us = compute_started.elapsed().as_micros() as u64;
+        telemetry.compute_us.record(compute_us);
         let succeeded = outcome.is_ok();
+        emit(
+            TraceEvent::new(trace_id, "compute")
+                .key(grant.key)
+                .job(grant.job_id)
+                .lease(grant.lease_id)
+                .dur_us(compute_us)
+                .outcome(succeeded),
+        );
         let completion = WorkCompletion {
             lease_id: grant.lease_id,
             job_id: grant.job_id,
             key: grant.key,
             result: outcome.as_ref().ok().cloned(),
             error: outcome.err(),
+            trace_id: Some(trace_id),
+            compute_us: Some(compute_us),
         };
         let completion_body = serde_json::to_string(&completion)
             .map_err(|e| format!("cannot serialize completion: {e}"))?;
@@ -243,13 +398,26 @@ fn run_worker_loop(
         loop {
             match transport.request("POST", "/v1/work/complete", &completion_body) {
                 Ok((200, response)) => {
-                    if response.contains("\"duplicate\"") {
+                    let duplicate = response.contains("\"duplicate\"");
+                    if duplicate {
                         report.duplicates += 1;
                     } else if succeeded {
                         report.completed += 1;
                     } else {
                         report.failed += 1;
                     }
+                    telemetry
+                        .claim_rtt_us
+                        .record(granted_at.elapsed().as_micros() as u64);
+                    let mut deliver = TraceEvent::new(trace_id, "deliver")
+                        .key(grant.key)
+                        .job(grant.job_id)
+                        .lease(grant.lease_id)
+                        .outcome(true);
+                    if duplicate {
+                        deliver = deliver.detail("duplicate".into());
+                    }
+                    emit(deliver);
                     break;
                 }
                 Ok((404, _)) => {
@@ -257,6 +425,14 @@ fn run_worker_loop(
                     // nothing to deliver to; the cell will be
                     // resubmitted and recomputed identically.
                     report.dropped += 1;
+                    emit(
+                        TraceEvent::new(trace_id, "deliver")
+                            .key(grant.key)
+                            .job(grant.job_id)
+                            .lease(grant.lease_id)
+                            .outcome(false)
+                            .detail("dropped: server forgot the job".into()),
+                    );
                     break;
                 }
                 Ok((status, response)) => {
@@ -271,7 +447,12 @@ fn run_worker_loop(
                              errors: {e}"
                         ));
                     }
-                    std::thread::sleep(backoff.next_delay());
+                    sleep_backoff(
+                        &mut backoff,
+                        &mut backoff_ms_pending,
+                        trace_id,
+                        "completion delivery failed",
+                    );
                 }
             }
         }

@@ -313,6 +313,8 @@ fn duplicate_completion_keeps_the_first_result() {
         key: grant.key,
         result: Some(result.clone()),
         error: None,
+        trace_id: grant.trace_id,
+        compute_us: None,
     })
     .unwrap();
 

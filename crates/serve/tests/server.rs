@@ -63,7 +63,14 @@ fn healthz_metrics_presets_and_errors() {
     assert_eq!(status, 200);
     assert_eq!(
         metrics["schema"],
-        Value::String("ahn-serve-metrics/1".into())
+        Value::String("ahn-serve-metrics/2".into())
+    );
+    // v2 additions: an uptime gauge and per-stage latency histograms.
+    assert!(matches!(metrics["uptime_seconds"], Value::U64(_)));
+    assert!(
+        matches!(metrics["latency"]["request_other_us"]["count"], Value::U64(n) if n >= 1),
+        "the /healthz request above must have landed in request_other_us: {:?}",
+        metrics["latency"]
     );
 
     let (status, presets) = get(&addr, "/v1/presets");

@@ -21,6 +21,7 @@
 //! | [`game`] | the Ad Hoc Network Game, tournaments, environments |
 //! | [`ga`] | the genetic-algorithm engine |
 //! | [`ipdrp`] | the IPDRP baseline (Namikawa & Ishibuchi) |
+//! | [`obs`] | observability: latency histograms, trace spans, recorder hooks |
 //! | [`core`] | the experiment harness reproducing every table/figure |
 //! | [`serve`] | the HTTP job server (worker pool, result cache, load test) |
 //!
@@ -49,6 +50,7 @@ pub use ahn_ga as ga;
 pub use ahn_game as game;
 pub use ahn_ipdrp as ipdrp;
 pub use ahn_net as net;
+pub use ahn_obs as obs;
 pub use ahn_serve as serve;
 pub use ahn_stats as stats;
 pub use ahn_strategy as strategy;

@@ -173,6 +173,51 @@ fn full_bignet_round_allocates_zero_bytes_once_rows_are_saturated() {
 }
 
 #[test]
+fn histogram_record_allocates_zero_bytes() {
+    // The instrumentation itself must be hot-loop-safe: recording into
+    // an AtomicHistogram touches only its inline atomic buckets.
+    let hist = ahn::obs::AtomicHistogram::new();
+    hist.record(1);
+
+    let before = allocations();
+    for v in 0..10_000u64 {
+        hist.record(v.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "histogram recording performed {} allocations",
+        after - before
+    );
+}
+
+#[test]
+fn noop_recorder_hooks_allocate_zero_bytes() {
+    // The zero-cost-when-off contract: every NoopRecorder hook has an
+    // empty body, so a fully instrumented generation loop driven with
+    // it must not allocate (or do anything else).
+    use ahn::obs::{NoopRecorder, Phase, Recorder};
+    let mut recorder = NoopRecorder;
+
+    let before = allocations();
+    for generation in 0..10_000u64 {
+        for phase in [Phase::Schedule, Phase::Play, Phase::Evolve] {
+            recorder.begin(phase);
+            recorder.end(phase);
+        }
+        recorder.generation(generation, 0.5);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "no-op recorder hooks performed {} allocations",
+        after - before
+    );
+}
+
+#[test]
 fn breeding_into_a_warm_buffer_allocates_zero_bytes() {
     // 13-bit genomes are stored inline; with a warmed offspring buffer
     // the whole breed step is allocation-free.

@@ -45,7 +45,9 @@ pub const SERVE_HIT_REQUESTS: usize = 600;
 /// One timed bench run: artifact-pipeline seconds plus game throughput.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
-    /// Report schema tag (`"ahn-bench/1"`).
+    /// Report schema tag (`"ahn-bench/2"`; `"ahn-bench/1"` reports
+    /// predate the environment and thread-scaling rows and still
+    /// deserialize with those fields `None`).
     pub schema: String,
     /// Human description of the measured scale.
     pub scale: String,
@@ -93,6 +95,38 @@ pub struct BenchReport {
     /// single-core host all three are expected to tie). `None` in
     /// reports measured before the distributed layer existed.
     pub distributed_cells_per_second: Option<f64>,
+    /// Cores the measuring host exposed (`available_parallelism`,
+    /// ignoring any `AHN_THREADS` cap). `None` in pre-`ahn-bench/2`
+    /// reports.
+    pub host_cores: Option<u64>,
+    /// Effective worker-thread count at measurement time (host cores
+    /// capped by `AHN_THREADS`). `None` in pre-`ahn-bench/2` reports.
+    pub ahn_threads: Option<u64>,
+    /// Whether the binary looked like a `-C target-cpu=native` build
+    /// (the [`portable_build_warning`] probe came back clean). `None`
+    /// in pre-`ahn-bench/2` reports.
+    pub target_cpu_native: Option<bool>,
+    /// Aggregate games per second across 1 concurrent paper-scale
+    /// tournament pinned to `AHN_THREADS=1` — the thread-scaling
+    /// anchor. `None` in pre-`ahn-bench/2` reports or when `--threads`
+    /// excluded 1.
+    pub games_per_second_t1: Option<f64>,
+    /// Aggregate games per second across 4 concurrent paper-scale
+    /// tournaments under `AHN_THREADS=4`. `None` when the host has
+    /// fewer than 4 cores (a capped run would mismeasure scaling), when
+    /// `--threads` excluded 4, or in pre-`ahn-bench/2` reports.
+    pub games_per_second_t4: Option<f64>,
+    /// Aggregate games per second across 8 concurrent paper-scale
+    /// tournaments under `AHN_THREADS=8`. `None` on hosts with fewer
+    /// than 8 cores, when `--threads` excluded 8, or in
+    /// pre-`ahn-bench/2` reports.
+    pub games_per_second_t8: Option<f64>,
+    /// Parallel efficiency of the sweep engine:
+    /// `(cells/s at t) / (t × cells/s at t=1)` where `t` is the largest
+    /// of {4, 8} the host can actually run (falling back to the core
+    /// count itself on 2–3-core hosts). 1.0 is perfect linear scaling.
+    /// `None` on single-core hosts and in pre-`ahn-bench/2` reports.
+    pub sweep_scaling_efficiency: Option<f64>,
 }
 
 /// A committed before/after baseline pair (the `BENCH_N.json` format).
@@ -165,8 +199,108 @@ fn time_min<F: FnMut()>(mut f: F) -> f64 {
     best
 }
 
-/// Runs the full measurement suite.
-pub fn run_bench() -> BenchReport {
+/// Pins `AHN_THREADS` for the lifetime of the guard and restores the
+/// previous state (set or unset) on drop, so a thread-scaling phase
+/// can never leak its cap into the rest of the suite.
+struct ThreadCap {
+    previous: Option<String>,
+}
+
+impl ThreadCap {
+    fn pin(threads: usize) -> Self {
+        let previous = std::env::var("AHN_THREADS").ok();
+        std::env::set_var("AHN_THREADS", threads.to_string());
+        ThreadCap { previous }
+    }
+}
+
+impl Drop for ThreadCap {
+    fn drop(&mut self) {
+        match self.previous.take() {
+            Some(value) => std::env::set_var("AHN_THREADS", value),
+            None => std::env::remove_var("AHN_THREADS"),
+        }
+    }
+}
+
+/// Aggregate games per second of `t` concurrent paper-scale tournaments
+/// under `AHN_THREADS=t` (one tournament per worker thread — the rayon
+/// shim re-reads the cap per call, so the pin takes effect
+/// immediately). Each worker owns its arena; nothing is shared, so
+/// this measures pure kernel scaling, not lock contention.
+fn measure_games_at(t: usize) -> f64 {
+    use rayon::prelude::*;
+    let _cap = ThreadCap::pin(t);
+    let nodes = bench_arena(0).1.len();
+    let games = (t * nodes * THROUGHPUT_ROUNDS) as f64;
+    let seconds = time_min(|| {
+        let runs: Vec<()> = (0..t)
+            .into_par_iter()
+            .map(|i| {
+                let (mut arena, participants) = bench_arena(10 + i as u64);
+                let mut rng = bench_rng(20 + i as u64);
+                let tournament = Tournament::new(THROUGHPUT_ROUNDS);
+                arena.begin_generation();
+                tournament.run(&mut arena, &mut rng, &participants, 0);
+                std::hint::black_box(arena);
+            })
+            .collect();
+        std::hint::black_box(runs);
+    });
+    games / seconds
+}
+
+/// Thread-scaling rows: `games_per_second_t{1,4,8}` for each requested
+/// count the host can genuinely run (a count above the core budget
+/// would silently serialize and mismeasure), plus the sweep engine's
+/// parallel efficiency. `threads` comes from `ahn-exp bench
+/// --threads`.
+fn measure_thread_scaling(
+    threads: &[usize],
+    grid: &ahn_core::sweeps::SweepGrid,
+) -> (Option<f64>, Option<f64>, Option<f64>, Option<f64>) {
+    let host = ahn_core::threads::host_cores();
+    let row = |t: usize| {
+        if threads.contains(&t) && t <= host {
+            Some(measure_games_at(t))
+        } else {
+            None
+        }
+    };
+    let t1 = row(1);
+    let t4 = row(4);
+    let t8 = row(8);
+    (t1, t4, t8, measure_sweep_scaling(grid))
+}
+
+/// `(cells/s at t) / (t × cells/s at t=1)` over the bench sweep grid,
+/// where `t` is the largest of {4, 8} within the core budget (the core
+/// count itself on 2–3-core hosts). `None` on single-core hosts —
+/// there is no scaling to measure.
+fn measure_sweep_scaling(grid: &ahn_core::sweeps::SweepGrid) -> Option<f64> {
+    let host = ahn_core::threads::host_cores();
+    let t = host.min(8);
+    if t < 2 {
+        return None;
+    }
+    let cells = grid.cell_count() as f64;
+    let rate_at = |t: usize| {
+        let _cap = ThreadCap::pin(t);
+        let seconds = time_min(|| {
+            std::hint::black_box(ahn_core::sweeps::run_sweep(grid).expect("bench grid is valid"));
+        });
+        cells / seconds
+    };
+    let single = rate_at(1);
+    let multi = rate_at(t);
+    Some(multi / (t as f64 * single))
+}
+
+/// Runs the full measurement suite. `threads` selects which
+/// `games_per_second_t{1,4,8}` rows to measure (subset of {1, 4, 8};
+/// counts above the host's core budget are skipped and reported as
+/// `None`).
+pub fn run_bench(threads: &[usize]) -> BenchReport {
     let cfg = bench_config();
 
     // Figure 4: cooperation evolution, CSN-free and CSN-heavy.
@@ -249,14 +383,22 @@ pub fn run_bench() -> BenchReport {
     // workers and merged back by the coordinator.
     let distributed_cells_per_second = measure_distributed(&grid);
 
+    // Thread scaling: concurrent tournaments under a pinned
+    // AHN_THREADS, plus the sweep engine's parallel efficiency. Last,
+    // so the pinned phases cannot perturb the ambient measurements
+    // above.
+    let (games_per_second_t1, games_per_second_t4, games_per_second_t8, sweep_scaling_efficiency) =
+        measure_thread_scaling(threads, &grid);
+
     BenchReport {
-        schema: "ahn-bench/1".into(),
+        schema: "ahn-bench/2".into(),
         scale: format!(
             "pipelines: 10-node tournaments, {} rounds, {} generations, {} seeds; \
              throughput: 50-node tournament, {} rounds; bignet: 1000-node tournament, \
              {} rounds; sweep: {}-cell grid; calibrate: {}-cell search; serve: \
              {} distinct + {} hit requests; distributed: sweep grid via pull \
-             workers, best of 1/2/4; min of {} runs",
+             workers, best of 1/2/4; scaling: concurrent tournaments at t in {:?}; \
+             min of {} runs",
             cfg.rounds,
             cfg.generations,
             SEEDS_PER_PIPELINE,
@@ -266,6 +408,7 @@ pub fn run_bench() -> BenchReport {
             calibration.cell_count(),
             SERVE_DISTINCT,
             SERVE_HIT_REQUESTS,
+            threads,
             MEASURE_RUNS
         ),
         fig4_seconds,
@@ -278,6 +421,13 @@ pub fn run_bench() -> BenchReport {
         sweep_cells_per_second: Some(grid.cell_count() as f64 / sweep_seconds),
         calibrate_cells_per_second: Some(calibration.cell_count() as f64 / calibrate_seconds),
         distributed_cells_per_second,
+        host_cores: Some(ahn_core::threads::host_cores() as u64),
+        ahn_threads: Some(ahn_core::threads::effective() as u64),
+        target_cpu_native: Some(portable_build_warning().is_none()),
+        games_per_second_t1,
+        games_per_second_t4,
+        games_per_second_t8,
+        sweep_scaling_efficiency,
     }
 }
 
@@ -422,6 +572,28 @@ pub fn render(report: &BenchReport) -> String {
     if let Some(rps) = report.serve_hit_rps {
         out.push_str(&format!("serve (hit)      {rps:>10.0} req/s\n"));
     }
+    for (name, row) in [
+        ("throughput @t=1", report.games_per_second_t1),
+        ("throughput @t=4", report.games_per_second_t4),
+        ("throughput @t=8", report.games_per_second_t8),
+    ] {
+        if let Some(gps) = row {
+            out.push_str(&format!("{name}  {gps:>10.0} games/s\n"));
+        }
+    }
+    if let Some(eff) = report.sweep_scaling_efficiency {
+        out.push_str(&format!("sweep scaling    {eff:>10.2} efficiency\n"));
+    }
+    if let (Some(cores), Some(t)) = (report.host_cores, report.ahn_threads) {
+        let build = match report.target_cpu_native {
+            Some(true) => "native",
+            Some(false) => "portable",
+            None => "unknown",
+        };
+        out.push_str(&format!(
+            "env: {t} worker thread(s) on {cores} core(s), {build} build\n"
+        ));
+    }
     out
 }
 
@@ -507,6 +679,54 @@ pub fn check_regression(
             Some(_) => {}
         }
     }
+    // Thread-scaling rows gate like the rates above, but only when the
+    // *current* host could have produced them: a baseline measured on
+    // an 8-core box must not fail CI on a 4-core (or 1-core) runner
+    // where the t8 row is legitimately absent. The efficiency row
+    // needs at least 2 cores for the same reason.
+    let host = current.host_cores.unwrap_or(0);
+    let scaling = [
+        (
+            1u64,
+            "t1 throughput",
+            current.games_per_second_t1,
+            baseline.after.games_per_second_t1,
+        ),
+        (
+            4,
+            "t4 throughput",
+            current.games_per_second_t4,
+            baseline.after.games_per_second_t4,
+        ),
+        (
+            8,
+            "t8 throughput",
+            current.games_per_second_t8,
+            baseline.after.games_per_second_t8,
+        ),
+        (
+            2,
+            "sweep scaling efficiency",
+            current.sweep_scaling_efficiency,
+            baseline.after.sweep_scaling_efficiency,
+        ),
+    ];
+    for (needs_cores, name, now, base) in scaling {
+        let Some(base) = base else { continue };
+        if host < needs_cores {
+            continue;
+        }
+        match now {
+            None => failures.push(format!(
+                "{name}: the baseline records {base:.2} but the current report has \
+                 no measurement despite {host} host cores"
+            )),
+            Some(now) if now * factor < base => failures.push(format!(
+                "{name}: {now:.2} is less than 1/{factor} of the baseline {base:.2}"
+            )),
+            Some(_) => {}
+        }
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -520,7 +740,7 @@ mod tests {
 
     fn report(factor: f64) -> BenchReport {
         BenchReport {
-            schema: "ahn-bench/1".into(),
+            schema: "ahn-bench/2".into(),
             scale: "test".into(),
             fig4_seconds: 1.0 * factor,
             table5_seconds: 2.0 * factor,
@@ -532,6 +752,13 @@ mod tests {
             sweep_cells_per_second: Some(1e2 / factor),
             calibrate_cells_per_second: Some(1e2 / factor),
             distributed_cells_per_second: Some(1e2 / factor),
+            host_cores: Some(8),
+            ahn_threads: Some(8),
+            target_cpu_native: Some(true),
+            games_per_second_t1: Some(1e6 / factor),
+            games_per_second_t4: Some(3.5e6 / factor),
+            games_per_second_t8: Some(6e6 / factor),
+            sweep_scaling_efficiency: Some(0.9 / factor),
         }
     }
 
@@ -609,6 +836,94 @@ mod tests {
         assert_eq!(report.sweep_cells_per_second, None);
         assert_eq!(report.calibrate_cells_per_second, None);
         assert_eq!(report.distributed_cells_per_second, None);
+    }
+
+    #[test]
+    fn ahn_bench_1_report_json_still_parses() {
+        // A BENCH_6-era report: every ahn-bench/1 field present, none
+        // of the ahn-bench/2 environment or thread-scaling rows. Must
+        // keep deserializing with the new fields None.
+        let json = "{\"schema\":\"ahn-bench/1\",\"scale\":\"s\",\"fig4_seconds\":1.0,\
+                    \"table5_seconds\":2.0,\"ipdrp_seconds\":0.5,\"games_per_second\":1e6,\
+                    \"serve_miss_rps\":700.0,\"serve_hit_rps\":18000.0,\
+                    \"bignet_games_per_second\":7e5,\"sweep_cells_per_second\":1100.0,\
+                    \"calibrate_cells_per_second\":1200.0,\
+                    \"distributed_cells_per_second\":470.0}";
+        let report: BenchReport = serde_json::from_str(json).unwrap();
+        assert_eq!(report.bignet_games_per_second, Some(7e5));
+        assert_eq!(report.host_cores, None);
+        assert_eq!(report.ahn_threads, None);
+        assert_eq!(report.target_cpu_native, None);
+        assert_eq!(report.games_per_second_t1, None);
+        assert_eq!(report.games_per_second_t4, None);
+        assert_eq!(report.games_per_second_t8, None);
+        assert_eq!(report.sweep_scaling_efficiency, None);
+    }
+
+    #[test]
+    fn thread_rows_gate_only_on_capable_hosts() {
+        // A 1-core runner: every scaling row may be absent even though
+        // the baseline records all of them.
+        let mut small_host = report(1.0);
+        small_host.host_cores = Some(1);
+        small_host.games_per_second_t4 = None;
+        small_host.games_per_second_t8 = None;
+        small_host.sweep_scaling_efficiency = None;
+        check_regression(&small_host, &baseline(), 2.0).unwrap();
+        // A 4-core runner must produce t1 and t4 (and efficiency) but
+        // may skip t8.
+        let mut four_core = small_host.clone();
+        four_core.host_cores = Some(4);
+        let err = check_regression(&four_core, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("t4 throughput"), "{err}");
+        assert!(err.contains("sweep scaling"), "{err}");
+        assert!(!err.contains("t8 throughput"), "{err}");
+        // And on a capable host a slow row fails like any other rate.
+        let mut slow = report(1.0);
+        slow.games_per_second_t4 = Some(3.5e6 / 3.0);
+        let err = check_regression(&slow, &baseline(), 2.0).unwrap_err();
+        assert!(err.contains("t4 throughput"), "{err}");
+        assert!(!err.contains("t1 throughput"), "{err}");
+    }
+
+    #[test]
+    fn pre_v2_baselines_do_not_gate_thread_rows() {
+        // BENCH_2..6 baselines carry no scaling rows; a fresh report
+        // is never compared against them.
+        let mut old = baseline();
+        old.after.host_cores = None;
+        old.after.ahn_threads = None;
+        old.after.target_cpu_native = None;
+        old.after.games_per_second_t1 = None;
+        old.after.games_per_second_t4 = None;
+        old.after.games_per_second_t8 = None;
+        old.after.sweep_scaling_efficiency = None;
+        let mut absent = report(1.0);
+        absent.games_per_second_t1 = None;
+        absent.games_per_second_t4 = None;
+        absent.games_per_second_t8 = None;
+        absent.sweep_scaling_efficiency = None;
+        check_regression(&absent, &old, 2.0).unwrap();
+    }
+
+    #[test]
+    fn render_includes_scaling_and_env_rows() {
+        let text = render(&report(1.0));
+        assert!(text.contains("throughput @t=1"), "{text}");
+        assert!(text.contains("throughput @t=8"), "{text}");
+        assert!(text.contains("sweep scaling"), "{text}");
+        assert!(text.contains("8 worker thread(s) on 8 core(s)"), "{text}");
+        assert!(text.contains("native build"), "{text}");
+        // Rows the host could not measure are omitted, not rendered as
+        // zeros.
+        let mut sparse = report(1.0);
+        sparse.games_per_second_t4 = None;
+        sparse.games_per_second_t8 = None;
+        sparse.sweep_scaling_efficiency = None;
+        let text = render(&sparse);
+        assert!(text.contains("throughput @t=1"), "{text}");
+        assert!(!text.contains("throughput @t=4"), "{text}");
+        assert!(!text.contains("sweep scaling"), "{text}");
     }
 
     #[test]

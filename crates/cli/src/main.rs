@@ -174,6 +174,7 @@ fn print_usage() {
                                   [+ the experiment flags above]\n\
                 ahn-exp fidelity [--cases 1,3] [--tol F] [+ the experiment flags]\n\
                 ahn-exp bench [--json] [--baseline FILE.json] [--max-regression F]\n\
+                              [--threads 1,4,8]\n\
                 ahn-exp serve [--addr A] [--workers N] [--cache-cap N] [--queue-cap N]\n\
                               [--journal FILE] [--trace FILE]  (--workers 0 = pull-only)\n\
                 ahn-exp worker [--addr A] [--lease-ms N] [--poll-ms N] [--max-cells N]\n\
@@ -196,6 +197,7 @@ struct BenchFlags {
     json: bool,
     baseline_path: Option<String>,
     max_regression: f64,
+    threads: Vec<usize>,
 }
 
 fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, String> {
@@ -203,6 +205,7 @@ fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, String> {
         json: false,
         baseline_path: None,
         max_regression: 2.0,
+        threads: vec![1, 4, 8],
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -215,6 +218,24 @@ fn parse_bench_flags(args: &[String]) -> Result<BenchFlags, String> {
             "--max-regression" => match it.next().map(|s| s.parse::<f64>()) {
                 Some(Ok(f)) if f >= 1.0 => flags.max_regression = f,
                 _ => return Err("--max-regression needs a factor >= 1".into()),
+            },
+            // The report schema has rows for exactly t = 1, 4, 8; other
+            // counts would be measured into the void.
+            "--threads" => match it.next() {
+                Some(list) => {
+                    let parsed: Result<Vec<usize>, _> =
+                        list.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                    match parsed {
+                        Ok(counts)
+                            if !counts.is_empty()
+                                && counts.iter().all(|t| [1, 4, 8].contains(t)) =>
+                        {
+                            flags.threads = counts
+                        }
+                        _ => return Err("--threads needs a comma-separated subset of 1,4,8".into()),
+                    }
+                }
+                None => return Err("--threads needs a comma-separated subset of 1,4,8".into()),
             },
             other => return Err(format!("unknown bench flag {other:?}")),
         }
@@ -230,6 +251,7 @@ fn bench(args: &[String]) {
         json,
         baseline_path,
         max_regression,
+        threads,
     } = match parse_bench_flags(args) {
         Ok(f) => f,
         Err(e) => {
@@ -241,10 +263,11 @@ fn bench(args: &[String]) {
     if let Some(reason) = ahn_bench::harness::portable_build_warning() {
         eprintln!("warning: {reason}");
     }
+    ahn_core::threads::log_once("bench");
     eprintln!("measuring (min of {} runs per pipeline)...", {
         ahn_bench::harness::MEASURE_RUNS
     });
-    let report = ahn_bench::harness::run_bench();
+    let report = ahn_bench::harness::run_bench(&threads);
     if json {
         match serde_json::to_string_pretty(&report) {
             Ok(text) => println!("{text}"),
@@ -1741,8 +1764,13 @@ mod tests {
         assert!(f.json);
         assert_eq!(f.baseline_path.as_deref(), Some("B.json"));
         assert_eq!(f.max_regression, 2.0);
+        assert_eq!(f.threads, vec![1, 4, 8], "default thread sweep");
         let f = parse_bench_flags(&args(&["--max-regression", "1.5"])).unwrap();
         assert_eq!(f.max_regression, 1.5);
+        let f = parse_bench_flags(&args(&["--threads", "1,4"])).unwrap();
+        assert_eq!(f.threads, vec![1, 4]);
+        let f = parse_bench_flags(&args(&["--threads", " 8 "])).unwrap();
+        assert_eq!(f.threads, vec![8]);
     }
 
     #[test]
@@ -1758,6 +1786,16 @@ mod tests {
         ] {
             let err = parse_bench_flags(&args(bad)).unwrap_err();
             assert!(err.contains("factor >= 1"), "{bad:?}: {err}");
+        }
+        for bad in [
+            &["--threads"][..],
+            &["--threads", ""],
+            &["--threads", "2"],
+            &["--threads", "1,x"],
+            &["--threads", "1,,4"],
+        ] {
+            let err = parse_bench_flags(&args(bad)).unwrap_err();
+            assert!(err.contains("subset of 1,4,8"), "{bad:?}: {err}");
         }
     }
 

@@ -18,6 +18,8 @@
 //!   paper lays it out;
 //! * [`baselines`] — static-strategy and watchdog/pathrater-style
 //!   baselines (DESIGN.md X1);
+//! * [`threads`] — reporting the effective (`AHN_THREADS`-capped)
+//!   worker-thread count;
 //! * [`ablations`] — the A1–A6 design-choice studies of DESIGN.md.
 //!
 //! # Quickstart
@@ -50,6 +52,7 @@ pub mod experiment;
 pub mod extensions;
 pub mod report;
 pub mod sweeps;
+pub mod threads;
 
 pub use calibrate::{run_calibration, score_calibration, CalibrationGrid, CalibrationReport};
 pub use cases::CaseSpec;

@@ -466,6 +466,7 @@ pub fn merge_sweep(grid: &SweepGrid, cells: &[SweepCell]) -> Result<SweepReport,
 /// mid-run.
 pub fn run_sweep(grid: &SweepGrid) -> Result<SweepReport, String> {
     grid.validate()?;
+    crate::threads::log_once("sweep");
     let resolved: Vec<(SweepCellSpec, ExperimentConfig, CaseSpec)> = grid
         .cell_specs()
         .into_iter()
@@ -544,6 +545,7 @@ where
     F: Fn(SweepObservation<'_>) + Sync,
 {
     grid.validate()?;
+    crate::threads::log_once("sweep");
     // The vendored rayon shim has no `enumerate`; carry the index.
     let resolved: Vec<(usize, SweepCellSpec, ExperimentConfig, CaseSpec)> = grid
         .cell_specs()

@@ -71,6 +71,13 @@ pub struct Arena {
     kinds: Vec<NodeKind>,
     /// Strategies of the normal players (index = node id).
     strategies: Vec<Strategy>,
+    /// Bit-parallel twin of `strategies`: player `i`'s 13-bit genome as
+    /// the integer [`Strategy::encode`] produces (paper bit 0 = most
+    /// significant). The batched round kernel reads decisions straight
+    /// off this flat array — a shift and a mask against a 2-byte word —
+    /// instead of loading the `Strategy` struct per decision. Kept in
+    /// sync by every strategy-mutating method.
+    strategy_masks: Vec<u16>,
     /// Shared reputation state, sized for every node (normal + selfish).
     pub reputation: ReputationMatrix,
     /// Per-node payoff accounts.
@@ -103,9 +110,11 @@ impl Arena {
         let total = n_normal + csn_count;
         let mut kinds = vec![NodeKind::Normal; n_normal];
         kinds.extend(std::iter::repeat_n(NodeKind::ConstantlySelfish, csn_count));
+        let strategy_masks = strategies.iter().map(Strategy::encode).collect();
         Arena {
             kinds,
             strategies,
+            strategy_masks,
             reputation: ReputationMatrix::new(total),
             payoffs: vec![PayoffAccount::new(); total],
             energy: vec![EnergyLedger::new(); total],
@@ -137,9 +146,11 @@ impl Arena {
             }
         }
         let total = kinds.len();
+        let strategy_masks = strategies.iter().map(Strategy::encode).collect();
         Arena {
             kinds,
             strategies,
+            strategy_masks,
             reputation: ReputationMatrix::new(total),
             payoffs: vec![PayoffAccount::new(); total],
             energy: vec![EnergyLedger::new(); total],
@@ -184,6 +195,18 @@ impl Arena {
         &self.strategies[id.index()]
     }
 
+    /// The encoded 13-bit genome of a normal player, paper bit `b` at
+    /// integer bit `12 - b` (see [`Strategy::encode`]). The batched
+    /// kernel's decision read: 2 bytes per player instead of the full
+    /// `Strategy` struct.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a normal player.
+    #[inline]
+    pub fn strategy_mask(&self, id: NodeId) -> u16 {
+        self.strategy_masks[id.index()]
+    }
+
     /// Replaces the normal players' strategies (new generation).
     ///
     /// # Panics
@@ -195,6 +218,9 @@ impl Arena {
             "population size is fixed for an arena"
         );
         self.strategies = strategies;
+        self.strategy_masks.clear();
+        self.strategy_masks
+            .extend(self.strategies.iter().map(Strategy::encode));
     }
 
     /// Replaces the normal players' strategies **in place**: `decode(i)`
@@ -204,8 +230,14 @@ impl Arena {
     /// genome is a pure bit operation, so no intermediate `Vec` is
     /// needed).
     pub fn set_strategies_with(&mut self, mut decode: impl FnMut(usize) -> Strategy) {
-        for (i, slot) in self.strategies.iter_mut().enumerate() {
+        for (i, (slot, mask)) in self
+            .strategies
+            .iter_mut()
+            .zip(self.strategy_masks.iter_mut())
+            .enumerate()
+        {
             *slot = decode(i);
+            *mask = slot.encode();
         }
     }
 

@@ -1,0 +1,469 @@
+//! Batched round evaluation: a full tournament round as one kernel.
+//!
+//! [`play_round`] plays every participant's game of a round back to
+//! back, drawing the *exact same* seeded RNG sequence and producing the
+//! *exact same* arena mutations as the scalar loop
+//! `for source { play_game(..) }` — goldens pass unregenerated — while
+//! eliminating the scalar path's per-game O(N) work:
+//!
+//! * **No relay-pool copy.** `play_game` memcpys the participant list
+//!   and `retain`s out the source and destination for every game (4 KB
+//!   copied per game at N = 1000). The batch kernel never materializes
+//!   the pool: a relay pool is just the participant array with two
+//!   positions deleted, so element `j` of the virtual pool is
+//!   `participants[j + (j >= p1) + (j >= p2)]` — two compares instead
+//!   of a copy.
+//! * **No per-candidate buffer copy.** The path model partial-shuffles
+//!   a fresh pool copy per candidate. Only `relays ≤ 9` positions and
+//!   their swap partners are ever touched, so the kernel simulates the
+//!   Fisher–Yates swaps on a tiny *overlay* (position → node pairs,
+//!   linear-scanned fixed arrays) over the virtual pool and reads the
+//!   shuffled tail straight out of it — same swaps, same draws, ~30
+//!   touched words instead of an N-element copy per candidate.
+//! * **Bit-parallel strategy decode.** Decisions read the arena's flat
+//!   `u16` genome array ([`Arena::strategy_mask`]): the (trust,
+//!   activity) cell of paper bit `b` is one shift of a 2-byte word,
+//!   `(mask >> (12 - b)) & 1`, instead of a `Strategy` struct load and
+//!   bit-string indexing per decision.
+//! * **Table-driven payoff accumulation.** The settlement pass indexes
+//!   the payoff tables by (decision, trust) directly — the same
+//!   `PayoffConfig` lookups as the scalar pass, in the same order, so
+//!   float accumulation is bit-identical.
+//!
+//! The round structure itself is untouched: games stay sequential
+//! because each decision reads the reputation the *previous* games
+//! wrote (§4.4). Batching here means amortizing setup, not reordering
+//! play.
+
+use crate::arena::Arena;
+use crate::metrics::ReqCounts;
+use ahn_net::watchdog::{apply_route_outcome, RouteOutcome};
+use ahn_net::{NodeId, RouteSelection, TrustLevel};
+use ahn_strategy::{Decision, UNKNOWN_BIT};
+use rand::Rng;
+
+/// Most intermediates per candidate the kernel supports: the paper's
+/// longest path is 10 hops = 9 relays; a margin is kept for custom hop
+/// distributions. [`round_supported`] gates on this.
+pub const MAX_RELAYS: usize = 16;
+
+/// Most candidate paths per game (Table 3's rows are over 1..=3 paths,
+/// and `AltPathDist` samples from fixed 3-column rows).
+pub const MAX_CANDIDATES: usize = 3;
+
+/// Overlay capacity: the overlay only tracks positions *below* the
+/// shuffled tail (the tail itself lives in a flat array), and each
+/// Fisher–Yates step swaps out at most one such position.
+const MAX_OVERLAY: usize = MAX_RELAYS;
+
+/// Fixed-size working state for [`play_round`] — no heap, no
+/// steady-state growth, so a batched round allocates nothing from the
+/// first game on (tests/zero_alloc.rs).
+#[derive(Debug, Clone)]
+pub struct BatchScratch {
+    /// Virtual-pool positions with a pending Fisher–Yates swap result.
+    overlay_pos: [usize; MAX_OVERLAY],
+    /// The node currently at the corresponding overlaid position.
+    overlay_val: [NodeId; MAX_OVERLAY],
+    overlay_len: usize,
+    /// Candidate intermediate lists (path order).
+    cand: [[NodeId; MAX_RELAYS]; MAX_CANDIDATES],
+    /// Decision trace of the chosen path, one entry per relay that
+    /// received the packet.
+    decisions: [(Decision, TrustLevel); MAX_RELAYS],
+}
+
+impl Default for BatchScratch {
+    fn default() -> Self {
+        BatchScratch {
+            overlay_pos: [0; MAX_OVERLAY],
+            overlay_val: [NodeId(0); MAX_OVERLAY],
+            overlay_len: 0,
+            cand: [[NodeId(0); MAX_RELAYS]; MAX_CANDIDATES],
+            decisions: [(Decision::Discard, TrustLevel::T0); MAX_RELAYS],
+        }
+    }
+}
+
+impl BatchScratch {
+    /// The node at virtual-pool position `pos`, if a swap has moved one
+    /// there.
+    #[inline]
+    fn overlay_get(&self, pos: usize) -> Option<NodeId> {
+        self.overlay_pos[..self.overlay_len]
+            .iter()
+            .position(|&p| p == pos)
+            .map(|k| self.overlay_val[k])
+    }
+
+    /// Places `val` at virtual-pool position `pos`.
+    #[inline]
+    fn overlay_set(&mut self, pos: usize, val: NodeId) {
+        for k in 0..self.overlay_len {
+            if self.overlay_pos[k] == pos {
+                self.overlay_val[k] = val;
+                return;
+            }
+        }
+        let k = self.overlay_len;
+        self.overlay_pos[k] = pos;
+        self.overlay_val[k] = val;
+        self.overlay_len = k + 1;
+    }
+}
+
+/// Element `j` of the virtual relay pool: the participant list with the
+/// two positions `p1 < p2` (source and destination) deleted,
+/// order-preserving — exactly what the scalar path's
+/// `extend_from_slice` + `retain` builds.
+#[inline]
+fn pool_node(participants: &[NodeId], p1: usize, p2: usize, j: usize) -> NodeId {
+    let mut m = j;
+    if m >= p1 {
+        m += 1;
+    }
+    if m >= p2 {
+        m += 1;
+    }
+    participants[m]
+}
+
+/// `true` when [`play_round`] can evaluate rounds under `arena`'s
+/// configuration: the hop model must fit the kernel's fixed relay
+/// buffers. The paper's modes (≤ 10 hops) always qualify.
+#[inline]
+pub fn round_supported(arena: &Arena) -> bool {
+    arena.config.paths.lengths.max_hops() <= MAX_RELAYS + 1
+}
+
+/// Plays one full tournament round — every participant sources exactly
+/// one game, in participant order — charging metrics to environment
+/// `env`. Draw-for-draw and mutation-for-mutation identical to the
+/// scalar loop `for &s in participants { play_game(arena, rng, s, ..) }`.
+///
+/// # Panics
+/// Panics if `participants` has fewer than three nodes, or if the hop
+/// model exceeds the kernel's capacity (see [`round_supported`]).
+pub fn play_round<R: Rng + ?Sized>(
+    arena: &mut Arena,
+    rng: &mut R,
+    participants: &[NodeId],
+    env: usize,
+    scratch: &mut BatchScratch,
+) {
+    assert!(
+        participants.len() >= 3,
+        "a game needs a source, a destination and a relay candidate"
+    );
+    assert!(
+        round_supported(arena),
+        "hop model exceeds the batch kernel's {} relay capacity",
+        MAX_RELAYS
+    );
+    for src_pos in 0..participants.len() {
+        play_game_batched(arena, rng, src_pos, participants, env, scratch);
+    }
+}
+
+/// One game of the batched round; `src_pos` is the source's position in
+/// `participants` (the batch layout's substitute for the scalar path's
+/// `retain` scan).
+fn play_game_batched<R: Rng + ?Sized>(
+    arena: &mut Arena,
+    rng: &mut R,
+    src_pos: usize,
+    participants: &[NodeId],
+    env: usize,
+    scratch: &mut BatchScratch,
+) {
+    let len = participants.len();
+    let source = participants[src_pos];
+
+    // Step 2 of the tournament scheme: random destination by rejection —
+    // the same draws as the scalar path, but the *position* is kept so
+    // the pool never needs materializing.
+    let mut d_pos;
+    let destination = loop {
+        d_pos = rng.gen_range(0..len);
+        let d = participants[d_pos];
+        if d != source {
+            break d;
+        }
+    };
+    let (p1, p2) = if src_pos < d_pos {
+        (src_pos, d_pos)
+    } else {
+        (d_pos, src_pos)
+    };
+    let pool_len = len - 2;
+
+    // Steps 2–3: candidate paths. Same hop-count and candidate-count
+    // draws as `PathGenerator::generate_into`, then one overlaid partial
+    // Fisher–Yates per candidate (same `gen_range(0..=i)` draw per swap
+    // as `partial_shuffle`).
+    let hops = arena.config.paths.lengths.sample(rng);
+    let relays = (hops - 1).min(pool_len);
+    let n_paths = arena.config.paths.alternates.sample(rng, relays + 1);
+    debug_assert!(relays <= MAX_RELAYS && n_paths <= MAX_CANDIDATES);
+    let start = pool_len - relays;
+    for c in 0..n_paths {
+        // The shuffled tail `start..pool_len` — the relays this candidate
+        // reads — lives in a flat stack array; the overlay map only
+        // tracks values swapped out to positions below `start` (at most
+        // one per Fisher–Yates step).
+        let mut tail = [NodeId(0); MAX_RELAYS];
+        for (k, slot) in tail[..relays].iter_mut().enumerate() {
+            *slot = pool_node(participants, p1, p2, start + k);
+        }
+        scratch.overlay_len = 0;
+        for i in (start..pool_len).rev() {
+            let j = rng.gen_range(0..=i);
+            let vi = tail[i - start];
+            if j >= start {
+                tail[i - start] = tail[j - start];
+                tail[j - start] = vi;
+            } else {
+                tail[i - start] = scratch
+                    .overlay_get(j)
+                    .unwrap_or_else(|| pool_node(participants, p1, p2, j));
+                scratch.overlay_set(j, vi);
+            }
+        }
+        // relays == 0 leaves an empty candidate, like the scalar path.
+        scratch.cand[c][..relays].copy_from_slice(&tail[..relays]);
+    }
+
+    // Path selection: identical rating products (same multiplication
+    // order over the same candidate order) and tie-breaking as
+    // `RouteSelection::select_from`.
+    let best = match arena.config.route_selection {
+        RouteSelection::BestRated => {
+            let mut best = 0;
+            let mut best_rating = f64::NEG_INFINITY;
+            for (c, cand) in scratch.cand[..n_paths].iter().enumerate() {
+                let mut r = 1.0_f64;
+                for &node in &cand[..relays] {
+                    r *= arena.reputation.rate_or_unknown(source, node);
+                }
+                if r > best_rating {
+                    best_rating = r;
+                    best = c;
+                }
+            }
+            best
+        }
+        RouteSelection::Random => rng.gen_range(0..n_paths),
+    };
+
+    // Step 4: sequential decisions along the chosen path, decoded off
+    // the flat mask array. `Strategy::encode` stores paper bit `b` at
+    // integer bit `12 - b`, so a cell lookup is one shift of a u16.
+    let mut outcome = RouteOutcome::Delivered;
+    let mut n_decided = 0usize;
+    for k in 0..relays {
+        let node = scratch.cand[best][k];
+        let (rate, forwarded) = arena.reputation.rate_and_forwarded(node, source);
+        let trust = arena.config.trust.level_opt(rate);
+        let decision = match arena.kind(node) {
+            crate::players::NodeKind::Normal => {
+                let mask = arena.strategy_mask(node);
+                let bit_index = match rate {
+                    None => UNKNOWN_BIT,
+                    Some(_) => {
+                        let activity = arena.config.activity.classify_opt(
+                            f64::from(forwarded),
+                            arena.reputation.mean_forwarded_of_known(node),
+                        );
+                        trust.value() as usize * 3 + activity.value() as usize
+                    }
+                };
+                Decision::from_bit((mask >> (UNKNOWN_BIT - bit_index)) & 1 == 1)
+            }
+            crate::players::NodeKind::ConstantlySelfish => Decision::Discard,
+            crate::players::NodeKind::RandomDropper(p) => {
+                // Same single `gen_bool` draw as `fixed_decision`.
+                if rng.gen_bool(p) {
+                    Decision::Discard
+                } else {
+                    Decision::Forward
+                }
+            }
+        };
+        scratch.decisions[k] = (decision, trust);
+        n_decided = k + 1;
+        if decision == Decision::Discard {
+            outcome = RouteOutcome::DroppedAt(k);
+            break;
+        }
+    }
+
+    // Step 5 + metrics: the same fused settlement pass as the scalar
+    // kernel — identical accumulation order keeps every float
+    // bit-identical.
+    let delivered = outcome.delivered();
+    arena.payoffs[source.index()].add_source(arena.config.payoff.source(delivered));
+    arena.energy[source.index()].add_tx();
+    let mut req = ReqCounts::default();
+    let mut csn_free = true;
+    for k in 0..relays {
+        let node = scratch.cand[best][k];
+        let kind = arena.kind(node);
+        csn_free &= !kind.is_csn();
+        if k < n_decided {
+            let (decision, trust) = scratch.decisions[k];
+            match decision {
+                Decision::Forward => {
+                    arena.payoffs[node.index()].add_forward(arena.config.payoff.forward(trust));
+                    arena.energy[node.index()].add_forward();
+                    req.accepted += 1;
+                }
+                Decision::Discard => {
+                    arena.payoffs[node.index()].add_discard(arena.config.payoff.discard(trust));
+                    arena.energy[node.index()].add_discard();
+                    if kind.is_normal() {
+                        req.rejected_by_nn += 1;
+                    } else {
+                        req.rejected_by_csn += 1;
+                    }
+                }
+            }
+        }
+    }
+    if delivered {
+        arena.energy[destination.index()].add_rx();
+    }
+
+    let source_normal = arena.kind(source).is_normal();
+    {
+        let m = arena.metrics.env_mut(env);
+        if source_normal {
+            m.nn_games += 1;
+            if delivered {
+                m.nn_delivered += 1;
+            }
+            if csn_free {
+                m.nn_csn_free_path += 1;
+            }
+            m.from_nn.merge(&req);
+        } else {
+            m.from_csn.merge(&req);
+        }
+    }
+
+    // Step 6: watchdog reputation updates.
+    apply_route_outcome(
+        &mut arena.reputation,
+        source,
+        &scratch.cand[best][..relays],
+        outcome,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::GameConfig;
+    use crate::game::{play_game, Scratch};
+    use crate::players::NodeKind;
+    use ahn_net::PathMode;
+    use ahn_strategy::Strategy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn arena(n_normal: usize, csn: usize, mode: PathMode, seed: u64) -> Arena {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let strategies = (0..n_normal).map(|_| Strategy::random(&mut rng)).collect();
+        Arena::new(strategies, csn, GameConfig::paper(mode), 1)
+    }
+
+    /// The load-bearing claim: a batched round consumes the same draws
+    /// and produces the same arena as the scalar per-game loop.
+    fn assert_round_equivalence(mut a_scalar: Arena, rounds: usize, seed: u64) {
+        let mut a_batch = a_scalar.clone();
+        let n = a_scalar.n_total();
+        let participants: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut rng_s = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(seed);
+        let mut scratch_s = Scratch::default();
+        let mut scratch_b = BatchScratch::default();
+        for _ in 0..rounds {
+            for &source in &participants {
+                play_game(
+                    &mut a_scalar,
+                    &mut rng_s,
+                    source,
+                    &participants,
+                    0,
+                    &mut scratch_s,
+                );
+            }
+            play_round(&mut a_batch, &mut rng_b, &participants, 0, &mut scratch_b);
+        }
+        assert_eq!(a_scalar.payoffs, a_batch.payoffs);
+        assert_eq!(a_scalar.energy, a_batch.energy);
+        assert_eq!(a_scalar.metrics.env(0), a_batch.metrics.env(0));
+        for o in 0..n as u32 {
+            for s in 0..n as u32 {
+                assert_eq!(
+                    a_scalar.reputation.record(NodeId(o), NodeId(s)),
+                    a_batch.reputation.record(NodeId(o), NodeId(s)),
+                    "reputation record n{o} -> n{s} diverged"
+                );
+            }
+        }
+        // Both RNGs must sit at the same stream position.
+        use rand::Rng as _;
+        assert_eq!(rng_s.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn batched_round_matches_scalar_shorter_paths() {
+        assert_round_equivalence(arena(40, 10, PathMode::Shorter, 1), 5, 42);
+    }
+
+    #[test]
+    fn batched_round_matches_scalar_longer_paths() {
+        assert_round_equivalence(arena(40, 10, PathMode::Longer, 2), 5, 7);
+    }
+
+    #[test]
+    fn batched_round_matches_scalar_tiny_pool() {
+        // 3 participants: the relay pool is a single node and hop counts
+        // clamp hard — the overlay's degenerate corner.
+        assert_round_equivalence(arena(3, 0, PathMode::Longer, 3), 10, 11);
+    }
+
+    #[test]
+    fn batched_round_matches_scalar_with_droppers_and_random_selection() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let strategies: Vec<Strategy> = (0..8).map(|_| Strategy::random(&mut rng)).collect();
+        let mut kinds = vec![NodeKind::Normal; 8];
+        kinds.push(NodeKind::RandomDropper(0.4));
+        kinds.push(NodeKind::ConstantlySelfish);
+        let mut config = GameConfig::paper(PathMode::Longer);
+        config.route_selection = RouteSelection::Random;
+        let a = Arena::with_kinds(strategies, kinds, config, 1);
+        assert_round_equivalence(a, 8, 13);
+    }
+
+    #[test]
+    fn paper_modes_are_supported() {
+        assert!(round_supported(&arena(5, 0, PathMode::Shorter, 0)));
+        assert!(round_supported(&arena(5, 0, PathMode::Longer, 0)));
+    }
+
+    #[test]
+    fn virtual_pool_matches_retain() {
+        let participants: Vec<NodeId> = (0..10u32).map(NodeId).collect();
+        for p1 in 0..9 {
+            for p2 in (p1 + 1)..10 {
+                let mut expect = participants.clone();
+                expect.retain(|&n| n != participants[p1] && n != participants[p2]);
+                let got: Vec<NodeId> = (0..8)
+                    .map(|j| pool_node(&participants, p1, p2, j))
+                    .collect();
+                assert_eq!(got, expect, "p1={p1} p2={p2}");
+            }
+        }
+    }
+}

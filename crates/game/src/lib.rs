@@ -17,6 +17,8 @@
 //!   Tables 5–6;
 //! * [`arena`] — the mutable world state one generation plays in;
 //! * [`game`] — a single Ad Hoc Network Game (§4.1);
+//! * [`batch`] — the batched round kernel: a whole tournament round
+//!   evaluated as one draw-identical batch;
 //! * [`tournament`] — the R-round tournament scheme (§4.4);
 //! * [`environment`] — tournament environments TE1–TE4 (Tab. 1) and the
 //!   multi-environment evaluation schedule (§4.4, Fig. 3).
@@ -24,6 +26,7 @@
 #![deny(missing_docs)]
 
 pub mod arena;
+pub mod batch;
 pub mod environment;
 pub mod game;
 pub mod metrics;
@@ -32,6 +35,7 @@ pub mod players;
 pub mod tournament;
 
 pub use arena::{Arena, GameConfig};
+pub use batch::{play_round, BatchScratch};
 pub use environment::{EnvironmentSpec, EvaluationSchedule, ScheduleScratch};
 pub use game::play_game;
 pub use metrics::{EnvMetrics, Metrics, ReqCounts};

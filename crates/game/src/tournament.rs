@@ -6,6 +6,7 @@
 //! model.
 
 use crate::arena::Arena;
+use crate::batch::{self, BatchScratch};
 use crate::game::{play_game, Scratch};
 use ahn_net::NodeId;
 use rand::Rng;
@@ -28,8 +29,10 @@ pub struct Tournament {
 /// sized at the first tournament's high-water mark.
 #[derive(Debug, Default, Clone)]
 pub struct RoundScratch {
-    /// Per-game path/decision buffers.
+    /// Per-game path/decision buffers (scalar fallback and sleeper path).
     pub game: Scratch,
+    /// Fixed-size state of the batched round kernel.
+    batch: BatchScratch,
     /// This round's awake participants (extension X6; unused while every
     /// duty cycle is 1.0).
     awake: Vec<NodeId>,
@@ -72,10 +75,19 @@ impl Tournament {
             participants.len() >= 3,
             "a tournament needs at least three participants"
         );
-        let scratch = &mut round_scratch.game;
-        let awake = &mut round_scratch.awake;
+        let RoundScratch {
+            game: scratch,
+            batch: batch_scratch,
+            awake,
+        } = round_scratch;
         awake.clear();
         let sample_sleep = arena.has_sleepers();
+        // The paper's model (everyone awake every round) runs on the
+        // batched kernel: draw-identical to the scalar loop below, minus
+        // the per-game pool/candidate copies. The sleeper extension keeps
+        // the scalar path (its awake set changes per round), as does any
+        // exotic hop model the fixed-size kernel cannot hold.
+        let use_batch = !sample_sleep && batch::round_supported(arena);
         for _round in 0..self.rounds {
             // Sample this round's awake set (extension X6). With every
             // duty cycle at 1.0 — the paper's model — no RNG is consumed
@@ -96,23 +108,28 @@ impl Tournament {
                     continue;
                 }
             }
-            for &source in participants {
-                if !sample_sleep {
-                    play_game(arena, rng, source, participants, env, scratch);
-                    continue;
-                }
-                // A sleeping node still wakes to send its own packet
-                // (sleep saves listening energy, not transmission), so the
-                // eligible set for its game is the awake set plus itself.
-                let was_awake = awake.contains(&source);
-                if !was_awake {
-                    awake.push(source);
-                }
-                if awake.len() >= 3 {
-                    play_game(arena, rng, source, awake, env, scratch);
-                }
-                if !was_awake {
-                    awake.pop();
+            if use_batch {
+                batch::play_round(arena, rng, participants, env, batch_scratch);
+            } else {
+                for &source in participants {
+                    if !sample_sleep {
+                        play_game(arena, rng, source, participants, env, scratch);
+                        continue;
+                    }
+                    // A sleeping node still wakes to send its own packet
+                    // (sleep saves listening energy, not transmission), so
+                    // the eligible set for its game is the awake set plus
+                    // itself.
+                    let was_awake = awake.contains(&source);
+                    if !was_awake {
+                        awake.push(source);
+                    }
+                    if awake.len() >= 3 {
+                        play_game(arena, rng, source, awake, env, scratch);
+                    }
+                    if !was_awake {
+                        awake.pop();
+                    }
                 }
             }
             if let Some(gossip) = arena.config.gossip {

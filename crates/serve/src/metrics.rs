@@ -214,6 +214,7 @@ impl Metrics {
             breaker_open_total: load(&self.breaker_open_total),
             cells_completed_external: load(&self.cells_completed_external),
             drain_seconds: load(&self.drain_nanos) as f64 / 1e9,
+            effective_threads: Some(ahn_core::threads::effective() as u64),
             uptime_seconds: Some(self.boot.elapsed().as_secs()),
             latency: Some(LatencySnapshot {
                 request_submit_us: self.request_submit_us.snapshot(),
@@ -313,6 +314,10 @@ pub struct Snapshot {
     pub cells_completed_external: u64,
     /// Seconds spent draining at shutdown (rises live during a drain).
     pub drain_seconds: f64,
+    /// Worker threads each experiment's rayon fan-out will use —
+    /// `available_parallelism` capped by `AHN_THREADS` (the silent
+    /// footgun this gauge surfaces). Absent in pre-PR-9 reports.
+    pub effective_threads: Option<u64>,
     /// Seconds since server boot. Absent in v1 reports.
     pub uptime_seconds: Option<u64>,
     /// Latency distributions per instrumented stage. Absent in v1
@@ -412,6 +417,16 @@ mod tests {
         assert_eq!(s.jobs_completed, 3);
         assert_eq!(s.uptime_seconds, None);
         assert_eq!(s.latency, None);
+        assert_eq!(s.effective_threads, None);
+    }
+
+    #[test]
+    fn effective_threads_is_reported_and_sane() {
+        let m = Metrics::default();
+        let s = m.snapshot(0, 0, 1);
+        let t = s.effective_threads.expect("current snapshots report it");
+        assert!(t >= 1);
+        assert!(t <= ahn_core::threads::host_cores() as u64);
     }
 
     #[test]

@@ -214,6 +214,10 @@ impl ServerHandle {
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
+    // Surface the silent AHN_THREADS cap: each worker's experiment
+    // fans out through the rayon shim, so the effective per-experiment
+    // thread count is a real capacity parameter.
+    ahn_core::threads::log_once("serve");
     let workers = config.workers;
     let mut cache = LruCache::new(config.cache_cap);
     let store: Arc<dyn JobStore> = match &config.journal {

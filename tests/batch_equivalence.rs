@@ -1,0 +1,121 @@
+//! Property-based proof that the batched round kernel (PR 9) is
+//! draw-for-draw equivalent to the scalar per-game loop.
+//!
+//! The in-crate tests of `ahn_game::batch` pin a handful of hand-picked
+//! scenarios; this suite turns the claim into a property over arbitrary
+//! `(participants, CSN share, path mode, rounds, seed)` at the three
+//! scales that matter — 10 (smoke), 50 (paper) and 300 (mid-size, still
+//! on the dense reputation backing). Equivalence means: identical
+//! per-node payoffs and energy, identical environment metrics,
+//! identical post-round reputation records for every (observer,
+//! subject) pair, and both RNGs left at the same stream position.
+
+use ahn::game::game::{play_game, Scratch};
+use ahn::game::{play_round, Arena, BatchScratch, GameConfig};
+use ahn::net::{NodeId, PathMode};
+use ahn::strategy::Strategy;
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Runs `rounds` scalar rounds and `rounds` batched rounds from the
+/// same seed on clones of one arena and asserts the results coincide.
+fn check_equivalence(
+    n_total: usize,
+    csn: usize,
+    mode: PathMode,
+    rounds: usize,
+    arena_seed: u64,
+    play_seed: u64,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(arena_seed);
+    let strategies: Vec<Strategy> = (0..n_total - csn)
+        .map(|_| Strategy::random(&mut rng))
+        .collect();
+    let mut a_scalar = Arena::new(strategies, csn, GameConfig::paper(mode), 1);
+    let mut a_batch = a_scalar.clone();
+    let participants: Vec<NodeId> = (0..n_total as u32).map(NodeId).collect();
+
+    let mut rng_s = ChaCha8Rng::seed_from_u64(play_seed);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(play_seed);
+    let mut scratch_s = Scratch::default();
+    let mut scratch_b = BatchScratch::default();
+    for _ in 0..rounds {
+        for &source in &participants {
+            play_game(
+                &mut a_scalar,
+                &mut rng_s,
+                source,
+                &participants,
+                0,
+                &mut scratch_s,
+            );
+        }
+        play_round(&mut a_batch, &mut rng_b, &participants, 0, &mut scratch_b);
+    }
+
+    prop_assert_eq!(&a_scalar.payoffs, &a_batch.payoffs);
+    prop_assert_eq!(&a_scalar.energy, &a_batch.energy);
+    prop_assert_eq!(a_scalar.metrics.env(0), a_batch.metrics.env(0));
+    for o in 0..n_total as u32 {
+        for s in 0..n_total as u32 {
+            prop_assert_eq!(
+                a_scalar.reputation.record(NodeId(o), NodeId(s)),
+                a_batch.reputation.record(NodeId(o), NodeId(s)),
+                "reputation record n{o} -> n{s} diverged"
+            );
+        }
+    }
+    prop_assert_eq!(rng_s.gen::<u64>(), rng_b.gen::<u64>());
+}
+
+/// One of the paper's two path-length modes.
+fn path_mode() -> impl proptest::strategy::Strategy<Value = PathMode> {
+    prop_oneof![Just(PathMode::Shorter), Just(PathMode::Longer)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Smoke scale: 10 participants, up to 30% CSN.
+    #[test]
+    fn batched_equals_scalar_at_10(
+        csn in 0usize..=3,
+        mode in path_mode(),
+        rounds in 1usize..=3,
+        arena_seed in any::<u64>(),
+        play_seed in any::<u64>(),
+    ) {
+        check_equivalence(10, csn, mode, rounds, arena_seed, play_seed);
+    }
+
+    /// Paper scale: 50 participants, up to the paper's 20% CSN share.
+    #[test]
+    fn batched_equals_scalar_at_50(
+        csn in 0usize..=10,
+        mode in path_mode(),
+        rounds in 1usize..=2,
+        arena_seed in any::<u64>(),
+        play_seed in any::<u64>(),
+    ) {
+        check_equivalence(50, csn, mode, rounds, arena_seed, play_seed);
+    }
+}
+
+proptest! {
+    // Fewer cases at the largest scale: each one plays 300–600 games
+    // twice and compares 90 000 reputation records.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Mid scale: 300 participants — the largest dense-backing network.
+    #[test]
+    fn batched_equals_scalar_at_300(
+        csn in 0usize..=60,
+        mode in path_mode(),
+        rounds in 1usize..=2,
+        arena_seed in any::<u64>(),
+        play_seed in any::<u64>(),
+    ) {
+        check_equivalence(300, csn, mode, rounds, arena_seed, play_seed);
+    }
+}

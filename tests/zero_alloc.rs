@@ -173,6 +173,43 @@ fn full_bignet_round_allocates_zero_bytes_once_rows_are_saturated() {
 }
 
 #[test]
+fn batched_round_allocates_zero_bytes_at_bignet_scale() {
+    // The PR-9 batched kernel makes the stronger claim by construction:
+    // its scratch is a handful of fixed-size arrays, so a full
+    // 1 000-participant round through `play_round` must be
+    // allocation-free once the reputation rows are saturated — no
+    // per-game pool copy, no per-candidate buffer growth.
+    use ahn::game::{play_round, BatchScratch};
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let strategies: Vec<Strategy> = (0..800).map(|_| Strategy::random(&mut rng)).collect();
+    let mut arena = Arena::new(strategies, 200, GameConfig::paper(PathMode::Longer), 1);
+    assert!(arena.reputation.is_sparse());
+    let participants: Vec<NodeId> = (0..1000u32).map(NodeId).collect();
+    for o in 0..1000u32 {
+        for s in 0..1000u32 {
+            if o != s {
+                arena.reputation.absorb(NodeId(o), NodeId(s), 1, 1);
+            }
+        }
+    }
+    let mut scratch = BatchScratch::default();
+    // One warm-up round for the metrics counters.
+    play_round(&mut arena, &mut rng, &participants, 0, &mut scratch);
+
+    let before = allocations();
+    for _ in 0..2 {
+        play_round(&mut arena, &mut rng, &participants, 0, &mut scratch);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "saturated batched 1000-node rounds performed {} allocations",
+        after - before
+    );
+}
+
+#[test]
 fn histogram_record_allocates_zero_bytes() {
     // The instrumentation itself must be hot-loop-safe: recording into
     // an AtomicHistogram touches only its inline atomic buckets.

@@ -114,6 +114,25 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
     }
 }
 
+/// The worker-thread count the next parallel operation will use — the
+/// public face of [`max_threads`], mirroring
+/// `rayon::current_num_threads`. Re-reads `AHN_THREADS` on every call,
+/// so an in-process override (the bench harness's thread sweep) takes
+/// effect immediately. Callers that want to surface the silent
+/// `AHN_THREADS` cap (sweep/bench/serve startup logs, `/metrics`)
+/// read this.
+pub fn current_num_threads() -> usize {
+    max_threads()
+}
+
+/// The host's available parallelism, uncapped — what
+/// [`current_num_threads`] would report with `AHN_THREADS` unset.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
 /// Upper bound on worker threads: `available_parallelism`, capped by
 /// the `AHN_THREADS` environment variable when it is set to a positive
 /// integer. The cap exists so processes that already fan out at a
@@ -207,6 +226,12 @@ mod tests {
         // machine regardless of what AHN_THREADS holds.
         let available = std::thread::available_parallelism().map_or(1, |p| p.get());
         assert!((1..=available).contains(&crate::max_threads()));
+    }
+
+    #[test]
+    fn public_accessors_agree_with_internal_rule() {
+        assert_eq!(crate::current_num_threads(), crate::max_threads());
+        assert!(crate::available_cores() >= crate::current_num_threads());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub fn bench_sweep_grid() -> ahn_core::sweeps::SweepGrid {
     base.generations = 3;
     ahn_core::sweeps::SweepGrid {
         base,
+        scenarios: None,
         cases: vec![1, 2],
         payoffs: vec!["paper".into(), "literal-ocr".into()],
         sizes: vec![10, 12],

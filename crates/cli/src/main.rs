@@ -90,6 +90,14 @@ fn main() {
         sweep(&args[1..]);
         return;
     }
+    if command == "scenario" {
+        scenario(&args[1..]);
+        return;
+    }
+    if command == "atlas" {
+        atlas(&args[1..]);
+        return;
+    }
     if command == "calibrate" {
         calibrate(&args[1..]);
         return;
@@ -164,9 +172,15 @@ fn print_usage() {
         "ahn-exp — regenerate the tables and figures of Seredynski et al. (IPDPS'07)\n\n\
          usage: ahn-exp <command> [--preset smoke|scaled|paper] [--reps N]\n\
                 [--gens N] [--rounds N] [--seed S] [--out DIR] [--trace FILE]\n\
-                ahn-exp sweep [--cases 1,2,..] [--payoffs paper,..] [--sizes 10,50,..]\n\
+                ahn-exp sweep [--scenarios base,slanderers,..] [--cases 1,2,..]\n\
+                              [--payoffs paper,..] [--sizes 10,50,..]\n\
                               [--seed-blocks N] [--json] [--via ADDR] [--journal FILE]\n\
                               [--trace FILE] [+ the experiment flags above]\n\
+                ahn-exp scenario list [--json]      (the adversary-zoo registry)\n\
+                ahn-exp scenario run NAME [--defense watchdog|core|confidant]\n\
+                                          [--size N] [+ the experiment flags above]\n\
+                ahn-exp atlas [--json FILE] [--out FILE] [--scenarios a,b,..] [--size N]\n\
+                              (scenario x defense grid; no args prints markdown)\n\
                 ahn-exp calibrate [--cases 1,2,..] [--scales 0.5,1,..]\n\
                                   [--selections paper,rank,..] [--size N]\n\
                                   [--seed-blocks N] [--max-candidates N] [--json]\n\
@@ -186,8 +200,8 @@ fn print_usage() {
                    baseline-pathrater ablate-payoff ablate-activity\n\
                    ablate-selection ablate-trust-table ablate-unknown\n\
                    ablate-gossip transfer newcomer sleepers\n\
-                   sweep-rounds sweep-csn sweep-mutation sweep calibrate\n\
-                   fidelity trace check bench serve worker loadtest"
+                   sweep-rounds sweep-csn sweep-mutation sweep scenario atlas\n\
+                   calibrate fidelity trace check bench serve worker loadtest"
     );
 }
 
@@ -699,6 +713,7 @@ fn worker(args: &[String]) {
 /// options for the base configuration.
 #[derive(Debug, Clone, PartialEq)]
 struct SweepFlags {
+    scenarios: Option<Vec<String>>,
     cases: Vec<usize>,
     payoffs: Vec<String>,
     sizes: Vec<usize>,
@@ -739,6 +754,7 @@ fn pass_through(rest: &mut Vec<String>, flag: &str, it: &mut std::slice::Iter<'_
 
 fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
     let mut flags = SweepFlags {
+        scenarios: None,
         cases: vec![1],
         payoffs: vec!["paper".into()],
         sizes: vec![50],
@@ -756,6 +772,13 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepFlags, String> {
         };
         match flag.as_str() {
             "--cases" => flags.cases = list("--cases", value("--cases")?)?,
+            "--scenarios" => {
+                let names: Vec<String> = list("--scenarios", value("--scenarios")?)?;
+                if names.iter().any(String::is_empty) {
+                    return Err("--scenarios needs non-empty scenario names".into());
+                }
+                flags.scenarios = Some(names);
+            }
             "--payoffs" => flags.payoffs = list("--payoffs", value("--payoffs")?)?,
             "--sizes" => flags.sizes = list("--sizes", value("--sizes")?)?,
             "--seed-blocks" => match value("--seed-blocks")?.parse() {
@@ -815,14 +838,16 @@ fn sweep(args: &[String]) {
     };
     let grid = ahn_core::SweepGrid {
         base: opts.config.clone(),
+        scenarios: flags.scenarios,
         cases: flags.cases,
         payoffs: flags.payoffs,
         sizes: flags.sizes,
         seed_blocks: (0..flags.seed_blocks).collect(),
     };
     eprintln!(
-        "sweeping {} cells ({} cases x {} payoffs x {} sizes x {} seed blocks, {} replications each)...",
+        "sweeping {} cells ({} scenarios x {} cases x {} payoffs x {} sizes x {} seed blocks, {} replications each)...",
         grid.cell_count(),
+        grid.scenarios.as_ref().map(Vec::len).unwrap_or(1),
         grid.cases.len(),
         grid.payoffs.len(),
         grid.sizes.len(),
@@ -864,8 +889,15 @@ fn sweep(args: &[String]) {
                     ahn_obs::TraceEvent::new(ahn_obs::trace_id_of_key(config_hash), "cell_start")
                         .key(config_hash)
                         .detail(format!(
-                            "case {} payoff {} size {} seed_block {}",
-                            spec.case_no, spec.payoff, spec.size, spec.seed_block
+                            "{}case {} payoff {} size {} seed_block {}",
+                            spec.scenario
+                                .as_deref()
+                                .map(|s| format!("scenario {s} "))
+                                .unwrap_or_default(),
+                            spec.case_no,
+                            spec.payoff,
+                            spec.size,
+                            spec.seed_block
                         )),
                 );
             }
@@ -1005,6 +1037,203 @@ fn parse_calibrate_flags(args: &[String]) -> Result<CalibrateFlags, String> {
         return Err("calibrate --trace requires --via (it records the coordinator's spans)".into());
     }
     Ok(flags)
+}
+
+/// `ahn-exp scenario`: the adversary-zoo registry front end —
+/// `list` prints every built-in scenario (name, hash, summary),
+/// `run NAME` evaluates one scenario against a chosen defense.
+fn scenario(args: &[String]) {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            let json = args.iter().any(|a| a == "--json");
+            let all = ahn_core::builtin_scenarios();
+            if json {
+                println!("{}", serde_json::to_string_pretty(&all).unwrap());
+                return;
+            }
+            println!("{} scenarios (rows of `ahn-exp atlas`):", all.len());
+            for s in &all {
+                println!(
+                    "  {:<18} {:016x}  {}",
+                    s.name,
+                    s.canonical_hash(),
+                    s.summary
+                );
+            }
+        }
+        Some("run") => scenario_run(&args[1..]),
+        Some(other) => {
+            eprintln!("error: unknown scenario subcommand {other:?} (list|run)");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: scenario needs a subcommand (list|run)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `ahn-exp scenario run NAME`: resolve the scenario, apply it to a
+/// scaled case-1 world, run the experiment, print the usual report.
+fn scenario_run(args: &[String]) {
+    let mut name = None;
+    let mut defense = "watchdog".to_string();
+    let mut size = 10usize;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--defense" => match it.next() {
+                Some(d) => defense = d.clone(),
+                None => {
+                    eprintln!("error: --defense needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--size" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) if n >= 3 => size = n,
+                _ => {
+                    eprintln!("error: --size needs an integer >= 3");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => pass_through(&mut rest, flag, &mut it),
+            bare if name.is_none() => name = Some(bare.to_string()),
+            extra => {
+                eprintln!("error: unexpected argument {extra:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("error: scenario run needs a scenario name (try `ahn-exp scenario list`)");
+        std::process::exit(2);
+    };
+    // Default to the smoke preset (like calibrate) so a bare
+    // `ahn-exp scenario run slanderers` finishes in seconds.
+    let mut base_args = vec!["--preset".to_string(), "smoke".to_string()];
+    base_args.extend(rest);
+    let opts = match Options::parse(&base_args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let run = || -> Result<(), String> {
+        let scenario = ahn_core::resolve_scenario(&name)?;
+        let mut config = opts.config.clone();
+        config.gossip = ahn_core::atlas::resolve_defense(&defense)?;
+        let case = CaseSpec::mini(&name, &[0], size, ahn_core::PathMode::Shorter);
+        let (config, case) = scenario.apply(&config, &case)?;
+        eprintln!(
+            "running scenario {name:?} (hash {:016x}) against {defense:?}, \
+             {size} participants, {} replications...",
+            scenario.canonical_hash(),
+            config.replications
+        );
+        let result = experiment::run_experiment(&config, &case);
+        println!(
+            "scenario {name} vs {defense}: cooperation {} ± {}",
+            ahn_stats::pct(result.final_coop.mean().unwrap_or(0.0), 1),
+            ahn_stats::pct(result.final_coop.ci95_half_width().unwrap_or(0.0), 1),
+        );
+        for (i, env) in result.per_env_csn_free.iter().enumerate() {
+            println!(
+                "  env {i}: attacker-free paths {}",
+                ahn_stats::pct(env.mean().unwrap_or(0.0), 1)
+            );
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// `ahn-exp atlas`: run the scenario x defense grid and emit the
+/// committed artifacts — markdown to stdout or `--out`, the
+/// byte-stable JSON report to `--json`.
+fn atlas(args: &[String]) {
+    let mut grid = ahn_core::AtlasGrid::smoke();
+    let mut json_path = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --json needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("error: --out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--scenarios" => match it.next() {
+                Some(names) => {
+                    grid.scenarios = names.split(',').map(str::to_string).collect();
+                }
+                None => {
+                    eprintln!("error: --scenarios needs a comma-separated list");
+                    std::process::exit(2);
+                }
+            },
+            "--size" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) if n >= 3 => grid.size = n,
+                _ => {
+                    eprintln!("error: --size needs an integer >= 3");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown atlas flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "atlas: {} scenarios x {} defenses at {} participants...",
+        grid.scenarios.len(),
+        ahn_core::atlas::DEFENSES.len(),
+        grid.size
+    );
+    let report = match ahn_core::run_atlas(&grid) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &json_path {
+        // serde_json's compact form is deterministic; a trailing
+        // newline keeps the committed file POSIX-friendly.
+        let mut bytes = serde_json::to_string(&report).unwrap();
+        bytes.push('\n');
+        if let Err(e) = std::fs::write(path, bytes) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("  wrote {path}");
+    }
+    let md = ahn_core::render_atlas(&report);
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &md) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("  wrote {path}");
+        }
+        None => print!("{md}"),
+    }
 }
 
 /// `ahn-exp calibrate`: search the reconstruction space of the garbled
@@ -2040,9 +2269,12 @@ mod tests {
             (vec![1], vec![50], 1, false)
         );
         assert_eq!(f.payoffs, vec!["paper".to_string()]);
+        assert_eq!(f.scenarios, None);
         assert!(f.rest.is_empty());
 
         let f = parse_sweep_flags(&args(&[
+            "--scenarios",
+            "base,slanderers",
             "--cases",
             "1,3",
             "--payoffs",
@@ -2058,6 +2290,10 @@ mod tests {
             "2",
         ]))
         .unwrap();
+        assert_eq!(
+            f.scenarios,
+            Some(vec!["base".to_string(), "slanderers".to_string()])
+        );
         assert_eq!(f.cases, vec![1, 3]);
         assert_eq!(
             f.payoffs,
@@ -2082,6 +2318,8 @@ mod tests {
         for bad in [
             &["--cases"][..],
             &["--cases", ""],
+            &["--scenarios"],
+            &["--scenarios", ""],
             &["--sizes", "ten"],
             &["--seed-blocks", "0"],
             &["--seed-blocks", "-1"],
@@ -2162,6 +2400,10 @@ mod tests {
             &["--max-candidates", "-1"],
             // A journal only makes sense for a distributed run.
             &["--journal", "c.log"],
+            // So does a coordinator trace: without --via there is no
+            // coordinator, and the flag must fail at parse time rather
+            // than after the (potentially long) local run.
+            &["--trace", "t.log"],
         ] {
             assert!(parse_calibrate_flags(&args(bad)).is_err(), "{bad:?}");
         }

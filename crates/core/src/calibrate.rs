@@ -273,6 +273,7 @@ impl CalibrationGrid {
     pub fn sweep_for(&self, candidate: &CandidateSpec) -> Result<SweepGrid, String> {
         Ok(SweepGrid {
             base: self.resolve(candidate)?,
+            scenarios: None,
             cases: self.cases.clone(),
             payoffs: vec![BASE_PAYOFF_VARIANT.into()],
             sizes: vec![self.size],

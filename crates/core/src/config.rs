@@ -64,6 +64,95 @@ pub struct SleeperSpec {
     pub duty: f64,
 }
 
+/// A named attacker behavior from the adversary zoo (DESIGN.md
+/// "Scenarios"), mapping one-to-one onto an [`ahn_game::NodeKind`].
+/// Every behavior occupies a selfish-pool slot: excluded from evolution
+/// and from the cooperation metrics, participating in tournaments
+/// according to each environment's CSN count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackerBehavior {
+    /// The paper's constantly selfish node: always discards.
+    Selfish,
+    /// Drops each request independently with probability `p`.
+    RandomDropper {
+        /// Per-request drop probability in \[0, 1\].
+        p: f64,
+    },
+    /// Forwards faithfully while poisoning second-hand reputation
+    /// (slander + vouching for fellow liars) when chosen as a gossip
+    /// teller. Requires a gossip extension to have any effect.
+    Liar,
+    /// Forwards only for its own clique, discards for everyone else,
+    /// and vouches for clique-mates in gossip.
+    Colluder {
+        /// Clique identifier; members with equal ids cooperate.
+        clique: u8,
+    },
+    /// Forwards for `on` rounds, discards for `off` rounds, repeating.
+    OnOff {
+        /// Cooperative rounds per cycle.
+        on: u16,
+        /// Defecting rounds per cycle.
+        off: u16,
+    },
+    /// Always discards; its public history is wiped every `period`
+    /// rounds (fresh-identity re-entry).
+    Whitewasher {
+        /// Rounds between identity resets.
+        period: u16,
+    },
+    /// Always discards and sources `extra` additional packets per round
+    /// (energy exhaustion).
+    Flooder {
+        /// Extra packets sourced per round.
+        extra: u8,
+    },
+}
+
+impl AttackerBehavior {
+    /// The node kind implementing this behavior in the game engine.
+    pub fn node_kind(self) -> ahn_game::NodeKind {
+        match self {
+            AttackerBehavior::Selfish => ahn_game::NodeKind::ConstantlySelfish,
+            AttackerBehavior::RandomDropper { p } => ahn_game::NodeKind::RandomDropper(p),
+            AttackerBehavior::Liar => ahn_game::NodeKind::Liar,
+            AttackerBehavior::Colluder { clique } => ahn_game::NodeKind::Colluder(clique),
+            AttackerBehavior::OnOff { on, off } => ahn_game::NodeKind::OnOff { on, off },
+            AttackerBehavior::Whitewasher { period } => ahn_game::NodeKind::Whitewasher { period },
+            AttackerBehavior::Flooder { extra } => ahn_game::NodeKind::Flooder { extra },
+        }
+    }
+
+    /// Parameter sanity.
+    pub fn validate(self) -> Result<(), String> {
+        match self {
+            AttackerBehavior::RandomDropper { p } if !(0.0..=1.0).contains(&p) => {
+                Err(format!("random dropper probability {p} outside [0, 1]"))
+            }
+            AttackerBehavior::OnOff { on, off } if on == 0 && off == 0 => {
+                Err("on-off attacker needs a non-empty cycle".into())
+            }
+            AttackerBehavior::Whitewasher { period: 0 } => {
+                Err("whitewasher period must be positive".into())
+            }
+            AttackerBehavior::Flooder { extra: 0 } => {
+                Err("flooder must source at least one extra packet".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+/// `count` identically-behaved attackers occupying consecutive
+/// selfish-pool slots (arena tail ids, in group order).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackerGroup {
+    /// Behavior of every node in the group.
+    pub behavior: AttackerBehavior,
+    /// Number of nodes.
+    pub count: usize,
+}
+
 /// All knobs of one experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -98,6 +187,11 @@ pub struct ExperimentConfig {
     /// When set, the unknown-node bit is pinned to this value after every
     /// breeding step (ablation A6).
     pub force_unknown: Option<bool>,
+    /// When set, the selfish pool is built from these attacker groups
+    /// (adversary zoo; see `ahn_core::scenarios`) instead of plain
+    /// constantly-selfish nodes. `None` — the paper's model — keeps the
+    /// all-CSN pool and the exact legacy construction path.
+    pub attackers: Option<Vec<AttackerGroup>>,
     /// Base RNG seed; replication `k` runs with `base_seed + k`.
     pub base_seed: u64,
 }
@@ -120,6 +214,7 @@ impl ExperimentConfig {
             gossip: None,
             sleepers: Vec::new(),
             force_unknown: None,
+            attackers: None,
             base_seed: 0x5EED_2007,
         }
     }
@@ -160,7 +255,34 @@ impl ExperimentConfig {
         }
         self.ga.validate()?;
         self.trust.validate()?;
+        if let Some(groups) = &self.attackers {
+            if groups.is_empty() {
+                return Err("attackers, when set, needs at least one group".into());
+            }
+            let mut total = 0usize;
+            for g in groups {
+                if g.count == 0 {
+                    return Err("attacker groups must be non-empty".into());
+                }
+                g.behavior.validate()?;
+                total += g.count;
+            }
+            if total >= self.population {
+                return Err(format!(
+                    "attacker pool ({total}) must stay below the population ({})",
+                    self.population
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Total attacker-pool size, 0 when `attackers` is unset.
+    pub fn attacker_count(&self) -> usize {
+        self.attackers
+            .as_ref()
+            .map(|groups| groups.iter().map(|g| g.count).sum())
+            .unwrap_or(0)
     }
 
     /// Applies the `force_unknown` mask to a freshly bred genome.
@@ -262,6 +384,78 @@ mod tests {
         let mut c = ExperimentConfig::smoke();
         c.ga.mutation_prob = 2.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn attacker_groups_validate() {
+        let mut c = ExperimentConfig::smoke();
+        assert_eq!(c.attacker_count(), 0);
+        c.attackers = Some(vec![
+            AttackerGroup {
+                behavior: AttackerBehavior::Liar,
+                count: 2,
+            },
+            AttackerGroup {
+                behavior: AttackerBehavior::OnOff { on: 5, off: 5 },
+                count: 3,
+            },
+        ]);
+        c.validate().unwrap();
+        assert_eq!(c.attacker_count(), 5);
+        // Bad parameters are rejected.
+        for bad in [
+            AttackerBehavior::RandomDropper { p: 1.5 },
+            AttackerBehavior::OnOff { on: 0, off: 0 },
+            AttackerBehavior::Whitewasher { period: 0 },
+            AttackerBehavior::Flooder { extra: 0 },
+        ] {
+            let mut c = ExperimentConfig::smoke();
+            c.attackers = Some(vec![AttackerGroup {
+                behavior: bad,
+                count: 1,
+            }]);
+            assert!(c.validate().is_err(), "{bad:?} should fail validation");
+        }
+        // A pool the size of the population leaves nobody to evolve.
+        let mut c = ExperimentConfig::smoke();
+        c.attackers = Some(vec![AttackerGroup {
+            behavior: AttackerBehavior::Selfish,
+            count: c.population,
+        }]);
+        assert!(c.validate().is_err());
+        // Empty group list and zero-count groups are rejected.
+        let mut c = ExperimentConfig::smoke();
+        c.attackers = Some(vec![]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn behaviors_map_to_their_node_kinds() {
+        use ahn_game::NodeKind;
+        assert_eq!(
+            AttackerBehavior::Selfish.node_kind(),
+            NodeKind::ConstantlySelfish
+        );
+        assert_eq!(
+            AttackerBehavior::Colluder { clique: 3 }.node_kind(),
+            NodeKind::Colluder(3)
+        );
+        assert_eq!(
+            AttackerBehavior::Whitewasher { period: 25 }.node_kind(),
+            NodeKind::Whitewasher { period: 25 }
+        );
+    }
+
+    #[test]
+    fn legacy_config_json_without_attackers_still_parses() {
+        // Wire-compat: specs serialized before the attackers field
+        // existed must keep deserializing (absent Option tolerance).
+        let mut json = serde_json::to_string(&ExperimentConfig::smoke()).unwrap();
+        let needle = "\"attackers\":null,";
+        assert!(json.contains(needle), "field missing from {json}");
+        json = json.replace(needle, "");
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ExperimentConfig::smoke());
     }
 
     #[test]

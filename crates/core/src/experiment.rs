@@ -101,12 +101,31 @@ pub fn run_replication_with<R: ahn_obs::Recorder>(
     let decode =
         |gs: &[BitStr]| -> Vec<Strategy> { gs.iter().map(|g| config.codec.decode(g)).collect() };
 
-    let mut arena = Arena::new(
-        decode(&genomes),
-        schedule.required_csn(),
-        game_config,
-        case.envs.len(),
-    );
+    let mut arena = match &config.attackers {
+        // The paper's model: the selfish pool is all-CSN, built by the
+        // legacy constructor — byte-identical draw sequences.
+        None => Arena::new(
+            decode(&genomes),
+            schedule.required_csn(),
+            game_config,
+            case.envs.len(),
+        ),
+        // Adversary zoo: the pool is the attacker groups expanded in
+        // declaration order, occupying the same tail slots CSNs would.
+        Some(groups) => {
+            let pool: usize = groups.iter().map(|g| g.count).sum();
+            assert!(
+                pool >= schedule.required_csn(),
+                "attacker pool ({pool}) cannot fill an environment needing {} selfish nodes",
+                schedule.required_csn()
+            );
+            let mut kinds = vec![ahn_game::NodeKind::Normal; config.population];
+            for g in groups {
+                kinds.extend(std::iter::repeat_n(g.behavior.node_kind(), g.count));
+            }
+            Arena::with_kinds(decode(&genomes), kinds, game_config, case.envs.len())
+        }
+    };
     for sleeper in &config.sleepers {
         arena.set_duty_cycle(ahn_net::NodeId::from(sleeper.index), sleeper.duty);
     }

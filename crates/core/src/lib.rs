@@ -18,6 +18,11 @@
 //!   paper lays it out;
 //! * [`baselines`] — static-strategy and watchdog/pathrater-style
 //!   baselines (DESIGN.md X1);
+//! * [`scenarios`] — the adversary zoo: named, hash-canonicalized
+//!   threat models composing attacker mixes with topology and energy
+//!   knobs;
+//! * [`atlas`] — the attack/defense atlas: every scenario against
+//!   every defense posture, rendered as the committed `ATLAS.md`;
 //! * [`threads`] — reporting the effective (`AHN_THREADS`-capped)
 //!   worker-thread count;
 //! * [`ablations`] — the A1–A6 design-choice studies of DESIGN.md.
@@ -43,6 +48,7 @@
 #![deny(missing_docs)]
 
 pub mod ablations;
+pub mod atlas;
 pub mod baselines;
 pub mod calibrate;
 pub mod cases;
@@ -51,9 +57,12 @@ pub mod config;
 pub mod experiment;
 pub mod extensions;
 pub mod report;
+pub mod scenarios;
 pub mod sweeps;
 pub mod threads;
 
+pub use ahn_net::PathMode;
+pub use atlas::{render_atlas, run_atlas, AtlasGrid, AtlasReport};
 pub use calibrate::{run_calibration, score_calibration, CalibrationGrid, CalibrationReport};
 pub use cases::CaseSpec;
 pub use config::{canonical_hash, ExperimentConfig, StrategyCodec};
@@ -61,6 +70,7 @@ pub use experiment::{
     run_experiment, run_experiment_observed, run_replication, run_replication_with,
     ExperimentResult, ReplicationResult,
 };
+pub use scenarios::{builtin_scenarios, find_scenario, resolve_scenario, AttackerShare, Scenario};
 pub use sweeps::{
     cell_from_result, merge_sweep, run_sweep, run_sweep_observed, SweepCell, SweepCellSpec,
     SweepGrid, SweepObservation, SweepReport,

@@ -1,0 +1,437 @@
+//! The scenario registry: named, hash-canonicalized threat models.
+//!
+//! The paper studies one adversary — static selfish nodes. The systems
+//! it builds on (watchdog/pathrater, CONFIDANT, CORE; see PAPERS.md)
+//! were designed against much richer ones: liars poisoning second-hand
+//! reputation, colluding cliques vouching for each other, on-off
+//! defectors, whitewashers re-entering with fresh identities,
+//! energy-exhaustion attackers. A [`Scenario`] composes those behaviors
+//! (implemented as [`ahn_game::NodeKind`] variants driven by
+//! [`AttackerBehavior`]) with the topology and energy-budget knobs the
+//! substrate already carries into a declarative, validated, canonically
+//! hashable config that plugs into `run_sweep` as a first-class axis
+//! ([`crate::sweeps::SweepGrid::scenarios`]) and is served via
+//! `GET /v1/scenarios`.
+//!
+//! Scenarios deliberately do **not** choose the defense: the defense
+//! (first-hand watchdog only, CORE-style positive gossip, or
+//! CONFIDANT-style full gossip) is the other axis of the attack/defense
+//! atlas (`crate::atlas`), so every scenario is evaluated against every
+//! defense.
+
+use crate::cases::CaseSpec;
+use crate::config::{
+    canonical_hash, AttackerBehavior, AttackerGroup, ExperimentConfig, SleeperSpec,
+};
+use ahn_net::PathMode;
+use serde::{Deserialize, Serialize};
+
+/// One attacker population group, sized as a *share* of each tournament
+/// environment rather than an absolute count, so the same scenario
+/// scales with the network-size sweep axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackerShare {
+    /// Behavior of every node in the group.
+    pub behavior: AttackerBehavior,
+    /// Fraction of each environment's participants in (0, 1).
+    pub share: f64,
+}
+
+/// A named, declarative threat model: an attacker population mix plus
+/// optional topology and energy-budget overrides, applied on top of any
+/// `(config, case)` pair the sweep engine resolves.
+///
+/// The all-`None` scenario (the registry's `"base"`) is a pure
+/// pass-through: applying it changes nothing, so base-scenario sweep
+/// cells keep their exact legacy seeds, streams and cache keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Registry key (`[a-z0-9-]`, by convention).
+    pub name: String,
+    /// One-line human description for listings and the atlas.
+    pub summary: String,
+    /// Attacker mix replacing the case's constantly-selfish pool.
+    /// `None` keeps the case's own CSN environments.
+    pub attackers: Option<Vec<AttackerShare>>,
+    /// Topology override: forces the case's path mode.
+    pub mode: Option<PathMode>,
+    /// Energy-budget override: radio duty cycle in (0, 1] applied to
+    /// every normal player (extension X6's sleep model).
+    pub duty: Option<f64>,
+}
+
+impl Scenario {
+    /// The pass-through scenario.
+    pub fn base() -> Self {
+        Scenario {
+            name: "base".into(),
+            summary: "the paper's model, untouched (reference row)".into(),
+            attackers: None,
+            mode: None,
+            duty: None,
+        }
+    }
+
+    /// Structural identity of the scenario: FNV-1a 64 over its compact
+    /// JSON form (the same canonicalization the serve cache keys use).
+    pub fn canonical_hash(&self) -> u64 {
+        canonical_hash(self).unwrap_or(0)
+    }
+
+    /// Total attacker share (0 when the scenario keeps the case's mix).
+    pub fn attacker_share(&self) -> f64 {
+        self.attackers
+            .as_ref()
+            .map(|groups| groups.iter().map(|g| g.share).sum())
+            .unwrap_or(0.0)
+    }
+
+    /// Validates the scenario's own parameters (share ranges, behavior
+    /// parameters, knob ranges). Environment-dependent checks — does the
+    /// mix leave enough normal players at a given size? — happen in
+    /// [`Scenario::apply`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("a scenario needs a name".into());
+        }
+        if let Some(groups) = &self.attackers {
+            if groups.is_empty() {
+                return Err(format!(
+                    "scenario {:?}: attackers, when set, needs at least one group",
+                    self.name
+                ));
+            }
+            for g in groups {
+                if !(g.share > 0.0 && g.share < 1.0) {
+                    return Err(format!(
+                        "scenario {:?}: attacker share {} outside (0, 1)",
+                        self.name, g.share
+                    ));
+                }
+                g.behavior.validate()?;
+            }
+            let total = self.attacker_share();
+            if total >= 1.0 {
+                return Err(format!(
+                    "scenario {:?}: attacker shares sum to {total} (must stay below 1)",
+                    self.name
+                ));
+            }
+        }
+        if let Some(d) = self.duty {
+            if !(d > 0.0 && d <= 1.0) {
+                return Err(format!(
+                    "scenario {:?}: duty cycle {d} outside (0, 1]",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the scenario to a resolved `(config, case)` pair,
+    /// producing the pure inputs of `run_experiment`:
+    ///
+    /// * `mode` (when set) overrides the case's path mode;
+    /// * `attackers` (when set) replaces every environment's CSN pool
+    ///   with the scenario's mix — each group sized as
+    ///   `round(share × size)` (at least 1) of that environment's
+    ///   participant count — and records the groups in
+    ///   `config.attackers` so the arena builds the matching kinds;
+    /// * `duty` (when set) gives every normal player the reduced duty
+    ///   cycle.
+    ///
+    /// The base scenario returns its inputs unchanged.
+    ///
+    /// # Errors
+    /// Errors when the scenario is invalid, the environments have
+    /// heterogeneous sizes (scaled cases never do), or the mix would
+    /// leave fewer than 3 normal players anywhere.
+    pub fn apply(
+        &self,
+        config: &ExperimentConfig,
+        case: &CaseSpec,
+    ) -> Result<(ExperimentConfig, CaseSpec), String> {
+        self.validate()?;
+        let mut config = config.clone();
+        let mut case = case.clone();
+        if let Some(mode) = self.mode {
+            case.mode = mode;
+        }
+        if let Some(groups) = &self.attackers {
+            let size = case.envs.first().map(|e| e.size).unwrap_or(0);
+            if case.envs.iter().any(|e| e.size != size) {
+                return Err(format!(
+                    "scenario {:?} needs uniform environment sizes, got {:?}",
+                    self.name,
+                    case.envs.iter().map(|e| e.size).collect::<Vec<_>>()
+                ));
+            }
+            let counted: Vec<AttackerGroup> = groups
+                .iter()
+                .map(|g| AttackerGroup {
+                    behavior: g.behavior,
+                    count: (((size as f64) * g.share).round() as usize).max(1),
+                })
+                .collect();
+            let total: usize = counted.iter().map(|g| g.count).sum();
+            if total + 3 > size {
+                return Err(format!(
+                    "scenario {:?}: {total} attackers of {size} participants leave \
+                     fewer than 3 normal players",
+                    self.name
+                ));
+            }
+            for env in &mut case.envs {
+                *env = ahn_game::EnvironmentSpec::new(size, total);
+            }
+            config.attackers = Some(counted);
+        }
+        config.population = config.population.max(case.required_normal());
+        if let Some(duty) = self.duty {
+            if duty < 1.0 {
+                config.sleepers = (0..config.population)
+                    .map(|index| SleeperSpec { index, duty })
+                    .collect();
+            }
+        }
+        Ok((config, case))
+    }
+}
+
+/// All scenarios the registry ships. Order is the atlas row order —
+/// append new scenarios at the end so existing atlas rows never move.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::base(),
+        Scenario {
+            name: "selfish-majority".into(),
+            summary: "60% constantly selfish nodes (the paper's TE4 density)".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::Selfish,
+                share: 0.6,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "random-droppers".into(),
+            summary: "30% droppers discarding half of all requests at random".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::RandomDropper { p: 0.5 },
+                share: 0.3,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "slanderers".into(),
+            summary: "20% liars: forward faithfully, poison gossip about honest nodes".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::Liar,
+                share: 0.2,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "colluding-clique".into(),
+            summary: "30% colluders: forward only inside the clique, vouch for each other".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::Colluder { clique: 1 },
+                share: 0.3,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "on-off-grudgers".into(),
+            summary: "30% on-off defectors alternating 15 good rounds with 15 bad".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::OnOff { on: 15, off: 15 },
+                share: 0.3,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "whitewashers".into(),
+            summary: "30% whitewashers: always discard, shed their history every 75 rounds".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::Whitewasher { period: 75 },
+                share: 0.3,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "energy-flooders".into(),
+            summary: "20% flooders: discard everything, source 3 extra packets a round".into(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::Flooder { extra: 3 },
+                share: 0.2,
+            }]),
+            mode: None,
+            duty: None,
+        },
+        Scenario {
+            name: "low-power-mesh".into(),
+            summary: "no attackers, longer paths, every radio at 60% duty cycle".into(),
+            attackers: None,
+            mode: Some(PathMode::Longer),
+            duty: Some(0.6),
+        },
+    ]
+}
+
+/// Looks a built-in scenario up by name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// Resolves a scenario name against the registry with a listing error.
+pub fn resolve_scenario(name: &str) -> Result<Scenario, String> {
+    find_scenario(name).ok_or_else(|| {
+        let known: Vec<String> = builtin_scenarios().into_iter().map(|s| s.name).collect();
+        format!("unknown scenario {name:?} (expected one of {known:?})")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweeps::scale_case;
+
+    #[test]
+    fn registry_ships_base_plus_the_adversary_zoo() {
+        let all = builtin_scenarios();
+        assert!(all.len() >= 6, "base + at least 5 attacker scenarios");
+        assert_eq!(all[0].name, "base");
+        let attacker_scenarios = all.iter().filter(|s| s.attackers.is_some()).count();
+        assert!(attacker_scenarios >= 5, "got {attacker_scenarios}");
+        // Names are unique and every scenario validates.
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+        for s in &all {
+            s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn find_and_resolve() {
+        assert!(find_scenario("slanderers").is_some());
+        assert!(find_scenario("nope").is_none());
+        let err = resolve_scenario("nope").unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+        assert!(err.contains("slanderers"), "{err}");
+    }
+
+    #[test]
+    fn base_is_a_pure_pass_through() {
+        let config = ExperimentConfig::smoke();
+        let case = scale_case(2, 10).unwrap();
+        let (c, k) = Scenario::base().apply(&config, &case).unwrap();
+        // Identical except the population floor the sweep engine would
+        // apply anyway.
+        let mut expected = config.clone();
+        expected.population = expected.population.max(case.required_normal());
+        assert_eq!(c, expected);
+        assert_eq!(k, case);
+    }
+
+    #[test]
+    fn apply_replaces_the_selfish_pool_with_the_mix() {
+        let config = ExperimentConfig::smoke();
+        let case = scale_case(1, 10).unwrap();
+        let s = find_scenario("colluding-clique").unwrap();
+        let (c, k) = s.apply(&config, &case).unwrap();
+        // 30% of 10 participants -> 3 colluders in every environment.
+        assert_eq!(k.envs.len(), 1);
+        assert_eq!(k.envs[0].size, 10);
+        assert_eq!(k.envs[0].csn, 3);
+        let groups = c.attackers.unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].count, 3);
+        assert_eq!(groups[0].behavior, AttackerBehavior::Colluder { clique: 1 });
+    }
+
+    #[test]
+    fn apply_overrides_topology_and_energy() {
+        let config = ExperimentConfig::smoke();
+        let case = scale_case(1, 10).unwrap();
+        let s = find_scenario("low-power-mesh").unwrap();
+        let (c, k) = s.apply(&config, &case).unwrap();
+        assert_eq!(k.mode, PathMode::Longer);
+        assert_eq!(c.sleepers.len(), c.population);
+        assert!(c.sleepers.iter().all(|sl| sl.duty == 0.6));
+        assert!(c.attackers.is_none());
+    }
+
+    #[test]
+    fn overfull_mixes_are_rejected() {
+        let s = Scenario {
+            name: "crowd".into(),
+            summary: String::new(),
+            attackers: Some(vec![AttackerShare {
+                behavior: AttackerBehavior::Selfish,
+                share: 0.9,
+            }]),
+            mode: None,
+            duty: None,
+        };
+        let config = ExperimentConfig::smoke();
+        let case = scale_case(1, 10).unwrap();
+        let err = s.apply(&config, &case).unwrap_err();
+        assert!(err.contains("fewer than 3 normal players"), "{err}");
+        // Share bounds and duty bounds are validated too.
+        let mut bad = s.clone();
+        bad.attackers = Some(vec![AttackerShare {
+            behavior: AttackerBehavior::Selfish,
+            share: 1.5,
+        }]);
+        assert!(bad.validate().is_err());
+        let mut bad = Scenario::base();
+        bad.duty = Some(0.0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn canonical_hashes_are_stable_and_distinct() {
+        let all = builtin_scenarios();
+        let mut hashes: Vec<u64> = all.iter().map(Scenario::canonical_hash).collect();
+        // Stable across calls.
+        assert_eq!(
+            hashes,
+            builtin_scenarios()
+                .iter()
+                .map(Scenario::canonical_hash)
+                .collect::<Vec<_>>()
+        );
+        // Distinct across scenarios.
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), all.len());
+    }
+
+    #[test]
+    fn pure_selfish_scenario_matches_the_equivalent_plain_case() {
+        // A scenario whose mix is exactly "Selfish at the case's CSN
+        // fraction" resolves to the same environments and the same
+        // construction path outcome a plain case 2 would use — the
+        // cleanest statement that scenarios compose rather than fork
+        // the model.
+        let s = find_scenario("selfish-majority").unwrap();
+        let config = ExperimentConfig::smoke();
+        let case = scale_case(1, 10).unwrap();
+        let (c, k) = s.apply(&config, &case).unwrap();
+        let plain = scale_case(2, 10).unwrap();
+        assert_eq!(k.envs, plain.envs, "TE4's 60% density");
+        let a = crate::experiment::run_experiment(&c, &k);
+        let mut c2 = config.clone();
+        c2.population = c2.population.max(plain.required_normal());
+        let b = crate::experiment::run_experiment(&c2, &plain);
+        assert_eq!(a.final_coop, b.final_coop, "all-Selfish pool == CSN pool");
+    }
+}

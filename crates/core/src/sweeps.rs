@@ -217,12 +217,18 @@ pub fn block_seed(base_seed: u64, block: u64) -> u64 {
     base_seed.wrapping_add(block.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-/// A scenario-sweep grid: the cross product of four axes around a base
-/// configuration. See the module docs for what each axis means.
+/// A scenario-sweep grid: the cross product of up to five axes around a
+/// base configuration. See the module docs for what each axis means.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepGrid {
     /// Base configuration every cell derives from.
     pub base: ExperimentConfig,
+    /// Threat-model axis: names from the scenario registry
+    /// ([`crate::scenarios::builtin_scenarios`]). `None` — the legacy
+    /// wire form — sweeps the base model only and keeps the original
+    /// four-axis cell order, so old grids, caches and journals are
+    /// untouched.
+    pub scenarios: Option<Vec<String>>,
     /// Case axis: paper case numbers (1–4).
     pub cases: Vec<usize>,
     /// Payoff-variant axis: names accepted by [`payoff_variant`].
@@ -239,6 +245,7 @@ impl SweepGrid {
     pub fn new(base: ExperimentConfig, cases: &[usize], sizes: &[usize], blocks: u64) -> Self {
         SweepGrid {
             base,
+            scenarios: None,
             cases: cases.to_vec(),
             payoffs: vec!["paper".into()],
             sizes: sizes.to_vec(),
@@ -246,11 +253,21 @@ impl SweepGrid {
         }
     }
 
+    /// The scenario axis as cell coordinates: the registry names when
+    /// the axis is set, or the single legacy "no scenario" coordinate.
+    fn scenario_axis(&self) -> Vec<Option<String>> {
+        match &self.scenarios {
+            Some(names) => names.iter().cloned().map(Some).collect(),
+            None => vec![None],
+        }
+    }
+
     /// Total cells in the grid (saturating, so hostile axis lengths
     /// cannot overflow the product before a caller's size cap sees it).
     pub fn cell_count(&self) -> usize {
-        self.cases
+        self.scenario_axis()
             .len()
+            .saturating_mul(self.cases.len())
             .saturating_mul(self.payoffs.len())
             .saturating_mul(self.sizes.len())
             .saturating_mul(self.seed_blocks.len())
@@ -271,26 +288,35 @@ impl SweepGrid {
         for name in &self.payoffs {
             resolve_payoff(name, &self.base.payoff)?;
         }
+        if let Some(names) = &self.scenarios {
+            for name in names {
+                crate::scenarios::resolve_scenario(name)?;
+            }
+        }
         for spec in self.cell_specs() {
             self.resolve(&spec)?;
         }
         Ok(())
     }
 
-    /// Every cell of the grid in deterministic axis order (cases
-    /// outermost, seed blocks innermost).
+    /// Every cell of the grid in deterministic axis order (scenarios
+    /// outermost, then cases, seed blocks innermost). Without a
+    /// scenario axis this is exactly the legacy four-axis order.
     pub fn cell_specs(&self) -> Vec<SweepCellSpec> {
         let mut out = Vec::with_capacity(self.cell_count());
-        for &case_no in &self.cases {
-            for payoff in &self.payoffs {
-                for &size in &self.sizes {
-                    for &seed_block in &self.seed_blocks {
-                        out.push(SweepCellSpec {
-                            case_no,
-                            payoff: payoff.clone(),
-                            size,
-                            seed_block,
-                        });
+        for scenario in self.scenario_axis() {
+            for &case_no in &self.cases {
+                for payoff in &self.payoffs {
+                    for &size in &self.sizes {
+                        for &seed_block in &self.seed_blocks {
+                            out.push(SweepCellSpec {
+                                scenario: scenario.clone(),
+                                case_no,
+                                payoff: payoff.clone(),
+                                size,
+                                seed_block,
+                            });
+                        }
                     }
                 }
             }
@@ -301,12 +327,17 @@ impl SweepGrid {
     /// Resolves one cell to the pure `(config, case)` inputs of
     /// [`run_experiment`]. The population grows to fill the scaled
     /// case's normal-player demand when the base population is too
-    /// small for a large network size.
+    /// small for a large network size. A scenario coordinate, when
+    /// present, is applied last ([`crate::scenarios::Scenario::apply`]),
+    /// so scenario-free cells resolve exactly as they always have.
     pub fn resolve(&self, spec: &SweepCellSpec) -> Result<(ExperimentConfig, CaseSpec), String> {
         let case = scale_case(spec.case_no, spec.size)?;
         let mut config = self.base.clone();
         config.payoff = resolve_payoff(&spec.payoff, &self.base.payoff)?;
         config.base_seed = block_seed(self.base.base_seed, spec.seed_block);
+        if let Some(name) = &spec.scenario {
+            return crate::scenarios::resolve_scenario(name)?.apply(&config, &case);
+        }
         config.population = config.population.max(case.required_normal());
         Ok((config, case))
     }
@@ -315,6 +346,8 @@ impl SweepGrid {
 /// The coordinates of one sweep cell.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SweepCellSpec {
+    /// Threat-model coordinate (`None` on the legacy base-model axis).
+    pub scenario: Option<String>,
     /// Paper case number (1–4).
     pub case_no: usize,
     /// Payoff-variant name.
@@ -414,19 +447,21 @@ pub fn cell_from_result(
 pub fn merge_sweep(grid: &SweepGrid, cells: &[SweepCell]) -> Result<SweepReport, String> {
     grid.validate()?;
     let specs = grid.cell_specs();
-    let index: std::collections::HashMap<(usize, &str, usize, u64), usize> = specs
-        .iter()
-        .enumerate()
-        .map(|(i, s)| ((s.case_no, s.payoff.as_str(), s.size, s.seed_block), i))
-        .collect();
+    type CellKey<'a> = (Option<&'a str>, usize, &'a str, usize, u64);
+    fn key(spec: &SweepCellSpec) -> CellKey<'_> {
+        (
+            spec.scenario.as_deref(),
+            spec.case_no,
+            spec.payoff.as_str(),
+            spec.size,
+            spec.seed_block,
+        )
+    }
+    let index: std::collections::HashMap<CellKey<'_>, usize> =
+        specs.iter().enumerate().map(|(i, s)| (key(s), i)).collect();
     let mut slots: Vec<Option<&SweepCell>> = vec![None; specs.len()];
     for cell in cells {
-        let key = (
-            cell.spec.case_no,
-            cell.spec.payoff.as_str(),
-            cell.spec.size,
-            cell.spec.seed_block,
-        );
+        let key = key(&cell.spec);
         let Some(&i) = index.get(&key) else {
             return Err(format!("cell {:?} does not belong to this grid", cell.spec));
         };
@@ -605,16 +640,29 @@ where
     })
 }
 
-/// Renders a sweep report as an aligned text table.
+/// Renders a sweep report as an aligned text table. The scenario
+/// column appears only when some cell carries a scenario coordinate,
+/// so base-model sweep output is unchanged.
 pub fn render_sweep_report(report: &SweepReport) -> String {
     use std::fmt::Write as _;
+    let with_scenarios = report.cells.iter().any(|c| c.spec.scenario.is_some());
     let mut out = format!(
-        "scenario sweep: {} cells x {} replications\n\
-         case  payoff         size  block  cooperation (±95% CI)\n",
+        "scenario sweep: {} cells x {} replications\n",
         report.cells.len(),
         report.replications
     );
+    if with_scenarios {
+        out.push_str("scenario           ");
+    }
+    out.push_str("case  payoff         size  block  cooperation (±95% CI)\n");
     for cell in &report.cells {
+        if with_scenarios {
+            let _ = write!(
+                out,
+                "{:<19}",
+                cell.spec.scenario.as_deref().unwrap_or("base")
+            );
+        }
         let _ = writeln!(
             out,
             "  {:>3}  {:<13} {:>5}  {:>5}  {:>7} ± {:>5}",
@@ -748,6 +796,7 @@ mod tests {
         base.payoff = custom;
         let grid = SweepGrid {
             base,
+            scenarios: None,
             cases: vec![1],
             payoffs: vec!["base".into()],
             sizes: vec![10],
@@ -774,6 +823,7 @@ mod tests {
     fn grid_expands_in_deterministic_axis_order() {
         let grid = SweepGrid {
             base: grid_cfg(),
+            scenarios: None,
             cases: vec![1, 2],
             payoffs: vec!["paper".into(), "literal-ocr".into()],
             sizes: vec![10, 12],

@@ -94,6 +94,11 @@ pub struct Arena {
     /// model the sleep behavior of §1 that motivates the activity
     /// dimension (extension X6).
     duty_cycle: Vec<f64>,
+    /// Current tournament round, maintained by the tournament driver so
+    /// round-phased kinds ([`NodeKind::OnOff`], [`NodeKind::Whitewasher`])
+    /// can read a clock without consuming randomness. Reset each
+    /// generation.
+    round_clock: u32,
 }
 
 impl Arena {
@@ -121,6 +126,7 @@ impl Arena {
             config,
             metrics: Metrics::new(n_envs),
             duty_cycle: vec![1.0; total],
+            round_clock: 0,
         }
     }
 
@@ -157,6 +163,7 @@ impl Arena {
             config,
             metrics: Metrics::new(n_envs),
             duty_cycle: vec![1.0; total],
+            round_clock: 0,
         }
     }
 
@@ -242,7 +249,8 @@ impl Arena {
     }
 
     /// Clears everything a generation accumulates: reputation (§4.4
-    /// Step 1), payoff accounts, energy ledgers and metrics.
+    /// Step 1), payoff accounts, energy ledgers, metrics and the round
+    /// clock.
     pub fn begin_generation(&mut self) {
         self.reputation.clear();
         for p in &mut self.payoffs {
@@ -252,6 +260,28 @@ impl Arena {
             *e = EnergyLedger::new();
         }
         self.metrics.clear();
+        self.round_clock = 0;
+    }
+
+    /// The current tournament round (see the `round_clock` field).
+    #[inline]
+    pub fn round_clock(&self) -> u32 {
+        self.round_clock
+    }
+
+    /// Sets the round clock; called by the tournament driver at the
+    /// start of each round.
+    #[inline]
+    pub fn set_round_clock(&mut self, round: u32) {
+        self.round_clock = round;
+    }
+
+    /// `true` when every node is one of the three kinds the batched
+    /// round kernel decodes ([`NodeKind::is_batchable`]); adversary-zoo
+    /// kinds force the scalar per-game path, whose sequential reputation
+    /// reads give them the context they need.
+    pub fn all_kinds_batchable(&self) -> bool {
+        self.kinds.iter().all(|k| k.is_batchable())
     }
 
     /// The duty cycle of a node (probability of being awake per round).

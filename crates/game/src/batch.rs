@@ -130,10 +130,13 @@ fn pool_node(participants: &[NodeId], p1: usize, p2: usize, j: usize) -> NodeId 
 
 /// `true` when [`play_round`] can evaluate rounds under `arena`'s
 /// configuration: the hop model must fit the kernel's fixed relay
-/// buffers. The paper's modes (≤ 10 hops) always qualify.
+/// buffers, and every node must be one of the three context-free kinds
+/// the kernel decodes. The paper's modes (≤ 10 hops, Normal/CSN/dropper
+/// populations) always qualify; adversary-zoo kinds need per-game
+/// context (source identity, round clock) and take the scalar path.
 #[inline]
 pub fn round_supported(arena: &Arena) -> bool {
-    arena.config.paths.lengths.max_hops() <= MAX_RELAYS + 1
+    arena.config.paths.lengths.max_hops() <= MAX_RELAYS + 1 && arena.all_kinds_batchable()
 }
 
 /// Plays one full tournament round — every participant sources exactly
@@ -287,6 +290,16 @@ fn play_game_batched<R: Rng + ?Sized>(
                 } else {
                     Decision::Forward
                 }
+            }
+            // Unreachable: `round_supported` rejects arenas holding any
+            // adversary-zoo kind, forcing the scalar path that carries
+            // the context (source kind, round clock) they need.
+            crate::players::NodeKind::Liar
+            | crate::players::NodeKind::Colluder(_)
+            | crate::players::NodeKind::OnOff { .. }
+            | crate::players::NodeKind::Whitewasher { .. }
+            | crate::players::NodeKind::Flooder { .. } => {
+                unreachable!("zoo kinds are gated out of the batched kernel")
             }
         };
         scratch.decisions[k] = (decision, trust);

@@ -73,7 +73,11 @@ pub fn decide<R: Rng + ?Sized>(
     // activity classification.
     let (rate, forwarded) = arena.reputation.rate_and_forwarded(node, source);
     let trust = arena.config.trust.level_opt(rate);
-    if let Some(fixed) = arena.kind(node).fixed_decision(rng) {
+    if let Some(fixed) =
+        arena
+            .kind(node)
+            .fixed_decision_ctx(rng, arena.kind(source), arena.round_clock())
+    {
         return (fixed, trust);
     }
     let strategy = arena.strategy(node);

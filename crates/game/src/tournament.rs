@@ -8,6 +8,7 @@
 use crate::arena::Arena;
 use crate::batch::{self, BatchScratch};
 use crate::game::{play_game, Scratch};
+use crate::players::NodeKind;
 use ahn_net::NodeId;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -36,6 +37,12 @@ pub struct RoundScratch {
     /// This round's awake participants (extension X6; unused while every
     /// duty cycle is 1.0).
     awake: Vec<NodeId>,
+    /// Normal participants — the slander targets of liar tellers.
+    /// Filled once per tournament; empty unless zoo kinds are present.
+    zoo_victims: Vec<NodeId>,
+    /// Per-teller vouching targets (fellow liars or clique-mates),
+    /// rebuilt per gossip exchange; empty unless zoo kinds are present.
+    zoo_allies: Vec<NodeId>,
 }
 
 impl Tournament {
@@ -79,6 +86,8 @@ impl Tournament {
             game: scratch,
             batch: batch_scratch,
             awake,
+            zoo_victims,
+            zoo_allies,
         } = round_scratch;
         awake.clear();
         let sample_sleep = arena.has_sleepers();
@@ -88,7 +97,44 @@ impl Tournament {
         // the scalar path (its awake set changes per round), as does any
         // exotic hop model the fixed-size kernel cannot hold.
         let use_batch = !sample_sleep && batch::round_supported(arena);
+        // Adversary-zoo bookkeeping (DESIGN.md "Scenarios"). All of it is
+        // keyed off the participant kinds, costs one scan per tournament,
+        // and consumes no RNG — with none of the zoo kinds present every
+        // branch below is dead and the round is exactly the paper's.
+        let mut has_whitewashers = false;
+        let mut has_flooders = false;
+        let mut has_liars = false;
+        zoo_victims.clear();
+        for &p in participants {
+            match arena.kind(p) {
+                NodeKind::Whitewasher { .. } => has_whitewashers = true,
+                NodeKind::Flooder { .. } => has_flooders = true,
+                NodeKind::Liar => has_liars = true,
+                _ => {}
+            }
+        }
+        if has_liars {
+            zoo_victims.extend(
+                participants
+                    .iter()
+                    .copied()
+                    .filter(|&p| arena.kind(p).is_normal()),
+            );
+        }
         for _round in 0..self.rounds {
+            // Round-phased kinds read this clock instead of consuming RNG.
+            arena.set_round_clock(_round as u32);
+            if has_whitewashers && _round > 0 {
+                // A whitewasher re-enters under a fresh identity every
+                // `period` rounds: everyone forgets everything about it.
+                for &p in participants {
+                    if let NodeKind::Whitewasher { period } = arena.kind(p) {
+                        if period > 0 && _round % usize::from(period) == 0 {
+                            arena.reputation.forget_subject(p);
+                        }
+                    }
+                }
+            }
             // Sample this round's awake set (extension X6). With every
             // duty cycle at 1.0 — the paper's model — no RNG is consumed
             // and the round is exactly the paper's.
@@ -132,6 +178,30 @@ impl Tournament {
                     }
                 }
             }
+            if has_flooders {
+                // Energy-exhaustion attackers source `extra` additional
+                // packets per round beyond the one every participant sends.
+                for &source in participants {
+                    if let NodeKind::Flooder { extra } = arena.kind(source) {
+                        for _ in 0..extra {
+                            if !sample_sleep {
+                                play_game(arena, rng, source, participants, env, scratch);
+                                continue;
+                            }
+                            let was_awake = awake.contains(&source);
+                            if !was_awake {
+                                awake.push(source);
+                            }
+                            if awake.len() >= 3 {
+                                play_game(arena, rng, source, awake, env, scratch);
+                            }
+                            if !was_awake {
+                                awake.pop();
+                            }
+                        }
+                    }
+                }
+            }
             if let Some(gossip) = arena.config.gossip {
                 // Each participant hears from one random other participant
                 // per round (extension; see ahn_net::gossip). Sleeping
@@ -147,12 +217,68 @@ impl Tournament {
                             break t;
                         }
                     };
-                    ahn_net::gossip::share_observations(
-                        &mut arena.reputation,
-                        teller,
-                        listener,
-                        &gossip,
-                    );
+                    // The teller's kind decides what actually travels.
+                    // Teller selection above is the only RNG this phase
+                    // consumes, so arenas without zoo kinds gossip exactly
+                    // as before.
+                    match arena.kind(teller) {
+                        NodeKind::Liar => {
+                            // Slander the honest majority, vouch for the
+                            // fellow liars — the poisoning attack CORE's
+                            // positive-only policy was designed to blunt.
+                            ahn_net::gossip::poison_observations(
+                                &mut arena.reputation,
+                                teller,
+                                listener,
+                                zoo_victims,
+                                &gossip,
+                            );
+                            zoo_allies.clear();
+                            zoo_allies.extend(
+                                pool.iter()
+                                    .copied()
+                                    .filter(|&p| arena.kind(p) == NodeKind::Liar),
+                            );
+                            ahn_net::gossip::vouch_observations(
+                                &mut arena.reputation,
+                                teller,
+                                listener,
+                                zoo_allies,
+                                &gossip,
+                            );
+                        }
+                        NodeKind::Colluder(clique) => {
+                            // Honest first-hand share plus fabricated
+                            // vouching for clique-mates.
+                            ahn_net::gossip::share_observations(
+                                &mut arena.reputation,
+                                teller,
+                                listener,
+                                &gossip,
+                            );
+                            zoo_allies.clear();
+                            zoo_allies.extend(
+                                pool.iter()
+                                    .copied()
+                                    .filter(|&p| arena.kind(p) == NodeKind::Colluder(clique)),
+                            );
+                            ahn_net::gossip::vouch_observations(
+                                &mut arena.reputation,
+                                teller,
+                                listener,
+                                zoo_allies,
+                                &gossip,
+                            );
+                        }
+                        _ => {
+                            ahn_net::gossip::share_observations(
+                                &mut arena.reputation,
+                                teller,
+                                listener,
+                                &gossip,
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -318,6 +444,182 @@ mod tests {
             with > without,
             "gossip should spread knowledge: {with} vs {without}"
         );
+    }
+
+    /// Arena of `n` cooperative normals followed by the given zoo tail.
+    fn zoo_arena(n: usize, tail: Vec<NodeKind>, gossip: Option<ahn_net::GossipConfig>) -> Arena {
+        let mut kinds = vec![NodeKind::Normal; n];
+        kinds.extend(tail);
+        let mut config = GameConfig::paper(PathMode::Shorter);
+        config.gossip = gossip;
+        Arena::with_kinds(vec![Strategy::always_forward(); n], kinds, config, 1)
+    }
+
+    #[test]
+    fn whitewasher_keeps_getting_forgotten() {
+        let mut a = zoo_arena(7, vec![NodeKind::Whitewasher { period: 5 }], None);
+        let ww = NodeId(7);
+        let ids: Vec<NodeId> = (0u32..8).map(NodeId::from).collect();
+        // Rounds 5, 10, ... wipe the whitewasher's history, so after a
+        // multiple-of-period round count nobody may hold more than the
+        // current period's observations, despite it discarding constantly.
+        Tournament::new(100).run(&mut a, &mut rng(11), &ids, 0);
+        let whitewashed: usize = (0..7)
+            .map(|o| a.reputation.record(NodeId(o), ww).requests as usize)
+            .sum();
+        let mut b = zoo_arena(7, vec![NodeKind::ConstantlySelfish], None);
+        Tournament::new(100).run(&mut b, &mut rng(11), &ids, 0);
+        let remembered: usize = (0..7)
+            .map(|o| b.reputation.record(NodeId(o), ww).requests as usize)
+            .sum();
+        assert!(
+            whitewashed * 4 < remembered,
+            "whitewashing should erase most history: {whitewashed} vs {remembered}"
+        );
+        a.reputation.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn flooder_burns_more_relay_energy_than_a_csn() {
+        let run = |tail: NodeKind| {
+            let mut a = zoo_arena(7, vec![tail], None);
+            let ids: Vec<NodeId> = (0u32..8).map(NodeId::from).collect();
+            Tournament::new(50).run(&mut a, &mut rng(12), &ids, 0);
+            // Total packets received by the honest majority — the relay
+            // load the attacker imposes.
+            (0..7).map(|i| a.energy[i].rx_packets as u64).sum::<u64>()
+        };
+        let against_csn = run(NodeKind::ConstantlySelfish);
+        let against_flooder = run(NodeKind::Flooder { extra: 4 });
+        assert!(
+            against_flooder > against_csn,
+            "flooding must raise relay load: {against_flooder} vs {against_csn}"
+        );
+    }
+
+    #[test]
+    fn liars_poison_reputation_under_confidant_gossip() {
+        let mut a = zoo_arena(
+            8,
+            vec![NodeKind::Liar, NodeKind::Liar],
+            Some(ahn_net::GossipConfig::confidant_style()),
+        );
+        let ids: Vec<NodeId> = (0u32..10).map(NodeId::from).collect();
+        Tournament::new(30).run(&mut a, &mut rng(13), &ids, 0);
+        // Liars forward faithfully, so their first-hand record is clean;
+        // the damage shows in what listeners now believe about honest
+        // nodes: cooperative forwarders held below a perfect rate.
+        let mut slandered = 0;
+        for o in 0..8u32 {
+            for s in 0..8u32 {
+                if o == s {
+                    continue;
+                }
+                if let Some(rate) = a.reputation.rate(NodeId(o), NodeId(s)) {
+                    if rate < 0.9 {
+                        slandered += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            slandered > 0,
+            "confidant-style gossip should let slander through"
+        );
+        a.reputation.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn core_gossip_blunts_poison_but_not_vouching() {
+        // Under CORE's positive-only policy the same liar population
+        // still vouches (positive fabrications travel) but the fabricated
+        // denunciations cannot be *shared onward* by honest nodes; direct
+        // poison injections still land, so compare against CONFIDANT.
+        let slander_volume = |gossip: ahn_net::GossipConfig| {
+            let mut a = zoo_arena(8, vec![NodeKind::Liar, NodeKind::Liar], Some(gossip));
+            let ids: Vec<NodeId> = (0u32..10).map(NodeId::from).collect();
+            Tournament::new(30).run(&mut a, &mut rng(14), &ids, 0);
+            let mut v = 0u64;
+            for o in 0..8u32 {
+                for s in 0..8u32 {
+                    if o != s {
+                        let r = a.reputation.record(NodeId(o), NodeId(s));
+                        v += u64::from(r.requests - r.forwarded);
+                    }
+                }
+            }
+            v
+        };
+        let core = slander_volume(ahn_net::GossipConfig::core_style());
+        let confidant = slander_volume(ahn_net::GossipConfig::confidant_style());
+        assert!(
+            core <= confidant,
+            "positive-only gossip must not amplify slander: {core} vs {confidant}"
+        );
+    }
+
+    #[test]
+    fn colluders_cover_for_each_other_in_gossip() {
+        let mut a = zoo_arena(
+            8,
+            vec![NodeKind::Colluder(1), NodeKind::Colluder(1)],
+            Some(ahn_net::GossipConfig::core_style()),
+        );
+        let ids: Vec<NodeId> = (0u32..10).map(NodeId::from).collect();
+        Tournament::new(30).run(&mut a, &mut rng(15), &ids, 0);
+        // Colluders discard for everyone outside the clique, yet their
+        // mutual vouching pumps fabricated forwards into honest tables:
+        // somebody must now over-rate a colluder relative to its watchdog
+        // record alone (which would be pure drops from normal sources).
+        let mut inflated = 0;
+        for o in 0..8u32 {
+            for c in [NodeId(8), NodeId(9)] {
+                if let Some(rate) = a.reputation.rate(NodeId(o), c) {
+                    if rate > 0.0 {
+                        inflated += 1;
+                    }
+                }
+            }
+        }
+        assert!(inflated > 0, "vouching should inflate colluder ratings");
+        a.reputation.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zoo_tail_forces_the_scalar_path_but_base_streams_are_unchanged() {
+        // An arena with only the original kinds batches; adding any zoo
+        // kind de-batches it.
+        let base = zoo_arena(6, vec![NodeKind::ConstantlySelfish], None);
+        assert!(crate::batch::round_supported(&base));
+        for tail in [
+            NodeKind::Liar,
+            NodeKind::Colluder(0),
+            NodeKind::OnOff { on: 1, off: 1 },
+            NodeKind::Whitewasher { period: 3 },
+            NodeKind::Flooder { extra: 1 },
+        ] {
+            let a = zoo_arena(6, vec![tail], None);
+            assert!(!crate::batch::round_supported(&a), "{tail:?}");
+        }
+    }
+
+    #[test]
+    fn on_off_attacker_alternates_between_saint_and_sinner() {
+        let mut a = zoo_arena(7, vec![NodeKind::OnOff { on: 10, off: 10 }], None);
+        let ids: Vec<NodeId> = (0u32..8).map(NodeId::from).collect();
+        Tournament::new(20).run(&mut a, &mut rng(16), &ids, 0);
+        // Over one full on/off cycle the attacker both forwarded and
+        // dropped packets — unlike a CSN (drops only) or a cooperator.
+        let onoff = NodeId(7);
+        let mut forwards = 0u64;
+        let mut drops = 0u64;
+        for o in 0..7u32 {
+            let r = a.reputation.record(NodeId(o), onoff);
+            forwards += u64::from(r.forwarded);
+            drops += u64::from(r.requests - r.forwarded);
+        }
+        assert!(forwards > 0, "on-phase must forward");
+        assert!(drops > 0, "off-phase must drop");
     }
 
     #[test]

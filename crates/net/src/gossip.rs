@@ -98,9 +98,65 @@ pub fn share_observations(
     shared
 }
 
+/// Injects a fabricated *negative* report: `from` tells `to` that each
+/// node in `victims` dropped `config.cap` packets (zero forwarded) —
+/// the slander half of a liar/poisoner attack. The fabrication uses the
+/// same capped-merge primitive as honest gossip, so the defense
+/// question the atlas asks is exactly the one CORE raised: does the
+/// policy let negative hearsay travel at all, and if so, can bounded
+/// hearsay outweigh first-hand observation? Returns the number of
+/// victims slandered.
+pub fn poison_observations(
+    matrix: &mut ReputationMatrix,
+    from: NodeId,
+    to: NodeId,
+    victims: &[NodeId],
+    config: &GossipConfig,
+) -> usize {
+    if from == to || config.cap == 0 {
+        return 0;
+    }
+    let mut poisoned = 0;
+    for &victim in victims {
+        if victim == from || victim == to {
+            continue;
+        }
+        matrix.absorb(to, victim, config.cap, 0);
+        poisoned += 1;
+    }
+    poisoned
+}
+
+/// Injects a fabricated *positive* report: `from` vouches to `to` that
+/// each node in `allies` forwarded `config.cap` of `config.cap`
+/// packets — the mutual-vouching half of a colluding clique (and the
+/// self-promotion half of a liar attack). Returns the number of allies
+/// vouched for.
+pub fn vouch_observations(
+    matrix: &mut ReputationMatrix,
+    from: NodeId,
+    to: NodeId,
+    allies: &[NodeId],
+    config: &GossipConfig,
+) -> usize {
+    if from == to || config.cap == 0 {
+        return 0;
+    }
+    let mut vouched = 0;
+    for &ally in allies {
+        if ally == from || ally == to {
+            continue;
+        }
+        matrix.absorb(to, ally, config.cap, config.cap);
+        vouched += 1;
+    }
+    vouched
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reputation::RepRecord;
 
     fn id(v: u32) -> NodeId {
         NodeId(v)
@@ -181,6 +237,76 @@ mod tests {
             share_observations(&mut m, id(0), id(0), &GossipConfig::confidant_style()),
             0
         );
+    }
+
+    #[test]
+    fn poison_plants_denunciations_but_spares_the_parties() {
+        let mut m = ReputationMatrix::new(4);
+        let victims = [id(0), id(1), id(2), id(3)];
+        let n = poison_observations(
+            &mut m,
+            id(0),
+            id(1),
+            &victims,
+            &GossipConfig::confidant_style(),
+        );
+        assert_eq!(n, 2, "teller and listener are never subjects");
+        assert_eq!(m.rate(id(1), id(2)), Some(0.0));
+        assert_eq!(m.record(id(1), id(3)).requests, 3);
+        assert!(!m.knows(id(1), id(0)));
+        assert!(!m.knows(id(1), id(1)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn poison_is_bounded_by_first_hand_observation() {
+        // A listener with sustained first-hand evidence keeps a high
+        // opinion after one capped slander: 10/10 + 0/3 = 10/13.
+        let mut m = seeded();
+        poison_observations(
+            &mut m,
+            id(4),
+            id(0),
+            &[id(2)],
+            &GossipConfig::confidant_style(),
+        );
+        let rate = m.rate(id(0), id(2)).unwrap();
+        assert!((rate - 10.0 / 13.0).abs() < 1e-12);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn vouch_plants_full_forward_records() {
+        let mut m = ReputationMatrix::new(4);
+        let n = vouch_observations(
+            &mut m,
+            id(0),
+            id(1),
+            &[id(2), id(3)],
+            &GossipConfig::core_style(),
+        );
+        assert_eq!(n, 2);
+        assert_eq!(m.rate(id(1), id(2)), Some(1.0));
+        assert_eq!(
+            m.record(id(1), id(3)),
+            RepRecord {
+                requests: 3,
+                forwarded: 3
+            }
+        );
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_cap_silences_fabrication() {
+        let mut m = ReputationMatrix::new(3);
+        let cfg = GossipConfig {
+            policy: GossipPolicy::All,
+            cap: 0,
+        };
+        assert_eq!(poison_observations(&mut m, id(0), id(1), &[id(2)], &cfg), 0);
+        assert_eq!(vouch_observations(&mut m, id(0), id(1), &[id(2)], &cfg), 0);
+        assert!(!m.knows(id(1), id(2)));
     }
 
     #[test]

@@ -185,6 +185,37 @@ impl SparseRow {
         self.len = 0;
     }
 
+    /// Removes `key`'s cell (backward-shift deletion, so later probes
+    /// in the same cluster stay reachable), returning its record.
+    fn remove(&mut self, key: u32) -> Option<RepRecord> {
+        let mut slot = self.find(key)?;
+        let removed = self.records[slot];
+        let mask = self.keys.len() - 1;
+        self.keys[slot] = EMPTY_KEY;
+        let mut next = (slot + 1) & mask;
+        while self.keys[next] != EMPTY_KEY {
+            let home = Self::home_slot(self.keys[next], mask);
+            // Shift `next` into the vacated slot unless its home lies
+            // cyclically inside (slot, next] — then it is already as
+            // close to home as the probe sequence allows.
+            let in_cluster_tail = if slot <= next {
+                home > slot && home <= next
+            } else {
+                home > slot || home <= next
+            };
+            if !in_cluster_tail {
+                self.keys[slot] = self.keys[next];
+                self.records[slot] = self.records[next];
+                self.rates[slot] = self.rates[next];
+                self.keys[next] = EMPTY_KEY;
+                slot = next;
+            }
+            next = (next + 1) & mask;
+        }
+        self.len -= 1;
+        Some(removed)
+    }
+
     /// Occupied `(subject, record, rate)` cells in subject order — the
     /// deterministic iteration order used by serialization and the
     /// invariant checker (slot order depends on insertion history).
@@ -576,6 +607,33 @@ impl ReputationMatrix {
         self.row_forwarded[o] += u64::from(forwarded);
     }
 
+    /// Erases every observation *about* `subject`, as if the node had
+    /// re-entered the network under a fresh identity — the whitewashing
+    /// attack of the CONFIDANT literature. Each observer's record of
+    /// `subject` reverts to unknown; observations the subject holds
+    /// about others are untouched (a rejoining node keeps its own
+    /// memory in this model, only its public history resets).
+    pub fn forget_subject(&mut self, subject: NodeId) {
+        let s = subject.index();
+        debug_assert!(s < self.n, "node id out of range");
+        for o in 0..self.n {
+            let old = match &mut self.backing {
+                Backing::Dense { records, rates } => {
+                    let i = o * self.n + s;
+                    let old = records[i];
+                    records[i] = RepRecord::default();
+                    rates[i] = UNKNOWN_RATE;
+                    old
+                }
+                Backing::Sparse(rows) => rows[o].remove(s as u32).unwrap_or_default(),
+            };
+            if old.requests > 0 {
+                self.row_known[o] -= 1;
+                self.row_forwarded[o] -= u64::from(old.forwarded);
+            }
+        }
+    }
+
     /// Resets every record to unknown. Called at the start of each
     /// generation's evaluation (§4.4, Step 1: "Clear the memory
     /// (reputation/activity data) of all N players"). Sparse rows keep
@@ -865,6 +923,65 @@ mod tests {
             assert_eq!(m.known_count(id(0)), 2);
             assert_eq!(m.observed_pairs(), 2);
         }
+    }
+
+    #[test]
+    fn forget_subject_erases_only_that_column() {
+        for mut m in both(4) {
+            m.record_forward(id(0), id(1));
+            m.record_drop(id(0), id(1));
+            m.record_forward(id(2), id(1));
+            m.record_forward(id(0), id(3));
+            m.forget_subject(id(1));
+            assert!(!m.knows(id(0), id(1)));
+            assert!(!m.knows(id(2), id(1)));
+            assert_eq!(m.rate(id(0), id(1)), None);
+            assert_eq!(m.rate_or_unknown(id(2), id(1)), UNKNOWN_RATE);
+            // Unrelated observations survive, aggregates stay in sync.
+            assert!(m.knows(id(0), id(3)));
+            assert_eq!(m.known_count(id(0)), 1);
+            assert_eq!(m.mean_forwarded_of_known(id(0)), Some(1.0));
+            m.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn forget_subject_of_unknown_node_is_a_no_op() {
+        for mut m in both(3) {
+            m.record_forward(id(0), id(1));
+            let before = m.clone();
+            m.forget_subject(id(2));
+            assert_eq!(m, before);
+            m.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn sparse_remove_keeps_probe_clusters_reachable() {
+        // Fill a sparse row well past several grow cycles, then delete
+        // every other subject and verify the survivors are all still
+        // findable (backward-shift deletion must not orphan cluster
+        // tails) and the invariant checker stays green.
+        let n = 64;
+        let mut m = ReputationMatrix::new_sparse(n);
+        for s in 1..n {
+            for _ in 0..s {
+                m.record_forward(id(0), id(s as u32));
+            }
+        }
+        for s in (1..n).step_by(2) {
+            m.forget_subject(id(s as u32));
+        }
+        for s in 1..n {
+            let rec = m.record(id(0), id(s as u32));
+            if s % 2 == 1 {
+                assert_eq!(rec, RepRecord::default(), "n{s} should be forgotten");
+            } else {
+                assert_eq!(rec.forwarded, s as u32, "n{s} lost its record");
+            }
+        }
+        assert_eq!(m.known_count(id(0)), (n - 1) / 2);
+        m.check_invariants().unwrap();
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!                        cache/coalesce/enqueue flow
 //! GET  /v1/jobs/{id}     poll a job; done -> result inline
 //! GET  /v1/presets       ready-to-POST bodies for fig4/table5/ipdrp
+//! GET  /v1/scenarios     the adversary-zoo registry (names usable on
+//!                        a sweep grid's scenario axis)
 //! GET  /healthz          liveness probe (200 while the process serves)
 //! GET  /readyz           readiness probe: 200 while accepting work,
 //!                        503 once draining (load balancers stop
@@ -430,6 +432,13 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
             Ok(body) => (200, body, false),
             Err(e) => (500, error_body(&e.to_string()), false),
         },
+        // The adversary-zoo registry: pure data straight from
+        // `ahn_core::scenarios`, so clients can enumerate the scenario
+        // axis they may put in a `/v1/sweeps` grid.
+        ("GET", "/v1/scenarios") => match serde_json::to_string(&ahn_core::builtin_scenarios()) {
+            Ok(body) => (200, body, false),
+            Err(e) => (500, error_body(&e.to_string()), false),
+        },
         // A draining node takes no new work: submissions answer 503 so
         // callers retry elsewhere (or later), and claims answer empty
         // so pull workers idle out instead of erroring. Completions for
@@ -460,8 +469,9 @@ fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String, bool) {
         ("POST", "/v1/shutdown") => (200, "{\"status\":\"shutting-down\"}".into(), true),
         (
             _,
-            "/healthz" | "/readyz" | "/metrics" | "/v1/presets" | "/v1/experiments" | "/v1/sweeps"
-            | "/v1/calibrations" | "/v1/work/claim" | "/v1/work/complete" | "/v1/shutdown",
+            "/healthz" | "/readyz" | "/metrics" | "/v1/presets" | "/v1/scenarios"
+            | "/v1/experiments" | "/v1/sweeps" | "/v1/calibrations" | "/v1/work/claim"
+            | "/v1/work/complete" | "/v1/shutdown",
         ) => (405, error_body("method not allowed"), false),
         (_, path) if path.starts_with("/v1/jobs/") => {
             (405, error_body("method not allowed"), false)

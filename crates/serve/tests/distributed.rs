@@ -54,6 +54,7 @@ fn small_grid() -> ahn_core::SweepGrid {
     base.replications = 1;
     ahn_core::SweepGrid {
         base,
+        scenarios: None,
         cases: vec![1, 3],
         payoffs: vec!["paper".into()],
         sizes: vec![10],

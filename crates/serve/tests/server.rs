@@ -83,6 +83,28 @@ fn healthz_metrics_presets_and_errors() {
         other => panic!("presets should be an array: {other:?}"),
     }
 
+    let (status, scenarios) = get(&addr, "/v1/scenarios");
+    assert_eq!(status, 200);
+    match &scenarios {
+        Value::Seq(items) => {
+            assert!(items.len() >= 6, "base + at least 5 attacker scenarios");
+            let names: Vec<_> = items.iter().map(|s| s["name"].clone()).collect();
+            assert!(names.contains(&Value::String("base".into())), "{names:?}");
+            assert!(
+                names.contains(&Value::String("slanderers".into())),
+                "{names:?}"
+            );
+            let with_attackers = items
+                .iter()
+                .filter(|s| !matches!(s["attackers"], Value::Null))
+                .count();
+            assert!(with_attackers >= 5, "{with_attackers} attacker scenarios");
+        }
+        other => panic!("scenarios should be an array: {other:?}"),
+    }
+    let (status, _) = post(&addr, "/v1/scenarios", "");
+    assert_eq!(status, 405);
+
     let (status, _) = get(&addr, "/no/such/route");
     assert_eq!(status, 404);
     let (status, _) = post(&addr, "/healthz", "");

@@ -153,6 +153,7 @@ fn sweep_fixture() -> &'static (SweepGrid, SweepReport, String) {
         base.replications = 1;
         let grid = SweepGrid {
             base,
+            scenarios: None,
             cases: vec![1, 3],
             payoffs: vec!["paper".into()],
             sizes: vec![10],
@@ -162,6 +163,78 @@ fn sweep_fixture() -> &'static (SweepGrid, SweepReport, String) {
         let json = serde_json::to_string(&report).expect("serialize reference");
         (grid, report, json)
     })
+}
+
+/// A reference sweep over the scenario axis (base + two attacker
+/// scenarios), shared by the scenario-axis proptest.
+fn scenario_sweep_fixture() -> &'static (SweepGrid, SweepReport, String) {
+    static FIXTURE: OnceLock<(SweepGrid, SweepReport, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut base = cfg();
+        base.generations = 3;
+        base.replications = 1;
+        let grid = SweepGrid {
+            base,
+            scenarios: Some(vec![
+                "base".into(),
+                "slanderers".into(),
+                "whitewashers".into(),
+            ]),
+            cases: vec![1],
+            payoffs: vec!["paper".into()],
+            sizes: vec![10],
+            seed_blocks: vec![0, 1],
+        };
+        let report = run_sweep(&grid).expect("reference scenario sweep");
+        let json = serde_json::to_string(&report).expect("serialize reference");
+        (grid, report, json)
+    })
+}
+
+/// The scenario axis keeps the purity contract: resolving every cell
+/// and running it as an ordinary single experiment (the distributed
+/// worker path) merges to the exact bytes of the parallel
+/// `run_sweep` — so scenario cells are bit-identical no matter how
+/// many threads or workers computed them.
+#[test]
+fn scenario_cells_from_single_experiments_merge_to_the_sweep_bytes() {
+    use ahn::core::cell_from_result;
+    let (grid, _, reference_json) = scenario_sweep_fixture();
+    let cells: Vec<SweepCell> = grid
+        .cell_specs()
+        .into_iter()
+        .map(|spec| {
+            let (config, case) = grid.resolve(&spec).expect("resolve scenario cell");
+            let result = run_experiment(&config, &case);
+            cell_from_result(spec, &config, &case, &result)
+        })
+        .collect();
+    let merged = merge_sweep(grid, &cells).expect("merge worker-path cells");
+    assert_eq!(
+        &serde_json::to_string(&merged).expect("serialize merged"),
+        reference_json
+    );
+}
+
+/// A base-scenario coordinate (`Some("base")`) resolves to the same
+/// `(config, case)` — and therefore the same seeds, streams and cache
+/// keys — as the legacy scenario-free cell, up to the population floor
+/// both paths apply.
+#[test]
+fn base_scenario_cells_match_legacy_cells() {
+    let (grid, _, _) = sweep_fixture();
+    let mut with_axis = grid.clone();
+    with_axis.scenarios = Some(vec!["base".into()]);
+    let legacy = grid.cell_specs();
+    let scenarioed = with_axis.cell_specs();
+    assert_eq!(legacy.len(), scenarioed.len());
+    for (old, new) in legacy.iter().zip(&scenarioed) {
+        assert_eq!(new.scenario.as_deref(), Some("base"));
+        assert_eq!(
+            grid.resolve(old).expect("legacy resolve"),
+            with_axis.resolve(new).expect("scenario resolve"),
+        );
+    }
 }
 
 /// SplitMix64, used to derive a permutation from one proptest seed.
@@ -229,6 +302,46 @@ proptest! {
             serde_json::to_string(&resumed).expect("serialize resumed"),
             reference_json.as_str()
         );
+    }
+
+    /// The interleaving property holds on the scenario axis too: any
+    /// permutation + duplication of scenario-keyed cells merges to the
+    /// serial report's exact bytes, and dropping a scenario cell names
+    /// it instead of fabricating a report.
+    #[test]
+    fn scenario_axis_merges_bit_identically_across_interleavings(
+        perm_seed in any::<u64>(),
+        dup_mask in any::<u32>(),
+        drop_pick in any::<u16>(),
+    ) {
+        let (grid, report, reference_json) = scenario_sweep_fixture();
+        let mut arrivals: Vec<SweepCell> = report.cells.clone();
+        let n = arrivals.len();
+        for i in 0..n {
+            if dup_mask & (1 << i) != 0 {
+                arrivals.push(report.cells[i].clone());
+            }
+        }
+        for i in (1..arrivals.len()).rev() {
+            let j = (mix(perm_seed ^ i as u64) % (i as u64 + 1)) as usize;
+            arrivals.swap(i, j);
+        }
+        let merged = merge_sweep(grid, &arrivals).expect("merge scenario cells");
+        prop_assert_eq!(
+            serde_json::to_string(&merged).expect("serialize merged"),
+            reference_json.as_str(),
+            "an interleaving changed the scenario-sweep bytes"
+        );
+
+        // Removing every completion of one cell must fail loudly.
+        let victim = report.cells[(drop_pick as usize) % n].spec.clone();
+        let partial: Vec<SweepCell> = arrivals
+            .iter()
+            .filter(|c| c.spec != victim)
+            .cloned()
+            .collect();
+        let err = merge_sweep(grid, &partial).expect_err("missing cell must not merge");
+        prop_assert!(err.contains("never completed"), "unexpected error: {err}");
     }
 
     /// A completion that violates the purity contract — same cell

@@ -173,3 +173,39 @@ fn seeded_replications_match_golden_snapshots() {
         rendered.lines().count()
     );
 }
+
+/// Every built-in threat scenario's canonical hash, pinned as a
+/// literal. The hash is FNV-1a 64 over the scenario's compact JSON —
+/// the identity `ATLAS.md` rows and cross-revision comparisons key on
+/// — so any edit to a scenario's definition (shares, parameters,
+/// summary text, field order) fails here and forces a deliberate
+/// decision: new scenario name, or accept the re-keyed atlas row.
+#[test]
+fn builtin_scenario_hashes_are_pinned() {
+    let pinned: &[(&str, &str)] = &[
+        ("base", "f25a04528cfe7f86"),
+        ("selfish-majority", "bfff1c4945488418"),
+        ("random-droppers", "6e9f2682e8f4bae2"),
+        ("slanderers", "bfb0a26aec21710c"),
+        ("colluding-clique", "16721b978a514fc9"),
+        ("on-off-grudgers", "0c9058f5735d0078"),
+        ("whitewashers", "c81619e4491246d2"),
+        ("energy-flooders", "ac489e1a0a8d7e21"),
+        ("low-power-mesh", "3bdf32e2cb839707"),
+    ];
+    let all = ahn::core::builtin_scenarios();
+    assert_eq!(
+        all.len(),
+        pinned.len(),
+        "registry changed size — pin the new scenario's hash here"
+    );
+    for (scenario, (name, hash)) in all.iter().zip(pinned) {
+        assert_eq!(&scenario.name, name, "registry order is part of the pin");
+        assert_eq!(
+            format!("{:016x}", scenario.canonical_hash()),
+            *hash,
+            "canonical hash of scenario {:?} drifted",
+            scenario.name
+        );
+    }
+}
